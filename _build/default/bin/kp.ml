@@ -1,0 +1,208 @@
+(* Command-line driver for the Kaltofen–Pan solver over GF(p).
+
+   Matrices are given as whitespace-separated integers: first n, then the
+   n² entries row-major (and, for solve, n more for the right-hand side),
+   or generated randomly with --random.
+
+     kp solve  --random 24
+     kp det    --matrix m.txt
+     kp rank   --random 16 --rank-hint 9
+     kp inverse --random 6
+     kp charpoly --toeplitz 1,2,3,4,5    (diagonal vector, length 2n-1) *)
+
+let read_ints path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+  |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+  |> List.map int_of_string
+
+type setup = {
+  prime : int;
+  seed : int;
+  matrix : string option;
+  random : int option;
+  rank_hint : int option;
+}
+
+(* all subcommand bodies, generic in the runtime field *)
+module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
+  module M = Kp_matrix.Dense.Make (F)
+  module C = Kp_poly.Conv.Karatsuba (F)
+  module S = Kp_core.Solver.Make (F) (C)
+  module R = Kp_core.Rank.Make (F) (C)
+  module I = Kp_core.Inverse.Make (F) (C)
+  module TC = Kp_structured.Toeplitz_charpoly.Make (F) (C)
+  module Ch = Kp_structured.Chistov.Make (F) (C)
+
+  let load_matrix setup st =
+    match (setup.matrix, setup.random) with
+    | Some path, _ ->
+      let ints = read_ints path in
+      (match ints with
+      | n :: rest when List.length rest >= n * n ->
+        let entries = Array.of_list rest in
+        ( M.init n n (fun i j -> F.of_int entries.((i * n) + j)),
+          Array.to_list
+            (Array.sub entries (n * n) (Array.length entries - (n * n))) )
+      | _ -> failwith "matrix file: expected n followed by >= n^2 entries")
+    | None, Some n -> (
+      match setup.rank_hint with
+      | Some r -> (M.random_of_rank st n ~rank:r, [])
+      | None -> (M.random_nonsingular st n, []))
+    | None, None -> failwith "provide --matrix FILE or --random N"
+
+  let solve setup =
+    let st = Kp_util.Rng.make setup.seed in
+    let a, extra = load_matrix setup st in
+    let n = a.M.rows in
+    let b =
+      if List.length extra >= n then
+        Array.of_list (List.filteri (fun i _ -> i < n) extra)
+        |> Array.map F.of_int
+      else Array.init n (fun _ -> F.random st)
+    in
+    match S.solve st a b with
+    | Ok (x, report) ->
+      Printf.printf "solution (attempts: %d):\n" report.S.attempts;
+      Array.iteri (fun i v -> Printf.printf "  x_%d = %s\n" i (F.to_string v)) x;
+      `Ok ()
+    | Error { S.outcome = `Singular; _ } ->
+      print_endline "matrix is singular (certified witness)";
+      `Ok ()
+    | Error _ -> `Error (false, "solver failed")
+
+  let det setup =
+    let st = Kp_util.Rng.make setup.seed in
+    let a, _ = load_matrix setup st in
+    match S.det st a with
+    | Ok (d, _) ->
+      Printf.printf "det = %s  (mod %d)\n" (F.to_string d) setup.prime;
+      `Ok ()
+    | Error _ -> `Error (false, "determinant failed")
+
+  let rank setup =
+    let st = Kp_util.Rng.make setup.seed in
+    let a, _ = load_matrix setup st in
+    Printf.printf "rank = %d\n" (R.rank st a);
+    `Ok ()
+
+  let inverse setup =
+    let st = Kp_util.Rng.make setup.seed in
+    let a, _ = load_matrix setup st in
+    match I.inverse st a with
+    | Ok inv ->
+      print_string (M.to_string inv);
+      `Ok ()
+    | Error e -> `Error (false, e)
+
+  let charpoly prime toeplitz =
+    let d =
+      String.split_on_char ',' toeplitz
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s -> F.of_int (int_of_string s))
+      |> Array.of_list
+    in
+    let len = Array.length d in
+    if len land 1 = 0 then
+      `Error (false, "diagonal vector must have odd length 2n-1")
+    else begin
+      let n = (len + 1) / 2 in
+      let cp =
+        if F.characteristic > n then TC.charpoly ~n d else Ch.charpoly ~n d
+      in
+      Printf.printf "det(λI - T), low to high coefficients (mod %d):\n" prime;
+      Array.iteri (fun i c -> Printf.printf "  λ^%d: %s\n" i (F.to_string c)) cp;
+      `Ok ()
+    end
+end
+
+type ret = [ `Ok of unit | `Error of bool * string ]
+
+module type DRIVER = sig
+  val solve : setup -> ret
+  val det : setup -> ret
+  val rank : setup -> ret
+  val inverse : setup -> ret
+  val charpoly : int -> string -> ret
+end
+
+let dispatch prime k : ret =
+  match Kp_field.Gfp.make prime with
+  | exception Invalid_argument m -> `Error (false, m)
+  | m ->
+    let module F = (val m) in
+    let module D = Cmds (F) in
+    (try k (module D : DRIVER) with Failure m -> `Error (false, m))
+
+(* ---- cmdliner wiring ---- *)
+
+open Cmdliner
+
+let prime_t =
+  Arg.(value & opt int 998244353 & info [ "prime"; "p" ] ~doc:"Field prime (< 2^30).")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let matrix_t =
+  Arg.(value & opt (some string) None & info [ "matrix"; "m" ] ~doc:"Matrix file.")
+
+let random_t =
+  Arg.(value & opt (some int) None & info [ "random"; "n" ] ~doc:"Random n×n input.")
+
+let rank_hint_t =
+  Arg.(value & opt (some int) None
+       & info [ "rank-hint" ] ~doc:"With --random: generate this exact rank.")
+
+let setup_t =
+  let combine prime seed matrix random rank_hint =
+    { prime; seed; matrix; random; rank_hint }
+  in
+  Term.(const combine $ prime_t $ seed_t $ matrix_t $ random_t $ rank_hint_t)
+
+let simple_cmd name doc (select : (module DRIVER) -> setup -> ret) =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      ret
+        (const (fun setup ->
+             (dispatch setup.prime (fun d -> select d setup) :> unit Cmdliner.Term.ret))
+         $ setup_t))
+
+let solve_cmd =
+  simple_cmd "solve" "Solve A·x = b (Theorem 4)." (fun (module D) -> D.solve)
+
+let det_cmd = simple_cmd "det" "Determinant (Theorem 4)." (fun (module D) -> D.det)
+let rank_cmd = simple_cmd "rank" "Randomized rank (§5)." (fun (module D) -> D.rank)
+
+let inverse_cmd =
+  simple_cmd "inverse" "Inverse via Baur–Strassen (Theorem 6)." (fun (module D) ->
+      D.inverse)
+
+let charpoly_cmd =
+  let toeplitz_t =
+    Arg.(required & opt (some string) None
+         & info [ "toeplitz" ] ~doc:"Comma-separated diagonal vector (length 2n-1).")
+  in
+  Cmd.v
+    (Cmd.info "charpoly"
+       ~doc:"Characteristic polynomial of a Toeplitz matrix (Theorem 3).")
+    Term.(
+      ret
+        (const (fun p t ->
+             (dispatch p (fun (module D : DRIVER) -> D.charpoly p t) :> unit Cmdliner.Term.ret))
+         $ prime_t $ toeplitz_t))
+
+let () =
+  let info =
+    Cmd.info "kp" ~version:"1.0.0"
+      ~doc:"Processor-efficient parallel linear algebra (Kaltofen–Pan, SPAA 1991)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ solve_cmd; det_cmd; rank_cmd; inverse_cmd; charpoly_cmd ]))

@@ -1,0 +1,1 @@
+examples/circuit_inverse.ml: Kp_circuit Kp_core Kp_field Kp_matrix Kp_poly Kp_util List Option Printf

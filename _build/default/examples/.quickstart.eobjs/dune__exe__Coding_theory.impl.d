@@ -1,0 +1,1 @@
+examples/coding_theory.ml: Array Kp_matrix Kp_util List Printf String

@@ -1,0 +1,1 @@
+examples/lights_out.ml: Array Kp_core Kp_field Kp_matrix Kp_poly Kp_util Printf Random

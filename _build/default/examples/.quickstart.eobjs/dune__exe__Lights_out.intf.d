@@ -1,0 +1,1 @@
+examples/lights_out.mli:

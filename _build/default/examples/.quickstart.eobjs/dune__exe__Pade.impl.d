@@ -1,0 +1,1 @@
+examples/pade.ml: Array Kp_field Kp_poly Kp_structured List Printf

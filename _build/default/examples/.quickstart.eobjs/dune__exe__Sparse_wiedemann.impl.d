@@ -1,0 +1,1 @@
+examples/sparse_wiedemann.ml: Array Kp_core Kp_field Kp_matrix Kp_util List Result

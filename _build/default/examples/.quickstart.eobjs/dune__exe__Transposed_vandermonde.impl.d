@@ -1,0 +1,1 @@
+examples/transposed_vandermonde.ml: Array Kp_core Kp_field Kp_matrix Kp_poly Kp_util Option Printf

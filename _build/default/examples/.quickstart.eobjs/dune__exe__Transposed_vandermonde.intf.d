@@ -1,0 +1,1 @@
+examples/transposed_vandermonde.mli:

@@ -1,0 +1,69 @@
+(* Padé approximation — the classic consumer of non-singular Toeplitz
+   solvers (the paper's §3 engine cites Brent–Gustavson–Yun, whose title is
+   literally "Fast solution of Toeplitz systems of equations and
+   computation of Padé approximants").
+
+   The [m/n] Padé approximant p/q of a power series A satisfies
+   A·q ≡ p (mod x^{m+n+1}); with q(0) = 1 the denominator coefficients
+   solve an n×n Toeplitz system with entries a_{m-n+1} .. a_{m+n-1}.
+   We solve it with the §3 characteristic-polynomial engine
+   (charpoly → Cayley–Hamilton), exactly over ℚ, and recover the
+   textbook approximants of exp(x).
+
+   Run with:  dune exec examples/pade.exe *)
+
+module Q = Kp_field.Rational
+module C = Kp_poly.Conv.Karatsuba (Q)
+module TC = Kp_structured.Toeplitz_charpoly.Make (Q) (C)
+module P = Kp_poly.Dense.Make (Q)
+module S = Kp_poly.Series.Make (Q)
+
+(* a.(k) = 1/k! : the exponential series *)
+let exp_series len =
+  let a = Array.make len Q.zero in
+  let fact = ref Q.one in
+  for k = 0 to len - 1 do
+    if k > 0 then fact := Q.mul !fact (Q.of_int k);
+    a.(k) <- Q.inv !fact
+  done;
+  a
+
+let coeff a k = if k < 0 || k >= Array.length a then Q.zero else a.(k)
+
+(* [m/n] Padé of the series a *)
+let pade a m n =
+  (* Toeplitz system for q_1..q_n: Σ_j d-shifted entries; rhs = -a_{m+1+i} *)
+  let d = Array.init ((2 * n) - 1) (fun k -> coeff a (m - n + 1 + k)) in
+  let rhs = Array.init n (fun i -> Q.neg (coeff a (m + 1 + i))) in
+  let qtail = TC.solve ~n d rhs in
+  (* careful with ordering: row i, unknown j (for q_{j+1}):
+     T_{i,j} = a_{m+i-j} = d.(n-1+i-j)  with  d.(k) = a_(m-n+1+k)  ✓ *)
+  let q = P.of_coeffs (Array.init (n + 1) (fun j -> if j = 0 then Q.one else qtail.(j - 1))) in
+  (* p = A·q mod x^{m+1} *)
+  let len = m + n + 1 in
+  let prod = S.mul (S.of_array len a) (S.of_array len (P.to_array q)) in
+  let p = P.of_coeffs (Array.sub prod 0 (m + 1)) in
+  (p, q)
+
+let () =
+  print_endline "Padé approximants of exp(x), exactly over Q,";
+  print_endline "via the §3 Toeplitz engine (charpoly + Cayley–Hamilton):\n";
+  let a = exp_series 16 in
+  List.iter
+    (fun (m, n) ->
+      let p, q = pade a m n in
+      Printf.printf "[%d/%d]:  p = %s\n        q = %s\n" m n (P.to_string p)
+        (P.to_string q);
+      (* verify the defining congruence A q = p mod x^{m+n+1} *)
+      let len = m + n + 1 in
+      let lhs = S.mul (S.of_array len a) (S.of_array len (P.to_array q)) in
+      let ok = ref true in
+      Array.iteri (fun k c -> if not (Q.equal c (P.coeff p k)) then ok := false) lhs;
+      Printf.printf "        A·q ≡ p (mod x^%d): %b\n\n" (m + n + 1) !ok)
+    [ (2, 2); (3, 3); (4, 2) ];
+  (* the textbook [2/2]: (1 + x/2 + x²/12)/(1 - x/2 + x²/12) *)
+  let p22, q22 = pade a 2 2 in
+  let expect_p = P.of_list [ Q.one; Q.of_ints 1 2; Q.of_ints 1 12 ] in
+  let expect_q = P.of_list [ Q.one; Q.of_ints (-1) 2; Q.of_ints 1 12 ] in
+  Printf.printf "matches the textbook [2/2] of exp: %b\n"
+    (P.equal p22 expect_p && P.equal q22 expect_q)

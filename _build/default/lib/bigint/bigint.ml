@@ -1,0 +1,520 @@
+(* Sign-magnitude bignums with base-2^30 limbs (little-endian int arrays).
+   Limb products fit in OCaml's 63-bit native ints: (2^30-1)^2 < 2^60, which
+   leaves headroom for a carry below 2^30 in every inner loop. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+let one = { sign = 1; mag = [| 1 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (unsigned) primitives                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mag_norm_len (a : int array) =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  !n
+
+let mag_norm a =
+  let n = mag_norm_len a in
+  if n = Array.length a then a else Array.sub a 0 n
+
+let mag_cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lo, hi, llo, lhi = if la <= lb then (a, b, la, lb) else (b, a, lb, la) in
+  let out = Array.make (lhi + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to llo - 1 do
+    let s = lo.(i) + hi.(i) + !carry in
+    out.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  for i = llo to lhi - 1 do
+    let s = hi.(i) + !carry in
+    out.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  out.(lhi) <- !carry;
+  mag_norm out
+
+(* requires a >= b *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bi = if i < lb then b.(i) else 0 in
+    let d = a.(i) - bi - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  mag_norm out
+
+let mag_mul_school a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let p = (ai * b.(j)) + out.(i + j) + !carry in
+          out.(i + j) <- p land mask;
+          carry := p lsr base_bits
+        done;
+        (* propagate remaining carry *)
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let s = out.(!k) + !carry in
+          out.(!k) <- s land mask;
+          carry := s lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    mag_norm out
+  end
+
+let karatsuba_threshold = 32
+
+(* shifted add into a freshly built array: out += a * base^k *)
+let mag_add_shifted out a k =
+  let la = Array.length a in
+  let carry = ref 0 in
+  for i = 0 to la - 1 do
+    let s = out.(i + k) + a.(i) + !carry in
+    out.(i + k) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  let j = ref (k + la) in
+  while !carry <> 0 do
+    let s = out.(!j) + !carry in
+    out.(!j) <- s land mask;
+    carry := s lsr base_bits;
+    incr j
+  done
+
+let mag_sub_shifted out a k =
+  let la = Array.length a in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = out.(i + k) - a.(i) - !borrow in
+    if d < 0 then begin
+      out.(i + k) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i + k) <- d;
+      borrow := 0
+    end
+  done;
+  let j = ref (k + la) in
+  while !borrow <> 0 do
+    let d = out.(!j) - !borrow in
+    if d < 0 then begin
+      out.(!j) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(!j) <- d;
+      borrow := 0
+    end;
+    incr j
+  done
+
+let rec mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else if la < karatsuba_threshold || lb < karatsuba_threshold then
+    mag_mul_school a b
+  else begin
+    (* Karatsuba: split at half of the longer operand. *)
+    let m = (max la lb + 1) / 2 in
+    let lo x = mag_norm (Array.sub x 0 (min m (Array.length x))) in
+    let hi x =
+      let lx = Array.length x in
+      if lx <= m then [||] else Array.sub x m (lx - m)
+    in
+    let a0 = lo a and a1 = hi a and b0 = lo b and b1 = hi b in
+    let z0 = mag_mul a0 b0 in
+    let z2 = mag_mul a1 b1 in
+    let z1 = mag_mul (mag_add a0 a1) (mag_add b0 b1) in
+    (* z1 - z0 - z2 *)
+    let out = Array.make (la + lb + 1) 0 in
+    mag_add_shifted out z0 0;
+    mag_add_shifted out z2 (2 * m);
+    mag_add_shifted out z1 m;
+    mag_sub_shifted out z0 m;
+    mag_sub_shifted out z2 m;
+    mag_norm out
+  end
+
+let mag_mul_int a m =
+  (* 0 <= m < base *)
+  if m = 0 || Array.length a = 0 then [||]
+  else begin
+    let la = Array.length a in
+    let out = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = (a.(i) * m) + !carry in
+      out.(i) <- p land mask;
+      carry := p lsr base_bits
+    done;
+    out.(la) <- !carry;
+    mag_norm out
+  end
+
+(* divide magnitude by a small int 0 < d < base; returns (quotient, rem) *)
+let mag_divmod_int a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_norm q, !r)
+
+let top_bits x =
+  (* number of bits of a single limb *)
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  go x 0
+
+let mag_num_bits a =
+  let n = Array.length a in
+  if n = 0 then 0 else ((n - 1) * base_bits) + top_bits a.(n - 1)
+
+let mag_shift_left a k =
+  let la = Array.length a in
+  if la = 0 then [||]
+  else begin
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let out = Array.make (la + limbs + 1) 0 in
+    if bits = 0 then Array.blit a 0 out limbs la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl bits) lor !carry in
+        out.(i + limbs) <- v land mask;
+        carry := v lsr base_bits
+      done;
+      out.(la + limbs) <- !carry
+    end;
+    mag_norm out
+  end
+
+let mag_shift_right a k =
+  let la = Array.length a in
+  let limbs = k / base_bits and bits = k mod base_bits in
+  if limbs >= la then [||]
+  else begin
+    let lr = la - limbs in
+    let out = Array.make lr 0 in
+    if bits = 0 then Array.blit a limbs out 0 lr
+    else begin
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limbs) lsr bits in
+        let hi =
+          if i + limbs + 1 < la then (a.(i + limbs + 1) lsl (base_bits - bits)) land mask
+          else 0
+        in
+        out.(i) <- lo lor hi
+      done
+    end;
+    mag_norm out
+  end
+
+(* Knuth Algorithm D.  Preconditions: |b| >= 2 limbs, |a| >= |b|. *)
+let mag_divmod_knuth a b =
+  let shift = base_bits - top_bits b.(Array.length b - 1) in
+  let u = mag_shift_left a shift in
+  let v = mag_shift_left b shift in
+  let n = Array.length v in
+  let m = Array.length u - n in
+  (* u gets one extra high limb as working space *)
+  let u = Array.append u [| 0 |] in
+  let m = if m < 0 then 0 else m in
+  let q = Array.make (m + 1) 0 in
+  let vh = v.(n - 1) in
+  let vl = if n >= 2 then v.(n - 2) else 0 in
+  for j = m downto 0 do
+    let u2 = u.(j + n) and u1 = u.(j + n - 1) in
+    let u0 = if j + n - 2 >= 0 then u.(j + n - 2) else 0 in
+    let num = (u2 lsl base_bits) lor u1 in
+    let qhat = ref (if u2 >= vh then base - 1 else num / vh) in
+    let rhat = ref (num - (!qhat * vh)) in
+    (* refine qhat: while qhat*vl > rhat*base + u0 *)
+    let continue = ref true in
+    while !continue && !rhat < base do
+      if !qhat * vl > (!rhat lsl base_bits) lor u0 then begin
+        decr qhat;
+        rhat := !rhat + vh
+      end
+      else continue := false
+    done;
+    (* multiply-subtract qhat * v from u[j .. j+n] *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr base_bits;
+      let d = u.(j + i) - (p land mask) - !borrow in
+      if d < 0 then begin
+        u.(j + i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        u.(j + i) <- d;
+        borrow := 0
+      end
+    done;
+    let d = u.(j + n) - !carry - !borrow in
+    if d < 0 then begin
+      (* add back *)
+      u.(j + n) <- d + base;
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let s = u.(j + i) + v.(i) + !carry in
+        u.(j + i) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !carry) land mask
+    end
+    else u.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = mag_shift_right (mag_norm (Array.sub u 0 n)) shift in
+  (mag_norm q, r)
+
+let mag_divmod a b =
+  match Array.length b with
+  | 0 -> raise Division_by_zero
+  | _ when mag_cmp a b < 0 -> ([||], mag_norm (Array.copy a))
+  | 1 ->
+    let q, r = mag_divmod_int a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  | _ -> mag_divmod_knuth a b
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make sign mag =
+  let mag = mag_norm mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else if n = min_int then
+    (* |min_int| = 2^62 on 64-bit platforms; build the magnitude directly *)
+    { sign = -1; mag = mag_shift_left [| 1 |] 62 }
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    let rec limbs n acc =
+      if n = 0 then List.rev acc else limbs (n lsr base_bits) ((n land mask) :: acc)
+    in
+    { sign; mag = Array.of_list (limbs (abs n) []) }
+  end
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let equal a b = a.sign = b.sign && mag_cmp a.mag b.mag = 0
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_cmp a.mag b.mag
+  else mag_cmp b.mag a.mag
+
+let hash t = Hashtbl.hash (t.sign, t.mag)
+
+let neg t = if t.sign = 0 then zero else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { sign = a.sign; mag = mag_add a.mag b.mag }
+  else begin
+    let c = mag_cmp a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then { sign = a.sign; mag = mag_sub a.mag b.mag }
+    else { sign = b.sign; mag = mag_sub b.mag a.mag }
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = mag_mul a.mag b.mag }
+
+let mul_int a m =
+  if m = 0 || a.sign = 0 then zero
+  else begin
+    let s = if m < 0 then -a.sign else a.sign in
+    let am = if m < 0 then -m else m in
+    if am < base then { sign = s; mag = mag_mul_int a.mag am }
+    else mul a (of_int m)
+  end
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else begin
+    let q, r = mag_divmod a.mag b.mag in
+    let qs = a.sign * b.sign and rs = a.sign in
+    (make qs q, make rs r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let ediv_rem a b =
+  let q, r = divmod a b in
+  if r.sign >= 0 then (q, r)
+  else if b.sign > 0 then (sub q one, add r b)
+  else (add q one, sub r b)
+
+let rec pow a k =
+  if k < 0 then invalid_arg "Bigint.pow: negative exponent"
+  else if k = 0 then one
+  else begin
+    let h = pow a (k / 2) in
+    let h2 = mul h h in
+    if k land 1 = 1 then mul h2 a else h2
+  end
+
+let gcd a b =
+  let rec go a b = if is_zero b then a else go b (rem a b) in
+  abs (go (abs a) (abs b))
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Bigint.shift_left"
+  else if t.sign = 0 then zero
+  else { t with mag = mag_shift_left t.mag k }
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Bigint.shift_right"
+  else if t.sign = 0 then zero
+  else make t.sign (mag_shift_right t.mag k)
+
+let num_bits t = mag_num_bits t.mag
+
+let is_min_int t =
+  (* |min_int| = 2^62 has 63 magnitude bits: limbs [| 0; 0; 4 |] *)
+  t.sign < 0 && Array.length t.mag = 3
+  && t.mag.(0) = 0 && t.mag.(1) = 0 && t.mag.(2) = 4
+
+let fits_int t =
+  (* int is 63-bit on 64-bit platforms: [min_int, max_int] *)
+  num_bits t <= 62 || is_min_int t
+
+let to_int_opt t =
+  if is_min_int t then Some min_int
+  else if num_bits t > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = Array.length t.mag - 1 downto 0 do
+      v := (!v lsl base_bits) lor t.mag.(i)
+    done;
+    Some (if t.sign < 0 then - !v else !v)
+  end
+
+let to_int t =
+  match to_int_opt t with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int: overflow"
+
+let chunk = 1_000_000_000 (* 10^9 < 2^30 *)
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go mag acc =
+      if Array.length mag = 0 then acc
+      else
+        let q, r = mag_divmod_int mag chunk in
+        go q (r :: acc)
+    in
+    match go t.mag [] with
+    | [] -> "0"
+    | first :: rest ->
+      if t.sign < 0 then Buffer.add_char buf '-';
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun d -> Buffer.add_string buf (Printf.sprintf "%09d" d)) rest;
+      Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty";
+  let sign_char, start =
+    match s.[0] with '-' -> (-1, 1) | '+' -> (1, 1) | _ -> (1, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let big_chunk = of_int chunk in
+  let i = ref start in
+  while !i < len do
+    let j = min len (!i + 9) in
+    (* the first chunk may be short; scale by 10^(j - i) *)
+    let width = j - !i in
+    let piece = String.sub s !i width in
+    String.iter
+      (fun c -> if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit")
+      piece;
+    let pow10 = [| 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000 |] in
+    let scale = if width = 9 then big_chunk else of_int pow10.(width) in
+    acc := add (mul !acc scale) (of_int (int_of_string piece));
+    i := j
+  done;
+  if sign_char < 0 then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let random_bits st k =
+  if k <= 0 then zero
+  else begin
+    let limbs = (k + base_bits - 1) / base_bits in
+    let mag = Array.init limbs (fun _ -> Random.State.bits st land mask) in
+    let extra = (limbs * base_bits) - k in
+    mag.(limbs - 1) <- mag.(limbs - 1) land (mask lsr extra);
+    make 1 mag
+  end
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg

@@ -1,0 +1,87 @@
+(** Arbitrary-precision signed integers, built from scratch.
+
+    The sealed build image has no [zarith]; exact arithmetic over the
+    rationals (the paper's characteristic-zero field) needs unbounded
+    integers, so this module provides them: sign-magnitude representation
+    with base-2{^30} limbs, schoolbook and Karatsuba multiplication, Knuth
+    Algorithm-D division, Euclidean gcd, and decimal string I/O.
+
+    Values are immutable and canonical: the magnitude has no leading zero
+    limb and zero has sign [0]. Structural equality [(=)] is therefore
+    valid, but prefer {!equal} / {!compare}. *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val to_int : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+val fits_int : t -> bool
+
+val of_string : string -> t
+(** Decimal, with optional leading [-] or [+].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|] and
+    [r] carrying the sign of [a] (truncated division, like [Stdlib.( / )]).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv_rem : t -> t -> t * t
+(** Euclidean division: remainder always non-negative. *)
+
+val pow : t -> int -> t
+(** [pow a k] for [k >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val gcd : t -> t -> t
+(** Non-negative gcd; [gcd zero zero = zero]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shift towards zero on the magnitude. *)
+
+(** {1 Misc} *)
+
+val num_bits : t -> int
+(** Bits in the magnitude; [num_bits zero = 0]. *)
+
+val random_bits : Random.State.t -> int -> t
+(** [random_bits st k] draws a uniform non-negative value below 2{^k}. *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t

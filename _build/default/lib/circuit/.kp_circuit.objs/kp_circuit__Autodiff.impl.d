@@ -1,0 +1,1 @@
+lib/circuit/autodiff.ml: Array Circuit List Queue

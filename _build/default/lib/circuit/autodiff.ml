@@ -1,0 +1,170 @@
+type result = {
+  circuit : Circuit.t;
+  output : Circuit.node;
+  gradient : Circuit.node array;
+  random_gradient : Circuit.node array;
+}
+
+(* signed contribution lists per source node: (positive?, node in Q) *)
+type contrib = (bool * Circuit.node) list
+
+let differentiate (p : Circuit.t) =
+  let outs = Circuit.outputs p in
+  if Array.length outs <> 1 then
+    invalid_arg "Autodiff.differentiate: exactly one output required";
+  let o = outs.(0) in
+  let n = Circuit.length p in
+  let q = Circuit.create () in
+  (* depth tracking for Q nodes, so adjoint accumulation can be balanced by
+     depth (the Hoover/Klawe/Pippenger step that turns O(d log t) into
+     O(d)): deep contributions are merged near the root. *)
+  let qdepth = ref (Array.make 1024 0) in
+  let depth_of id = !qdepth.(id) in
+  let record id d =
+    if id >= Array.length !qdepth then begin
+      let bigger = Array.make (max (2 * Array.length !qdepth) (id + 1)) 0 in
+      Array.blit !qdepth 0 bigger 0 (Array.length !qdepth);
+      qdepth := bigger
+    end;
+    !qdepth.(id) <- d;
+    id
+  in
+  let pushd g =
+    let d =
+      match g with
+      | Circuit.Input _ | Circuit.Random _ | Circuit.Const _ -> 0
+      | Circuit.Add (a, b) | Circuit.Sub (a, b) | Circuit.Mul (a, b) | Circuit.Div (a, b) ->
+        1 + max (depth_of a) (depth_of b)
+      | Circuit.Neg a | Circuit.Inv a -> 1 + depth_of a
+    in
+    record (Circuit.push q g) d
+  in
+  (* 1. forward copy of P into Q *)
+  let map = Array.make n (-1) in
+  let input_nodes = ref [] and random_nodes = ref [] in
+  for i = 0 to n - 1 do
+    map.(i) <-
+      (match Circuit.gate p i with
+      | Circuit.Input _ ->
+        let id = Circuit.input q in
+        input_nodes := (i, id) :: !input_nodes;
+        record id 0
+      | Circuit.Random _ ->
+        let id = Circuit.random_node q in
+        random_nodes := (i, id) :: !random_nodes;
+        record id 0
+      | Circuit.Const k -> pushd (Circuit.Const k)
+      | Circuit.Add (a, b) -> pushd (Circuit.Add (map.(a), map.(b)))
+      | Circuit.Sub (a, b) -> pushd (Circuit.Sub (map.(a), map.(b)))
+      | Circuit.Neg a -> pushd (Circuit.Neg map.(a))
+      | Circuit.Mul (a, b) -> pushd (Circuit.Mul (map.(a), map.(b)))
+      | Circuit.Div (a, b) -> pushd (Circuit.Div (map.(a), map.(b)))
+      | Circuit.Inv a -> pushd (Circuit.Inv map.(a)))
+  done;
+  let one = pushd (Circuit.Const 1) in
+  (* 2. liveness: which nodes feed the output *)
+  let live = Array.make n false in
+  live.(o) <- true;
+  for i = n - 1 downto 0 do
+    if live.(i) then
+      match Circuit.gate p i with
+      | Circuit.Input _ | Circuit.Random _ | Circuit.Const _ -> ()
+      | Circuit.Add (a, b) | Circuit.Sub (a, b) | Circuit.Mul (a, b) | Circuit.Div (a, b) ->
+        live.(a) <- true;
+        live.(b) <- true
+      | Circuit.Neg a | Circuit.Inv a -> live.(a) <- true
+  done;
+  (* 3. reverse sweep with balanced signed accumulation *)
+  let contribs : contrib array = Array.make n [] in
+  contribs.(o) <- [ (true, one) ];
+  (* depth-balanced (Huffman on depths) sum of a list of nodes: repeatedly
+     merge the two shallowest, so the final depth is
+     ceil(log2 Σ 2^{depth_i}) — within a constant of optimal, giving the
+     Theorem-5 O(d) overall depth *)
+  let tree_sum = function
+    | [] -> None
+    | [ x ] -> Some x
+    | xs ->
+      let sorted = List.sort (fun a b -> compare (depth_of a) (depth_of b)) xs in
+      (* two sorted queues: original leaves and freshly merged nodes (merged
+         nodes are produced in non-decreasing depth order) *)
+      let leaves = Queue.create () and merged = Queue.create () in
+      List.iter (fun x -> Queue.push x leaves) sorted;
+      let pop_min () =
+        match (Queue.peek_opt leaves, Queue.peek_opt merged) with
+        | None, None -> assert false
+        | Some _, None -> Queue.pop leaves
+        | None, Some _ -> Queue.pop merged
+        | Some a, Some b ->
+          if depth_of a <= depth_of b then Queue.pop leaves else Queue.pop merged
+      in
+      let count = ref (List.length sorted) in
+      while !count > 1 do
+        let a = pop_min () in
+        let b = pop_min () in
+        Queue.push (pushd (Circuit.Add (a, b))) merged;
+        decr count
+      done;
+      Some (pop_min ())
+  in
+  let combine (l : contrib) : Circuit.node option =
+    match l with
+    | [] -> None
+    | [ (true, x) ] -> Some x
+    | [ (false, x) ] -> Some (pushd (Circuit.Neg x))
+    | l ->
+      let pos = List.filter_map (fun (s, x) -> if s then Some x else None) l in
+      let neg = List.filter_map (fun (s, x) -> if s then None else Some x) l in
+      (match (tree_sum pos, tree_sum neg) with
+      | Some pp, Some nn -> Some (pushd (Circuit.Sub (pp, nn)))
+      | Some pp, None -> Some pp
+      | None, Some nn -> Some (pushd (Circuit.Neg nn))
+      | None, None -> None)
+  in
+  let adjoint = Array.make n (-1) in
+  let add_contrib node (sign, v) = contribs.(node) <- (sign, v) :: contribs.(node) in
+  for i = n - 1 downto 0 do
+    if live.(i) then begin
+      match combine contribs.(i) with
+      | None -> ()
+      | Some adj ->
+        adjoint.(i) <- adj;
+        let is_one = adj = one in
+        let mul_adj x = if is_one then x else pushd (Circuit.Mul (adj, x)) in
+        (match Circuit.gate p i with
+        | Circuit.Input _ | Circuit.Random _ | Circuit.Const _ -> ()
+        | Circuit.Add (a, b) ->
+          add_contrib a (true, adj);
+          add_contrib b (true, adj)
+        | Circuit.Sub (a, b) ->
+          add_contrib a (true, adj);
+          add_contrib b (false, adj)
+        | Circuit.Neg a -> add_contrib a (false, adj)
+        | Circuit.Mul (a, b) ->
+          add_contrib a (true, mul_adj map.(b));
+          add_contrib b (true, mul_adj map.(a))
+        | Circuit.Div (a, b) ->
+          (* d(a/b)/da = 1/b ; d(a/b)/db = -(a/b)/b *)
+          let t = pushd (Circuit.Div (adj, map.(b))) in
+          add_contrib a (true, t);
+          add_contrib b (false, pushd (Circuit.Mul (t, map.(i))))
+        | Circuit.Inv a ->
+          (* d(1/a)/da = -(1/a)^2 *)
+          let t = mul_adj map.(i) in
+          add_contrib a (false, pushd (Circuit.Mul (t, map.(i)))))
+    end;
+    contribs.(i) <- [] (* free memory as we go *)
+  done;
+  let zero = Circuit.push q (Circuit.Const 0) in
+  let grad_of nodes =
+    nodes
+    |> List.rev
+    |> List.map (fun (old_id, _) -> if adjoint.(old_id) >= 0 then adjoint.(old_id) else zero)
+    |> Array.of_list
+  in
+  let gradient = grad_of !input_nodes in
+  let random_gradient = grad_of !random_nodes in
+  let output = map.(o) in
+  Circuit.set_outputs q
+    (Array.concat [ [| output |]; gradient; random_gradient ]);
+  { circuit = q; output; gradient; random_gradient }

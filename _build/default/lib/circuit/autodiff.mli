@@ -1,0 +1,27 @@
+(** The Baur/Strassen transformation (Theorem 5, Kaltofen–Singer variant).
+
+    Given a circuit P of length l and depth d computing a single output f,
+    build a circuit Q of length O(l) (≤ 4l after trivial-gate elimination)
+    and depth O(d) computing f together with every partial derivative
+    ∂f/∂xᵢ.  Q divides only by values P divides by (the "no new
+    zero-divisions" property that Theorem 6 needs), and adjoint fan-in is
+    accumulated by balanced trees (the Figure-3 / Hoover–Klawe–Pippenger
+    balancing), keeping the depth within a constant factor.
+
+    Applying this to the determinant circuit of Theorem 4 yields the matrix
+    inverse (Theorem 6): A⁻¹ = ((−1)^{i+j} ∂det/∂x_{ji}) / det. *)
+
+type result = {
+  circuit : Circuit.t;
+  (** Q: same inputs and random nodes as P. *)
+  output : Circuit.node;
+  (** f recomputed in Q. *)
+  gradient : Circuit.node array;
+  (** gradient.(i) computes ∂f/∂(input i). *)
+  random_gradient : Circuit.node array;
+  (** partials with respect to the random nodes (usually discarded). *)
+}
+
+val differentiate : Circuit.t -> result
+(** P must have exactly one output.
+    @raise Invalid_argument otherwise. *)

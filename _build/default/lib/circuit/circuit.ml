@@ -1,0 +1,166 @@
+type gate =
+  | Input of int
+  | Random of int
+  | Const of int
+  | Add of int * int
+  | Sub of int * int
+  | Neg of int
+  | Mul of int * int
+  | Div of int * int
+  | Inv of int
+
+type t = {
+  mutable gates : gate array;
+  mutable len : int;
+  mutable inputs : int;
+  mutable randoms : int;
+  const_cache : (int, int) Hashtbl.t;
+  mutable outs : int array;
+}
+
+type circuit = t
+type node = int
+
+let create () =
+  {
+    gates = Array.make 64 (Const 0);
+    len = 0;
+    inputs = 0;
+    randoms = 0;
+    const_cache = Hashtbl.create 16;
+    outs = [||];
+  }
+
+let gate t i =
+  if i < 0 || i >= t.len then invalid_arg "Circuit.gate: bad node";
+  t.gates.(i)
+
+let length t = t.len
+let num_inputs t = t.inputs
+let num_random t = t.randoms
+
+let append t g =
+  if t.len = Array.length t.gates then begin
+    let bigger = Array.make (2 * t.len) (Const 0) in
+    Array.blit t.gates 0 bigger 0 t.len;
+    t.gates <- bigger
+  end;
+  t.gates.(t.len) <- g;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let input t =
+  let i = t.inputs in
+  t.inputs <- i + 1;
+  append t (Input i)
+
+let random_node t =
+  let i = t.randoms in
+  t.randoms <- i + 1;
+  append t (Random i)
+
+let push t g =
+  match g with
+  | Const k -> (
+    match Hashtbl.find_opt t.const_cache k with
+    | Some id -> id
+    | None ->
+      let id = append t (Const k) in
+      Hashtbl.replace t.const_cache k id;
+      id)
+  | Input _ | Random _ ->
+    invalid_arg "Circuit.push: use input/random_node for source nodes"
+  | g -> append t g
+
+let set_outputs t outs = t.outs <- Array.copy outs
+let outputs t = Array.copy t.outs
+
+type stats = {
+  size : int;
+  depth : int;
+  additions : int;
+  multiplications : int;
+  divisions : int;
+}
+
+let stats t =
+  let depth = Array.make t.len 0 in
+  let size = ref 0 and adds = ref 0 and muls = ref 0 and divs = ref 0 in
+  let maxdepth = ref 0 in
+  for i = 0 to t.len - 1 do
+    let d =
+      match t.gates.(i) with
+      | Input _ | Random _ | Const _ -> 0
+      | Add (a, b) | Sub (a, b) ->
+        incr size;
+        incr adds;
+        1 + max depth.(a) depth.(b)
+      | Neg a ->
+        incr size;
+        incr adds;
+        1 + depth.(a)
+      | Mul (a, b) ->
+        incr size;
+        incr muls;
+        1 + max depth.(a) depth.(b)
+      | Div (a, b) ->
+        incr size;
+        incr divs;
+        1 + max depth.(a) depth.(b)
+      | Inv a ->
+        incr size;
+        incr divs;
+        1 + depth.(a)
+    in
+    depth.(i) <- d;
+    if d > !maxdepth then maxdepth := d
+  done;
+  {
+    size = !size;
+    depth = !maxdepth;
+    additions = !adds;
+    multiplications = !muls;
+    divisions = !divs;
+  }
+
+let eval (type a) (module F : Kp_field.Field_intf.FIELD_CORE with type t = a)
+    t ~(inputs : a array) ~(randoms : a array) : a array =
+  if Array.length inputs <> t.inputs then
+    invalid_arg "Circuit.eval: wrong number of inputs";
+  if Array.length randoms <> t.randoms then
+    invalid_arg "Circuit.eval: wrong number of random values";
+  let v = Array.make t.len F.zero in
+  for i = 0 to t.len - 1 do
+    v.(i) <-
+      (match t.gates.(i) with
+      | Input k -> inputs.(k)
+      | Random k -> randoms.(k)
+      | Const k -> F.of_int k
+      | Add (a, b) -> F.add v.(a) v.(b)
+      | Sub (a, b) -> F.sub v.(a) v.(b)
+      | Neg a -> F.neg v.(a)
+      | Mul (a, b) -> F.mul v.(a) v.(b)
+      | Div (a, b) -> F.div v.(a) v.(b)
+      | Inv a -> F.inv v.(a))
+  done;
+  Array.map (fun o -> v.(o)) t.outs
+
+module Builder () = struct
+  let circuit = create ()
+
+  type t = node
+
+  let zero = push circuit (Const 0)
+  let one = push circuit (Const 1)
+  let of_int k = push circuit (Const k)
+  let add a b = push circuit (Add (a, b))
+  let sub a b = push circuit (Sub (a, b))
+  let neg a = push circuit (Neg a)
+  let mul a b = push circuit (Mul (a, b))
+  let div a b = push circuit (Div (a, b))
+  let inv a = push circuit (Inv a)
+
+  let fresh_input () = input circuit
+  let fresh_random () = random_node circuit
+  let finish ~outputs = set_outputs circuit outputs
+end

@@ -1,0 +1,87 @@
+(** Algebraic circuits (straight-line programs) — the paper's machine model.
+
+    The complexity claims of Theorems 3–6 are statements about the *size*
+    (number of arithmetic gates) and *depth* (longest path of gates) of
+    algebraic circuits over K.  This module gives them a concrete
+    representation:
+
+    - a circuit is an append-only array of gates over abstract node ids;
+    - {!Builder} exposes a fresh circuit through the
+      {!Kp_field.Field_intf.FIELD_CORE} interface, so every straight-line
+      functor in this repository (Krylov doubling, the Gohberg/Semencul
+      Newton iteration, Leverrier, the solvers) can be *traced* into a
+      circuit simply by instantiating it with the builder — the circuits
+      measured in experiments E2/E4/E7 are the real ones, not models;
+    - {!eval} replays a circuit over any concrete field;
+    - {!stats} measures size, depth and the division count.
+
+    Constants are hash-consed by their [of_int] key so repeated
+    [of_int 2]'s don't inflate the size; inputs, random nodes and constants
+    are free (not gates), matching the paper's convention. *)
+
+type gate =
+  | Input of int        (** i-th input *)
+  | Random of int       (** i-th random element (paper: "random nodes") *)
+  | Const of int        (** of_int k *)
+  | Add of int * int
+  | Sub of int * int
+  | Neg of int
+  | Mul of int * int
+  | Div of int * int
+  | Inv of int
+
+type t
+(** A mutable circuit under construction / a finished circuit. *)
+
+type circuit = t
+
+type node = int
+(** Gate index within its circuit. *)
+
+val create : unit -> t
+val gate : t -> node -> gate
+val length : t -> int
+(** Total node count (including inputs/constants). *)
+
+val num_inputs : t -> int
+val num_random : t -> int
+
+val input : t -> node
+(** Append the next input node. *)
+
+val random_node : t -> node
+
+val push : t -> gate -> node
+(** Append an arithmetic gate (or constant — constants are deduplicated). *)
+
+val set_outputs : t -> node array -> unit
+val outputs : t -> node array
+
+type stats = {
+  size : int;        (** arithmetic gates (add/sub/neg/mul/div/inv) *)
+  depth : int;       (** longest gate path; inputs/constants at depth 0 *)
+  additions : int;
+  multiplications : int;
+  divisions : int;   (** div + inv gates *)
+}
+
+val stats : t -> stats
+
+val eval :
+  (module Kp_field.Field_intf.FIELD_CORE with type t = 'a) ->
+  t -> inputs:'a array -> randoms:'a array -> 'a array
+(** Replay the circuit; returns the values of the output nodes.
+    @raise Division_by_zero as the underlying field does. *)
+
+(** A fresh [FIELD_CORE] whose operations append gates to {!circuit} —
+    instantiate one per trace (generative functor). *)
+module Builder () : sig
+  include Kp_field.Field_intf.FIELD_CORE with type t = node
+
+  val circuit : circuit
+  (** The underlying circuit being built. *)
+
+  val fresh_input : unit -> node
+  val fresh_random : unit -> node
+  val finish : outputs:node array -> unit
+end

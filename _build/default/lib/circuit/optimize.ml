@@ -1,0 +1,101 @@
+module C = Circuit
+
+(* rebuild a circuit keeping only nodes satisfying [live], in order *)
+let rebuild (p : C.t) live =
+  let q = C.create () in
+  let n = C.length p in
+  let map = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    if live.(i) then
+      map.(i) <-
+        (match C.gate p i with
+        | C.Input _ -> C.input q
+        | C.Random _ -> C.random_node q
+        | C.Const k -> C.push q (C.Const k)
+        | C.Add (a, b) -> C.push q (C.Add (map.(a), map.(b)))
+        | C.Sub (a, b) -> C.push q (C.Sub (map.(a), map.(b)))
+        | C.Neg a -> C.push q (C.Neg map.(a))
+        | C.Mul (a, b) -> C.push q (C.Mul (map.(a), map.(b)))
+        | C.Div (a, b) -> C.push q (C.Div (map.(a), map.(b)))
+        | C.Inv a -> C.push q (C.Inv map.(a)))
+  done;
+  C.set_outputs q (Array.map (fun o -> map.(o)) (C.outputs p));
+  q
+
+let dce (p : C.t) =
+  let n = C.length p in
+  let live = Array.make n false in
+  Array.iter (fun o -> live.(o) <- true) (C.outputs p);
+  for i = n - 1 downto 0 do
+    if live.(i) then
+      match C.gate p i with
+      | C.Input _ | C.Random _ | C.Const _ -> ()
+      | C.Add (a, b) | C.Sub (a, b) | C.Mul (a, b) | C.Div (a, b) ->
+        live.(a) <- true;
+        live.(b) <- true
+      | C.Neg a | C.Inv a -> live.(a) <- true
+  done;
+  (* inputs and random nodes must survive (they fix the interface) *)
+  for i = 0 to n - 1 do
+    match C.gate p i with
+    | C.Input _ | C.Random _ -> live.(i) <- true
+    | _ -> ()
+  done;
+  rebuild p live
+
+(* value numbering: canonical key per gate, commutative ops sorted *)
+type key =
+  | KInput of int
+  | KRandom of int
+  | KConst of int
+  | KAdd of int * int
+  | KSub of int * int
+  | KNeg of int
+  | KMul of int * int
+  | KDiv of int * int
+  | KInv of int
+
+let cse (p : C.t) =
+  let n = C.length p in
+  let q = C.create () in
+  let map = Array.make n (-1) in
+  let table : (key, int) Hashtbl.t = Hashtbl.create (max 16 (n / 2)) in
+  let emit i key fresh =
+    match Hashtbl.find_opt table key with
+    | Some id -> map.(i) <- id
+    | None ->
+      let id = fresh () in
+      Hashtbl.replace table key id;
+      map.(i) <- id
+  in
+  for i = 0 to n - 1 do
+    match C.gate p i with
+    | C.Input k ->
+      (* inputs are always distinct and always emitted *)
+      map.(i) <- C.input q;
+      Hashtbl.replace table (KInput k) map.(i)
+    | C.Random k ->
+      map.(i) <- C.random_node q;
+      Hashtbl.replace table (KRandom k) map.(i)
+    | C.Const k -> emit i (KConst k) (fun () -> C.push q (C.Const k))
+    | C.Add (a, b) ->
+      let a = map.(a) and b = map.(b) in
+      let a, b = if a <= b then (a, b) else (b, a) in
+      emit i (KAdd (a, b)) (fun () -> C.push q (C.Add (a, b)))
+    | C.Mul (a, b) ->
+      let a = map.(a) and b = map.(b) in
+      let a, b = if a <= b then (a, b) else (b, a) in
+      emit i (KMul (a, b)) (fun () -> C.push q (C.Mul (a, b)))
+    | C.Sub (a, b) ->
+      let a = map.(a) and b = map.(b) in
+      emit i (KSub (a, b)) (fun () -> C.push q (C.Sub (a, b)))
+    | C.Div (a, b) ->
+      let a = map.(a) and b = map.(b) in
+      emit i (KDiv (a, b)) (fun () -> C.push q (C.Div (a, b)))
+    | C.Neg a -> emit i (KNeg map.(a)) (fun () -> C.push q (C.Neg map.(a)))
+    | C.Inv a -> emit i (KInv map.(a)) (fun () -> C.push q (C.Inv map.(a)))
+  done;
+  C.set_outputs q (Array.map (fun o -> map.(o)) (C.outputs p));
+  q
+
+let simplify p = dce (cse p)

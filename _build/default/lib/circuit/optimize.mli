@@ -1,0 +1,24 @@
+(** Circuit clean-up passes.
+
+    The tracing builder emits gates in program order and never looks back,
+    so traced circuits contain dead gates (intermediate values whose
+    consumers were optimised away at a higher level) and duplicated
+    subexpressions (the same product computed twice by different functor
+    instances).  These passes bring a traced circuit to the form the
+    paper's size bounds talk about:
+
+    - {!dce}: drop every gate not reachable from the outputs;
+    - {!cse}: value numbering with commutativity normalisation
+      (a+b ≡ b+a, a·b ≡ b·a), which merges structurally identical gates;
+    - {!simplify}: both, to a fixed point (one round each suffices since
+      CSE cannot create new dead code upstream and DCE cannot create new
+      duplicates).
+
+    All passes preserve semantics exactly: same inputs, same random nodes,
+    same outputs under {!Circuit.eval} (property-tested), and they never
+    remove a division that the outputs depend on (no effect on the
+    zero-division behaviour Theorem 6 relies on). *)
+
+val dce : Circuit.t -> Circuit.t
+val cse : Circuit.t -> Circuit.t
+val simplify : Circuit.t -> Circuit.t

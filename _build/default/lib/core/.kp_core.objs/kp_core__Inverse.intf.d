@@ -1,0 +1,1 @@
+lib/core/inverse.mli: Kp_circuit Kp_field Kp_poly Random Solver

@@ -1,0 +1,1 @@
+lib/core/krylov.ml: Array Kp_field Kp_matrix

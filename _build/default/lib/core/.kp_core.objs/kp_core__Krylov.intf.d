@@ -1,0 +1,1 @@
+lib/core/krylov.mli: Kp_field Kp_matrix

@@ -1,0 +1,1 @@
+lib/core/least_squares.ml: Array Kp_field Kp_poly Solver

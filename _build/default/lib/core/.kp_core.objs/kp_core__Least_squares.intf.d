@@ -1,0 +1,1 @@
+lib/core/least_squares.mli: Kp_field Kp_poly Random Solver

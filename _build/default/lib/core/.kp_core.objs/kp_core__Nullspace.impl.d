@@ -1,0 +1,1 @@
+lib/core/nullspace.ml: Array Kp_field Kp_poly List Rank Solver

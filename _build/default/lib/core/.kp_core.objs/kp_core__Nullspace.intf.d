@@ -1,0 +1,1 @@
+lib/core/nullspace.mli: Kp_field Kp_poly Random Solver

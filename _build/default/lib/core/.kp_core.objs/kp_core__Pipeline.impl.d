@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Kp_field Kp_matrix Kp_poly Kp_structured Krylov Option

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Kp_field Kp_matrix Kp_poly Krylov

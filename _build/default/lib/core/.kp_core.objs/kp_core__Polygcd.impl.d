@@ -1,0 +1,1 @@
+lib/core/polygcd.ml: Array Kp_field Kp_matrix Kp_poly Kp_structured Rank Solver Wiedemann

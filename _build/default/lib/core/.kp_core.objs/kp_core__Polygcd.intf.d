@@ -1,0 +1,1 @@
+lib/core/polygcd.mli: Kp_field Kp_poly Random

@@ -1,0 +1,1 @@
+lib/core/rank.ml: Kp_field Kp_matrix Kp_poly Solver

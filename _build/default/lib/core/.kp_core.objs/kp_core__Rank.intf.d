@@ -1,0 +1,1 @@
+lib/core/rank.mli: Kp_field Kp_poly Random Solver

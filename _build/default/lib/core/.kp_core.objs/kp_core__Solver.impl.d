@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Kp_field Kp_matrix Kp_poly Kp_seqgen Pipeline

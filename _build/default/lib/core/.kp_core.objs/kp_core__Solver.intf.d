@@ -1,0 +1,1 @@
+lib/core/solver.mli: Kp_field Kp_poly Kp_util Pipeline Random

@@ -1,0 +1,1 @@
+lib/core/transpose.ml: Array Kp_circuit Kp_field Kp_matrix Kp_poly Pipeline Solver

@@ -1,0 +1,1 @@
+lib/core/wiedemann.ml: Array Kp_field Kp_matrix Kp_poly Kp_seqgen Kp_structured

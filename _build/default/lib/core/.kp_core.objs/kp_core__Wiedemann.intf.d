@@ -1,0 +1,1 @@
+lib/core/wiedemann.mli: Kp_field Kp_matrix Random

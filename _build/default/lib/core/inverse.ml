@@ -1,0 +1,102 @@
+module Cc = Kp_circuit.Circuit
+module Ad = Kp_circuit.Autodiff
+
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) =
+struct
+  module S = Solver.Make (F) (C)
+  module M = S.M
+  module MD = Kp_matrix.Dense.Make (F)
+
+  (* The traced convolution: Karatsuba is field-generic; when F is
+     (semantically) the NTT prime field, the O(m log m) transform circuit is
+     both smaller and shallower, and its root plan lifts correctly through
+     the builder's of_int. *)
+  let use_ntt =
+    F.characteristic = Kp_poly.Conv.Default_ntt_prime.p
+    && F.cardinality = Some F.characteristic
+
+  let det_circuit ~n ~charpoly =
+    let module B = Cc.Builder () in
+    let module CB =
+      (val (if use_ntt then
+              (module Kp_poly.Conv.Ntt_generic (B) (Kp_poly.Conv.Default_ntt_prime)
+                : Kp_poly.Conv.S with type elt = B.t)
+            else (module Kp_poly.Conv.Karatsuba (B))))
+    in
+    let module P = Pipeline.Make (B) (CB) in
+    let a = P.M.init n n (fun _ _ -> B.fresh_input ()) in
+    let h = Array.init ((2 * n) - 1) (fun _ -> B.fresh_random ()) in
+    let d = Array.init n (fun _ -> B.fresh_random ()) in
+    let u = Array.init n (fun _ -> B.fresh_random ()) in
+    let v = Array.init n (fun _ -> B.fresh_random ()) in
+    let engine =
+      match charpoly with
+      | `Leverrier -> P.charpoly_leverrier
+      (* parallel variant: keeps the traced circuit at O((log n)^2) depth *)
+      | `Chistov -> P.charpoly_chistov_parallel
+    in
+    let det = P.det ~charpoly:engine ~strategy:P.Doubling a ~h ~d ~u ~v in
+    B.finish ~outputs:[| det |];
+    B.circuit
+
+  let charpoly_kind n =
+    if F.characteristic = 0 || F.characteristic > n then `Leverrier else `Chistov
+
+  let default_card_s n =
+    let bound = max (4 * 3 * n * n) 64 in
+    match F.cardinality with Some q -> min bound q | None -> bound
+
+  let inverse ?(retries = 10) ?card_s st (a : M.t) =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Inverse.inverse: non-square";
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let circuit = det_circuit ~n ~charpoly:(charpoly_kind n) in
+    let { Ad.circuit = q; _ } = Ad.differentiate circuit in
+    let inputs = Array.init (n * n) (fun k -> M.get a (k / n) (k mod n)) in
+    let rec attempt k =
+      if k > retries then Error "Inverse: retries exhausted (singular input?)"
+      else begin
+        let randoms =
+          Array.init (Cc.num_random q) (fun _ -> F.sample st ~card_s)
+        in
+        match Cc.eval (module F) q ~inputs ~randoms with
+        | exception Division_by_zero -> attempt (k + 1)
+        | out ->
+          let det = out.(0) in
+          if F.is_zero det then attempt (k + 1)
+          else begin
+            (* gradient entry for input (i,j) sits at out.(1 + i*n + j);
+               A^{-1}_{ij} = (∂det/∂x_{ji}) / det *)
+            let det_inv = F.inv det in
+            let inv =
+              M.init n n (fun i j -> F.mul det_inv out.(1 + (j * n) + i))
+            in
+            if MD.equal (M.mul a inv) (M.identity n) then Ok inv
+            else attempt (k + 1)
+          end
+      end
+    in
+    attempt 1
+
+  let inverse_via_solves ?(retries = 10) ?card_s st (a : M.t) =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Inverse.inverse_via_solves: non-square";
+    let out = M.make n n in
+    let rec columns j =
+      if j = n then Ok out
+      else begin
+        let e = Array.init n (fun i -> if i = j then F.one else F.zero) in
+        match S.solve ~retries ?card_s st a e with
+        | Ok (x, _) ->
+          for i = 0 to n - 1 do
+            M.set out i j x.(i)
+          done;
+          columns (j + 1)
+        | Error { outcome = `Singular; _ } -> Error "singular matrix"
+        | Error _ -> Error "solve failed"
+      end
+    in
+    columns 0
+end

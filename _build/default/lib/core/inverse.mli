@@ -1,0 +1,37 @@
+(** Matrix inversion — Theorem 6.
+
+    The paper's route: take the (randomized) determinant circuit of
+    Theorem 4, apply the Baur/Strassen transformation (Theorem 5), and read
+    the inverse off the gradient:  A⁻¹ᵢⱼ = (∂det/∂xⱼᵢ)/det(A).
+    [inverse] does exactly that — it traces the straight-line pipeline into
+    a circuit, differentiates it, and evaluates the derivative circuit —
+    so the object whose size/depth Theorem 6 bounds is literally
+    constructed.  [inverse_via_solves] is the pedestrian n-solves
+    cross-check. *)
+
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) : sig
+  module S : module type of Solver.Make (F) (C)
+  module M = S.M
+
+  val det_circuit :
+    n:int ->
+    charpoly:[ `Leverrier | `Chistov ] ->
+    Kp_circuit.Circuit.t
+  (** The Theorem-4 determinant circuit: n² inputs (the matrix entries,
+      row-major), 5n-1 random nodes (2n-1 Hankel + n diagonal + n u + n v).
+      Note: a fresh circuit is built per call (the builder is generative). *)
+
+  val inverse :
+    ?retries:int ->
+    ?card_s:int ->
+    Random.State.t -> M.t -> (M.t, string) result
+  (** Theorem-6 inversion with Las Vegas verification (A·A⁻¹ = I). *)
+
+  val inverse_via_solves :
+    ?retries:int ->
+    ?card_s:int ->
+    Random.State.t -> M.t -> (M.t, string) result
+  (** n independent Theorem-4 solves against the basis vectors. *)
+end

@@ -1,0 +1,27 @@
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) =
+struct
+  module S = Solver.Make (F) (C)
+  module M = S.M
+
+  let residual_orthogonal (a : M.t) x b =
+    let ax = M.matvec a x in
+    let res = Array.init (Array.length b) (fun i -> F.sub ax.(i) b.(i)) in
+    Array.for_all F.is_zero (M.vecmat res a)
+
+  let solve ?card_s st (a : M.t) b =
+    if F.characteristic <> 0 then
+      invalid_arg "Least_squares.solve: characteristic-zero field required";
+    if Array.length b <> a.M.rows then invalid_arg "Least_squares.solve: bad rhs";
+    let at = M.transpose a in
+    let normal = M.mul at a in
+    let rhs = M.matvec at b in
+    match S.solve ?card_s st normal rhs with
+    | Ok (x, _) ->
+      if residual_orthogonal a x b then Ok x
+      else Error "normal-equation solution failed orthogonality check"
+    | Error { outcome = `Singular; _ } ->
+      Error "A^tr A singular: A is column-rank-deficient"
+    | Error _ -> Error "solver failed"
+end

@@ -1,0 +1,106 @@
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) =
+struct
+  module S = Solver.Make (F) (C)
+  module M = S.M
+  module R = Rank.Make (F) (C)
+
+  let default_card_s n = max (4 * 3 * n * n) 64
+
+  (* solve Âr · z = w for several right-hand sides *)
+  let block_solves ?card_s st (ar : M.t) rhss =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | w :: rest -> (
+        match S.solve ?card_s st ar w with
+        | Ok (z, _) -> go (z :: acc) rest
+        | Error _ -> Error "block solve failed")
+    in
+    go [] rhss
+
+  let decompose ?card_s st (a : M.t) =
+    let n = a.M.rows in
+    let pre = R.precondition st a in
+    let r =
+      (* rank via the already-preconditioned matrix *)
+      let card_s = match card_s with Some s -> s | None -> default_card_s n in
+      let rec search lo hi =
+        if lo >= hi then lo
+        else begin
+          let mid = (lo + hi + 1) / 2 in
+          if R.leading_minor_nonsingular st ~card_s pre.R.a_hat mid then
+            search mid hi
+          else search lo (mid - 1)
+        end
+      in
+      search 0 n
+    in
+    (pre, r)
+
+  let nullspace ?card_s st (a : M.t) =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Nullspace.nullspace: non-square";
+    let pre, r = decompose ?card_s st a in
+    if r = n then Ok []
+    else if r = 0 then
+      (* A = 0 (whp): the standard basis spans the nullspace *)
+      Ok (List.init n (fun j -> Array.init n (fun i -> if i = j then F.one else F.zero)))
+    else begin
+      let a_hat = pre.R.a_hat in
+      let ar = M.init r r (fun i j -> M.get a_hat i j) in
+      let b_cols =
+        List.init (n - r) (fun c -> Array.init r (fun i -> M.get a_hat i (r + c)))
+      in
+      match block_solves ?card_s st ar b_cols with
+      | Error e -> Error e
+      | Ok zs ->
+        let basis =
+          List.mapi
+            (fun c z ->
+              (* w = [-z ; e_c] in the V-coordinates *)
+              let w =
+                Array.init n (fun i ->
+                    if i < r then F.neg z.(i)
+                    else if i = r + c then F.one
+                    else F.zero)
+              in
+              M.matvec pre.R.v_mat w)
+            zs
+        in
+        (* verify: each basis vector is annihilated by A *)
+        if
+          List.for_all
+            (fun v -> Array.for_all F.is_zero (M.matvec a v))
+            basis
+        then Ok basis
+        else Error "nullspace verification failed (unlucky rank profile)"
+    end
+
+  let solve_singular ?card_s st (a : M.t) b =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Nullspace.solve_singular: non-square";
+    let pre, r = decompose ?card_s st a in
+    if r = n then
+      match S.solve ?card_s st a b with
+      | Ok (x, _) -> Ok (Some x)
+      | Error _ -> Error "solve failed on full-rank input"
+    else begin
+      let a_hat = pre.R.a_hat in
+      let ub = M.matvec pre.R.u_mat b in
+      if r = 0 then
+        if Array.for_all F.is_zero ub then Ok (Some (Array.make n F.zero))
+        else Ok None
+      else begin
+        let ar = M.init r r (fun i j -> M.get a_hat i j) in
+        let top = Array.sub ub 0 r in
+        match S.solve ?card_s st ar top with
+        | Error _ -> Error "block solve failed"
+        | Ok (z, _) ->
+          let y = Array.init n (fun i -> if i < r then z.(i) else F.zero) in
+          let x = M.matvec pre.R.v_mat y in
+          if Array.for_all2 F.equal (M.matvec a x) b then Ok (Some x)
+          else Ok None (* bottom equations inconsistent *)
+      end
+    end
+end

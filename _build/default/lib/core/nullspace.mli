@@ -1,0 +1,28 @@
+(** Nullspace bases and singular systems (§5).
+
+    With Â = U·A·V of rank r whose leading r×r block Âᵣ is non-singular,
+
+    Â·E = [Âᵣ 0; C 0],  E = [Iᵣ  −Âᵣ⁻¹B; 0  I₍ₙ₋ᵣ₎]
+
+    "hence the right null space of A is spanned by the columns of
+    V·[−Âᵣ⁻¹B; I₍ₙ₋ᵣ₎]" — requiring Theorem 6 (inversion / solving) on the
+    non-singular block only.  A particular solution of a consistent
+    singular system comes from the same decomposition. *)
+
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) : sig
+  module S : module type of Solver.Make (F) (C)
+  module M = S.M
+
+  val nullspace :
+    ?card_s:int -> Random.State.t -> M.t -> (F.t array list, string) result
+  (** Basis of the right nullspace (empty list for non-singular input). *)
+
+  val solve_singular :
+    ?card_s:int ->
+    Random.State.t -> M.t -> F.t array ->
+    (F.t array option, string) result
+  (** [Ok (Some x)] with A·x = b verified; [Ok None] when the system is
+      (certified, against the computed decomposition) inconsistent. *)
+end

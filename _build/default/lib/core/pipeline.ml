@@ -1,0 +1,121 @@
+module Make
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (C : Kp_poly.Conv.S with type elt = F.t) =
+struct
+  module M = Kp_matrix.Dense.Core (F)
+  module K = Krylov.Make (F)
+  module TZ = Kp_structured.Toeplitz.Make (F) (C)
+  module HK = Kp_structured.Hankel.Make (F) (C)
+  module TC = Kp_structured.Toeplitz_charpoly.Make (F) (C)
+  module CH = Kp_structured.Chistov.Make (F) (C)
+  module Lev = Kp_structured.Leverrier.Make (F)
+
+  type charpoly_engine = n:int -> F.t array -> F.t array
+
+  let charpoly_leverrier ~n d = TC.charpoly ~n d
+  let charpoly_chistov ~n d = CH.charpoly ~n d
+  let charpoly_chistov_parallel ~n d = CH.charpoly_parallel ~n d
+
+  type strategy = Doubling | Sequential
+
+  let preconditioned (a : M.t) ~h ~d =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Pipeline.preconditioned: non-square";
+    (* (H·D)_{ij} = h_{i+j}·d_j *)
+    let hd = M.init n n (fun i j -> F.mul h.(i + j) d.(j)) in
+    M.mul a hd
+
+  (* solve T z = rhs by Cayley-Hamilton using the charpoly of T *)
+  let toeplitz_ch_solve ~charpoly ~strategy ~mul ~n dt rhs =
+    let cp = charpoly ~n dt in
+    (* T^{-1} rhs = -(1/cp_0) Σ_{k=1}^{n} cp_k T^{k-1} rhs *)
+    let acc =
+      match strategy with
+      | Sequential ->
+        let acc = ref (Array.make n F.zero) in
+        let w = ref rhs in
+        for k = 1 to n do
+          acc := Array.mapi (fun i ai -> F.add ai (F.mul cp.(k) !w.(i))) !acc;
+          if k < n then w := TZ.matvec ~n dt !w
+        done;
+        !acc
+      | Doubling ->
+        let t_dense = TZ.to_dense ~n dt in
+        let cols = K.columns ~mul t_dense rhs n in
+        K.combination cols (Array.sub cp 1 n)
+    in
+    let neg_inv = F.neg (F.inv cp.(0)) in
+    Array.map (F.mul neg_inv) acc
+
+  let minimal_generator ?mul ~charpoly ~strategy ~n seq =
+    let mul = Option.value mul ~default:M.mul in
+    if Array.length seq < 2 * n then invalid_arg "Pipeline.minimal_generator";
+    let dt = Array.sub seq 0 ((2 * n) - 1) in
+    let rhs = Array.init n (fun j -> seq.(n + j)) in
+    let x = toeplitz_ch_solve ~charpoly ~strategy ~mul ~n dt rhs in
+    (* x solves T x = rhs; generator f(λ) = λ^n - Σ_{i<n} x_{n-1-i} λ^i *)
+    Array.init (n + 1) (fun i -> if i = n then F.one else F.neg x.(n - 1 - i))
+
+  let det_from_generator ~n f =
+    if n land 1 = 0 then f.(0) else F.neg f.(0)
+
+  (* balanced product, O(log n) depth when traced *)
+  let rec balanced_product d lo hi =
+    if hi <= lo then F.one
+    else if hi - lo = 1 then d.(lo)
+    else begin
+      let mid = (lo + hi) / 2 in
+      F.mul (balanced_product d lo mid) (balanced_product d mid hi)
+    end
+
+  let det_hd ~charpoly ~n ~h ~d =
+    let mirror = HK.to_toeplitz ~n h in
+    let cp_t = charpoly ~n mirror in
+    let det_t = Lev.char_to_det ~n cp_t in
+    let sign = HK.mirror_sign n in
+    let det_h = if sign = 1 then det_t else F.neg det_t in
+    let det_d = balanced_product d 0 (Array.length d) in
+    F.mul det_h det_d
+
+  type solve_result = {
+    x : F.t array;
+    f : F.t array;
+    seq : F.t array;
+    det_tilde : F.t;
+    det : F.t;
+  }
+
+  let sequence_of ~strategy ~mul a_tilde ~u ~v n =
+    let cols =
+      match strategy with
+      | Doubling -> K.columns ~mul a_tilde v (2 * n)
+      | Sequential -> K.columns_sequential a_tilde v (2 * n)
+    in
+    (cols, K.sequence ~u cols)
+
+  let solve ?mul ~charpoly ~strategy (a : M.t) ~b ~h ~d ~u =
+    let mul = Option.value mul ~default:M.mul in
+    let n = a.M.rows in
+    let a_tilde = preconditioned a ~h ~d in
+    let cols, seq = sequence_of ~strategy ~mul a_tilde ~u ~v:b n in
+    let f = minimal_generator ~mul ~charpoly ~strategy ~n seq in
+    (* x̃ = -(1/f_0) Σ_{i=0}^{n-1} f_{i+1} Ã^i b *)
+    let comb = K.combination (M.init n n (fun i j -> M.get cols i j)) (Array.sub f 1 n) in
+    let neg_inv = F.neg (F.inv f.(0)) in
+    let x_tilde = Array.map (F.mul neg_inv) comb in
+    (* x = H · (D · x̃) *)
+    let dx = Array.init n (fun i -> F.mul d.(i) x_tilde.(i)) in
+    let x = HK.matvec ~n h dx in
+    let det_tilde = det_from_generator ~n f in
+    let det = F.div det_tilde (det_hd ~charpoly ~n ~h ~d) in
+    { x; f; seq; det_tilde; det }
+
+  let det ?mul ~charpoly ~strategy (a : M.t) ~h ~d ~u ~v =
+    let mul = Option.value mul ~default:M.mul in
+    let n = a.M.rows in
+    let a_tilde = preconditioned a ~h ~d in
+    let _, seq = sequence_of ~strategy ~mul a_tilde ~u ~v n in
+    let f = minimal_generator ~mul ~charpoly ~strategy ~n seq in
+    let det_tilde = det_from_generator ~n f in
+    F.div det_tilde (det_hd ~charpoly ~n ~h ~d)
+end

@@ -1,0 +1,81 @@
+(** The straight-line Kaltofen–Pan pipeline (Theorem 4), as pure circuit
+    code: a functor over [FIELD_CORE], no zero tests, no randomness — the
+    random elements arrive as arguments.
+
+    Instantiated with a concrete field it computes; with a counting field it
+    measures work (E1); with a circuit builder it yields the Theorem-4
+    circuit whose depth E2 measures and whose Baur/Strassen transform is the
+    Theorem-6 inverse (E4) and the §4 transposed solver (E7).
+
+    Stages: Ã = A·H·D (Hankel × diagonal preconditioning, Theorem 2) →
+    Krylov doubling (9) → Toeplitz minimal generator via the supplied
+    characteristic-polynomial engine + Cayley–Hamilton → determinant and
+    solution, undoing the preconditioner. *)
+
+module Make
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (C : Kp_poly.Conv.S with type elt = F.t) : sig
+  module M : module type of Kp_matrix.Dense.Core (F)
+  module K : module type of Krylov.Make (F)
+
+  type charpoly_engine = n:int -> F.t array -> F.t array
+  (** Toeplitz charpoly black box: [Toeplitz_charpoly] (char 0 or > n) or
+      [Chistov] (any characteristic). *)
+
+  val charpoly_leverrier : charpoly_engine
+  (** The §3 engine over this field/convolution. *)
+
+  val charpoly_chistov : charpoly_engine
+  (** Sequential Neumann-series variant (least work, Θ(n) depth). *)
+
+  val charpoly_chistov_parallel : charpoly_engine
+  (** §5 composition with the §3 Newton iteration — O((log n)²) depth at
+      the (12) work bound; use when tracing small-characteristic circuits. *)
+
+  type strategy = Doubling | Sequential
+  (** How Krylov vectors are produced: [Doubling] is the paper's (9)
+      (O(n^ω log n) size, O((log n)²) depth); [Sequential] trades depth for
+      total work (O(n²·m) size, Θ(m) depth). *)
+
+  val preconditioned : M.t -> h:F.t array -> d:F.t array -> M.t
+  (** Ã = A·H·Diag(d): one Hankel-column scaling plus one matrix product. *)
+
+  val minimal_generator :
+    ?mul:(M.t -> M.t -> M.t) ->
+    charpoly:charpoly_engine -> strategy:strategy -> n:int -> F.t array -> F.t array
+  (** From the 2n-term sequence {u·Ãⁱ·v}: the degree-n monic generator f
+      (length n+1, low-to-high), via the characteristic polynomial of the
+      Toeplitz matrix (4) and a Cayley–Hamilton application of T⁻¹.
+      Straight-line: if T is singular a division by zero occurs (the
+      Las Vegas wrapper catches it). *)
+
+  type solve_result = {
+    x : F.t array;           (** solution of A·x = b *)
+    f : F.t array;           (** the degree-n generator (= charpoly of Ã whp) *)
+    seq : F.t array;         (** the 2n-term scalar sequence *)
+    det_tilde : F.t;         (** det(Ã) = (−1)ⁿ·f(0) *)
+    det : F.t;               (** det(A) = det(Ã)/(det H · det D) *)
+  }
+
+  val det_hd : charpoly:charpoly_engine -> n:int -> h:F.t array -> d:F.t array -> F.t
+  (** det(H)·det(D): Hankel determinant via its Toeplitz mirror (§4),
+      diagonal determinant as a product. *)
+
+  val solve :
+    ?mul:(M.t -> M.t -> M.t) ->
+    charpoly:charpoly_engine ->
+    strategy:strategy ->
+    M.t -> b:F.t array -> h:F.t array -> d:F.t array -> u:F.t array ->
+    solve_result
+  (** The full Theorem-4 straight-line program (v := b).  [mul] is the
+      matrix-multiplication black box (default: classical; pass Strassen or
+      a pool-parallel product to swap the ω). *)
+
+  val det :
+    ?mul:(M.t -> M.t -> M.t) ->
+    charpoly:charpoly_engine ->
+    strategy:strategy ->
+    M.t -> h:F.t array -> d:F.t array -> u:F.t array -> v:F.t array ->
+    F.t
+  (** Determinant only (v random rather than a right-hand side). *)
+end

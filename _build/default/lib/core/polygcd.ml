@@ -1,0 +1,113 @@
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) =
+struct
+  module P = Kp_poly.Dense.Make (F)
+  module Sy = Kp_structured.Sylvester.Make (F)
+  module S = Solver.Make (F) (C)
+  module R = Rank.Make (F) (C)
+  module G = Kp_matrix.Gauss.Make (F)
+  module M = S.M
+
+  let resultant ?card_s st f g =
+    if P.is_zero f || P.is_zero g then Ok F.zero
+    else if P.degree f = 0 || P.degree g = 0 then Ok (Sy.resultant_gauss f g)
+    else begin
+      match S.det ?card_s st (Sy.matrix f g) with
+      | Ok (d, _) -> Ok d
+      | Error _ -> Error "resultant: determinant failed"
+    end
+
+  module W = Wiedemann.Make (F)
+
+  let resultant_blackbox ?card_s st f g =
+    if P.is_zero f || P.is_zero g then Ok F.zero
+    else if P.degree f = 0 || P.degree g = 0 then Ok (Sy.resultant_gauss f g)
+    else begin
+      let dim = P.degree f + P.degree g in
+      let bb =
+        {
+          W.Bb.dim;
+          apply = Sy.apply f g;
+          apply_transpose = None;
+          ops_per_apply = 0;
+        }
+      in
+      match W.det ?card_s st bb with
+      | Ok d -> Ok d
+      | Error e -> Error ("resultant_blackbox: " ^ e)
+    end
+
+  let gcd_degree ?card_s st f g =
+    if P.is_zero f then P.degree g
+    else if P.is_zero g then P.degree f
+    else if P.degree f = 0 || P.degree g = 0 then 0
+    else begin
+      let s = Sy.matrix f g in
+      P.degree f + P.degree g - R.rank ?card_s st s
+    end
+
+  let gcd ?card_s st f g =
+    if P.is_zero f then Ok (P.monic g)
+    else if P.is_zero g then Ok (P.monic f)
+    else if P.degree f = 0 || P.degree g = 0 then Ok P.one
+    else begin
+      let m = P.degree f and n = P.degree g in
+      let rec attempt k =
+        if k > 6 then Error "gcd: retries exhausted"
+        else begin
+          let d = gcd_degree ?card_s st f g in
+          if d = 0 then Ok P.one
+          else begin
+            (* nullspace of the restricted system is spanned by (-g/h, f/h) *)
+            let sys = Sy.cofactor_matrix f g ~deg_gcd:d in
+            match G.nullspace sys with
+            | [ w ] ->
+              let cols_u = n - d + 1 in
+              let v = P.of_coeffs (Array.sub w cols_u (m - d + 1)) in
+              (* v = c·(f/h): h = f / v when the division is exact *)
+              if P.is_zero v then attempt (k + 1)
+              else begin
+                let h, r = P.divmod f v in
+                if P.is_zero r && P.degree h = d
+                   && P.is_zero (P.rem g h) && P.is_zero (P.rem f h)
+                then Ok (P.monic h)
+                else attempt (k + 1)
+              end
+            | _ ->
+              (* wrong rank guess: nullity must be exactly 1 *)
+              attempt (k + 1)
+          end
+        end
+      in
+      attempt 1
+    end
+
+  let bezout ?card_s st f g =
+    match gcd ?card_s st f g with
+    | Error e -> Error e
+    | Ok h ->
+      let m = P.degree f and n = P.degree g and d = P.degree h in
+      if m < 0 || n < 0 then Error "bezout: zero polynomial"
+      else if d = m then Ok (h, P.constant (F.inv (P.leading f)), P.zero)
+      else if d = n then Ok (h, P.zero, P.constant (F.inv (P.leading g)))
+      else begin
+        (* unknowns: u (deg < n-d, n-d coeffs) then v (deg < m-d, m-d);
+           equations: coefficient r of u·f + v·g = h for 0 <= r <= m+n-d-1 *)
+        let cols_u = n - d and cols_v = m - d in
+        let rows = m + n - d in
+        let sys =
+          M.init rows (cols_u + cols_v) (fun r c ->
+              if c < cols_u then P.coeff f (r - c)
+              else P.coeff g (r - (c - cols_u)))
+        in
+        let rhs = Array.init rows (fun r -> P.coeff h r) in
+        match G.solve_general sys rhs with
+        | None -> Error "bezout: system inconsistent (should not happen)"
+        | Some w ->
+          let u = P.of_coeffs (Array.sub w 0 cols_u) in
+          let v = P.of_coeffs (Array.sub w cols_u cols_v) in
+          if P.equal (P.add (P.mul u f) (P.mul v g)) h then Ok (h, u, v)
+          else Error "bezout: verification failed"
+      end
+end

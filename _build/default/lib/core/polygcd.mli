@@ -1,0 +1,48 @@
+(** Polynomial GCDs and resultants through structured linear algebra (§5).
+
+    The paper: "The efficient parallel algorithms for computing the
+    characteristic polynomial of a Toeplitz matrix are extendible to
+    structured Toeplitz-like matrices such as Sylvester matrices.  In
+    particular, it is then possible to compute the greatest common divisor
+    of two polynomials ..."
+
+    The reductions used here:
+    - Res(f,g) = det S(f,g): one Theorem-4 determinant of the (banded
+      Toeplitz-like) Sylvester matrix;
+    - deg gcd = m + n − rank S(f,g): the §5 randomized rank;
+    - the cofactor pair (−g/h, f/h) spans the nullspace of the restricted
+      Sylvester system; one elimination on that thin system plus one exact
+      division recovers h = gcd.
+
+    Both Monte Carlo ingredients (rank) are verified: the result is checked
+    to divide f and g and to have the Bezout degree bound, and the whole
+    computation retried on failure — Las Vegas overall, matching Euclid. *)
+
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) : sig
+  module P : module type of Kp_poly.Dense.Make (F)
+
+  val resultant : ?card_s:int -> Random.State.t -> P.t -> P.t -> (F.t, string) result
+  (** Resultant via the Theorem-4 determinant of the Sylvester matrix. *)
+
+  val resultant_blackbox :
+    ?card_s:int -> Random.State.t -> P.t -> P.t -> (F.t, string) result
+  (** Resultant via black-box Wiedemann on the structured Sylvester
+      operator (two convolutions per application, never materialising the
+      matrix) — the §5 "Toeplitz-like" exploitation, asymptotically
+      Õ((m+n)²) total instead of (m+n)^ω. *)
+
+  val gcd_degree : ?card_s:int -> Random.State.t -> P.t -> P.t -> int
+  (** m + n − rank S(f,g) by the randomized rank (0 for coprime inputs). *)
+
+  val gcd : ?card_s:int -> Random.State.t -> P.t -> P.t -> (P.t, string) result
+  (** Monic gcd, cross-checked against division; retried on bad luck. *)
+
+  val bezout :
+    ?card_s:int -> Random.State.t -> P.t -> P.t -> (P.t * P.t * P.t, string) result
+  (** [(h, u, v)] with [u·f + v·g = h = gcd(f,g)], deg u < deg g − deg h and
+      deg v < deg f − deg h — "the coefficients of the polynomials in the
+      Euclidean scheme" (§5), by solving the corresponding Sylvester-type
+      linear system.  Identity verified before returning. *)
+end

@@ -1,0 +1,160 @@
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) =
+struct
+  module P = Pipeline.Make (F) (C)
+  module M = P.M
+  module MD = Kp_matrix.Dense.Make (F)
+  module BM = Kp_seqgen.Berlekamp_massey.Make (F)
+  module LR = Kp_seqgen.Linrec.Make (F)
+
+  type outcome = [ `Success | `Singular | `Failure of string ]
+
+  type report = {
+    attempts : int;
+    outcome : outcome;
+  }
+
+  let charpoly_for_field ~n =
+    if F.characteristic = 0 || F.characteristic > n then P.charpoly_leverrier
+    else P.charpoly_chistov
+
+  let default_card_s n =
+    let bound = 4 * 3 * n * n in
+    let bound = max bound 64 in
+    match F.cardinality with Some q -> min bound q | None -> bound
+
+  let sample_vec st ~card_s n = Array.init n (fun _ -> F.sample st ~card_s)
+
+  let sample_nonzero st ~card_s =
+    let rec go tries =
+      let x = F.sample st ~card_s in
+      if F.is_zero x && tries < 100 then go (tries + 1)
+      else if F.is_zero x then F.one
+      else x
+    in
+    go 0
+
+  let generator_ok ~n f seq =
+    (* f must be the degree-n monic generator of the whole 2n-sequence *)
+    F.equal f.(n) F.one && BM.generates f seq
+
+  let verify_solution (a : M.t) x b =
+    let ax = M.matvec a x in
+    Array.for_all2 F.equal ax b
+
+  (* the matrix-multiplication black box: fast sequential loops, or the
+     pool-parallel product when a pool is supplied (the PRAM stand-in) *)
+  let mul_of pool =
+    match pool with
+    | None -> MD.mul
+    | Some pool -> MD.mul_parallel pool
+
+  let solve ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?pool st (a : M.t) b =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Solver.solve: non-square";
+    if Array.length b <> n then invalid_arg "Solver.solve: bad rhs";
+    let mul = mul_of pool in
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let charpoly = charpoly_for_field ~n in
+    let singular_witnesses = ref 0 in
+    let rec attempt k =
+      if k > retries then begin
+        let outcome =
+          if !singular_witnesses >= min retries 3 then `Singular
+          else `Failure "retries exhausted"
+        in
+        Error { attempts = k - 1; outcome }
+      end
+      else begin
+        let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
+        let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+        let u = sample_vec st ~card_s n in
+        let h_nonsingular () =
+          match P.det_hd ~charpoly ~n ~h ~d with
+          | exception Division_by_zero -> false
+          | dhd -> not (F.is_zero dhd)
+        in
+        match P.solve ~mul ~charpoly ~strategy a ~b ~h ~d ~u with
+        | exception Division_by_zero ->
+          (* singular Toeplitz system: the generator has degree < n — could
+             be bad luck or a singular Ã; witness only if H is invertible *)
+          if h_nonsingular () then incr singular_witnesses;
+          attempt (k + 1)
+        | { x; f; seq; _ } ->
+          if F.is_zero f.(0) && generator_ok ~n f seq then begin
+            (* true minpoly with zero constant term: Ã singular; with H, D
+               non-singular this witnesses singularity of A *)
+            if h_nonsingular () then incr singular_witnesses;
+            attempt (k + 1)
+          end
+          else if verify_solution a x b then
+            Ok (x, { attempts = k; outcome = `Success })
+          else attempt (k + 1)
+      end
+    in
+    attempt 1
+
+  let det ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?pool st (a : M.t) =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Solver.det: non-square";
+    let mul = mul_of pool in
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let charpoly = charpoly_for_field ~n in
+    let singular_witnesses = ref 0 in
+    let rec attempt k =
+      if k > retries then begin
+        if !singular_witnesses >= min retries 3 then
+          (* consistent singularity witnesses: report det = 0 (Monte Carlo
+             on the singular side, exact on the non-singular side) *)
+          Ok (F.zero, { attempts = k - 1; outcome = `Singular })
+        else Error { attempts = k - 1; outcome = `Failure "retries exhausted" }
+      end
+      else begin
+        let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
+        let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+        let u = sample_vec st ~card_s n in
+        let v = sample_vec st ~card_s n in
+        let a_tilde = P.preconditioned a ~h ~d in
+        let cols_seq () =
+          match strategy with
+          | P.Doubling -> P.K.columns ~mul a_tilde v (2 * n)
+          | P.Sequential -> P.K.columns_sequential a_tilde v (2 * n)
+        in
+        let seq = P.K.sequence ~u (cols_seq ()) in
+        let h_nonsingular () =
+          match P.det_hd ~charpoly ~n ~h ~d with
+          | exception Division_by_zero -> false
+          | dhd -> not (F.is_zero dhd)
+        in
+        match P.minimal_generator ~mul ~charpoly ~strategy ~n seq with
+        | exception Division_by_zero ->
+          if h_nonsingular () then incr singular_witnesses;
+          attempt (k + 1)
+        | f ->
+          if not (generator_ok ~n f seq) then attempt (k + 1)
+          else if F.is_zero f.(0) then begin
+            if h_nonsingular () then incr singular_witnesses;
+            attempt (k + 1)
+          end
+          else begin
+            match P.det_hd ~charpoly ~n ~h ~d with
+            | exception Division_by_zero -> attempt (k + 1)
+            | dhd ->
+              if F.is_zero dhd then attempt (k + 1)
+              else begin
+                let det_tilde = if n land 1 = 0 then f.(0) else F.neg f.(0) in
+                Ok (F.div det_tilde dhd, { attempts = k; outcome = `Success })
+              end
+          end
+      end
+    in
+    attempt 1
+
+  let minimal_polynomial_wiedemann ?card_s st apply ~n =
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let u = sample_vec st ~card_s n in
+    let b = sample_vec st ~card_s n in
+    let seq = LR.krylov_sequence apply ~u ~b (2 * n) in
+    BM.P.to_array (BM.minimal_polynomial seq)
+end

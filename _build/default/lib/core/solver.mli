@@ -1,0 +1,64 @@
+(** The randomized Las Vegas solver — Theorem 4 with the paper's failure
+    discipline.
+
+    Random elements (the 2n-1 Hankel entries, n diagonal entries, and the
+    projection vectors) are drawn uniformly from a sample set S of size
+    [card_s]; on a non-singular input the attempt fails with probability at
+    most 3n²/card S (estimate (2)).  Failures are *detected* — the degree-n
+    generator is checked against the sequence, the final solution against
+    A·x = b, determinants against a division-by-zero guard — and retried
+    with fresh randomness, so answers are certified (solve) or
+    certified-given-generator (det: exact whenever the generator check
+    passes, which Lemma 1 guarantees implies minpoly = charpoly).
+
+    The characteristic-polynomial engine is chosen from the field
+    characteristic: the §3 Leverrier route if char = 0 or char > n, else
+    Chistov's any-characteristic route (§5). *)
+
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) : sig
+  module P : module type of Pipeline.Make (F) (C)
+  module M = P.M
+
+  type outcome = [ `Success | `Singular | `Failure of string ]
+
+  type report = {
+    attempts : int;  (** preconditioner draws consumed *)
+    outcome : outcome;
+  }
+
+  val charpoly_for_field : n:int -> P.charpoly_engine
+  (** Leverrier engine if the characteristic allows, Chistov otherwise. *)
+
+  val solve :
+    ?retries:int ->
+    ?strategy:P.strategy ->
+    ?card_s:int ->
+    ?pool:Kp_util.Pool.t ->
+    Random.State.t -> M.t -> F.t array -> (F.t array * report, report) result
+  (** Solve A·x = b.  [Ok (x, _)] comes with the certificate A·x = b
+      checked; [Error r] reports [`Singular] when repeated attempts produce
+      the singularity witness (f(0) = 0 or singular Toeplitz on every try).
+      Default [card_s] = max(4·3n², 64) (failure probability ≤ 1/4 per
+      attempt), default retries = 10. *)
+
+  val det :
+    ?retries:int ->
+    ?strategy:P.strategy ->
+    ?card_s:int ->
+    ?pool:Kp_util.Pool.t ->
+    Random.State.t -> M.t -> (F.t * report, report) result
+  (** Determinant of A (zero is reported as [Ok (F.zero, _)] when the
+      singularity witness is confirmed on all attempts). *)
+
+  val minimal_polynomial_wiedemann :
+    ?card_s:int ->
+    Random.State.t -> (F.t array -> F.t array) -> n:int -> F.t array
+  (** The sequential Wiedemann baseline: {u·Aⁱ·b} by 2n black-box
+      applications, Berlekamp/Massey for the generator.  Monte Carlo: the
+      result is a divisor of the true minimum polynomial with the usual
+      probability bound. *)
+
+  val verify_solution : M.t -> F.t array -> F.t array -> bool
+end

@@ -1,0 +1,86 @@
+module Cc = Kp_circuit.Circuit
+module Ad = Kp_circuit.Autodiff
+
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) =
+struct
+  module S = Solver.Make (F) (C)
+  module M = S.M
+
+  let use_ntt =
+    F.characteristic = Kp_poly.Conv.Default_ntt_prime.p
+    && F.cardinality = Some F.characteristic
+
+  let solve_circuit ~n ~charpoly =
+    let module B = Cc.Builder () in
+    let module CB =
+      (val (if use_ntt then
+              (module Kp_poly.Conv.Ntt_generic (B) (Kp_poly.Conv.Default_ntt_prime)
+                : Kp_poly.Conv.S with type elt = B.t)
+            else (module Kp_poly.Conv.Karatsuba (B))))
+    in
+    let module P = Pipeline.Make (B) (CB) in
+    (* input layout: c (n), then A (n^2), then b (n) *)
+    let c = Array.init n (fun _ -> B.fresh_input ()) in
+    let a = P.M.init n n (fun _ _ -> B.fresh_input ()) in
+    let b = Array.init n (fun _ -> B.fresh_input ()) in
+    let h = Array.init ((2 * n) - 1) (fun _ -> B.fresh_random ()) in
+    let d = Array.init n (fun _ -> B.fresh_random ()) in
+    let u = Array.init n (fun _ -> B.fresh_random ()) in
+    let engine =
+      match charpoly with
+      | `Leverrier -> P.charpoly_leverrier
+      (* parallel variant: keeps the traced circuit at O((log n)^2) depth *)
+      | `Chistov -> P.charpoly_chistov_parallel
+    in
+    let { P.x; _ } = P.solve ~charpoly:engine ~strategy:P.Doubling a ~b:c ~h ~d ~u in
+    (* f = x · b, balanced for depth *)
+    let module V = Kp_matrix.Vec.Make (B) in
+    let f = V.dot x b in
+    B.finish ~outputs:[| f |];
+    B.circuit
+
+  let charpoly_kind n =
+    if F.characteristic = 0 || F.characteristic > n then `Leverrier else `Chistov
+
+  let default_card_s n =
+    let bound = max (4 * 3 * n * n) 64 in
+    match F.cardinality with Some q -> min bound q | None -> bound
+
+  let solve_transposed ?(retries = 10) ?card_s st (a : M.t) b =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Transpose.solve_transposed: non-square";
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let p = solve_circuit ~n ~charpoly:(charpoly_kind n) in
+    let { Ad.circuit = q; gradient; _ } = Ad.differentiate p in
+    let at = M.transpose a in
+    let rec attempt k =
+      if k > retries then Error "Transpose: retries exhausted (singular input?)"
+      else begin
+        let c = Array.init n (fun _ -> F.sample st ~card_s) in
+        let inputs =
+          Array.concat
+            [ c; Array.init (n * n) (fun k -> M.get a (k / n) (k mod n)); b ]
+        in
+        let randoms = Array.init (Cc.num_random q) (fun _ -> F.sample st ~card_s) in
+        match Cc.eval (module F) q ~inputs ~randoms with
+        | exception Division_by_zero -> attempt (k + 1)
+        | out ->
+          (* outputs: [f; gradient over all inputs; random gradient];
+             the c-block gradient is outputs 1..n *)
+          ignore gradient;
+          let x = Array.init n (fun i -> out.(1 + i)) in
+          if Array.for_all2 F.equal (M.matvec at x) b then Ok x
+          else attempt (k + 1)
+      end
+    in
+    attempt 1
+
+  let length_ratio ~n =
+    let p = solve_circuit ~n ~charpoly:`Leverrier in
+    let { Ad.circuit = q; _ } = Ad.differentiate p in
+    let sp = Cc.stats p and sq = Cc.stats q in
+    ( float_of_int sq.Cc.size /. float_of_int sp.Cc.size,
+      float_of_int sq.Cc.depth /. float_of_int sp.Cc.depth )
+end

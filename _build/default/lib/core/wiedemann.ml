@@ -1,0 +1,139 @@
+module Make (F : Kp_field.Field_intf.FIELD) = struct
+  module Bb = Kp_matrix.Blackbox.Make (F)
+  module C = Kp_poly.Conv.Karatsuba (F)
+  module HK = Kp_structured.Hankel.Make (F) (C)
+  module TC = Kp_structured.Toeplitz_charpoly.Make (F) (C)
+  module Ch = Kp_structured.Chistov.Make (F) (C)
+  module Lev = Kp_structured.Leverrier.Make (F)
+  module BM = Kp_seqgen.Berlekamp_massey.Make (F)
+  module LR = Kp_seqgen.Linrec.Make (F)
+
+  let default_card_s n =
+    let bound = max (12 * n * n) 64 in
+    match F.cardinality with Some q -> min bound q | None -> bound
+
+  let sample_vec st ~card_s n = Array.init n (fun _ -> F.sample st ~card_s)
+
+  let sample_nonzero st ~card_s =
+    let rec go k =
+      let x = F.sample st ~card_s in
+      if F.is_zero x && k < 100 then go (k + 1)
+      else if F.is_zero x then F.one
+      else x
+    in
+    go 0
+
+  let minimal_polynomial ?card_s st (bb : Bb.t) =
+    let n = bb.Bb.dim in
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let u = sample_vec st ~card_s n in
+    let b = sample_vec st ~card_s n in
+    let seq = LR.krylov_sequence bb.Bb.apply ~u ~b (2 * n) in
+    BM.P.to_array (BM.minimal_polynomial seq)
+
+  let solve ?(retries = 10) ?card_s st (bb : Bb.t) b =
+    let n = bb.Bb.dim in
+    if Array.length b <> n then invalid_arg "Wiedemann.solve: bad rhs";
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let rec attempt k =
+      if k > retries then Error "Wiedemann.solve: retries exhausted"
+      else begin
+        let u = sample_vec st ~card_s n in
+        let seq = LR.krylov_sequence bb.Bb.apply ~u ~b (2 * n) in
+        let f = BM.P.to_array (BM.minimal_polynomial seq) in
+        let deg = Array.length f - 1 in
+        if deg = 0 || F.is_zero f.(0) then attempt (k + 1)
+        else begin
+          (* x = -(1/f_0) Σ_{i=1}^{deg} f_i A^{i-1} b *)
+          let acc = ref (Array.make n F.zero) in
+          let w = ref b in
+          for i = 1 to deg do
+            acc := Array.mapi (fun j aj -> F.add aj (F.mul f.(i) !w.(j))) !acc;
+            if i < deg then w := bb.Bb.apply !w
+          done;
+          let c = F.neg (F.inv f.(0)) in
+          let x = Array.map (F.mul c) !acc in
+          if Array.for_all2 F.equal (bb.Bb.apply x) b then Ok x
+          else attempt (k + 1)
+        end
+      end
+    in
+    attempt 1
+
+  let hankel_blackbox ~n h =
+    {
+      Bb.dim = n;
+      apply = HK.matvec ~n h;
+      apply_transpose = Some (HK.matvec ~n h) (* Hankel matrices are symmetric *);
+      ops_per_apply = 0;
+    }
+
+  let charpoly_engine ~n =
+    if F.characteristic = 0 || F.characteristic > n then TC.charpoly
+    else Ch.charpoly
+
+  let det ?(retries = 10) ?card_s st (bb : Bb.t) =
+    let n = bb.Bb.dim in
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let charpoly = charpoly_engine ~n in
+    let singular_witnesses = ref 0 in
+    let rec attempt k =
+      if k > retries then begin
+        if !singular_witnesses >= min retries 3 then Ok F.zero
+        else Error "Wiedemann.det: retries exhausted"
+      end
+      else begin
+        let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
+        let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+        let u = sample_vec st ~card_s n in
+        let v = sample_vec st ~card_s n in
+        (* Ã = A·H·D as a black-box composition: one Hankel product is a
+           convolution, so the preconditioner costs O(M(n)) per call *)
+        let a_tilde = Bb.scale_columns (Bb.compose bb (hankel_blackbox ~n h)) d in
+        let seq = LR.krylov_sequence a_tilde.Bb.apply ~u ~b:v (2 * n) in
+        let f = BM.P.to_array (BM.minimal_polynomial seq) in
+        let deg = Array.length f - 1 in
+        let det_h () =
+          let mirror = HK.to_toeplitz ~n h in
+          let dt = Lev.char_to_det ~n (charpoly ~n mirror) in
+          if HK.mirror_sign n = 1 then dt else F.neg dt
+        in
+        if deg >= 1 && F.is_zero f.(0) then begin
+          (* λ divides the sequence's minimum polynomial: Ã is singular,
+             hence (H, D non-singular) so is A — any degree suffices *)
+          if not (F.is_zero (det_h ())) then incr singular_witnesses;
+          attempt (k + 1)
+        end
+        else if deg < n then
+          (* full degree not reached without a zero root: inconclusive *)
+          attempt (k + 1)
+        else begin
+          let dh = det_h () in
+          if F.is_zero dh then attempt (k + 1)
+          else begin
+            let dd = Array.fold_left F.mul F.one d in
+            let det_tilde = if n land 1 = 0 then f.(0) else F.neg f.(0) in
+            Ok (F.div det_tilde (F.mul dh dd))
+          end
+        end
+      end
+    in
+    attempt 1
+
+  let is_probably_singular ?(trials = 4) ?card_s st (bb : Bb.t) =
+    let n = bb.Bb.dim in
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    (* one-sided: λ | f_u^{A,b} certifies singularity; for a singular A the
+       witness appears with probability >= 1 - 2n/card(S) per trial *)
+    let rec go k =
+      if k = 0 then false
+      else begin
+        let u = sample_vec st ~card_s n in
+        let b = sample_vec st ~card_s n in
+        let seq = LR.krylov_sequence bb.Bb.apply ~u ~b (2 * n) in
+        let f = BM.P.to_array (BM.minimal_polynomial seq) in
+        if Array.length f > 1 && F.is_zero f.(0) then true else go (k - 1)
+      end
+    in
+    go trials
+end

@@ -1,0 +1,44 @@
+(** Wiedemann's black-box method (§2), the sequential instantiation.
+
+    The paper's parallel algorithm is Wiedemann's reduction executed with
+    Krylov doubling and the §3 Toeplitz engine; this module is the original
+    1986 form — 2n black-box applications and Berlekamp/Massey — which is
+    both the sequential baseline of the experiments and the practical
+    choice for sparse or implicitly represented matrices (it never touches
+    the matrix entries).
+
+    All routines are Las Vegas where a certificate is available (solutions
+    are verified against the black box) and Monte Carlo otherwise
+    (minimum polynomial: always a divisor of the truth; the failure
+    probability follows estimate (2) once preconditioned). *)
+
+module Make (F : Kp_field.Field_intf.FIELD) : sig
+  module Bb : module type of Kp_matrix.Blackbox.Make (F)
+
+  val minimal_polynomial :
+    ?card_s:int -> Random.State.t -> Bb.t -> F.t array
+  (** Monic minimum-polynomial candidate of the black box (a divisor of
+      the true minimum polynomial; equal to it with probability
+      ≥ 1 − 2·deg/card(S), Lemma 2). Low-to-high coefficients. *)
+
+  val solve :
+    ?retries:int -> ?card_s:int ->
+    Random.State.t -> Bb.t -> F.t array -> (F.t array, string) result
+  (** Solve A·x = b for a non-singular black box via the minimum polynomial
+      of the sequence {A^i b}: x = −(1/f₀)·Σ f₍ᵢ₊₁₎·Aⁱ·b.  Verified. *)
+
+  val det :
+    ?retries:int -> ?card_s:int ->
+    Random.State.t -> Bb.t -> (F.t, string) result
+  (** Determinant via the paper's preconditioning (Theorem 2 with the
+      diagonal matrix; here: A·D with random non-zero diagonal, retried
+      until the minimum polynomial reaches full degree), since a black box
+      cannot be handed to the dense Toeplitz engine.
+      Reports [Ok F.zero] only with a consistent singularity witness. *)
+
+  val is_probably_singular :
+    ?trials:int -> ?card_s:int -> Random.State.t -> Bb.t -> bool
+  (** The §2 Monte Carlo singularity certificate: λ | f_u^{A,b}(λ) for a
+      random u, b witnesses det A = 0 with error ≤ 2n/card(S) on the other
+      side. *)
+end

@@ -1,0 +1,1 @@
+lib/field/counting.ml: Field_intf

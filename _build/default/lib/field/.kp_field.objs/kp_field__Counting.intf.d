@@ -1,0 +1,1 @@
+lib/field/counting.mli: Field_intf

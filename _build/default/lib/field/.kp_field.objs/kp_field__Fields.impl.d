@@ -1,0 +1,1 @@
+lib/field/fields.ml: Gf2 Gfext Gfp Rational

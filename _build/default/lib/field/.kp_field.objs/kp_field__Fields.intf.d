@@ -1,0 +1,1 @@
+lib/field/fields.mli: Field_intf Gf2 Rational

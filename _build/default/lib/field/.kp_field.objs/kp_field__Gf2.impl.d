@@ -1,0 +1,1 @@
+lib/field/gf2.ml: Format Int Random

@@ -1,0 +1,1 @@
+lib/field/gf2.mli: Field_intf

@@ -1,0 +1,1 @@
+lib/field/gfext.ml: Array Format Gfp List Printf Random String

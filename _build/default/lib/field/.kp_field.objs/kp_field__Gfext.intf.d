@@ -1,0 +1,1 @@
+lib/field/gfext.mli: Field_intf Random

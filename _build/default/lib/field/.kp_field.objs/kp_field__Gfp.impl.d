@@ -1,0 +1,1 @@
+lib/field/gfp.ml: Field_intf Format Int List Printf Random

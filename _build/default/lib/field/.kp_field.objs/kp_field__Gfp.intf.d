@@ -1,0 +1,1 @@
+lib/field/gfp.mli: Field_intf

@@ -1,0 +1,1 @@
+lib/field/gfp_mont.ml: Format Gfp Int Printf Random

@@ -1,0 +1,1 @@
+lib/field/gfp_mont.mli: Field_intf Gfp

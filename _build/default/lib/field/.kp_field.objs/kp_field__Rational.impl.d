@@ -1,0 +1,1 @@
+lib/field/rational.ml: Format Kp_bigint Random

@@ -1,0 +1,1 @@
+lib/field/rational.mli: Field_intf Kp_bigint

@@ -1,0 +1,74 @@
+type counters = {
+  mutable additions : int;
+  mutable multiplications : int;
+  mutable divisions : int;
+}
+
+let total c = c.additions + c.multiplications + c.divisions
+
+module Make (F : Field_intf.FIELD) = struct
+  type t = F.t
+
+  let counters = { additions = 0; multiplications = 0; divisions = 0 }
+
+  let reset () =
+    counters.additions <- 0;
+    counters.multiplications <- 0;
+    counters.divisions <- 0
+
+  let snapshot () =
+    {
+      additions = counters.additions;
+      multiplications = counters.multiplications;
+      divisions = counters.divisions;
+    }
+
+  let measure f =
+    let before = snapshot () in
+    let x = f () in
+    let after = snapshot () in
+    ( x,
+      {
+        additions = after.additions - before.additions;
+        multiplications = after.multiplications - before.multiplications;
+        divisions = after.divisions - before.divisions;
+      } )
+
+  let zero = F.zero
+  let one = F.one
+
+  let add a b =
+    counters.additions <- counters.additions + 1;
+    F.add a b
+
+  let sub a b =
+    counters.additions <- counters.additions + 1;
+    F.sub a b
+
+  let neg a =
+    counters.additions <- counters.additions + 1;
+    F.neg a
+
+  let mul a b =
+    counters.multiplications <- counters.multiplications + 1;
+    F.mul a b
+
+  let inv a =
+    counters.divisions <- counters.divisions + 1;
+    F.inv a
+
+  let div a b =
+    counters.divisions <- counters.divisions + 1;
+    F.div a b
+
+  let of_int = F.of_int
+  let equal = F.equal
+  let is_zero = F.is_zero
+  let characteristic = F.characteristic
+  let cardinality = F.cardinality
+  let name = F.name ^ " (counted)"
+  let to_string = F.to_string
+  let pp = F.pp
+  let random = F.random
+  let sample = F.sample
+end

@@ -1,0 +1,28 @@
+(** Operation-counting field wrapper — the repository's PRAM *work* meter.
+
+    [Counting.Make (F)] behaves exactly like [F] but increments shared
+    counters on every arithmetic operation.  Instantiating the generic
+    (functorised) algorithms with a counting field measures their *size* in
+    the paper's sense: the number of field operations of the algebraic
+    circuit they realize.  Experiments E1, E5, E6 are built on this. *)
+
+type counters = {
+  mutable additions : int;  (** add, sub, neg *)
+  mutable multiplications : int;
+  mutable divisions : int;  (** div, inv *)
+}
+
+val total : counters -> int
+
+module Make (F : Field_intf.FIELD) : sig
+  include Field_intf.FIELD with type t = F.t
+
+  val counters : counters
+  val reset : unit -> unit
+  val snapshot : unit -> counters
+
+  val measure : (unit -> 'a) -> 'a * counters
+  (** [measure f] runs [f] and returns the operations it performed
+      (restoring the previous counts afterwards is the caller's business:
+      counts are cumulative and [measure] reports the delta). *)
+end

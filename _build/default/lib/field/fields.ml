@@ -1,0 +1,21 @@
+module Gf_ntt = Gfp.Make (struct
+  let p = 998_244_353
+end)
+
+module Gf_big = Gfp.Make (struct
+  let p = 1_073_741_789
+end)
+
+module Gf_97 = Gfp.Make (struct
+  let p = 97
+end)
+
+module Gf2 = Gf2
+
+module Gf2_16 = Gfext.Make (struct
+  let p = 2
+  let k = 16
+  let seed = 0xbeef
+end)
+
+module Q = Rational

@@ -1,0 +1,47 @@
+(** Ready-made field instances used across tests, examples and benches. *)
+
+(** GF(998244353): 119·2{^23}+1, NTT-friendly (2{^23}-th roots of unity
+    exist), the workhorse prime for the experiments. *)
+module Gf_ntt : sig
+  include Field_intf.FIELD with type t = int
+
+  val p : int
+  val pow : t -> int -> t
+  val of_int_unchecked : int -> t
+end
+
+(** GF(1073741789): the largest prime below 2{^30}. *)
+module Gf_big : sig
+  include Field_intf.FIELD with type t = int
+
+  val p : int
+  val pow : t -> int -> t
+  val of_int_unchecked : int -> t
+end
+
+(** GF(97): a deliberately small prime — the paper's bound 3n²/card(S)
+    becomes vacuous quickly, exercising the extension-field escape hatch. *)
+module Gf_97 : sig
+  include Field_intf.FIELD with type t = int
+
+  val p : int
+  val pow : t -> int -> t
+  val of_int_unchecked : int -> t
+end
+
+module Gf2 = Gf2
+
+(** GF(2{^16}), a Gfext instance used by the small-characteristic
+    experiments. *)
+module Gf2_16 : sig
+  include Field_intf.FIELD with type t = int array
+
+  val p : int
+  val k : int
+  val modulus : int array
+  val embed : int -> t
+  val gen : t
+  val to_coeffs : t -> int array
+end
+
+module Q = Rational

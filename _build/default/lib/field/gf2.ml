@@ -1,0 +1,20 @@
+type t = int (* 0 or 1 *)
+
+let zero = 0
+let one = 1
+let add a b = a lxor b
+let sub = add
+let neg a = a
+let mul a b = a land b
+let inv a = if a = 0 then raise Division_by_zero else 1
+let div a b = mul a (inv b)
+let of_int n = n land 1
+let equal = Int.equal
+let is_zero a = a = 0
+let characteristic = 2
+let cardinality = Some 2
+let name = "GF(2)"
+let to_string = string_of_int
+let pp fmt a = Format.pp_print_int fmt a
+let random st = Random.State.int st 2
+let sample st ~card_s = of_int (Random.State.int st (max 1 (min 2 card_s)))

@@ -1,0 +1,7 @@
+(** GF(2), the smallest field — the stress case for the paper's
+    characteristic restriction: Leverrier's conversion divides by 2..n and
+    is unusable here, so the Chistov path (§5) must be taken, and the
+    probability bound forces computations into an extension field
+    ({!Gfext}). *)
+
+include Field_intf.FIELD with type t = int

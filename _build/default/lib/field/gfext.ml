@@ -1,0 +1,287 @@
+(* Self-contained dense polynomial arithmetic over GF(p) for word primes.
+   kp_poly depends on this library, so these helpers are local by design. *)
+
+module type PARAMS = sig
+  val p : int
+  val k : int
+  val seed : int
+end
+
+(* ---- GF(p) scalar helpers ---- *)
+
+let fadd p a b = let s = a + b in if s >= p then s - p else s
+let fsub p a b = let d = a - b in if d < 0 then d + p else d
+let fmul p a b = a * b mod p
+
+let finv p a =
+  if a = 0 then raise Division_by_zero
+  else begin
+    let rec go r0 r1 s0 s1 =
+      if r1 = 0 then s0 else go r1 (r0 mod r1) s1 (s0 - (r0 / r1 * s1))
+    in
+    let s = go p a 0 1 mod p in
+    if s < 0 then s + p else s
+  end
+
+(* ---- dense polynomials over GF(p): int arrays, low-to-high ---- *)
+
+let deg a =
+  let d = ref (Array.length a - 1) in
+  while !d >= 0 && a.(!d) = 0 do
+    decr d
+  done;
+  !d
+
+let trim a =
+  let d = deg a in
+  if d = Array.length a - 1 then a else Array.sub a 0 (d + 1)
+
+let pmul p a b =
+  let da = deg a and db = deg b in
+  if da < 0 || db < 0 then [||]
+  else begin
+    let out = Array.make (da + db + 1) 0 in
+    for i = 0 to da do
+      if a.(i) <> 0 then
+        for j = 0 to db do
+          out.(i + j) <- (out.(i + j) + (a.(i) * b.(j))) mod p
+        done
+    done;
+    trim out
+  end
+
+(* remainder of a modulo monic f *)
+let pmod_monic p a f =
+  let df = deg f in
+  assert (df >= 1 && f.(df) = 1);
+  let r = Array.copy a in
+  for i = deg r downto df do
+    let c = r.(i) in
+    if c <> 0 then begin
+      r.(i) <- 0;
+      for j = 0 to df - 1 do
+        r.(i - df + j) <- fsub p r.(i - df + j) (fmul p c f.(j))
+      done
+    end
+  done;
+  trim (if Array.length r > df then Array.sub r 0 df else r)
+
+let pmulmod p a b f = pmod_monic p (pmul p a b) f
+
+let ppowmod p a e f =
+  (* a^e mod f, e >= 0 *)
+  let rec go acc a e =
+    if e = 0 then acc
+    else
+      go (if e land 1 = 1 then pmulmod p acc a f else acc) (pmulmod p a a f) (e lsr 1)
+  in
+  go [| 1 |] (pmod_monic p a f) e
+
+(* quotient and remainder by an arbitrary nonzero divisor *)
+let pdivmod p a b =
+  let b = trim b in
+  let db = deg b in
+  if db < 0 then raise Division_by_zero
+  else begin
+    let work = Array.copy (trim a) in
+    let da = deg work in
+    if da < db then ([||], trim work)
+    else begin
+      let bl_inv = finv p b.(db) in
+      let q = Array.make (da - db + 1) 0 in
+      for i = da downto db do
+        let c = fmul p work.(i) bl_inv in
+        if c <> 0 then begin
+          q.(i - db) <- c;
+          for j = 0 to db do
+            work.(i - db + j) <- fsub p work.(i - db + j) (fmul p c b.(j))
+          done
+        end
+      done;
+      (trim q, trim (Array.sub work 0 db))
+    end
+  end
+
+let pgcd p a b =
+  let rec go a b = if deg b < 0 then a else go b (snd (pdivmod p a b)) in
+  let g = go (trim a) (trim b) in
+  let dg = deg g in
+  if dg < 0 then g
+  else begin
+    let li = finv p g.(dg) in
+    Array.map (fun c -> fmul p c li) g
+  end
+
+(* extended Euclid: returns s with s*a = gcd (mod f); used for inversion of a
+   modulo the irreducible f (gcd is then a nonzero constant) *)
+let pinvmod p a f =
+  let psub a b =
+    let len = max (Array.length a) (Array.length b) in
+    let out = Array.make (max 1 len) 0 in
+    Array.iteri (fun i c -> out.(i) <- fadd p out.(i) c) a;
+    Array.iteri (fun i c -> out.(i) <- fsub p out.(i) c) b;
+    trim out
+  in
+  let rec go r0 r1 s0 s1 =
+    if deg r1 < 0 then (r0, s0)
+    else begin
+      let q, rem = pdivmod p r0 r1 in
+      go r1 rem s1 (psub s0 (pmul p q s1))
+    end
+  in
+  let g, s = go (trim f) (pmod_monic p a f) [||] [| 1 |] in
+  let dg = deg g in
+  if dg <> 0 then raise Division_by_zero (* a = 0 mod f, or f not irreducible *)
+  else begin
+    let c = finv p g.(0) in
+    pmod_monic p (Array.map (fun x -> fmul p x c) s) f
+  end
+
+(* ---- Rabin irreducibility ---- *)
+
+let prime_divisors k =
+  let rec go k d acc =
+    if d * d > k then if k > 1 then k :: acc else acc
+    else if k mod d = 0 then begin
+      let rec strip k = if k mod d = 0 then strip (k / d) else k in
+      go (strip k) (d + 1) (d :: acc)
+    end
+    else go k (d + 1) acc
+  in
+  go k 2 []
+
+(* x^(p^j) mod f by iterated Frobenius: j successive p-th powers *)
+let frobenius_power p j f =
+  let x = [| 0; 1 |] in
+  let h = ref (pmod_monic p x f) in
+  for _ = 1 to j do
+    h := ppowmod p !h p f
+  done;
+  !h
+
+let is_irreducible ~p f =
+  let f = trim f in
+  let k = deg f in
+  if k < 1 then false
+  else if f.(k) <> 1 then invalid_arg "Gfext.is_irreducible: not monic"
+  else if k = 1 then true
+  else begin
+    (* Rabin: x^(p^k) = x mod f, and gcd(x^(p^(k/q)) - x, f) = 1 for every
+       prime q | k *)
+    let x = [| 0; 1 |] in
+    let xqk = frobenius_power p k f in
+    let sub_poly a b =
+      let len = max (Array.length a) (Array.length b) in
+      let out = Array.make (max 1 len) 0 in
+      Array.iteri (fun i c -> out.(i) <- fadd p out.(i) c) a;
+      Array.iteri (fun i c -> out.(i) <- fsub p out.(i) c) b;
+      trim out
+    in
+    if deg (sub_poly xqk x) >= 0 then false
+    else
+      List.for_all
+        (fun q ->
+          let h = frobenius_power p (k / q) f in
+          let d = sub_poly h x in
+          deg (pgcd p d f) = 0)
+        (prime_divisors k)
+  end
+
+let find_irreducible ~p ~k st =
+  if k < 1 then invalid_arg "Gfext.find_irreducible: k < 1";
+  if k = 1 then [| Random.State.int st p; 1 |]
+  else begin
+    let rec search tries =
+      if tries > 10_000 then failwith "Gfext.find_irreducible: search exhausted"
+      else begin
+        let f = Array.init (k + 1) (fun i -> if i = k then 1 else Random.State.int st p) in
+        (* constant term nonzero avoids the trivial factor x *)
+        if f.(0) = 0 then f.(0) <- 1 + Random.State.int st (p - 1);
+        if is_irreducible ~p f then f else search (tries + 1)
+      end
+    in
+    search 0
+  end
+
+(* ---- the field functor ---- *)
+
+module Make (P : PARAMS) = struct
+  let () =
+    if P.k < 1 then invalid_arg "Gfext.Make: k < 1";
+    if not (Gfp.is_prime P.p) || P.p >= 1 lsl 30 then
+      invalid_arg "Gfext.Make: p must be a prime below 2^30"
+
+  let p = P.p
+  let k = P.k
+
+  let modulus_full = find_irreducible ~p ~k (Random.State.make [| P.seed; p; k |])
+  let modulus = Array.sub modulus_full 0 k
+
+  type t = int array (* length k, low-to-high *)
+
+  let normalize a =
+    (* bring an arbitrary-length vector to length-k representative *)
+    let r = pmod_monic p a modulus_full in
+    let out = Array.make k 0 in
+    Array.blit r 0 out 0 (min k (Array.length r));
+    out
+
+  let zero = Array.make k 0
+  let one = normalize [| 1 |]
+  let embed c = normalize [| ((c mod p) + p) mod p |]
+  let gen = normalize [| 0; 1 |]
+  let of_int n = embed n
+  let to_coeffs a = Array.copy a
+
+  let add a b = Array.init k (fun i -> fadd p a.(i) b.(i))
+  let sub a b = Array.init k (fun i -> fsub p a.(i) b.(i))
+  let neg a = Array.init k (fun i -> if a.(i) = 0 then 0 else p - a.(i))
+  let mul a b = normalize (pmul p a b)
+  let inv a = normalize (pinvmod p a modulus_full)
+  let div a b = mul a (inv b)
+
+  let equal a b = a = b
+  let is_zero a = Array.for_all (fun c -> c = 0) a
+  let characteristic = p
+
+  let cardinality =
+    (* p^k when it fits *)
+    let rec go acc i =
+      if i = 0 then Some acc
+      else if acc > max_int / p then None
+      else go (acc * p) (i - 1)
+    in
+    go 1 k
+
+  let name = Printf.sprintf "GF(%d^%d)" p k
+
+  let to_string a =
+    let parts = ref [] in
+    for i = k - 1 downto 0 do
+      if a.(i) <> 0 then
+        parts :=
+          (match i with
+          | 0 -> string_of_int a.(i)
+          | 1 -> if a.(i) = 1 then "x" else Printf.sprintf "%dx" a.(i)
+          | _ -> if a.(i) = 1 then Printf.sprintf "x^%d" i else Printf.sprintf "%dx^%d" a.(i) i)
+          :: !parts
+    done;
+    if !parts = [] then "0" else String.concat "+" (List.rev !parts)
+
+  let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+  let random st = Array.init k (fun _ -> Random.State.int st p)
+
+  let sample st ~card_s =
+    (* enumerate S as base-p digit expansions of 0 .. card_s-1 *)
+    let v = Random.State.int st (max 1 card_s) in
+    let out = Array.make k 0 in
+    let rec fill i v =
+      if v > 0 && i < k then begin
+        out.(i) <- v mod p;
+        fill (i + 1) (v / p)
+      end
+    in
+    fill 0 v;
+    out
+end

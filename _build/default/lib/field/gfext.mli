@@ -1,0 +1,49 @@
+(** Extension fields GF(p{^k}) = GF(p)[x]/(f), f monic irreducible.
+
+    The paper's probability bound needs a sample set with
+    card(S) ≥ 3n²/ε; "for Galois fields K with card(K) < 3n², the algorithm
+    is performed in an algebraic extension L over K".  This module provides
+    that extension: given p and k it finds a random monic irreducible
+    polynomial of degree k by Rabin's test and exposes the quotient field.
+
+    Elements are dense coefficient vectors of length k over GF(p). *)
+
+module type PARAMS = sig
+  val p : int
+  (** Base prime, < 2{^30}. *)
+
+  val k : int
+  (** Extension degree, >= 1. *)
+
+  val seed : int
+  (** Seed for the irreducible-polynomial search (deterministic). *)
+end
+
+module Make (P : PARAMS) : sig
+  include Field_intf.FIELD with type t = int array
+
+  val p : int
+  val k : int
+
+  val modulus : int array
+  (** The monic irreducible f, as its [k] low coefficients
+      (f = x{^k} + modulus.(k-1)·x{^(k-1)} + … + modulus.(0)). *)
+
+  val embed : int -> t
+  (** Embedding of GF(p) (given as an int in [0, p)). *)
+
+  val gen : t
+  (** The class of x — a root of the modulus, generating the extension. *)
+
+  val to_coeffs : t -> int array
+  (** Coefficient vector over GF(p), length [k]. *)
+end
+
+val is_irreducible : p:int -> int array -> bool
+(** [is_irreducible ~p f] applies Rabin's irreducibility test to the monic
+    polynomial with coefficient vector [f] (low-to-high, leading coefficient
+    [f.(deg)] must be 1) over GF(p). *)
+
+val find_irreducible : p:int -> k:int -> Random.State.t -> int array
+(** A uniform-ish random monic irreducible of degree [k]: coefficients
+    length [k+1], leading 1. *)

@@ -1,0 +1,128 @@
+module type PRIME = sig
+  val p : int
+end
+
+(* Deterministic Miller–Rabin: the witness set {2, 3, 5, 7, 11, 13, 17, 19,
+   23, 29, 31, 37} is exact for n < 3.3 * 10^24, far beyond our 62-bit range.
+   Modular multiplication stays below 2^62 only for n < 2^31, which covers
+   every modulus this library constructs; larger inputs use a slower
+   addition-chain mulmod. *)
+let mulmod a b n =
+  if n < 1 lsl 31 then a * b mod n
+  else begin
+    (* double-and-add to avoid overflow for 31..62-bit moduli *)
+    let rec go acc a b =
+      if b = 0 then acc
+      else
+        let acc = if b land 1 = 1 then (acc + a) mod n else acc in
+        go acc ((a + a) mod n) (b lsr 1)
+    in
+    go 0 (a mod n) b
+  end
+
+let powmod a e n =
+  let rec go acc a e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mulmod acc a n else acc in
+      go acc (mulmod a a n) (e lsr 1)
+  in
+  go 1 (a mod n) e
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n mod 2 = 0 then false
+  else begin
+    let d = ref (n - 1) and r = ref 0 in
+    while !d land 1 = 0 do
+      d := !d lsr 1;
+      incr r
+    done;
+    let witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ] in
+    let composite_for a =
+      let a = a mod n in
+      if a = 0 then false
+      else begin
+        let x = ref (powmod a !d n) in
+        if !x = 1 || !x = n - 1 then false
+        else begin
+          let witness = ref true in
+          (try
+             for _ = 1 to !r - 1 do
+               x := mulmod !x !x n;
+               if !x = n - 1 then begin
+                 witness := false;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !witness
+        end
+      end
+    in
+    not (List.exists composite_for witnesses)
+  end
+
+module Make (P : PRIME) = struct
+  let () =
+    if P.p < 2 || P.p >= 1 lsl 30 || not (is_prime P.p) then
+      invalid_arg (Printf.sprintf "Gfp.Make: %d is not a prime below 2^30" P.p)
+
+  let p = P.p
+
+  type t = int
+
+  let zero = 0
+  let one = 1 mod p
+  let of_int_unchecked x = x
+  let add a b = let s = a + b in if s >= p then s - p else s
+  let sub a b = let d = a - b in if d < 0 then d + p else d
+  let neg a = if a = 0 then 0 else p - a
+  let mul a b = a * b mod p
+
+  (* extended Euclid on ints; a in [1, p) *)
+  let inv a =
+    if a = 0 then raise Division_by_zero
+    else begin
+      let rec go r0 r1 s0 s1 =
+        if r1 = 0 then s0 else go r1 (r0 mod r1) s1 (s0 - (r0 / r1 * s1))
+      in
+      let s = go p a 0 1 in
+      let s = s mod p in
+      if s < 0 then s + p else s
+    end
+
+  let div a b = mul a (inv b)
+
+  let of_int n =
+    let r = n mod p in
+    if r < 0 then r + p else r
+
+  let equal = Int.equal
+  let is_zero a = a = 0
+  let characteristic = p
+  let cardinality = Some p
+  let name = Printf.sprintf "GF(%d)" p
+  let to_string = string_of_int
+  let pp fmt a = Format.pp_print_int fmt a
+
+  let random st = Random.State.int st p
+  let sample st ~card_s = of_int (Random.State.int st (max 1 card_s))
+
+  let pow x k =
+    if k < 0 then invalid_arg "Gfp.pow: negative exponent"
+    else begin
+      let rec go acc x k =
+        if k = 0 then acc
+        else go (if k land 1 = 1 then mul acc x else acc) (mul x x) (k lsr 1)
+      in
+      go one (x mod p) k
+    end
+end
+
+let make p =
+  let module F = Make (struct
+    let p = p
+  end) in
+  (module F : Field_intf.FIELD with type t = int)

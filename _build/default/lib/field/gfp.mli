@@ -1,0 +1,30 @@
+(** Prime fields GF(p) for word-sized primes p < 2{^30}.
+
+    Elements are canonical representatives in [0, p); all products fit in a
+    native 63-bit int without overflow.  Inversion is by extended Euclid. *)
+
+module type PRIME = sig
+  val p : int
+  (** Must be prime and satisfy 2 <= p < 2{^30}; checked at functor
+      application (primality by deterministic trial division, cheap for
+      30-bit values). *)
+end
+
+module Make (P : PRIME) : sig
+  include Field_intf.FIELD with type t = int
+
+  val p : int
+  val of_int_unchecked : int -> t
+  (** Assumes the argument is already in [0, p). *)
+
+  val pow : t -> int -> t
+  (** [pow x k] for [k >= 0]. *)
+end
+
+val is_prime : int -> bool
+(** Deterministic primality for [0 <= n < 2{^62}] (Miller–Rabin with a fixed
+    witness set valid on that range). *)
+
+val make : int -> (module Field_intf.FIELD with type t = int)
+(** [make p] builds GF(p) at runtime.  @raise Invalid_argument if [p] is not
+    a prime below 2{^30}. *)

@@ -1,0 +1,70 @@
+module Make (P : Gfp.PRIME) = struct
+  let () =
+    if P.p < 3 || P.p >= 1 lsl 30 || P.p land 1 = 0 || not (Gfp.is_prime P.p)
+    then invalid_arg "Gfp_mont.Make: need an odd prime below 2^30"
+
+  let p = P.p
+  let r_bits = 30
+  let r_mask = (1 lsl r_bits) - 1
+
+  (* p' = -p^{-1} mod 2^30, by Newton iteration on 2-adic inverses *)
+  let p_neg_inv =
+    let rec newton inv k =
+      if k >= r_bits then inv
+      else newton (inv * (2 - (p * inv)) land r_mask) (k * 2)
+    in
+    let inv = newton p 1 (* p odd: p * p ≡ 1 mod 2 *) in
+    (- inv) land r_mask
+
+  (* Montgomery reduction: t < p * 2^30  ->  t / R mod p, in [0, p) *)
+  let reduce t =
+    let m = (t land r_mask) * p_neg_inv land r_mask in
+    let u = (t + (m * p)) lsr r_bits in
+    if u >= p then u - p else u
+
+  let r2 =
+    (* R^2 mod p, via repeated doubling to stay in int range *)
+    let rec dbl x k = if k = 0 then x else dbl (let y = x * 2 in if y >= p then y - p else y) (k - 1) in
+    dbl (1 mod p) (2 * r_bits)
+
+  type t = int (* x·R mod p *)
+
+  let of_standard x = reduce (x * r2)
+  let to_standard x = reduce x
+
+  let zero = 0
+  let one = of_standard 1
+
+  let add a b = let s = a + b in if s >= p then s - p else s
+  let sub a b = let d = a - b in if d < 0 then d + p else d
+  let neg a = if a = 0 then 0 else p - a
+  let mul a b = reduce (a * b)
+
+  let inv a =
+    if a = 0 then raise Division_by_zero
+    else begin
+      (* invert the standard representative, then convert twice:
+         (aR)^{-1}·R^3·R^{-2}... simpler: standard inverse then of_standard *)
+      let std = to_standard a in
+      let rec go r0 r1 s0 s1 =
+        if r1 = 0 then s0 else go r1 (r0 mod r1) s1 (s0 - (r0 / r1 * s1))
+      in
+      let s = go p std 0 1 mod p in
+      of_standard (if s < 0 then s + p else s)
+    end
+
+  let div a b = mul a (inv b)
+  let of_int n =
+    let r = n mod p in
+    of_standard (if r < 0 then r + p else r)
+
+  let equal = Int.equal
+  let is_zero a = a = 0
+  let characteristic = p
+  let cardinality = Some p
+  let name = Printf.sprintf "GF(%d) (Montgomery)" p
+  let to_string a = string_of_int (to_standard a)
+  let pp fmt a = Format.pp_print_int fmt (to_standard a)
+  let random st = of_standard (Random.State.int st p)
+  let sample st ~card_s = of_int (Random.State.int st (max 1 card_s))
+end

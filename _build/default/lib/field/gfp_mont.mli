@@ -1,0 +1,22 @@
+(** GF(p) in Montgomery form — the performance variant of {!Gfp}.
+
+    Elements are stored as x·R mod p with R = 2{^30}, so a field
+    multiplication costs one 60-bit product and one Montgomery reduction
+    (shift/multiply, no division instruction).  Field semantics are
+    identical to {!Gfp.Make} of the same prime; the representation is
+    internal and invisible through the [FIELD] interface (tested for
+    isomorphism).
+
+    Requires an odd prime p < 2{^30}. *)
+
+module Make (P : Gfp.PRIME) : sig
+  include Field_intf.FIELD with type t = int
+
+  val p : int
+
+  val to_standard : t -> int
+  (** The canonical representative in [0, p) (leaves Montgomery form). *)
+
+  val of_standard : int -> t
+  (** Inverse of {!to_standard} for values in [0, p). *)
+end

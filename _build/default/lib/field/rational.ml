@@ -1,0 +1,85 @@
+module B = Kp_bigint.Bigint
+
+type t = { n : B.t; d : B.t } (* canonical: d > 0, gcd(|n|, d) = 1 *)
+
+let make_raw n d = { n; d }
+
+let make n d =
+  if B.is_zero d then raise Division_by_zero
+  else begin
+    let n, d = if B.sign d < 0 then (B.neg n, B.neg d) else (n, d) in
+    if B.is_zero n then make_raw B.zero B.one
+    else begin
+      let g = B.gcd n d in
+      make_raw (B.div n g) (B.div d g)
+    end
+  end
+
+let zero = make_raw B.zero B.one
+let one = make_raw B.one B.one
+
+let of_bigint n = make_raw n B.one
+let of_int n = of_bigint (B.of_int n)
+let of_ints a b = make (B.of_int a) (B.of_int b)
+
+let num t = t.n
+let den t = t.d
+
+let is_zero t = B.is_zero t.n
+let equal a b = B.equal a.n b.n && B.equal a.d b.d
+
+let compare a b = B.compare (B.mul a.n b.d) (B.mul b.n a.d)
+
+let neg t = { t with n = B.neg t.n }
+
+let make_raw_norm n d = if B.is_zero n then zero else make n d
+
+let add a b =
+  (* n_a d_b + n_b d_a / d_a d_b, with a gcd on denominators to keep the
+     intermediate values small (important: these grow fast in elimination) *)
+  let g = B.gcd a.d b.d in
+  if B.equal g B.one then
+    make_raw_norm (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
+  else
+    make (B.add (B.mul a.n (B.div b.d g)) (B.mul b.n (B.div a.d g)))
+      (B.mul (B.div a.d g) b.d)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  let g1 = B.gcd a.n b.d and g2 = B.gcd b.n a.d in
+  let n = B.mul (B.div a.n g1) (B.div b.n g2) in
+  let d = B.mul (B.div a.d g2) (B.div b.d g1) in
+  if B.is_zero n then zero else make_raw n d
+
+let inv t =
+  if is_zero t then raise Division_by_zero
+  else if B.sign t.n < 0 then make_raw (B.neg t.d) (B.neg t.n)
+  else make_raw t.d t.n
+
+let div a b = mul a (inv b)
+
+let characteristic = 0
+let cardinality = None
+let name = "Q"
+
+let to_string t =
+  if B.equal t.d B.one then B.to_string t.n
+  else B.to_string t.n ^ "/" ^ B.to_string t.d
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let to_float t =
+  (* crude: good enough for display *)
+  match (B.to_int_opt t.n, B.to_int_opt t.d) with
+  | Some n, Some d -> float_of_int n /. float_of_int d
+  | _ ->
+    let bits = max (B.num_bits t.n) (B.num_bits t.d) - 50 in
+    let bits = max 0 bits in
+    let n = B.shift_right t.n bits and d = B.shift_right t.d bits in
+    (match (B.to_int_opt n, B.to_int_opt d) with
+    | Some n, Some d when d <> 0 -> float_of_int n /. float_of_int d
+    | _ -> nan)
+
+let random st = of_int (Random.State.int st 1_000_003)
+let sample st ~card_s = of_int (Random.State.int st (max 1 card_s))

@@ -1,0 +1,25 @@
+(** The rational numbers ℚ over {!Kp_bigint.Bigint} — the repository's
+    characteristic-zero field.
+
+    Values are kept normalized: positive denominator, coprime numerator and
+    denominator, zero represented as 0/1, so structural comparison of the
+    canonical forms coincides with field equality. *)
+
+include Field_intf.FIELD
+
+val make : Kp_bigint.Bigint.t -> Kp_bigint.Bigint.t -> t
+(** [make num den].  @raise Division_by_zero if [den] is zero. *)
+
+val of_ints : int -> int -> t
+(** [of_ints a b] = a/b. *)
+
+val num : t -> Kp_bigint.Bigint.t
+val den : t -> Kp_bigint.Bigint.t
+
+val of_bigint : Kp_bigint.Bigint.t -> t
+
+val to_float : t -> float
+(** Approximate conversion (for display only). *)
+
+val compare : t -> t -> int
+(** Order of ℚ. *)

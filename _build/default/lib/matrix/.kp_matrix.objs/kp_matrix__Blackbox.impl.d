@@ -1,0 +1,1 @@
+lib/matrix/blackbox.ml: Array Dense Kp_field Option Sparse

@@ -1,0 +1,1 @@
+lib/matrix/blackbox.mli: Dense Kp_field Sparse

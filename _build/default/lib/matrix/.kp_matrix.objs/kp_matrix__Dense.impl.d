@@ -1,0 +1,1 @@
+lib/matrix/dense.ml: Array Buffer Format Fun Kp_field Kp_util Printf Random

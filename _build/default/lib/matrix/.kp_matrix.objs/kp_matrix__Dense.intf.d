@@ -1,0 +1,1 @@
+lib/matrix/dense.mli: Format Kp_field Kp_util Random

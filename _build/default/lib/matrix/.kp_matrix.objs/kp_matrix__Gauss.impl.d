@@ -1,0 +1,1 @@
+lib/matrix/gauss.ml: Array Dense Fun Kp_field List

@@ -1,0 +1,1 @@
+lib/matrix/gauss.mli: Dense Kp_field

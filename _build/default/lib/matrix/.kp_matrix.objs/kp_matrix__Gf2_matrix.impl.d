@@ -1,0 +1,1 @@
+lib/matrix/gf2_matrix.ml: Array Format Fun Int64 List Random

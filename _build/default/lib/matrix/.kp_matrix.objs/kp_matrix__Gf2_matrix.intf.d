@@ -1,0 +1,1 @@
+lib/matrix/gf2_matrix.mli: Format Random

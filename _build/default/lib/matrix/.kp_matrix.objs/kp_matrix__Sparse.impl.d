@@ -1,0 +1,1 @@
+lib/matrix/sparse.ml: Array Dense Fun Hashtbl Kp_field Kp_util List Option Random

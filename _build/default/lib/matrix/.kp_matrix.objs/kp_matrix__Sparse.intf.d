@@ -1,0 +1,1 @@
+lib/matrix/sparse.mli: Dense Kp_field Kp_util Random

@@ -1,0 +1,1 @@
+lib/matrix/vec.mli: Kp_field

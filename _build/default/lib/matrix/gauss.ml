@@ -1,0 +1,192 @@
+module Make (F : Kp_field.Field_intf.FIELD) = struct
+  module M = Dense.Make (F)
+
+  type plu = {
+    perm : int array;
+    lower : M.t;
+    upper : M.t;
+    sign : int;
+    rank : int;
+  }
+
+  (* row-echelon elimination on a working copy; returns the working matrix,
+     the permutation (as the order rows were chosen), pivot columns, sign *)
+  let echelon (a : M.t) =
+    let m = M.copy a in
+    let rows = m.M.rows and cols = m.M.cols in
+    let perm = Array.init rows Fun.id in
+    let sign = ref 1 in
+    let pivots = ref [] in
+    let r = ref 0 in
+    let c = ref 0 in
+    let multipliers = M.make rows rows in
+    while !r < rows && !c < cols do
+      (* find pivot in column c at or below row r *)
+      let piv = ref (-1) in
+      (try
+         for i = !r to rows - 1 do
+           if not (F.is_zero (M.get m i !c)) then begin
+             piv := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !piv < 0 then incr c
+      else begin
+        if !piv <> !r then begin
+          (* swap rows r and piv in m, perm, and recorded multipliers *)
+          for j = 0 to cols - 1 do
+            let t = M.get m !r j in
+            M.set m !r j (M.get m !piv j);
+            M.set m !piv j t
+          done;
+          for j = 0 to rows - 1 do
+            let t = M.get multipliers !r j in
+            M.set multipliers !r j (M.get multipliers !piv j);
+            M.set multipliers !piv j t
+          done;
+          let t = perm.(!r) in
+          perm.(!r) <- perm.(!piv);
+          perm.(!piv) <- t;
+          sign := - !sign
+        end;
+        let inv_piv = F.inv (M.get m !r !c) in
+        for i = !r + 1 to rows - 1 do
+          let factor = F.mul (M.get m i !c) inv_piv in
+          if not (F.is_zero factor) then begin
+            M.set multipliers i !r factor;
+            for j = !c to cols - 1 do
+              M.set m i j (F.sub (M.get m i j) (F.mul factor (M.get m !r j)))
+            done
+          end
+        done;
+        pivots := (!r, !c) :: !pivots;
+        incr r;
+        incr c
+      end
+    done;
+    (m, perm, List.rev !pivots, !sign, multipliers)
+
+  let plu a =
+    let u, perm, pivots, sign, multipliers = echelon a in
+    let rows = a.M.rows in
+    let lower =
+      M.init rows rows (fun i j ->
+          if i = j then F.one
+          else if i > j then M.get multipliers i j
+          else F.zero)
+    in
+    { perm; lower; upper = u; sign; rank = List.length pivots }
+
+  let det a =
+    if a.M.rows <> a.M.cols then invalid_arg "Gauss.det: non-square";
+    let { upper; sign; rank; _ } = plu a in
+    if rank < a.M.rows then F.zero
+    else begin
+      let acc = ref (if sign > 0 then F.one else F.neg F.one) in
+      for i = 0 to a.M.rows - 1 do
+        acc := F.mul !acc (M.get upper i i)
+      done;
+      !acc
+    end
+
+  let rank a =
+    let { rank; _ } = plu a in
+    rank
+
+  let is_singular a = a.M.rows <> a.M.cols || rank a < a.M.rows
+
+  (* forward/back substitution on an echelon system *)
+  let solve_echelon u pivots rhs =
+    let cols = u.M.cols in
+    let x = Array.make cols F.zero in
+    let consistent = ref true in
+    (* rows below the pivot rows must have zero rhs *)
+    let npiv = List.length pivots in
+    for i = npiv to u.M.rows - 1 do
+      if not (F.is_zero rhs.(i)) then consistent := false
+    done;
+    if not !consistent then None
+    else begin
+      let rev = List.rev pivots in
+      List.iter
+        (fun (r, c) ->
+          let acc = ref rhs.(r) in
+          for j = c + 1 to cols - 1 do
+            acc := F.sub !acc (F.mul (M.get u r j) x.(j))
+          done;
+          x.(c) <- F.div !acc (M.get u r c))
+        rev;
+      Some x
+    end
+
+  let apply_forward multipliers perm rhs =
+    (* apply P then the recorded eliminations to the right-hand side *)
+    let rows = Array.length rhs in
+    let b = Array.init rows (fun i -> rhs.(perm.(i))) in
+    for i = 0 to rows - 1 do
+      for j = 0 to i - 1 do
+        let f = M.get multipliers i j in
+        if not (F.is_zero f) then b.(i) <- F.sub b.(i) (F.mul f b.(j))
+      done
+    done;
+    b
+
+  let solve_general a rhs =
+    if Array.length rhs <> a.M.rows then invalid_arg "Gauss.solve_general";
+    let u, perm, pivots, _sign, multipliers = echelon a in
+    let b = apply_forward multipliers perm rhs in
+    solve_echelon u pivots b
+
+  let solve a rhs =
+    if a.M.rows <> a.M.cols then invalid_arg "Gauss.solve: non-square";
+    let u, perm, pivots, _sign, multipliers = echelon a in
+    if List.length pivots < a.M.rows then None
+    else begin
+      let b = apply_forward multipliers perm rhs in
+      solve_echelon u pivots b
+    end
+
+  let inverse a =
+    if a.M.rows <> a.M.cols then invalid_arg "Gauss.inverse: non-square";
+    let n = a.M.rows in
+    let u, perm, pivots, _sign, multipliers = echelon a in
+    if List.length pivots < n then None
+    else begin
+      let out = M.make n n in
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        let e = Array.init n (fun i -> if i = k then F.one else F.zero) in
+        let b = apply_forward multipliers perm e in
+        match solve_echelon u pivots b with
+        | Some x -> for i = 0 to n - 1 do M.set out i k x.(i) done
+        | None -> ok := false
+      done;
+      if !ok then Some out else None
+    end
+
+  let nullspace a =
+    let u, _perm, pivots, _sign, _multipliers = echelon a in
+    let cols = a.M.cols in
+    let pivot_cols = List.map snd pivots in
+    let is_pivot = Array.make cols false in
+    List.iter (fun c -> is_pivot.(c) <- true) pivot_cols;
+    let free_cols =
+      List.filter (fun c -> not is_pivot.(c)) (List.init cols Fun.id)
+    in
+    List.map
+      (fun fc ->
+        let v = Array.make cols F.zero in
+        v.(fc) <- F.one;
+        (* solve for pivot variables in reverse pivot order *)
+        List.iter
+          (fun (r, c) ->
+            let acc = ref F.zero in
+            for j = c + 1 to cols - 1 do
+              acc := F.add !acc (F.mul (M.get u r j) v.(j))
+            done;
+            v.(c) <- F.neg (F.div !acc (M.get u r c)))
+          (List.rev pivots);
+        v)
+      free_cols
+end

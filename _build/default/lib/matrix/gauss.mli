@@ -1,0 +1,41 @@
+(** Gaussian elimination over a field — the sequential baseline
+    (Bunch–Hopcroft's role in the paper) and the correctness oracle for
+    every randomized routine in [kp_core].
+
+    All routines use partial "pivoting" by first non-zero element (exact
+    arithmetic — no magnitude concerns). *)
+
+module Make (F : Kp_field.Field_intf.FIELD) : sig
+  module M : module type of Dense.Make (F)
+
+  type plu = {
+    perm : int array;      (** row permutation: P·A = L·U, row i of A lands at perm.(i) *)
+    lower : M.t;           (** unit lower triangular *)
+    upper : M.t;           (** upper triangular *)
+    sign : int;            (** determinant sign of P *)
+    rank : int;
+  }
+
+  val plu : M.t -> plu
+  (** Works for any rectangular matrix; [rank] is the number of pivots. *)
+
+  val det : M.t -> F.t
+  (** @raise Invalid_argument on non-square input. *)
+
+  val rank : M.t -> int
+
+  val solve : M.t -> F.t array -> F.t array option
+  (** [solve a b]: unique solution of a non-singular square system, [None]
+      if the matrix is singular. *)
+
+  val inverse : M.t -> M.t option
+
+  val nullspace : M.t -> F.t array list
+  (** Basis of the right nullspace (empty list for full column rank). *)
+
+  val solve_general : M.t -> F.t array -> F.t array option
+  (** A particular solution of a possibly singular/rectangular system,
+      [None] if inconsistent. *)
+
+  val is_singular : M.t -> bool
+end

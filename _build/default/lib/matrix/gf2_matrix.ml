@@ -1,0 +1,234 @@
+(* Rows are packed little-endian into 63-bit chunks of OCaml ints (using 63
+   of the 64 bit positions keeps all operations on immediate ints). *)
+
+let bits_per_word = 63
+
+type t = {
+  rows : int;
+  cols : int;
+  words : int; (* words per row *)
+  data : int array; (* rows * words *)
+}
+
+let create ~rows ~cols =
+  let words = (cols + bits_per_word - 1) / bits_per_word in
+  { rows; cols; words; data = Array.make (max 1 (rows * words)) 0 }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let index t i j = (i * t.words) + (j / bits_per_word)
+let bit j = j mod bits_per_word
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Gf2_matrix.get";
+  (t.data.(index t i j) lsr bit j) land 1 = 1
+
+let set t i j v =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Gf2_matrix.set";
+  let k = index t i j in
+  if v then t.data.(k) <- t.data.(k) lor (1 lsl bit j)
+  else t.data.(k) <- t.data.(k) land lnot (1 lsl bit j)
+
+let of_bool_matrix b =
+  let r = Array.length b in
+  let c = if r = 0 then 0 else Array.length b.(0) in
+  let t = create ~rows:r ~cols:c in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> c then invalid_arg "Gf2_matrix.of_bool_matrix: ragged";
+      Array.iteri (fun j v -> if v then set t i j true) row)
+    b;
+  t
+
+let to_bool_matrix t = Array.init t.rows (fun i -> Array.init t.cols (get t i))
+
+let copy t = { t with data = Array.copy t.data }
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols && a.data = b.data
+
+let identity n =
+  let t = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    set t i i true
+  done;
+  t
+
+let random st ~rows ~cols =
+  let t = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for w = 0 to t.words - 1 do
+      (* mask the tail so padding bits stay zero *)
+      let lo = w * bits_per_word in
+      let width = min bits_per_word (cols - lo) in
+      let mask = if width >= bits_per_word then -1 lsr 1 else (1 lsl width) - 1 in
+      t.data.((i * t.words) + w) <-
+        (Random.State.bits64 st |> Int64.to_int) land (-1 lsr 1) land mask
+    done
+  done;
+  t
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Gf2_matrix.add";
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) lxor b.data.(k)) }
+
+(* xor row src of m into row dst of out (word-parallel) *)
+let xor_row_into data words dst src =
+  let db = dst * words and sb = src * words in
+  for w = 0 to words - 1 do
+    data.(db + w) <- data.(db + w) lxor data.(sb + w)
+  done
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Gf2_matrix.mul";
+  let out = create ~rows:a.rows ~cols:b.cols in
+  (* out.row(i) = XOR over k with a(i,k)=1 of b.row(k) *)
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      if get a i k then begin
+        let ob = i * out.words and bb = k * b.words in
+        for w = 0 to out.words - 1 do
+          out.data.(ob + w) <- out.data.(ob + w) lxor b.data.(bb + w)
+        done
+      end
+    done
+  done;
+  out
+
+let matvec t v =
+  if Array.length v <> t.cols then invalid_arg "Gf2_matrix.matvec";
+  (* pack v once, then one parity per row *)
+  let packed = create ~rows:1 ~cols:t.cols in
+  Array.iteri (fun j x -> if x then set packed 0 j true) v;
+  Array.init t.rows (fun i ->
+      let acc = ref 0 in
+      for w = 0 to t.words - 1 do
+        acc := !acc lxor (t.data.((i * t.words) + w) land packed.data.(w))
+      done;
+      (* parity of acc *)
+      let x = ref !acc in
+      let parity = ref 0 in
+      while !x <> 0 do
+        parity := !parity lxor 1;
+        x := !x land (!x - 1)
+      done;
+      !parity = 1)
+
+let transpose t =
+  let out = create ~rows:t.cols ~cols:t.rows in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      if get t i j then set out j i true
+    done
+  done;
+  out
+
+(* elimination on a working copy; returns (echelon, pivots as (row, col)) *)
+let echelon_of t =
+  let m = copy t in
+  let pivots = ref [] in
+  let r = ref 0 in
+  let c = ref 0 in
+  while !r < m.rows && !c < m.cols do
+    let piv = ref (-1) in
+    (try
+       for i = !r to m.rows - 1 do
+         if get m i !c then begin
+           piv := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !piv < 0 then incr c
+    else begin
+      if !piv <> !r then begin
+        (* swap rows *)
+        for w = 0 to m.words - 1 do
+          let a = m.data.((!r * m.words) + w) in
+          m.data.((!r * m.words) + w) <- m.data.((!piv * m.words) + w);
+          m.data.((!piv * m.words) + w) <- a
+        done
+      end;
+      for i = !r + 1 to m.rows - 1 do
+        if get m i !c then xor_row_into m.data m.words i !r
+      done;
+      pivots := (!r, !c) :: !pivots;
+      incr r;
+      incr c
+    end
+  done;
+  (m, List.rev !pivots)
+
+let rank t =
+  let _, pivots = echelon_of t in
+  List.length pivots
+
+let det t =
+  if t.rows <> t.cols then invalid_arg "Gf2_matrix.det: non-square";
+  rank t = t.rows
+
+(* eliminate an augmented system: pack rhs as an extra column *)
+let augmented t rhs =
+  let out = create ~rows:t.rows ~cols:(t.cols + 1) in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      if get t i j then set out i j true
+    done;
+    if rhs.(i) then set out i t.cols true
+  done;
+  out
+
+let back_substitute ~cols echelon pivots =
+  let x = Array.make cols false in
+  List.iter
+    (fun (r, c) ->
+      let acc = ref (get echelon r cols) in
+      for j = c + 1 to cols - 1 do
+        if get echelon r j && x.(j) then acc := not !acc
+      done;
+      x.(c) <- !acc)
+    (List.rev pivots);
+  x
+
+let solve_general t rhs =
+  if Array.length rhs <> t.rows then invalid_arg "Gf2_matrix.solve_general";
+  let aug = augmented t rhs in
+  let ech, pivots = echelon_of aug in
+  (* a pivot in the rhs column means inconsistency *)
+  if List.exists (fun (_, c) -> c = t.cols) pivots then None
+  else Some (back_substitute ~cols:t.cols ech (List.filter (fun (_, c) -> c < t.cols) pivots))
+
+let solve t rhs =
+  if t.rows <> t.cols then invalid_arg "Gf2_matrix.solve: non-square";
+  if rank t < t.rows then None else solve_general t rhs
+
+let nullspace t =
+  let ech, pivots = echelon_of t in
+  let is_pivot = Array.make t.cols false in
+  List.iter (fun (_, c) -> is_pivot.(c) <- true) pivots;
+  let free = List.filter (fun c -> not is_pivot.(c)) (List.init t.cols Fun.id) in
+  List.map
+    (fun fc ->
+      let v = Array.make t.cols false in
+      v.(fc) <- true;
+      List.iter
+        (fun (r, c) ->
+          let acc = ref false in
+          for j = c + 1 to t.cols - 1 do
+            if get ech r j && v.(j) then acc := not !acc
+          done;
+          v.(c) <- !acc)
+        (List.rev pivots);
+      v)
+    free
+
+let pp fmt t =
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      Format.pp_print_char fmt (if get t i j then '1' else '0')
+    done;
+    Format.pp_print_newline fmt ()
+  done

@@ -1,0 +1,48 @@
+module Make (F : Kp_field.Field_intf.FIELD_CORE) = struct
+  type t = F.t array
+
+  let make n = Array.make n F.zero
+  let init = Array.init
+
+  let basis n i =
+    let v = make n in
+    v.(i) <- F.one;
+    v
+
+  let check a b =
+    if Array.length a <> Array.length b then invalid_arg "Vec: length mismatch"
+
+  let add a b =
+    check a b;
+    Array.init (Array.length a) (fun i -> F.add a.(i) b.(i))
+
+  let sub a b =
+    check a b;
+    Array.init (Array.length a) (fun i -> F.sub a.(i) b.(i))
+
+  let neg a = Array.map F.neg a
+  let scale c a = Array.map (F.mul c) a
+
+  (* balanced reduction: O(log n) depth when traced into a circuit *)
+  let rec balanced_dot a b lo hi =
+    if hi <= lo then F.zero
+    else if hi - lo <= 8 then begin
+      let acc = ref (F.mul a.(lo) b.(lo)) in
+      for i = lo + 1 to hi - 1 do
+        acc := F.add !acc (F.mul a.(i) b.(i))
+      done;
+      !acc
+    end
+    else begin
+      let mid = (lo + hi) / 2 in
+      F.add (balanced_dot a b lo mid) (balanced_dot a b mid hi)
+    end
+
+  let dot a b =
+    check a b;
+    balanced_dot a b 0 (Array.length a)
+
+  let axpy a x y =
+    check x y;
+    Array.init (Array.length x) (fun i -> F.add (F.mul a x.(i)) y.(i))
+end

@@ -1,0 +1,21 @@
+(** Vectors over a field core — straight-line helpers shared by the matrix
+    and solver layers (no zero tests). *)
+
+module Make (F : Kp_field.Field_intf.FIELD_CORE) : sig
+  type t = F.t array
+
+  val make : int -> t
+  (** Zero vector. *)
+
+  val init : int -> (int -> F.t) -> t
+  val basis : int -> int -> t
+  (** [basis n i] = e_i. *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : F.t -> t -> t
+  val dot : t -> t -> F.t
+  val axpy : F.t -> t -> t -> t
+  (** [axpy a x y] = a·x + y. *)
+end

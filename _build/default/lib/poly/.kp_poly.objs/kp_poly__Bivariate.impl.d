@@ -1,0 +1,1 @@
+lib/poly/bivariate.ml: Array Conv Kp_field

@@ -1,0 +1,1 @@
+lib/poly/bivariate.mli: Conv Kp_field

@@ -1,0 +1,1 @@
+lib/poly/conv.ml: Array Hashtbl Kp_field Series

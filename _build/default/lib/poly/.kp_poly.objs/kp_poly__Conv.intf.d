@@ -1,0 +1,1 @@
+lib/poly/conv.mli: Kp_field

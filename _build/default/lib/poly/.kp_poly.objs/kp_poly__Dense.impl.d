@@ -1,0 +1,1 @@
+lib/poly/dense.ml: Array Format Kp_field List Printf String

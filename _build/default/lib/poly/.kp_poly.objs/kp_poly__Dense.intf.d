@@ -1,0 +1,1 @@
+lib/poly/dense.mli: Format Kp_field Random

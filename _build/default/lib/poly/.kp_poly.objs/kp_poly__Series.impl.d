@@ -1,0 +1,1 @@
+lib/poly/series.ml: Array Kp_field Printf

@@ -1,0 +1,1 @@
+lib/poly/series.mli: Kp_field

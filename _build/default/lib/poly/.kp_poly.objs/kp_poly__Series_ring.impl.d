@@ -1,0 +1,1 @@
+lib/poly/series_ring.ml: Array Kp_field Series

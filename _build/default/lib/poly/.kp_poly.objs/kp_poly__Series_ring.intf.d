@@ -1,0 +1,1 @@
+lib/poly/series_ring.mli: Kp_field

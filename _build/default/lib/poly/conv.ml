@@ -1,0 +1,128 @@
+module type S = sig
+  type elt
+
+  val mul_full : elt array -> elt array -> elt array
+end
+
+module Karatsuba (F : Kp_field.Field_intf.FIELD_CORE) = struct
+  type elt = F.t
+
+  module Ser = Series.Make (F)
+
+  let mul_full = Ser.mul_full
+end
+
+module type NTT_PRIME = sig
+  val p : int
+  val root : int
+  val max_log2 : int
+end
+
+module Default_ntt_prime = struct
+  let p = 998_244_353
+  let root = 3
+  let max_log2 = 23
+end
+
+module Ntt_generic (F : Kp_field.Field_intf.FIELD_CORE) (P : NTT_PRIME) =
+struct
+  type elt = F.t
+
+  module Fallback = Karatsuba (F)
+
+  (* integer plan arithmetic *)
+  let pow_mod b e =
+    let p = P.p in
+    let rec go acc b e =
+      if e = 0 then acc
+      else go (if e land 1 = 1 then acc * b mod p else acc) (b * b mod p) (e lsr 1)
+    in
+    go 1 (b mod p) e
+
+  let inv_mod a = pow_mod a (P.p - 2)
+
+  (* cache of lifted root tables per transform length *)
+  let root_tables : (int, F.t array * F.t array) Hashtbl.t = Hashtbl.create 8
+
+  let roots_for len =
+    match Hashtbl.find_opt root_tables len with
+    | Some r -> r
+    | None ->
+      (* forward and inverse roots for each butterfly level, lifted once *)
+      let fwd = Array.make len F.one and bwd = Array.make len F.one in
+      let w = pow_mod P.root ((P.p - 1) / len) in
+      let wi = inv_mod w in
+      let cur_f = ref 1 and cur_b = ref 1 in
+      for i = 0 to len - 1 do
+        fwd.(i) <- F.of_int !cur_f;
+        bwd.(i) <- F.of_int !cur_b;
+        cur_f := !cur_f * w mod P.p;
+        cur_b := !cur_b * wi mod P.p
+      done;
+      Hashtbl.replace root_tables len (fwd, bwd);
+      (fwd, bwd)
+
+  let transform (a : F.t array) ~inverse =
+    let n = Array.length a in
+    let j = ref 0 in
+    for i = 1 to n - 1 do
+      let bit = ref (n lsr 1) in
+      while !j land !bit <> 0 do
+        j := !j lxor !bit;
+        bit := !bit lsr 1
+      done;
+      j := !j lor !bit;
+      if i < !j then begin
+        let t = a.(i) in
+        a.(i) <- a.(!j);
+        a.(!j) <- t
+      end
+    done;
+    let len = ref 2 in
+    while !len <= n do
+      let fwd, bwd = roots_for !len in
+      let roots = if inverse then bwd else fwd in
+      let half = !len lsr 1 in
+      let i = ref 0 in
+      while !i < n do
+        for k = 0 to half - 1 do
+          let u = a.(!i + k) and v = F.mul a.(!i + k + half) roots.(k) in
+          a.(!i + k) <- F.add u v;
+          a.(!i + k + half) <- F.sub u v
+        done;
+        i := !i + !len
+      done;
+      len := !len lsl 1
+    done;
+    if inverse then begin
+      let ninv = F.of_int (inv_mod n) in
+      for i = 0 to n - 1 do
+        a.(i) <- F.mul a.(i) ninv
+      done
+    end
+
+  let mul_full a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 || lb = 0 then [||]
+    else begin
+      let out_len = la + lb - 1 in
+      let size = ref 1 in
+      while !size < out_len do
+        size := !size lsl 1
+      done;
+      if !size > 1 lsl P.max_log2 then Fallback.mul_full a b
+      else begin
+        let pad v =
+          Array.init !size (fun i -> if i < Array.length v then v.(i) else F.zero)
+        in
+        let fa = pad a and fb = pad b in
+        transform fa ~inverse:false;
+        transform fb ~inverse:false;
+        for i = 0 to !size - 1 do
+          fa.(i) <- F.mul fa.(i) fb.(i)
+        done;
+        transform fa ~inverse:true;
+        Array.sub fa 0 out_len
+      end
+    end
+end

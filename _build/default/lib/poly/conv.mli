@@ -1,0 +1,45 @@
+(** Pluggable polynomial multiplication.
+
+    The paper treats both matrix multiplication and polynomial multiplication
+    (Cantor–Kaltofen) as black boxes whose cost parameterises the final
+    bounds.  Algorithms in [kp_structured]/[kp_core] take a [CONV] module so
+    the experiments can swap multipliers:
+
+    - {!Karatsuba}: field-independent, O(n^{log₂3});
+    - {!Ntt_generic}: O(n log n) over any field that *is semantically*
+      GF(p) for an NTT-friendly prime p (including its counting and circuit
+      wrappers — the butterfly plan is computed on plain ints and lifted
+      through [of_int], so tracing it yields the genuine O(log n)-depth
+      multiplication circuit). *)
+
+module type S = sig
+  type elt
+
+  val mul_full : elt array -> elt array -> elt array
+  (** Full product, length la+lb-1 ([[||]] if either input is empty). *)
+end
+
+module Karatsuba (F : Kp_field.Field_intf.FIELD_CORE) : S with type elt = F.t
+
+module type NTT_PRIME = sig
+  val p : int
+  (** NTT-friendly prime: p = c·2{^k} + 1. *)
+
+  val root : int
+  (** A primitive root mod p. *)
+
+  val max_log2 : int
+  (** Largest usable power-of-two order k. *)
+end
+
+module Default_ntt_prime : NTT_PRIME
+(** 998244353 / root 3 / 2{^23} — matches {!Kp_field.Fields.Gf_ntt}. *)
+
+module Ntt_generic
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (P : NTT_PRIME) : sig
+  include S with type elt = F.t
+
+  (** Falls back to Karatsuba when the product is too long for the root
+      order. *)
+end

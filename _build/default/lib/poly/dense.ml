@@ -1,0 +1,253 @@
+module Make (F : Kp_field.Field_intf.FIELD) = struct
+  type t = F.t array (* normalized: empty, or last element nonzero *)
+
+  let normalize (a : F.t array) : t =
+    let d = ref (Array.length a - 1) in
+    while !d >= 0 && F.is_zero a.(!d) do
+      decr d
+    done;
+    if !d = Array.length a - 1 then a else Array.sub a 0 (!d + 1)
+
+  let zero : t = [||]
+  let one : t = [| F.one |]
+  let x : t = [| F.zero; F.one |]
+
+  let of_coeffs a = normalize (Array.copy a)
+  let of_list l = normalize (Array.of_list l)
+  let to_array (t : t) = Array.copy t
+
+  let coeff (t : t) i = if i < 0 || i >= Array.length t then F.zero else t.(i)
+  let degree (t : t) = Array.length t - 1
+  let is_zero (t : t) = Array.length t = 0
+
+  let equal (a : t) (b : t) =
+    Array.length a = Array.length b
+    && (let ok = ref true in
+        Array.iteri (fun i c -> if not (F.equal c b.(i)) then ok := false) a;
+        !ok)
+
+  let leading (t : t) =
+    if is_zero t then invalid_arg "Dense.leading: zero polynomial"
+    else t.(Array.length t - 1)
+
+  let constant c = normalize [| c |]
+  let monomial c k =
+    if F.is_zero c then zero
+    else Array.init (k + 1) (fun i -> if i = k then c else F.zero)
+
+  let add (a : t) (b : t) : t =
+    let la = Array.length a and lb = Array.length b in
+    let n = max la lb in
+    normalize
+      (Array.init n (fun i ->
+           let x = if i < la then a.(i) else F.zero in
+           let y = if i < lb then b.(i) else F.zero in
+           F.add x y))
+
+  let neg (a : t) : t = Array.map F.neg a
+
+  let sub (a : t) (b : t) : t = add a (neg b)
+
+  let scale c (a : t) : t =
+    if F.is_zero c then zero else normalize (Array.map (F.mul c) a)
+
+  let monic (t : t) = if is_zero t then zero else scale (F.inv (leading t)) t
+
+  let mul_classical (a : t) (b : t) : t =
+    if is_zero a || is_zero b then zero
+    else begin
+      let la = Array.length a and lb = Array.length b in
+      let out = Array.make (la + lb - 1) F.zero in
+      for i = 0 to la - 1 do
+        if not (F.is_zero a.(i)) then
+          for j = 0 to lb - 1 do
+            out.(i + j) <- F.add out.(i + j) (F.mul a.(i) b.(j))
+          done
+      done;
+      normalize out
+    end
+
+  let karatsuba_threshold = 24
+
+  (* raw (unnormalized) arrays in, raw array out, length la+lb-1 *)
+  let rec kmul (a : F.t array) (b : F.t array) : F.t array =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 || lb = 0 then [||]
+    else if la < karatsuba_threshold || lb < karatsuba_threshold then begin
+      let out = Array.make (la + lb - 1) F.zero in
+      for i = 0 to la - 1 do
+        for j = 0 to lb - 1 do
+          out.(i + j) <- F.add out.(i + j) (F.mul a.(i) b.(j))
+        done
+      done;
+      out
+    end
+    else begin
+      let m = (max la lb + 1) / 2 in
+      let lo v = Array.sub v 0 (min m (Array.length v)) in
+      let hi v =
+        let l = Array.length v in
+        if l <= m then [||] else Array.sub v m (l - m)
+      in
+      let a0 = lo a and a1 = hi a and b0 = lo b and b1 = hi b in
+      let z0 = kmul a0 b0 in
+      let z2 = kmul a1 b1 in
+      let padd u v =
+        let n = max (Array.length u) (Array.length v) in
+        Array.init n (fun i ->
+            let x = if i < Array.length u then u.(i) else F.zero in
+            let y = if i < Array.length v then v.(i) else F.zero in
+            F.add x y)
+      in
+      let z1 = kmul (padd a0 a1) (padd b0 b1) in
+      (* z1 placed at offset m transiently overflows la+lb-1 before the
+         -z0 -z2 corrections cancel its top; use a scratch and truncate. *)
+      let out = Array.make (max (la + lb - 1) (3 * m) ) F.zero in
+      let acc sign v off =
+        Array.iteri
+          (fun i c ->
+            out.(i + off) <-
+              (if sign then F.add out.(i + off) c else F.sub out.(i + off) c))
+          v
+      in
+      acc true z0 0;
+      acc true z2 (2 * m);
+      acc true z1 m;
+      acc false z0 m;
+      acc false z2 m;
+      Array.sub out 0 (la + lb - 1)
+    end
+
+  let mul (a : t) (b : t) : t =
+    if is_zero a || is_zero b then zero else normalize (kmul a b)
+
+  let shift (a : t) k =
+    if k < 0 then invalid_arg "Dense.shift: negative"
+    else if is_zero a then zero
+    else
+      Array.init (Array.length a + k) (fun i ->
+          if i < k then F.zero else a.(i - k))
+
+  let divmod (a : t) (b : t) =
+    if is_zero b then raise Division_by_zero
+    else begin
+      let db = degree b in
+      let da = degree a in
+      if da < db then (zero, a)
+      else begin
+        let binv = F.inv (leading b) in
+        let rem = Array.copy (a : t :> F.t array) in
+        let q = Array.make (da - db + 1) F.zero in
+        for i = da downto db do
+          let c = F.mul rem.(i) binv in
+          if not (F.is_zero c) then begin
+            q.(i - db) <- c;
+            for j = 0 to db do
+              rem.(i - db + j) <- F.sub rem.(i - db + j) (F.mul c b.(j))
+            done
+          end
+        done;
+        (normalize q, normalize (Array.sub rem 0 db))
+      end
+    end
+
+  let div a b = fst (divmod a b)
+  let rem a b = snd (divmod a b)
+
+  let gcd a b =
+    let rec go a b = if is_zero b then a else go b (rem a b) in
+    monic (go a b)
+
+  let xgcd a b =
+    let rec go r0 r1 s0 s1 t0 t1 =
+      if is_zero r1 then (r0, s0, t0)
+      else begin
+        let q, r = divmod r0 r1 in
+        go r1 r s1 (sub s0 (mul q s1)) t1 (sub t0 (mul q t1))
+      end
+    in
+    let g, s, t = go a b one zero zero one in
+    if is_zero g then (zero, zero, zero)
+    else begin
+      let c = F.inv (leading g) in
+      (scale c g, scale c s, scale c t)
+    end
+
+  let eval (a : t) v =
+    let acc = ref F.zero in
+    for i = Array.length a - 1 downto 0 do
+      acc := F.add (F.mul !acc v) a.(i)
+    done;
+    !acc
+
+  let eval_many a vs = Array.map (eval a) vs
+
+  let derivative (a : t) =
+    if Array.length a <= 1 then zero
+    else
+      normalize
+        (Array.init (Array.length a - 1) (fun i ->
+             F.mul (F.of_int (i + 1)) a.(i + 1)))
+
+  let interpolate points =
+    let n = Array.length points in
+    Array.iteri
+      (fun i (xi, _) ->
+        for j = i + 1 to n - 1 do
+          let xj, _ = points.(j) in
+          if F.equal xi xj then
+            invalid_arg "Dense.interpolate: repeated abscissa"
+        done)
+      points;
+    (* Lagrange, O(n^2): maintain prod = Π (x - x_j) and divide out *)
+    let prod = ref one in
+    Array.iter
+      (fun (xi, _) -> prod := mul !prod (of_list [ F.neg xi; F.one ]))
+      points;
+    let acc = ref zero in
+    Array.iter
+      (fun (xi, yi) ->
+        let li = div !prod (of_list [ F.neg xi; F.one ]) in
+        let denom = eval li xi in
+        acc := add !acc (scale (F.div yi denom) li))
+      points;
+    !acc
+
+  let reverse (a : t) n =
+    if n < degree a then invalid_arg "Dense.reverse: n < degree"
+    else if is_zero a then zero
+    else normalize (Array.init (n + 1) (fun i -> coeff a (n - i)))
+
+  let random st ~degree =
+    if degree < 0 then zero
+    else
+      normalize
+        (Array.init (degree + 1) (fun i ->
+             if i = degree then begin
+               let rec nz () =
+                 let c = F.random st in
+                 if F.is_zero c then nz () else c
+               in
+               nz ()
+             end
+             else F.random st))
+
+  let to_string (a : t) =
+    if is_zero a then "0"
+    else begin
+      let parts = ref [] in
+      Array.iteri
+        (fun i c ->
+          if not (F.is_zero c) then
+            parts :=
+              (match i with
+              | 0 -> F.to_string c
+              | 1 -> F.to_string c ^ "*x"
+              | _ -> Printf.sprintf "%s*x^%d" (F.to_string c) i)
+              :: !parts)
+        a;
+      String.concat " + " (List.rev !parts)
+    end
+
+  let pp fmt a = Format.pp_print_string fmt (to_string a)
+end

@@ -1,0 +1,86 @@
+(** Dense univariate polynomials over a field.
+
+    Coefficients are stored low-to-high in a normalized array (no trailing
+    zeros; the zero polynomial is the empty array).  This module is the
+    general-purpose polynomial toolkit — it freely uses zero tests (for
+    normalization, division, gcd) and therefore sits *outside* the
+    straight-line kernels; those use {!Series} instead. *)
+
+module Make (F : Kp_field.Field_intf.FIELD) : sig
+  type t = private F.t array
+
+  val zero : t
+  val one : t
+  val x : t
+
+  val of_coeffs : F.t array -> t
+  (** Copies and normalizes. *)
+
+  val of_list : F.t list -> t
+  val to_array : t -> F.t array
+  (** Copy of the normalized coefficients. *)
+
+  val coeff : t -> int -> F.t
+  (** Zero beyond the degree. *)
+
+  val degree : t -> int
+  (** [-1] for the zero polynomial. *)
+
+  val is_zero : t -> bool
+  val equal : t -> t -> bool
+  val leading : t -> F.t
+  (** @raise Invalid_argument on the zero polynomial. *)
+
+  val monic : t -> t
+  (** Divide by the leading coefficient.  Zero maps to zero. *)
+
+  val constant : F.t -> t
+  val monomial : F.t -> int -> t
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : F.t -> t -> t
+  val mul : t -> t -> t
+  (** Karatsuba above a size threshold, classical below. *)
+
+  val mul_classical : t -> t -> t
+  (** Exposed for cross-checking. *)
+
+  val shift : t -> int -> t
+  (** [shift f k] = f·x{^k} (k >= 0). *)
+
+  val divmod : t -> t -> t * t
+  (** Euclidean division. @raise Division_by_zero on zero divisor. *)
+
+  val div : t -> t -> t
+  val rem : t -> t -> t
+
+  val gcd : t -> t -> t
+  (** Monic gcd; [gcd zero zero = zero]. *)
+
+  val xgcd : t -> t -> t * t * t
+  (** [xgcd a b] = (g, s, t) with [s·a + t·b = g], g monic (or zero). *)
+
+  val eval : t -> F.t -> F.t
+  (** Horner. *)
+
+  val eval_many : t -> F.t array -> F.t array
+
+  val derivative : t -> t
+
+  val interpolate : (F.t * F.t) array -> t
+  (** Lagrange interpolation through distinct abscissae.
+      @raise Invalid_argument on repeated abscissae. *)
+
+  val reverse : t -> int -> t
+  (** [reverse f n] = x{^n}·f(1/x) — the degree-n reversal (n >= degree f).
+      Maps a Hankel generating vector to its Toeplitz mirror. *)
+
+  val random : Random.State.t -> degree:int -> t
+  (** Random polynomial of exactly the given degree (leading coeff forced
+      nonzero); [degree = -1] gives zero. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end

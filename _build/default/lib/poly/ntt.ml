@@ -1,0 +1,85 @@
+let p = 998_244_353
+let root = 3 (* primitive root mod p *)
+let max_log2 = 23
+
+let pow_mod b e =
+  let rec go acc b e =
+    if e = 0 then acc
+    else go (if e land 1 = 1 then acc * b mod p else acc) (b * b mod p) (e lsr 1)
+  in
+  go 1 (b mod p) e
+
+let inv_mod a = pow_mod a (p - 2)
+
+let transform a ~inverse =
+  let n = Array.length a in
+  if n land (n - 1) <> 0 then invalid_arg "Ntt.transform: length not a power of two";
+  if n > 1 lsl max_log2 then invalid_arg "Ntt.transform: length too large";
+  if n > 1 then begin
+    (* bit-reversal permutation *)
+    let j = ref 0 in
+    for i = 1 to n - 1 do
+      let bit = ref (n lsr 1) in
+      while !j land !bit <> 0 do
+        j := !j lxor !bit;
+        bit := !bit lsr 1
+      done;
+      j := !j lor !bit;
+      if i < !j then begin
+        let t = a.(i) in
+        a.(i) <- a.(!j);
+        a.(!j) <- t
+      end
+    done;
+    let len = ref 2 in
+    while !len <= n do
+      let w =
+        let base = pow_mod root ((p - 1) / !len) in
+        if inverse then inv_mod base else base
+      in
+      let half = !len lsr 1 in
+      let i = ref 0 in
+      while !i < n do
+        let wn = ref 1 in
+        for k = !i to !i + half - 1 do
+          let u = a.(k) and v = a.(k + half) * !wn mod p in
+          a.(k) <- (let s = u + v in if s >= p then s - p else s);
+          a.(k + half) <- (let d = u - v in if d < 0 then d + p else d);
+          wn := !wn * w mod p
+        done;
+        i := !i + !len
+      done;
+      len := !len lsl 1
+    done;
+    if inverse then begin
+      let ninv = inv_mod n in
+      for i = 0 to n - 1 do
+        a.(i) <- a.(i) * ninv mod p
+      done
+    end
+  end
+
+let convolution a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let out_len = la + lb - 1 in
+    let size = ref 1 in
+    while !size < out_len do
+      size := !size lsl 1
+    done;
+    let fa = Array.make !size 0 and fb = Array.make !size 0 in
+    Array.blit a 0 fa 0 la;
+    Array.blit b 0 fb 0 lb;
+    transform fa ~inverse:false;
+    transform fb ~inverse:false;
+    for i = 0 to !size - 1 do
+      fa.(i) <- fa.(i) * fb.(i) mod p
+    done;
+    transform fa ~inverse:true;
+    Array.sub fa 0 out_len
+  end
+
+let convolution_mod n a b =
+  let full = convolution a b in
+  Array.init n (fun i -> if i < Array.length full then full.(i) else 0)

@@ -1,0 +1,26 @@
+(** Number-theoretic transform over GF(998244353).
+
+    Stand-in for the paper's Cantor–Kaltofen fast polynomial multiplication:
+    over the NTT-friendly prime the convolution underlying every
+    Toeplitz-matrix × vector product runs in O(n log n).  The generic
+    kernels use Karatsuba (field-independent); this module is the fast
+    specialisation used by the wall-clock experiment (E9) and is
+    cross-checked against the generic path in the tests. *)
+
+val p : int
+(** 998244353 = 119·2{^23} + 1. *)
+
+val max_log2 : int
+(** Largest k with 2{^k}-th roots of unity available (23). *)
+
+val transform : int array -> inverse:bool -> unit
+(** In-place radix-2 NTT; length must be a power of two ≤ 2{^23}.
+    Values must be in [0, p). *)
+
+val convolution : int array -> int array -> int array
+(** Full polynomial product over GF(p); output length la+lb-1 (empty if
+    either input is empty). *)
+
+val convolution_mod : int -> int array -> int array -> int array
+(** [convolution_mod n a b]: product truncated mod x{^n}, zero-padded to
+    length n. *)

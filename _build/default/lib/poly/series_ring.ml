@@ -1,0 +1,32 @@
+module Make
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (L : sig
+      val len : int
+    end) =
+struct
+  module S = Series.Make (F)
+
+  let len = L.len
+
+  type t = F.t array
+
+  let of_series a = S.of_array len a
+  let constant c = S.constant len c
+  let coeff (a : t) i = if i < len then a.(i) else F.zero
+
+  let zero = S.make len
+  let one = S.one len
+
+  let lambda =
+    let s = S.make len in
+    if len > 1 then s.(1) <- F.one;
+    s
+
+  let add = S.add
+  let sub = S.sub
+  let neg = S.neg
+  let mul = S.mul
+  let inv = S.inv
+  let div a b = S.mul a (S.inv b)
+  let of_int n = constant (F.of_int n)
+end

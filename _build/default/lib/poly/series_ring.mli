@@ -1,0 +1,26 @@
+(** The ring K[[λ]]/(λ{^len}) packaged as a [FIELD_CORE].
+
+    The §3 engine works over "the field of extended power series";
+    computationally everything happens in truncated power series where the
+    only inverted elements have invertible constant term, so the truncated
+    ring exposed through the [FIELD_CORE] interface is exactly what the
+    straight-line kernels need.  [inv] on a non-unit raises
+    [Division_by_zero] (concrete fields) or records the division gates
+    (circuit fields). *)
+
+module Make
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (L : sig
+      val len : int
+    end) : sig
+  include Kp_field.Field_intf.FIELD_CORE with type t = F.t array
+
+  val len : int
+  val constant : F.t -> t
+  val coeff : t -> int -> F.t
+  val of_series : F.t array -> t
+  (** Truncate/pad to [len]. *)
+
+  val lambda : t
+  (** The series λ. *)
+end

@@ -1,0 +1,1 @@
+lib/seqgen/berlekamp_massey.ml: Array Kp_field Kp_poly

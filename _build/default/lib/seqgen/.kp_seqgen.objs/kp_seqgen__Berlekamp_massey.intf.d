@@ -1,0 +1,1 @@
+lib/seqgen/berlekamp_massey.mli: Kp_field Kp_poly

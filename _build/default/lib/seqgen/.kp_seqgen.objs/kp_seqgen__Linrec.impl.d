@@ -1,0 +1,1 @@
+lib/seqgen/linrec.ml: Array Kp_field

@@ -1,0 +1,1 @@
+lib/seqgen/linrec.mli: Kp_field

@@ -1,0 +1,63 @@
+module Make (F : Kp_field.Field_intf.FIELD) = struct
+  module P = Kp_poly.Dense.Make (F)
+
+  (* Massey's LFSR synthesis.  c and b are connection polynomials stored
+     low-to-high with c.(0) = 1. *)
+  let connection_polynomial (s : F.t array) =
+    let n = Array.length s in
+    let c = Array.make (n + 1) F.zero in
+    let b = Array.make (n + 1) F.zero in
+    c.(0) <- F.one;
+    b.(0) <- F.one;
+    let l = ref 0 and m = ref 1 and bb = ref F.one in
+    for i = 0 to n - 1 do
+      (* discrepancy d = s_i + sum_{j=1}^{l} c_j s_{i-j} *)
+      let d = ref s.(i) in
+      for j = 1 to !l do
+        d := F.add !d (F.mul c.(j) s.(i - j))
+      done;
+      if F.is_zero !d then incr m
+      else if 2 * !l <= i then begin
+        let t = Array.copy c in
+        let coef = F.div !d !bb in
+        for j = 0 to n - !m do
+          c.(j + !m) <- F.sub c.(j + !m) (F.mul coef b.(j))
+        done;
+        l := i + 1 - !l;
+        Array.blit t 0 b 0 (n + 1);
+        bb := !d;
+        m := 1
+      end
+      else begin
+        let coef = F.div !d !bb in
+        for j = 0 to n - !m do
+          c.(j + !m) <- F.sub c.(j + !m) (F.mul coef b.(j))
+        done;
+        incr m
+      end
+    done;
+    Array.sub c 0 (!l + 1)
+
+  let minimal_polynomial s =
+    let c = connection_polynomial s in
+    let l = Array.length c - 1 in
+    (* monic reversal: f_i = c_{l-i} *)
+    P.of_coeffs (Array.init (l + 1) (fun i -> c.(l - i)))
+
+  let generates f s =
+    let fp = P.of_coeffs f in
+    if P.is_zero fp then Array.for_all F.is_zero s
+    else begin
+      let l = P.degree fp in
+      let n = Array.length s in
+      let ok = ref true in
+      for j = 0 to n - 1 - l do
+        let acc = ref F.zero in
+        for i = 0 to l do
+          acc := F.add !acc (F.mul (P.coeff fp i) s.(j + i))
+        done;
+        if not (F.is_zero !acc) then ok := false
+      done;
+      !ok
+    end
+end

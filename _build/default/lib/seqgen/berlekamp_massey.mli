@@ -1,0 +1,26 @@
+(** The Berlekamp/Massey algorithm.
+
+    "Sequentially, the best method is the Berlekamp-Massey algorithm" (§2) —
+    this is the sequential baseline against which the parallel Toeplitz
+    route of §3 is cross-checked, and the reference oracle for minimum
+    polynomials of linearly generated sequences. *)
+
+module Make (F : Kp_field.Field_intf.FIELD) : sig
+  module P : module type of Kp_poly.Dense.Make (F)
+
+  val minimal_polynomial : F.t array -> P.t
+  (** [minimal_polynomial s] is the monic polynomial
+      f = λ{^L} + f{_(L-1)}λ{^(L-1)} + … + f₀ of least degree L such that
+      Σᵢ fᵢ·s(j+i) = 0 for all j with j + L < length s.  For a sequence
+      {u·Aⁱ·b} of length ≥ 2·deg this is the true minimum polynomial
+      f{_u}{^(A,b)} of the paper.  The zero sequence yields [one] (L = 0). *)
+
+  val connection_polynomial : F.t array -> F.t array
+  (** Classic LFSR form C(x) = 1 + c₁x + … (lowest-degree connection
+      polynomial); [minimal_polynomial] is its degree-L reversal. *)
+
+  val generates : F.t array -> F.t array -> bool
+  (** [generates f s]: does the polynomial with coefficient array [f]
+      (low-to-high, any nonzero leading coefficient) linearly generate [s]
+      in the paper's sense (Σᵢ fᵢ·s(j+i) = 0 for all valid j)? *)
+end

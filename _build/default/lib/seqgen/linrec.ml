@@ -1,0 +1,36 @@
+module Make (F : Kp_field.Field_intf.FIELD) = struct
+  let extend ~init ~rec_poly n =
+    let l = Array.length rec_poly - 1 in
+    if l < 0 then invalid_arg "Linrec.extend: empty recurrence";
+    if not (F.equal rec_poly.(l) F.one) then
+      invalid_arg "Linrec.extend: recurrence not monic";
+    if Array.length init <> l then
+      invalid_arg "Linrec.extend: init length must equal degree";
+    let s = Array.make (max n l) F.zero in
+    Array.blit init 0 s 0 (min n l);
+    for j = 0 to n - l - 1 do
+      let acc = ref F.zero in
+      for i = 0 to l - 1 do
+        acc := F.add !acc (F.mul rec_poly.(i) s.(j + i))
+      done;
+      s.(j + l) <- F.neg !acc
+    done;
+    Array.sub s 0 n
+
+  let fibonacci_like a b n =
+    (* recurrence λ^2 - λ - 1 *)
+    extend ~init:[| a; b |]
+      ~rec_poly:[| F.neg F.one; F.neg F.one; F.one |]
+      n
+
+  let krylov_sequence apply ~u ~b n =
+    let out = Array.make n F.zero in
+    let v = ref b in
+    for i = 0 to n - 1 do
+      let dot = ref F.zero in
+      Array.iteri (fun k uk -> dot := F.add !dot (F.mul uk (!v).(k))) u;
+      out.(i) <- !dot;
+      if i < n - 1 then v := apply !v
+    done;
+    out
+end

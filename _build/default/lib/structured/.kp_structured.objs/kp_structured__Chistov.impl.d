@@ -1,0 +1,1 @@
+lib/structured/chistov.ml: Array Kp_field Kp_poly Toeplitz Toeplitz_charpoly

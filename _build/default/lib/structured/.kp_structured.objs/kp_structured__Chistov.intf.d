@@ -1,0 +1,1 @@
+lib/structured/chistov.mli: Kp_field Kp_poly

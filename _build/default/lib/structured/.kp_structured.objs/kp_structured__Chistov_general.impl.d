@@ -1,0 +1,1 @@
+lib/structured/chistov_general.ml: Array Kp_field Kp_matrix Kp_poly

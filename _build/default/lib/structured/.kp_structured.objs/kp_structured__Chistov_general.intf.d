@@ -1,0 +1,1 @@
+lib/structured/chistov_general.mli: Kp_field Kp_matrix

@@ -1,0 +1,1 @@
+lib/structured/gohberg_semencul.mli: Kp_field Kp_matrix Kp_poly

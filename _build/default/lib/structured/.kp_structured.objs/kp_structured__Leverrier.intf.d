@@ -1,0 +1,1 @@
+lib/structured/leverrier.mli: Kp_field Kp_matrix

@@ -1,0 +1,1 @@
+lib/structured/sylvester.ml: Array Kp_field Kp_matrix Kp_poly

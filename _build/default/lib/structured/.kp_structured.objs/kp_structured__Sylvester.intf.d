@@ -1,0 +1,1 @@
+lib/structured/sylvester.mli: Kp_field Kp_matrix Kp_poly

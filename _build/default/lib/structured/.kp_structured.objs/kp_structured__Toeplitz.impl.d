@@ -1,0 +1,1 @@
+lib/structured/toeplitz.ml: Array Kp_field Kp_matrix Kp_poly

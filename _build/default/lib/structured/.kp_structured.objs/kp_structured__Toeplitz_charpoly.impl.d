@@ -1,0 +1,1 @@
+lib/structured/toeplitz_charpoly.ml: Array Gohberg_semencul Kp_field Kp_poly Leverrier Toeplitz

@@ -1,0 +1,1 @@
+lib/structured/toeplitz_charpoly.mli: Kp_field Kp_poly

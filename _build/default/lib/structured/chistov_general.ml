@@ -1,0 +1,39 @@
+module Make (F : Kp_field.Field_intf.FIELD_CORE) = struct
+  module M = Kp_matrix.Dense.Core (F)
+  module Ser = Kp_poly.Series.Make (F)
+
+  let charpoly (a : M.t) =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Chistov_general.charpoly: non-square";
+    if n = 0 then [| F.one |]
+    else begin
+      let len = n + 1 in
+      let inv_betas =
+        Array.init n (fun idx ->
+            let i = idx + 1 in
+            let sub = M.init i i (fun r c -> M.get a r c) in
+            (* β_i = Σ_k λ^k (A_i^k e_i)_i mod λ^{n+1} *)
+            let beta = Array.make len F.zero in
+            let t = ref (Array.init i (fun r -> if r = i - 1 then F.one else F.zero)) in
+            for k = 0 to len - 1 do
+              beta.(k) <- !t.(i - 1);
+              if k < len - 1 then t := M.matvec sub !t
+            done;
+            Ser.inv beta)
+      in
+      let rec tree lo hi =
+        if hi - lo = 1 then inv_betas.(lo)
+        else begin
+          let mid = (lo + hi) / 2 in
+          Ser.mul (tree lo mid) (tree mid hi)
+        end
+      in
+      let g = tree 0 n in
+      Array.init (n + 1) (fun j -> g.(n - j))
+    end
+
+  let det (a : M.t) =
+    let cp = charpoly a in
+    let n = a.M.rows in
+    if n land 1 = 0 then cp.(0) else F.neg cp.(0)
+end

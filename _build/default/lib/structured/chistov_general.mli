@@ -1,0 +1,25 @@
+(** Chistov's method for GENERAL dense matrices, any characteristic.
+
+    §5 extends the complexity (12) "to the problem of solving general
+    linear systems of equations ... over any field".  For a general matrix
+    the leading-principal-minor telescoping still holds:
+
+    det(I − λA) = Π ᵢ βᵢ⁻¹,  βᵢ = ((Iᵢ − λAᵢ)⁻¹)ᵢ,ᵢ
+
+    with each βᵢ a Neumann series of dense i×i matrix–vector products —
+    O(n⁴) field operations total, no divisions except by constant terms
+    equal to 1, hence valid over GF(2).
+
+    This is the divisions-free-in-spirit general-matrix characteristic
+    polynomial; the Toeplitz-specialised version lives in {!Chistov}. *)
+
+module Make (F : Kp_field.Field_intf.FIELD_CORE) : sig
+  module M : module type of Kp_matrix.Dense.Core (F)
+
+  val charpoly : M.t -> F.t array
+  (** Coefficients of det(λI − A), low-to-high, length n+1, monic; any
+      characteristic.  @raise Invalid_argument on non-square input. *)
+
+  val det : M.t -> F.t
+  (** (−1)ⁿ·charpoly(0). *)
+end

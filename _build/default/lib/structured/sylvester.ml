@@ -1,0 +1,50 @@
+module Make (F : Kp_field.Field_intf.FIELD) = struct
+  module M = Kp_matrix.Dense.Make (F)
+  module P = Kp_poly.Dense.Make (F)
+  module C = Kp_poly.Conv.Karatsuba (F)
+
+  let apply f g w =
+    if P.is_zero f || P.is_zero g then
+      invalid_arg "Sylvester.apply: zero polynomial";
+    let m = P.degree f and n = P.degree g in
+    if Array.length w <> m + n then invalid_arg "Sylvester.apply: bad vector";
+    let cf = C.mul_full (P.to_array f) w in
+    let cg = C.mul_full (P.to_array g) w in
+    let at c k = if k < Array.length c then c.(k) else F.zero in
+    Array.init (m + n) (fun i ->
+        if i < n then at cf (m + i) else at cg (n + (i - n)))
+
+  let matrix f g =
+    if P.is_zero f || P.is_zero g then
+      invalid_arg "Sylvester.matrix: zero polynomial";
+    let m = P.degree f and n = P.degree g in
+    let size = m + n in
+    (* rows 0..n-1 hold the shifts of f, rows n..n+m-1 the shifts of g;
+       P.coeff returns zero outside the coefficient range, which is exactly
+       the banded Toeplitz pattern *)
+    M.init size size (fun i j ->
+        if i < n then P.coeff f (m - (j - i))
+        else P.coeff g (n - (j - (i - n))))
+
+  let fpow x k =
+    let rec go acc k = if k = 0 then acc else go (F.mul acc x) (k - 1) in
+    go F.one (max 0 k)
+
+  let resultant_gauss f g =
+    let module G = Kp_matrix.Gauss.Make (F) in
+    if P.is_zero f || P.is_zero g then F.zero
+    else if P.degree f = 0 then fpow (P.coeff f 0) (P.degree g)
+    else if P.degree g = 0 then fpow (P.coeff g 0) (P.degree f)
+    else G.det (matrix f g)
+
+  let cofactor_matrix f g ~deg_gcd =
+    let m = P.degree f and n = P.degree g in
+    let d = deg_gcd in
+    if d < 0 || d > min m n then invalid_arg "Sylvester.cofactor_matrix";
+    (* unknowns: u_0..u_{n-d} (n-d+1), v_0..v_{m-d} (m-d+1);
+       equation: u·f + v·g = 0, degree up to m+n-d *)
+    let cols_u = n - d + 1 and cols_v = m - d + 1 in
+    let rows = m + n - d + 1 in
+    M.init rows (cols_u + cols_v) (fun r c ->
+        if c < cols_u then P.coeff f (r - c) else P.coeff g (r - (c - cols_u)))
+end

@@ -1,0 +1,39 @@
+(** Sylvester matrices — the "structured Toeplitz-like matrices" of §5:
+    "it is then possible to compute the greatest common divisor of two
+    polynomials ... and also the coefficients of the polynomials in the
+    Euclidean scheme".
+
+    For f of degree m and g of degree n, S(f,g) is the (m+n)×(m+n) matrix
+    whose first n rows are the shifts of f's coefficients and last m rows
+    the shifts of g's (each row block is Toeplitz).  Classical facts wired
+    into [kp_core.Polygcd]:
+
+    - det S(f,g) = Res(f,g), the resultant;
+    - deg gcd(f,g) = m + n − rank S(f,g);
+    - vectors in the right nullspace of S(f,g)ᵀ encode cofactor pairs
+      (u,v) with u·f + v·g = 0. *)
+
+module Make (F : Kp_field.Field_intf.FIELD) : sig
+  module M : module type of Kp_matrix.Dense.Make (F)
+  module P : module type of Kp_poly.Dense.Make (F)
+
+  val matrix : P.t -> P.t -> M.t
+  (** [matrix f g] = S(f,g).
+      @raise Invalid_argument if either polynomial is zero. *)
+
+  val apply : P.t -> P.t -> F.t array -> F.t array
+  (** [apply f g w] = S(f,g)·w by two convolutions (O(M(m+n)) instead of
+      O((m+n)²)) — the "Toeplitz-like" structure the paper §5 exploits:
+      the first n outputs are coefficients m..m+n−1 of f·w, the last m are
+      coefficients n..n+m−1 of g·w. *)
+
+  val resultant_gauss : P.t -> P.t -> F.t
+  (** det S(f,g) by elimination (the oracle); constants and zero handled by
+      the usual conventions (Res(c,g) = c^deg g, Res(0,g) = 0). *)
+
+  val cofactor_matrix : P.t -> P.t -> deg_gcd:int -> M.t
+  (** The restricted system whose one-dimensional nullspace is spanned by
+      (−g/h, f/h) when h = gcd has the given degree: columns are the
+      coefficients of u (deg ≤ n−d) and v (deg ≤ m−d) in u·f + v·g = 0,
+      rows the coefficients of the degree-(m+n−d) result. *)
+end

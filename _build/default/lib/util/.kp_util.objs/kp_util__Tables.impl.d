@@ -1,0 +1,1 @@
+lib/util/tables.ml: Array Buffer Float List Printf String

@@ -1,0 +1,185 @@
+type task = unit -> unit
+
+type t = {
+  streams : int;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      if t.closing then begin Mutex.unlock t.mutex; None end
+      else if Queue.is_empty t.queue then begin
+        Condition.wait t.nonempty t.mutex;
+        wait ()
+      end
+      else begin
+        let task = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        Some task
+      end
+    in
+    match wait () with
+    | None -> ()
+    | Some task -> task (); next ()
+  in
+  next ()
+
+let create ~domains =
+  let streams = max 1 (min domains 64) in
+  let t =
+    { streams;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      closing = false;
+      workers = [] }
+  in
+  t.workers <- List.init (streams - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let shutdown t =
+  let workers =
+    locked t (fun () ->
+        if t.closing then []
+        else begin
+          t.closing <- true;
+          Condition.broadcast t.nonempty;
+          let ws = t.workers in
+          t.workers <- [];
+          ws
+        end)
+  in
+  List.iter Domain.join workers
+
+let size t = t.streams
+
+(* A parallel region: enqueue all but one chunk, run the last chunk in the
+   caller, then help drain the region's remaining chunks so the caller never
+   blocks idle while work is pending. Completion is detected with a counter. *)
+type region = {
+  mutable pending : int;
+  region_mutex : Mutex.t;
+  done_cond : Condition.t;
+  mutable error : exn option;
+}
+
+let region_run t thunks =
+  match thunks with
+  | [] -> ()
+  | [ only ] -> only ()
+  | first :: rest ->
+    let r =
+      { pending = List.length rest;
+        region_mutex = Mutex.create ();
+        done_cond = Condition.create ();
+        error = None }
+    in
+    let wrap thunk () =
+      (try thunk () with
+      | e ->
+        Mutex.lock r.region_mutex;
+        if r.error = None then r.error <- Some e;
+        Mutex.unlock r.region_mutex);
+      Mutex.lock r.region_mutex;
+      r.pending <- r.pending - 1;
+      if r.pending = 0 then Condition.broadcast r.done_cond;
+      Mutex.unlock r.region_mutex
+    in
+    locked t (fun () ->
+        List.iter (fun thunk -> Queue.push (wrap thunk) t.queue) rest;
+        Condition.broadcast t.nonempty);
+    (* Caller executes its own chunk, then helps with queued work. *)
+    (try first () with
+    | e ->
+      Mutex.lock r.region_mutex;
+      if r.error = None then r.error <- Some e;
+      Mutex.unlock r.region_mutex);
+    let rec help () =
+      let task =
+        locked t (fun () ->
+            if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+      in
+      match task with
+      | Some task -> task (); help ()
+      | None ->
+        Mutex.lock r.region_mutex;
+        while r.pending > 0 do
+          Condition.wait r.done_cond r.region_mutex
+        done;
+        Mutex.unlock r.region_mutex
+    in
+    help ();
+    (match r.error with None -> () | Some e -> raise e)
+
+let parallel_for_chunked t ~lo ~hi ~chunk f =
+  if hi > lo then begin
+    let chunk = max 1 chunk in
+    let rec chunks cl acc =
+      if cl >= hi then List.rev acc
+      else
+        let ch = min hi (cl + chunk) in
+        chunks ch ((fun () -> f cl ch) :: acc)
+    in
+    region_run t (chunks lo [])
+  end
+
+let parallel_for t ~lo ~hi f =
+  if hi > lo then begin
+    let n = hi - lo in
+    (* Aim for a few chunks per stream for load balance. *)
+    let chunk = max 1 (n / (4 * t.streams)) in
+    parallel_for_chunked t ~lo ~hi ~chunk (fun cl ch ->
+        for i = cl to ch - 1 do
+          f i
+        done)
+  end
+
+let parallel_init t n f =
+  if n = 0 then [||]
+  else begin
+    let first = f 0 in
+    let out = Array.make n first in
+    parallel_for t ~lo:1 ~hi:n (fun i -> out.(i) <- f i);
+    out
+  end
+
+let map_reduce t ~map ~combine ~init n =
+  if n = 0 then init
+  else begin
+    let streams = t.streams in
+    let partials = Array.make streams init in
+    let chunk = max 1 ((n + streams - 1) / streams) in
+    parallel_for_chunked t ~lo:0 ~hi:n ~chunk (fun cl ch ->
+        let slot = cl / chunk in
+        let acc = ref partials.(slot) in
+        for i = cl to ch - 1 do
+          acc := combine !acc (map i)
+        done;
+        partials.(slot) <- !acc);
+    Array.fold_left combine init partials
+  end
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some t -> t
+  | None ->
+    let domains = min 8 (Domain.recommended_domain_count ()) in
+    let t = create ~domains in
+    default_pool := Some t;
+    t

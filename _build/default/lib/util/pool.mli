@@ -1,0 +1,54 @@
+(** Fork–join parallel execution over OCaml 5 domains.
+
+    This is the PRAM stand-in used by the repository: the paper's algorithms
+    are analysed on an algebraic PRAM; here the data-parallel loops of the
+    concrete implementations (matrix products, Krylov blocks, polynomial
+    convolutions) execute on a fixed pool of worker domains.
+
+    A pool owns [domains - 1] worker domains; the calling domain participates
+    in every parallel region, so [create ~domains:1] degenerates to purely
+    sequential execution with no synchronisation overhead on the hot path. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns a pool using [domains] total execution streams
+    (the caller plus [domains - 1] workers). [domains] is clamped to
+    [1 .. 64]. *)
+
+val shutdown : t -> unit
+(** Terminate the worker domains. The pool must not be used afterwards.
+    Idempotent. *)
+
+val size : t -> int
+(** Number of execution streams (including the caller). *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] runs [f i] for [lo <= i < hi], splitting
+    the range into chunks executed concurrently. [f] must be safe to run
+    concurrently on distinct indices. Exceptions raised by [f] are re-raised
+    in the caller after the region completes. *)
+
+val parallel_for_chunked :
+  t -> lo:int -> hi:int -> chunk:int -> (int -> int -> unit) -> unit
+(** [parallel_for_chunked pool ~lo ~hi ~chunk f] calls [f cl ch] on
+    sub-ranges [cl <= i < ch] of width at most [chunk]. Useful when per-chunk
+    set-up cost matters. *)
+
+val parallel_init : t -> int -> (int -> 'a) -> 'a array
+(** [parallel_init pool n f] is [Array.init n f] with [f] applied in
+    parallel. [n = 0] yields [[||]]. *)
+
+val map_reduce :
+  t -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> init:'a -> int -> 'a
+(** [map_reduce pool ~map ~combine ~init n] folds [combine] over
+    [map 0 .. map (n-1)] (order unspecified; [combine] must be associative
+    and [init] its unit). *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] creates a pool, runs [f], and shuts the pool down
+    even if [f] raises. *)
+
+val default : unit -> t
+(** A lazily created process-wide pool sized from
+    [Domain.recommended_domain_count], capped at 8. *)

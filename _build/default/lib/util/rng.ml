@@ -1,0 +1,7 @@
+let make seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5851f42d |]
+
+let split st =
+  let a = Random.State.bits st and b = Random.State.bits st in
+  Random.State.make [| a; b; a lxor (b lsl 7) |]
+
+let int_array st ~bound n = Array.init n (fun _ -> Random.State.int st bound)

@@ -1,0 +1,15 @@
+(** Deterministic random-state helpers.
+
+    Every randomized routine in this repository threads an explicit
+    [Random.State.t] so that experiments are reproducible; this module only
+    centralises creation and splitting. *)
+
+val make : int -> Random.State.t
+(** [make seed] is a fresh state seeded from [seed]. *)
+
+val split : Random.State.t -> Random.State.t
+(** [split st] derives an independent state from [st], advancing [st].
+    Used to hand isolated streams to worker domains. *)
+
+val int_array : Random.State.t -> bound:int -> int -> int array
+(** [int_array st ~bound n] is [n] uniform draws from [0, bound). *)

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Every experiment in [bench/main.exe] prints one of these tables; keeping
+    the renderer here lets the examples reuse it. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val render : t -> string
+(** Render with aligned columns, a title line and a header rule. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a blank line. *)
+
+val fmt_float : float -> string
+(** Compact formatting: significant digits chosen by magnitude. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer. *)

@@ -1,0 +1,14 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let best_of k f =
+  assert (k >= 1);
+  let x, t = time f in
+  let best = ref t in
+  for _ = 2 to k do
+    let _, t = time f in
+    if t < !best then best := t
+  done;
+  (x, !best)

@@ -1,0 +1,8 @@
+(** Small wall-clock timing helpers for the examples and ad-hoc tables
+    (the benchmark executable proper uses Bechamel). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+
+val best_of : int -> (unit -> 'a) -> 'a * float
+(** [best_of k f] runs [f] [k] times and reports the minimum elapsed time. *)

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Kp_bigint List Printf QCheck QCheck_alcotest Random

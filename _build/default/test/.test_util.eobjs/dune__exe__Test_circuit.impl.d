@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Kp_bigint Kp_circuit Kp_field Kp_matrix Kp_poly Kp_structured List Option Printf QCheck QCheck_alcotest Random

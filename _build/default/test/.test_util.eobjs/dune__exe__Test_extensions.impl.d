@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Kp_core Kp_field Kp_matrix Kp_poly Kp_structured Kp_util List QCheck QCheck_alcotest Random

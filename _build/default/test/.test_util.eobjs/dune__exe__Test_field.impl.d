@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Array Counting Field_intf Fields Gf2 Gfext Gfp Gfp_mont Hashtbl Kp_bigint Kp_field List Printf QCheck QCheck_alcotest Random Rational

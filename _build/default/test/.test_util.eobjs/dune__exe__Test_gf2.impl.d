@@ -1,0 +1,1 @@
+test/test_gf2.ml: Alcotest Array Kp_field Kp_matrix Kp_util List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Kp_field Kp_matrix Kp_util List Option Printf Random

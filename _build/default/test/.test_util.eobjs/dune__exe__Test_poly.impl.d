@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Kp_field Kp_poly List Printf QCheck QCheck_alcotest Random

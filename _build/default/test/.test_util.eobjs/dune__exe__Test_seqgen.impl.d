@@ -1,0 +1,1 @@
+test/test_seqgen.ml: Alcotest Array Kp_field Kp_matrix Kp_seqgen Random

@@ -1,0 +1,1 @@
+test/test_structured.ml: Alcotest Array Kp_field Kp_matrix Kp_poly Kp_structured Printf Random

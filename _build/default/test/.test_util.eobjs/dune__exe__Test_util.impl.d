@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Atomic Fun Kp_util Pool Printf Rng String Tables

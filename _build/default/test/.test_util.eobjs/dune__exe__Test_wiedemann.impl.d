@@ -1,0 +1,1 @@
+test/test_wiedemann.ml: Alcotest Array Kp_circuit Kp_core Kp_field Kp_matrix Kp_poly Kp_structured Kp_util List Printf Random

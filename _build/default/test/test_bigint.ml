@@ -1,0 +1,276 @@
+(* Tests for the from-scratch bignum: unit cases on corner values plus
+   qcheck properties cross-checked against native int arithmetic and against
+   algebraic identities that exercise the Karatsuba / Knuth-D paths. *)
+
+module B = Kp_bigint.Bigint
+
+let b = Alcotest.testable B.pp B.equal
+let check_b = Alcotest.check b
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let bi = B.of_int
+
+let test_of_to_int () =
+  List.iter
+    (fun n -> check_int (string_of_int n) n (B.to_int (bi n)))
+    [ 0; 1; -1; 42; -42; max_int; min_int; 1 lsl 30; (1 lsl 30) - 1; -(1 lsl 45) ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> check_str s s (B.to_string (B.of_string s)))
+    [
+      "0"; "1"; "-1"; "123456789"; "1000000000"; "999999999999999999999999";
+      "-31415926535897932384626433832795028841971693993751058209749";
+      "100000000000000000000000000000000000000000";
+    ]
+
+let test_of_string_plus () =
+  check_b "+123 = 123" (bi 123) (B.of_string "+123")
+
+let test_of_string_invalid () =
+  List.iter
+    (fun s ->
+      check_bool s true
+        (try ignore (B.of_string s); false with Invalid_argument _ -> true))
+    [ ""; "-"; "12a3"; "1 2" ]
+
+let test_add_carries () =
+  let big = B.of_string "1073741823" (* 2^30 - 1 *) in
+  check_str "carry chain" "1073741824" B.(to_string (add big one));
+  let x = B.of_string "1152921504606846975" (* 2^60 - 1 *) in
+  check_str "2^60" "1152921504606846976" B.(to_string (add x one))
+
+let test_sub_signs () =
+  check_b "5-7" (bi (-2)) (B.sub (bi 5) (bi 7));
+  check_b "-5-7" (bi (-12)) (B.sub (bi (-5)) (bi 7));
+  check_b "x-x" B.zero (B.sub (bi 12345) (bi 12345))
+
+let test_mul_known () =
+  check_str "factorial 30"
+    "265252859812191058636308480000000"
+    (B.to_string
+       (List.fold_left (fun acc k -> B.mul acc (bi k)) B.one
+          (List.init 30 (fun i -> i + 1))));
+  check_b "sign" (bi (-6)) (B.mul (bi 2) (bi (-3)));
+  check_b "by zero" B.zero (B.mul (bi 0) (B.of_string "99999999999999999999"))
+
+let test_karatsuba_matches_school () =
+  (* operands long enough to trigger the Karatsuba branch (>= 32 limbs) *)
+  let st = Random.State.make [| 5 |] in
+  for _ = 1 to 5 do
+    let x = B.random_bits st 1200 in
+    let y = B.random_bits st 1500 in
+    let z = B.random_bits st 700 in
+    (* distributivity links the two code paths on mixed sizes *)
+    check_b "x(y+z) = xy+xz" (B.mul x (B.add y z)) (B.add (B.mul x y) (B.mul x z))
+  done
+
+let test_divmod_exact () =
+  let a = B.of_string "123456789123456789123456789" in
+  let q, r = B.divmod (B.mul a (bi 997)) a in
+  check_b "quotient" (bi 997) q;
+  check_b "remainder" B.zero r
+
+let test_divmod_signs () =
+  (* truncated division semantics, like Stdlib */ and mod *)
+  let cases = [ (7, 3); (-7, 3); (7, -3); (-7, -3); (6, 3); (0, 5) ] in
+  List.iter
+    (fun (x, y) ->
+      let q, r = B.divmod (bi x) (bi y) in
+      check_b (Printf.sprintf "q %d/%d" x y) (bi (x / y)) q;
+      check_b (Printf.sprintf "r %d/%d" x y) (bi (x mod y)) r)
+    cases
+
+let test_divmod_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_ediv_rem () =
+  let cases = [ (7, 3); (-7, 3); (7, -3); (-7, -3) ] in
+  List.iter
+    (fun (x, y) ->
+      let q, r = B.ediv_rem (bi x) (bi y) in
+      check_bool "0 <= r" true (B.sign r >= 0);
+      check_bool "r < |y|" true (B.compare r (B.abs (bi y)) < 0);
+      check_b "x = qy + r" (bi x) (B.add (B.mul q (bi y)) r))
+    cases
+
+let test_pow () =
+  check_str "2^200"
+    "1606938044258990275541962092341162602522202993782792835301376"
+    (B.to_string (B.pow (bi 2) 200));
+  check_b "x^0" B.one (B.pow (bi 12345) 0);
+  check_bool "negative exponent rejected" true
+    (try ignore (B.pow (bi 2) (-1)); false with Invalid_argument _ -> true)
+
+let test_gcd () =
+  check_b "gcd(12,18)" (bi 6) (B.gcd (bi 12) (bi 18));
+  check_b "gcd(-12,18)" (bi 6) (B.gcd (bi (-12)) (bi 18));
+  check_b "gcd(0,0)" B.zero (B.gcd B.zero B.zero);
+  check_b "gcd(0,x)" (bi 7) (B.gcd B.zero (bi (-7)));
+  let fib k =
+    let rec go a b k = if k = 0 then a else go b (B.add a b) (k - 1) in
+    go B.zero B.one k
+  in
+  (* gcd(F_m, F_n) = F_gcd(m, n) *)
+  check_b "gcd fib" (fib 6) (B.gcd (fib 48) (fib 30))
+
+let test_shift () =
+  check_b "shl" (bi 80) (B.shift_left (bi 5) 4);
+  check_b "shr" (bi 5) (B.shift_right (bi 80) 4);
+  check_b "shr to zero" B.zero (B.shift_right (bi 80) 10);
+  let x = B.of_string "98765432109876543210" in
+  check_b "shl/shr roundtrip" x (B.shift_right (B.shift_left x 100) 100)
+
+let test_num_bits () =
+  check_int "bits 0" 0 (B.num_bits B.zero);
+  check_int "bits 1" 1 (B.num_bits B.one);
+  check_int "bits 2^30" 31 (B.num_bits (bi (1 lsl 30)));
+  check_int "bits 2^100" 101 (B.num_bits (B.pow (bi 2) 100))
+
+let test_fits_int () =
+  check_bool "max_int fits" true (B.fits_int (bi max_int));
+  check_bool "max_int+1 does not" false (B.fits_int (B.add (bi max_int) B.one));
+  check_bool "to_int_opt overflow" true (B.to_int_opt (B.pow (bi 2) 80) = None)
+
+let test_compare () =
+  check_bool "1 < 2" true (B.compare B.one (bi 2) < 0);
+  check_bool "-5 < 3" true (B.compare (bi (-5)) (bi 3) < 0);
+  check_bool "-5 < -3" true (B.compare (bi (-5)) (bi (-3)) < 0);
+  check_bool "eq" true (B.compare (bi 9) (bi 9) = 0);
+  let big = B.pow (bi 10) 50 in
+  check_bool "big > small" true (B.compare big (bi max_int) > 0)
+
+(* ---- qcheck properties, cross-checked against native ints ---- *)
+
+let small = QCheck.int_range (-1_000_000) 1_000_000
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"add matches int" ~count:500
+    (QCheck.pair small small)
+    (fun (x, y) -> B.equal (B.add (bi x) (bi y)) (bi (x + y)))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"mul matches int" ~count:500
+    (QCheck.pair small small)
+    (fun (x, y) -> B.equal (B.mul (bi x) (bi y)) (bi (x * y)))
+
+let prop_divmod_invariant =
+  QCheck.Test.make ~name:"a = q*b + r, |r| < |b|" ~count:1000
+    (QCheck.pair (QCheck.int_range 0 2000) (QCheck.int_range 1 2000))
+    (fun (abits, bbits) ->
+      let st = Random.State.make [| abits; bbits |] in
+      let a = B.random_bits st (abits + 1) in
+      let d = B.add (B.random_bits st bbits) B.one in
+      let q, r = B.divmod a d in
+      B.equal a (B.add (B.mul q d) r)
+      && B.compare (B.abs r) (B.abs d) < 0
+      && B.sign r >= 0)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string roundtrip" ~count:300
+    (QCheck.int_range 0 800)
+    (fun bits ->
+      let st = Random.State.make [| bits; 99 |] in
+      let x = B.random_bits st (bits + 1) in
+      let x = if bits land 1 = 0 then x else B.neg x in
+      B.equal x (B.of_string (B.to_string x)))
+
+let prop_mul_commutative_assoc =
+  QCheck.Test.make ~name:"mul commutative/associative" ~count:200
+    (QCheck.triple (QCheck.int_range 1 600) (QCheck.int_range 1 600) (QCheck.int_range 1 600))
+    (fun (i, j, k) ->
+      let st = Random.State.make [| i; j; k |] in
+      let x = B.random_bits st i and y = B.random_bits st j and z = B.random_bits st k in
+      B.equal (B.mul x y) (B.mul y x)
+      && B.equal (B.mul (B.mul x y) z) (B.mul x (B.mul y z)))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:300
+    (QCheck.pair (QCheck.int_range 1 400) (QCheck.int_range 1 400))
+    (fun (i, j) ->
+      let st = Random.State.make [| i; j; 3 |] in
+      let x = B.add (B.random_bits st i) B.one in
+      let y = B.add (B.random_bits st j) B.one in
+      let g = B.gcd x y in
+      B.is_zero (B.rem x g) && B.is_zero (B.rem y g))
+
+let prop_shift_is_pow2 =
+  QCheck.Test.make ~name:"shift_left = mul by 2^k" ~count:200
+    (QCheck.pair (QCheck.int_range 0 300) (QCheck.int_range 0 120))
+    (fun (bits, k) ->
+      let st = Random.State.make [| bits; k; 17 |] in
+      let x = B.random_bits st (bits + 1) in
+      B.equal (B.shift_left x k) (B.mul x (B.pow (bi 2) k)))
+
+let test_knuth_d_stress () =
+  (* adversarial shapes for Algorithm D: divisor top limb at the
+     normalization boundary (base/2), small second limbs — the regime where
+     the qhat estimate overshoots and the rare add-back branch fires *)
+  let base = 1 lsl 30 in
+  let mk limbs =
+    List.fold_left
+      (fun acc limb -> B.add (B.shift_left acc 30) (bi limb))
+      B.zero (List.rev limbs)
+  in
+  let st = Random.State.make [| 314 |] in
+  for _ = 1 to 2000 do
+    let nv = 2 + Random.State.int st 3 in
+    let v_limbs =
+      List.init nv (fun i ->
+          if i = nv - 1 then (base / 2) + Random.State.int st 2
+          else Random.State.int st 3)
+    in
+    let v = mk v_limbs in
+    let q_limbs = List.init (1 + Random.State.int st 3) (fun _ ->
+        if Random.State.bool st then base - 1
+        else Random.State.bits st land (base - 1))
+    in
+    let q = mk q_limbs in
+    let r = B.rem (B.random_bits st 40) v in
+    let a = B.add (B.mul q v) r in
+    let q', r' = B.divmod a v in
+    check_b "quotient" q q';
+    check_b "remainder" r r'
+  done
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "kp_bigint"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "of_int/to_int" `Quick test_of_to_int;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "of_string +" `Quick test_of_string_plus;
+          Alcotest.test_case "of_string invalid" `Quick test_of_string_invalid;
+          Alcotest.test_case "add carries" `Quick test_add_carries;
+          Alcotest.test_case "sub signs" `Quick test_sub_signs;
+          Alcotest.test_case "mul known values" `Quick test_mul_known;
+          Alcotest.test_case "karatsuba distributes" `Quick test_karatsuba_matches_school;
+          Alcotest.test_case "divmod exact" `Quick test_divmod_exact;
+          Alcotest.test_case "divmod signs" `Quick test_divmod_signs;
+          Alcotest.test_case "div by zero" `Quick test_divmod_by_zero;
+          Alcotest.test_case "euclidean division" `Quick test_ediv_rem;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "shifts" `Quick test_shift;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "fits_int" `Quick test_fits_int;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "Knuth D stress" `Quick test_knuth_d_stress;
+        ] );
+      qsuite "properties"
+        [
+          prop_add_matches_int;
+          prop_mul_matches_int;
+          prop_divmod_invariant;
+          prop_string_roundtrip;
+          prop_mul_commutative_assoc;
+          prop_gcd_divides;
+          prop_shift_is_pow2;
+        ];
+    ]

@@ -1,0 +1,418 @@
+(* Circuit layer tests: building/evaluating straight-line programs, stats,
+   tracing generic functor code into circuits, and the Baur–Strassen
+   transformation (length ratio, depth ratio, gradient correctness,
+   no-new-divisions). *)
+
+module F = Kp_field.Fields.Gf_ntt
+module Q = Kp_field.Rational
+module C = Kp_circuit.Circuit
+module AD = Kp_circuit.Autodiff
+module Opt = Kp_circuit.Optimize
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let feval c ~inputs ~randoms =
+  C.eval (module F) c ~inputs:(Array.map F.of_int inputs)
+    ~randoms:(Array.map F.of_int randoms)
+
+let test_build_eval () =
+  (* f(x, y) = (x + y) * (x - y) = x^2 - y^2 *)
+  let c = C.create () in
+  let x = C.input c and y = C.input c in
+  let s = C.push c (C.Add (x, y)) in
+  let d = C.push c (C.Sub (x, y)) in
+  let f = C.push c (C.Mul (s, d)) in
+  C.set_outputs c [| f |];
+  let out = feval c ~inputs:[| 7; 3 |] ~randoms:[||] in
+  check_bool "49 - 9" true (F.equal out.(0) (F.of_int 40));
+  let st = C.stats c in
+  check_int "size" 3 st.C.size;
+  check_int "depth" 2 st.C.depth;
+  check_int "muls" 1 st.C.multiplications
+
+let test_const_dedup () =
+  let c = C.create () in
+  let a = C.push c (C.Const 5) in
+  let b = C.push c (C.Const 5) in
+  check_int "same node" a b;
+  let d = C.push c (C.Const 6) in
+  check_bool "different const differs" true (d <> a)
+
+let test_division_eval () =
+  let c = C.create () in
+  let x = C.input c in
+  let inv = C.push c (C.Inv x) in
+  C.set_outputs c [| inv |];
+  let out = feval c ~inputs:[| 4 |] ~randoms:[||] in
+  check_bool "1/4" true (F.equal out.(0) (F.inv (F.of_int 4)));
+  check_bool "div by zero raises" true
+    (try ignore (feval c ~inputs:[| 0 |] ~randoms:[||]); false
+     with Division_by_zero -> true)
+
+let test_random_nodes () =
+  let c = C.create () in
+  let x = C.input c in
+  let r = C.random_node c in
+  let f = C.push c (C.Mul (x, r)) in
+  C.set_outputs c [| f |];
+  check_int "one random node" 1 (C.num_random c);
+  let out = feval c ~inputs:[| 6 |] ~randoms:[| 7 |] in
+  check_bool "6*7" true (F.equal out.(0) (F.of_int 42))
+
+(* tracing generic code: the same functor body runs concretely and as a
+   circuit — series inversion exercises Div/Inv gates *)
+let test_trace_series_inverse () =
+  let n = 8 in
+  let module B = C.Builder () in
+  let module S = Kp_poly.Series.Make (B) in
+  let inputs = Array.init n (fun _ -> B.fresh_input ()) in
+  let g = S.inv inputs in
+  B.finish ~outputs:g;
+  let st = Random.State.make [| 90 |] in
+  let f = Array.init n (fun i -> if i = 0 then F.of_int (1 + Random.State.int st 50) else F.random st) in
+  let traced = C.eval (module F) B.circuit ~inputs:f ~randoms:[||] in
+  let module SF = Kp_poly.Series.Make (F) in
+  let direct = SF.inv f in
+  check_bool "traced = direct" true (Array.for_all2 F.equal traced direct);
+  let stats = C.stats B.circuit in
+  check_bool "has gates" true (stats.C.size > 0);
+  check_bool "one scalar inversion only" true (stats.C.divisions >= 1)
+
+let test_stats_depth_balanced () =
+  (* dot product via a balanced tree should have depth ~ log n + 1 *)
+  let n = 64 in
+  let c = C.create () in
+  let xs = Array.init n (fun _ -> C.input c) in
+  let prods = Array.map (fun x -> C.push c (C.Mul (x, x))) xs in
+  let rec tree lo hi =
+    if hi - lo = 1 then prods.(lo)
+    else begin
+      let mid = (lo + hi) / 2 in
+      C.push c (C.Add (tree lo mid, tree mid hi))
+    end
+  in
+  C.set_outputs c [| tree 0 n |];
+  let st = C.stats c in
+  check_int "depth log2(64)+1" 7 st.C.depth;
+  check_int "size" (64 + 63) st.C.size
+
+(* ---- Baur–Strassen ---- *)
+
+let test_ad_product_rule () =
+  (* f = x*y*z: gradient (yz, xz, xy) *)
+  let c = C.create () in
+  let x = C.input c and y = C.input c and z = C.input c in
+  let xy = C.push c (C.Mul (x, y)) in
+  let f = C.push c (C.Mul (xy, z)) in
+  C.set_outputs c [| f |];
+  let { AD.circuit = q; _ } = AD.differentiate c in
+  let out = C.eval (module F) q ~inputs:(Array.map F.of_int [| 2; 3; 5 |]) ~randoms:[||] in
+  check_bool "f" true (F.equal out.(0) (F.of_int 30));
+  check_bool "df/dx = yz" true (F.equal out.(1) (F.of_int 15));
+  check_bool "df/dy = xz" true (F.equal out.(2) (F.of_int 10));
+  check_bool "df/dz = xy" true (F.equal out.(3) (F.of_int 6))
+
+let test_ad_quotient_rule () =
+  (* f = x/y: df/dx = 1/y, df/dy = -x/y^2 *)
+  let c = C.create () in
+  let x = C.input c and y = C.input c in
+  let f = C.push c (C.Div (x, y)) in
+  C.set_outputs c [| f |];
+  let { AD.circuit = q; _ } = AD.differentiate c in
+  let module QF = Kp_field.Rational in
+  let out =
+    C.eval (module QF) q
+      ~inputs:[| QF.of_int 3; QF.of_int 4 |]
+      ~randoms:[||]
+  in
+  check_bool "f = 3/4" true (QF.equal out.(0) (QF.of_ints 3 4));
+  check_bool "df/dx = 1/4" true (QF.equal out.(1) (QF.of_ints 1 4));
+  check_bool "df/dy = -3/16" true (QF.equal out.(2) (QF.of_ints (-3) 16))
+
+let test_ad_inv_and_neg () =
+  (* f = -1/x: df/dx = 1/x^2 *)
+  let c = C.create () in
+  let x = C.input c in
+  let i = C.push c (C.Inv x) in
+  let f = C.push c (C.Neg i) in
+  C.set_outputs c [| f |];
+  let { AD.circuit = q; _ } = AD.differentiate c in
+  let module QF = Kp_field.Rational in
+  let out = C.eval (module QF) q ~inputs:[| QF.of_int 2 |] ~randoms:[||] in
+  check_bool "f = -1/2" true (QF.equal out.(0) (QF.of_ints (-1) 2));
+  check_bool "df/dx = 1/4" true (QF.equal out.(1) (QF.of_ints 1 4))
+
+let test_ad_fanout () =
+  (* f = x*x*x ... shared node with fanout: f = (x+x)*(x+x): df/dx = 8x *)
+  let c = C.create () in
+  let x = C.input c in
+  let s = C.push c (C.Add (x, x)) in
+  let f = C.push c (C.Mul (s, s)) in
+  C.set_outputs c [| f |];
+  let { AD.circuit = q; _ } = AD.differentiate c in
+  let out = C.eval (module F) q ~inputs:[| F.of_int 3 |] ~randoms:[||] in
+  check_bool "f = 36" true (F.equal out.(0) (F.of_int 36));
+  check_bool "df/dx = 24" true (F.equal out.(1) (F.of_int 24))
+
+(* determinant circuit via division-free-ish Gaussian elimination on symbolic
+   inputs (no pivoting — fine for generic/random evaluation points) *)
+let det_circuit n =
+  let module B = C.Builder () in
+  let a = Array.init n (fun _ -> Array.init n (fun _ -> B.fresh_input ())) in
+  let det = ref B.one in
+  let m = Array.map Array.copy a in
+  for k = 0 to n - 1 do
+    det := B.mul !det m.(k).(k);
+    if k < n - 1 then begin
+      let piv_inv = B.inv m.(k).(k) in
+      for i = k + 1 to n - 1 do
+        let factor = B.mul m.(i).(k) piv_inv in
+        for j = k + 1 to n - 1 do
+          m.(i).(j) <- B.sub m.(i).(j) (B.mul factor m.(k).(j))
+        done
+      done
+    end
+  done;
+  B.finish ~outputs:[| !det |];
+  B.circuit
+
+let test_ad_det_adjugate () =
+  (* gradient of det = adjugate transpose: A^{-1} = grad^T / det *)
+  let n = 5 in
+  let c = det_circuit n in
+  let { AD.circuit = q; _ } = AD.differentiate c in
+  let st = Random.State.make [| 91 |] in
+  let module M = Kp_matrix.Dense.Make (F) in
+  let module G = Kp_matrix.Gauss.Make (F) in
+  let a = M.random_nonsingular st n in
+  let inputs = Array.init (n * n) (fun k -> M.get a (k / n) (k mod n)) in
+  let out = C.eval (module F) q ~inputs ~randoms:[||] in
+  let det = out.(0) in
+  check_bool "det matches Gauss" true (F.equal det (G.det a));
+  let inv = Option.get (G.inverse a) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      (* ∂det/∂a_{ij} = adj(A)_{ji} = det * (A^{-1})_{ji} *)
+      let expect = F.mul det (M.get inv j i) in
+      check_bool "gradient = adjugate" true (F.equal out.(1 + (i * n) + j) expect)
+    done
+  done
+
+let test_ad_length_bound () =
+  (* Theorem 5: |Q| <= 4|P| + O(outputs); we assert <= 4 with slack for
+     the constant bookkeeping, and print the measured ratios in bench E4 *)
+  List.iter
+    (fun n ->
+      let c = det_circuit n in
+      let { AD.circuit = q; _ } = AD.differentiate c in
+      let sp = C.stats c and sq = C.stats q in
+      let ratio = float_of_int sq.C.size /. float_of_int sp.C.size in
+      check_bool (Printf.sprintf "length ratio %.2f <= 4.1 (n=%d)" ratio n) true
+        (ratio <= 4.1))
+    [ 3; 5; 8; 12 ]
+
+let test_ad_depth_bound () =
+  List.iter
+    (fun n ->
+      let c = det_circuit n in
+      let { AD.circuit = q; _ } = AD.differentiate c in
+      let sp = C.stats c and sq = C.stats q in
+      let ratio = float_of_int sq.C.depth /. float_of_int sp.C.depth in
+      check_bool (Printf.sprintf "depth ratio %.2f bounded (n=%d)" ratio n) true
+        (ratio <= 3.5))
+    [ 3; 5; 8; 12 ]
+
+let test_ad_no_new_divisions () =
+  (* Q divides only by what P divides by: division count at most doubles
+     (each Div spawns exactly one new Div, Inv spawns none) *)
+  List.iter
+    (fun n ->
+      let c = det_circuit n in
+      let { AD.circuit = q; _ } = AD.differentiate c in
+      let sp = C.stats c and sq = C.stats q in
+      check_bool "divisions at most 2x" true (sq.C.divisions <= 2 * sp.C.divisions))
+    [ 3; 6; 10 ]
+
+let test_ad_requires_single_output () =
+  let c = C.create () in
+  let x = C.input c in
+  let y = C.push c (C.Mul (x, x)) in
+  C.set_outputs c [| x; y |];
+  check_bool "two outputs rejected" true
+    (try ignore (AD.differentiate c); false with Invalid_argument _ -> true)
+
+let test_ad_random_node_gradient () =
+  (* f = x·r with r a random node: ∂f/∂x = r, ∂f/∂r = x (exposed through
+     random_gradient — the transposed-solve construction relies on input
+     gradients being separated from random-node gradients) *)
+  let c = C.create () in
+  let x = C.input c in
+  let r = C.random_node c in
+  let f = C.push c (C.Mul (x, r)) in
+  C.set_outputs c [| f |];
+  let { AD.circuit = q; gradient; random_gradient; _ } = AD.differentiate c in
+  check_int "one input gradient" 1 (Array.length gradient);
+  check_int "one random gradient" 1 (Array.length random_gradient);
+  let out = C.eval (module F) q ~inputs:[| F.of_int 6 |] ~randoms:[| F.of_int 7 |] in
+  check_bool "f" true (F.equal out.(0) (F.of_int 42));
+  check_bool "df/dx = r" true (F.equal out.(1) (F.of_int 7));
+  check_bool "df/dr = x" true (F.equal out.(2) (F.of_int 6))
+
+let test_ad_deep_chain () =
+  (* repeated squaring: f = x^(2^k); df/dx = 2^k x^(2^k - 1); exercises
+     adjoint propagation through a long multiplication chain *)
+  let module QF = Kp_field.Rational in
+  let c = C.create () in
+  let x = C.input c in
+  let k = 6 in
+  let cur = ref x in
+  for _ = 1 to k do
+    cur := C.push c (C.Mul (!cur, !cur))
+  done;
+  C.set_outputs c [| !cur |];
+  let { AD.circuit = q; _ } = AD.differentiate c in
+  let out = C.eval (module QF) q ~inputs:[| QF.of_int 2 |] ~randoms:[||] in
+  let pow2 e = QF.of_bigint Kp_bigint.Bigint.(pow (of_int 2) e) in
+  check_bool "f = 2^64" true (QF.equal out.(0) (pow2 64));
+  (* df/dx = 64 · 2^63 = 2^69 *)
+  check_bool "df/dx = 2^69" true (QF.equal out.(1) (pow2 69))
+
+let test_ad_gradient_of_unused_input () =
+  let c = C.create () in
+  let x = C.input c in
+  let _y = C.input c in
+  let f = C.push c (C.Mul (x, x)) in
+  C.set_outputs c [| f |];
+  let { AD.circuit = q; _ } = AD.differentiate c in
+  let out = C.eval (module F) q ~inputs:[| F.of_int 3; F.of_int 9 |] ~randoms:[||] in
+  check_bool "df/dy = 0" true (F.is_zero out.(2));
+  check_bool "df/dx = 6" true (F.equal out.(1) (F.of_int 6))
+
+(* ---- optimizer ---- *)
+
+let test_opt_dce_removes_dead () =
+  let c = C.create () in
+  let x = C.input c in
+  let dead = C.push c (C.Mul (x, x)) in
+  let _deader = C.push c (C.Add (dead, x)) in
+  let f = C.push c (C.Add (x, x)) in
+  C.set_outputs c [| f |];
+  let q = Opt.dce c in
+  check_int "only the live gate remains" 1 (C.stats q).C.size;
+  let out = C.eval (module F) q ~inputs:[| F.of_int 5 |] ~randoms:[||] in
+  check_bool "value preserved" true (F.equal out.(0) (F.of_int 10))
+
+let test_opt_cse_merges () =
+  let c = C.create () in
+  let x = C.input c and y = C.input c in
+  (* x*y and y*x computed separately, then added *)
+  let p1 = C.push c (C.Mul (x, y)) in
+  let p2 = C.push c (C.Mul (y, x)) in
+  let f = C.push c (C.Add (p1, p2)) in
+  C.set_outputs c [| f |];
+  let q = Opt.cse c in
+  let s = C.stats q in
+  check_int "commutative duplicate merged" 2 s.C.size;
+  let out = C.eval (module F) q ~inputs:[| F.of_int 3; F.of_int 4 |] ~randoms:[||] in
+  check_bool "value preserved" true (F.equal out.(0) (F.of_int 24))
+
+let test_opt_preserves_pipeline_semantics () =
+  (* simplify the traced charpoly circuit and check it still evaluates to
+     the same polynomial, with no more gates than before *)
+  let st = Random.State.make [| 92 |] in
+  let n = 5 in
+  let d = Array.init ((2 * n) - 1) (fun _ -> F.random st) in
+  let module B = C.Builder () in
+  let module BCK = Kp_poly.Conv.Karatsuba (B) in
+  let module BTC = Kp_structured.Toeplitz_charpoly.Make (B) (BCK) in
+  let inputs = Array.map (fun _ -> B.fresh_input ()) d in
+  let cp = BTC.charpoly ~n inputs in
+  B.finish ~outputs:cp;
+  let before = C.stats B.circuit in
+  let q = Opt.simplify B.circuit in
+  let after = C.stats q in
+  check_bool "size did not grow" true (after.C.size <= before.C.size);
+  check_bool "some gates merged or died" true (after.C.size < before.C.size);
+  check_bool "depth did not grow" true (after.C.depth <= before.C.depth);
+  let a = C.eval (module F) B.circuit ~inputs:d ~randoms:[||] in
+  let b = C.eval (module F) q ~inputs:d ~randoms:[||] in
+  check_bool "same outputs" true (Array.for_all2 F.equal a b)
+
+let test_opt_interface_preserved () =
+  let c = C.create () in
+  let _x = C.input c in
+  let y = C.input c in
+  let r = C.random_node c in
+  let f = C.push c (C.Add (y, r)) in
+  C.set_outputs c [| f |];
+  let q = Opt.simplify c in
+  check_int "inputs preserved" 2 (C.num_inputs q);
+  check_int "random nodes preserved" 1 (C.num_random q);
+  let out = C.eval (module F) q ~inputs:[| F.of_int 1; F.of_int 2 |]
+      ~randoms:[| F.of_int 40 |] in
+  check_bool "unused input tolerated" true (F.equal out.(0) (F.of_int 42))
+
+let prop_optimizer_preserves_eval =
+  QCheck.Test.make ~name:"simplify preserves evaluation" ~count:100
+    (QCheck.int_range 1 200) (fun seed ->
+      (* random straight-line program *)
+      let st = Random.State.make [| seed; 5 |] in
+      let c = C.create () in
+      let nodes = ref [ C.input c; C.input c; C.push c (C.Const 3) ] in
+      for _ = 1 to 30 do
+        let pick () = List.nth !nodes (Random.State.int st (List.length !nodes)) in
+        let g =
+          match Random.State.int st 5 with
+          | 0 -> C.Add (pick (), pick ())
+          | 1 -> C.Sub (pick (), pick ())
+          | 2 -> C.Mul (pick (), pick ())
+          | 3 -> C.Neg (pick ())
+          | _ -> C.Add (pick (), pick ())
+        in
+        nodes := C.push c g :: !nodes
+      done;
+      C.set_outputs c [| List.hd !nodes |];
+      let q = Opt.simplify c in
+      let inputs = [| F.random st; F.random st |] in
+      let a = C.eval (module F) c ~inputs ~randoms:[||] in
+      let b = C.eval (module F) q ~inputs ~randoms:[||] in
+      F.equal a.(0) b.(0)
+      && (C.stats q).C.size <= (C.stats c).C.size)
+
+let () =
+  Alcotest.run "kp_circuit"
+    [
+      ( "circuit",
+        [
+          Alcotest.test_case "build/eval" `Quick test_build_eval;
+          Alcotest.test_case "const dedup" `Quick test_const_dedup;
+          Alcotest.test_case "division" `Quick test_division_eval;
+          Alcotest.test_case "random nodes" `Quick test_random_nodes;
+          Alcotest.test_case "trace series inverse" `Quick test_trace_series_inverse;
+          Alcotest.test_case "balanced depth" `Quick test_stats_depth_balanced;
+        ] );
+      ( "baur-strassen",
+        [
+          Alcotest.test_case "product rule" `Quick test_ad_product_rule;
+          Alcotest.test_case "quotient rule" `Quick test_ad_quotient_rule;
+          Alcotest.test_case "inv/neg rules" `Quick test_ad_inv_and_neg;
+          Alcotest.test_case "fanout" `Quick test_ad_fanout;
+          Alcotest.test_case "det gradient = adjugate" `Quick test_ad_det_adjugate;
+          Alcotest.test_case "length <= 4l" `Quick test_ad_length_bound;
+          Alcotest.test_case "depth O(d)" `Quick test_ad_depth_bound;
+          Alcotest.test_case "no new divisions" `Quick test_ad_no_new_divisions;
+          Alcotest.test_case "single output required" `Quick test_ad_requires_single_output;
+          Alcotest.test_case "random node gradient" `Quick test_ad_random_node_gradient;
+          Alcotest.test_case "deep chain" `Quick test_ad_deep_chain;
+          Alcotest.test_case "unused input" `Quick test_ad_gradient_of_unused_input;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "dce" `Quick test_opt_dce_removes_dead;
+          Alcotest.test_case "cse commutative" `Quick test_opt_cse_merges;
+          Alcotest.test_case "pipeline semantics" `Quick test_opt_preserves_pipeline_semantics;
+          Alcotest.test_case "interface preserved" `Quick test_opt_interface_preserved;
+          QCheck_alcotest.to_alcotest ~long:false prop_optimizer_preserves_eval;
+        ] );
+    ]

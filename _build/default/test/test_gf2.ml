@@ -1,0 +1,207 @@
+(* Bit-packed GF(2) matrices, cross-checked against the generic field
+   machinery (Gauss over Kp_field.Gf2) and against qcheck identities. *)
+
+module B = Kp_matrix.Gf2_matrix
+module F2 = Kp_field.Gf2
+module M2 = Kp_matrix.Dense.Make (F2)
+module G2 = Kp_matrix.Gauss.Make (F2)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let st0 k = Kp_util.Rng.make (7000 + k)
+
+let to_generic b =
+  M2.init (B.rows b) (B.cols b) (fun i j -> if B.get b i j then 1 else 0)
+
+let random_pair st r c =
+  let b = B.random st ~rows:r ~cols:c in
+  (b, to_generic b)
+
+let test_get_set () =
+  let m = B.create ~rows:3 ~cols:100 in
+  check_bool "initially zero" false (B.get m 2 99);
+  B.set m 2 99 true;
+  check_bool "set" true (B.get m 2 99);
+  check_bool "neighbours untouched" false (B.get m 2 98);
+  B.set m 2 99 false;
+  check_bool "cleared" false (B.get m 2 99);
+  check_bool "oob" true (try ignore (B.get m 3 0); false with Invalid_argument _ -> true)
+
+let test_roundtrip () =
+  let st = st0 1 in
+  let b = B.random st ~rows:10 ~cols:130 in
+  check_bool "bool matrix roundtrip" true
+    (B.equal b (B.of_bool_matrix (B.to_bool_matrix b)))
+
+let test_mul_matches_generic () =
+  let st = st0 2 in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 40 in
+    let m = 1 + Random.State.int st 40 in
+    let q = 1 + Random.State.int st 40 in
+    let a, ag = random_pair st n m in
+    let b, bg = random_pair st m q in
+    let prod = B.mul a b in
+    let prod_g = M2.mul ag bg in
+    check_bool "product matches" true
+      (M2.equal (to_generic prod) prod_g)
+  done
+
+let test_matvec_matches () =
+  let st = st0 3 in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 80 in
+    let m = 1 + Random.State.int st 80 in
+    let a, ag = random_pair st n m in
+    let v = Array.init m (fun _ -> Random.State.bool st) in
+    let vg = Array.map (fun x -> if x then 1 else 0) v in
+    check_bool "matvec matches" true
+      (Array.map (fun x -> if x then 1 else 0) (B.matvec a v) = M2.matvec ag vg)
+  done
+
+let test_rank_matches () =
+  let st = st0 4 in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 30 in
+    let m = 1 + Random.State.int st 30 in
+    let a, ag = random_pair st n m in
+    check_int "rank matches" (G2.rank ag) (B.rank a)
+  done
+
+let test_identity_det () =
+  check_bool "det I" true (B.det (B.identity 17));
+  let z = B.create ~rows:5 ~cols:5 in
+  check_bool "det 0" false (B.det z)
+
+let test_solve_matches () =
+  let st = st0 5 in
+  let solved = ref 0 in
+  for _ = 1 to 20 do
+    let n = 1 + Random.State.int st 25 in
+    let a, ag = random_pair st n n in
+    let x_true = Array.init n (fun _ -> Random.State.bool st) in
+    let b = B.matvec a x_true in
+    match B.solve a b with
+    | Some x ->
+      incr solved;
+      check_bool "A x = b" true (B.matvec a x = b);
+      (* must agree with the generic solver's solvability *)
+      check_bool "generic agrees it is non-singular" false (G2.is_singular ag)
+    | None -> check_bool "generic agrees singular" true (G2.is_singular ag)
+  done;
+  check_bool "some systems solved" true (!solved > 3)
+
+let test_solve_general_consistency () =
+  let st = st0 6 in
+  for _ = 1 to 10 do
+    let n = 2 + Random.State.int st 20 in
+    let a, _ = random_pair st (n + 3) n in
+    let x_seed = Array.init n (fun _ -> Random.State.bool st) in
+    let b = B.matvec a x_seed in
+    (match B.solve_general a b with
+    | Some x -> check_bool "particular solution" true (B.matvec a x = b)
+    | None -> Alcotest.fail "consistent system rejected");
+    (* random rhs on an overdetermined system is usually inconsistent;
+       if a solution is returned it must verify *)
+    let r = Array.init (n + 3) (fun _ -> Random.State.bool st) in
+    match B.solve_general a r with
+    | Some x -> check_bool "verified" true (B.matvec a x = r)
+    | None -> ()
+  done
+
+let test_nullspace () =
+  let st = st0 7 in
+  for _ = 1 to 10 do
+    let n = 2 + Random.State.int st 20 in
+    let a, ag = random_pair st n n in
+    let ns = B.nullspace a in
+    check_int "nullity" (n - G2.rank ag) (List.length ns);
+    List.iter
+      (fun v ->
+        check_bool "A v = 0" true (Array.for_all not (B.matvec a v)))
+      ns
+  done
+
+let test_transpose_involution () =
+  let st = st0 8 in
+  let a = B.random st ~rows:9 ~cols:70 in
+  check_bool "(A^T)^T = A" true (B.equal a (B.transpose (B.transpose a)))
+
+let test_add_self_is_zero () =
+  let st = st0 9 in
+  let a = B.random st ~rows:7 ~cols:130 in
+  let z = B.add a a in
+  check_bool "A + A = 0 over GF(2)" true (B.equal z (B.create ~rows:7 ~cols:130))
+
+let test_lights_out_gf2_native () =
+  (* same system as examples/lights_out, natively over packed GF(2) *)
+  let size = 5 in
+  let n = size * size in
+  let a = B.create ~rows:n ~cols:n in
+  for light = 0 to n - 1 do
+    for button = 0 to n - 1 do
+      let lr = light / size and lc = light mod size in
+      let br = button / size and bc = button mod size in
+      if (lr = br && lc = bc) || (abs (lr - br) = 1 && lc = bc)
+         || (abs (lc - bc) = 1 && lr = br)
+      then B.set a light button true
+    done
+  done;
+  check_int "lights out rank 23" 23 (B.rank a);
+  check_int "kernel dimension 2" 2 (List.length (B.nullspace a));
+  (* any configuration reached by presses is solvable *)
+  let st = st0 10 in
+  let presses = Array.init n (fun _ -> Random.State.bool st) in
+  let b = B.matvec a presses in
+  match B.solve_general a b with
+  | Some x -> check_bool "solved" true (B.matvec a x = b)
+  | None -> Alcotest.fail "reachable configuration must be solvable"
+
+(* qcheck: ring identities on packed matrices *)
+let arb_dim = QCheck.int_range 1 24
+
+let prop_mul_associative =
+  QCheck.Test.make ~name:"packed mul associative" ~count:30 arb_dim (fun n ->
+      let st = Kp_util.Rng.make (n * 13) in
+      let a = B.random st ~rows:n ~cols:n in
+      let b = B.random st ~rows:n ~cols:n in
+      let c = B.random st ~rows:n ~cols:n in
+      B.equal (B.mul (B.mul a b) c) (B.mul a (B.mul b c)))
+
+let prop_distributive =
+  QCheck.Test.make ~name:"packed distributive" ~count:30 arb_dim (fun n ->
+      let st = Kp_util.Rng.make (n * 17) in
+      let a = B.random st ~rows:n ~cols:n in
+      let b = B.random st ~rows:n ~cols:n in
+      let c = B.random st ~rows:n ~cols:n in
+      B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+let prop_rank_transpose =
+  QCheck.Test.make ~name:"rank A = rank A^T" ~count:30
+    (QCheck.pair arb_dim arb_dim) (fun (r, c) ->
+      let st = Kp_util.Rng.make ((r * 37) + c) in
+      let a = B.random st ~rows:r ~cols:c in
+      B.rank a = B.rank (B.transpose a))
+
+let qtests = List.map (QCheck_alcotest.to_alcotest ~long:false)
+
+let () =
+  Alcotest.run "kp_gf2_matrix"
+    [
+      ( "packed",
+        [
+          Alcotest.test_case "get/set" `Quick test_get_set;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "mul vs generic" `Quick test_mul_matches_generic;
+          Alcotest.test_case "matvec vs generic" `Quick test_matvec_matches;
+          Alcotest.test_case "rank vs generic" `Quick test_rank_matches;
+          Alcotest.test_case "identity/zero det" `Quick test_identity_det;
+          Alcotest.test_case "solve vs generic" `Quick test_solve_matches;
+          Alcotest.test_case "solve_general" `Quick test_solve_general_consistency;
+          Alcotest.test_case "nullspace" `Quick test_nullspace;
+          Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+          Alcotest.test_case "A + A = 0" `Quick test_add_self_is_zero;
+          Alcotest.test_case "lights out native" `Quick test_lights_out_gf2_native;
+        ] );
+      ("properties", qtests [ prop_mul_associative; prop_distributive; prop_rank_transpose ]);
+    ]

@@ -1,0 +1,152 @@
+(* Berlekamp/Massey and linearly generated sequence tests. *)
+
+module F = Kp_field.Fields.Gf_ntt
+module Q = Kp_field.Rational
+module BM = Kp_seqgen.Berlekamp_massey.Make (F)
+module BMQ = Kp_seqgen.Berlekamp_massey.Make (Q)
+module LR = Kp_seqgen.Linrec.Make (F)
+module M = Kp_matrix.Dense.Make (F)
+module G = Kp_matrix.Gauss.Make (F)
+module P = BM.P
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let poly = Alcotest.testable P.pp P.equal
+let check_poly = Alcotest.check poly
+
+let fi = F.of_int
+
+let test_fibonacci () =
+  let s = LR.fibonacci_like F.zero F.one 20 in
+  check_bool "fib starts 0 1 1 2 3 5" true
+    (Array.sub s 0 6 = [| fi 0; fi 1; fi 1; fi 2; fi 3; fi 5 |]);
+  let f = BM.minimal_polynomial s in
+  check_poly "min poly = λ²-λ-1" (P.of_list [ fi (-1); fi (-1); fi 1 ]) f
+
+let test_geometric () =
+  (* s_k = 3^k: min poly λ - 3 *)
+  let s = Array.init 10 (fun k -> F.pow (fi 3) k) in
+  check_poly "λ-3" (P.of_list [ fi (-3); fi 1 ]) (BM.minimal_polynomial s)
+
+let test_zero_sequence () =
+  let s = Array.make 8 F.zero in
+  check_poly "zero sequence -> 1" P.one (BM.minimal_polynomial s);
+  check_int "degree 0" 0 (P.degree (BM.minimal_polynomial s))
+
+let test_constant_sequence () =
+  let s = Array.make 8 (fi 7) in
+  check_poly "constant -> λ-1" (P.of_list [ fi (-1); fi 1 ]) (BM.minimal_polynomial s)
+
+let test_extend_then_recover () =
+  let st = Random.State.make [| 80 |] in
+  for _ = 1 to 20 do
+    let l = 1 + Random.State.int st 8 in
+    (* random monic recurrence with nonzero constant term (so it is minimal
+       for generic initial values with high probability) *)
+    let rec_poly =
+      Array.init (l + 1) (fun i ->
+          if i = l then F.one
+          else if i = 0 then fi (1 + Random.State.int st 1000)
+          else F.random st)
+    in
+    let init = Array.init l (fun _ -> F.random st) in
+    let s = LR.extend ~init ~rec_poly (2 * l + 4) in
+    let f = BM.minimal_polynomial s in
+    check_bool "recovered poly generates" true (BM.generates (P.to_array f) s);
+    check_bool "degree at most l" true (P.degree f <= l)
+  done
+
+let test_minpoly_generates () =
+  let st = Random.State.make [| 81 |] in
+  for _ = 1 to 20 do
+    let n = 2 + Random.State.int st 20 in
+    let s = Array.init n (fun _ -> F.random st) in
+    let f = BM.minimal_polynomial s in
+    check_bool "min poly generates its sequence" true (BM.generates (P.to_array f) s)
+  done
+
+let test_krylov_minpoly_divides_charpoly () =
+  let st = Random.State.make [| 82 |] in
+  for _ = 1 to 10 do
+    let n = 2 + Random.State.int st 8 in
+    let a = M.random st n n in
+    let u = Array.init n (fun _ -> F.random st) in
+    let b = Array.init n (fun _ -> F.random st) in
+    let s = LR.krylov_sequence (M.matvec a) ~u ~b (2 * n) in
+    let f = BM.minimal_polynomial s in
+    check_bool "deg <= n" true (P.degree f <= n);
+    (* f_u^{A,b} divides the characteristic polynomial: check f(A) maps b
+       into the kernel of the Krylov form, i.e. u A^j f(A) b = 0 — already
+       implied by generates, so check generates on a longer sequence *)
+    let s_long = LR.krylov_sequence (M.matvec a) ~u ~b (3 * n) in
+    check_bool "generates extended Krylov sequence" true
+      (BM.generates (P.to_array f) s_long)
+  done
+
+let test_krylov_nonsingular_full_degree () =
+  (* for random A and u, b the min poly usually has full degree n and
+     constant term ± det: check when it does, constant term relates to det *)
+  let st = Random.State.make [| 83 |] in
+  let tried = ref 0 and confirmed = ref 0 in
+  while !confirmed < 5 && !tried < 50 do
+    incr tried;
+    let n = 2 + Random.State.int st 6 in
+    let a = M.random_nonsingular st n in
+    let u = Array.init n (fun _ -> F.random st) in
+    let b = Array.init n (fun _ -> F.random st) in
+    let s = LR.krylov_sequence (M.matvec a) ~u ~b (2 * n) in
+    let f = BM.minimal_polynomial s in
+    if P.degree f = n then begin
+      incr confirmed;
+      let det = G.det a in
+      let expect = if n land 1 = 0 then det else F.neg det in
+      check_bool "f(0) = (-1)^n det A" true (F.equal (P.coeff f 0) expect)
+    end
+  done;
+  check_bool "reached full degree cases" true (!confirmed >= 5)
+
+let test_connection_polynomial_form () =
+  let s = LR.fibonacci_like F.zero F.one 16 in
+  let c = BM.connection_polynomial s in
+  check_bool "c(0) = 1" true (F.equal c.(0) F.one);
+  check_int "degree 2" 3 (Array.length c)
+
+let test_bm_over_q () =
+  (* exact rationals: sequence 1/2^k has min poly λ - 1/2 *)
+  let module PQ = BMQ.P in
+  let s = Array.init 8 (fun k -> Q.of_ints 1 (1 lsl k)) in
+  let f = BMQ.minimal_polynomial s in
+  Alcotest.check
+    (Alcotest.testable PQ.pp PQ.equal)
+    "λ - 1/2"
+    (PQ.of_list [ Q.of_ints (-1) 2; Q.one ])
+    f
+
+let test_generates_rejects () =
+  let s = LR.fibonacci_like F.zero F.one 10 in
+  check_bool "wrong poly rejected" false (BM.generates [| fi 1; fi 1 |] s);
+  check_bool "right poly accepted" true (BM.generates [| fi (-1); fi (-1); fi 1 |] s)
+
+let () =
+  Alcotest.run "kp_seqgen"
+    [
+      ( "berlekamp-massey",
+        [
+          Alcotest.test_case "fibonacci" `Quick test_fibonacci;
+          Alcotest.test_case "geometric" `Quick test_geometric;
+          Alcotest.test_case "zero sequence" `Quick test_zero_sequence;
+          Alcotest.test_case "constant sequence" `Quick test_constant_sequence;
+          Alcotest.test_case "extend/recover roundtrip" `Quick test_extend_then_recover;
+          Alcotest.test_case "min poly generates" `Quick test_minpoly_generates;
+          Alcotest.test_case "connection polynomial" `Quick test_connection_polynomial_form;
+          Alcotest.test_case "exact over Q" `Quick test_bm_over_q;
+          Alcotest.test_case "generates rejects" `Quick test_generates_rejects;
+        ] );
+      ( "krylov",
+        [
+          Alcotest.test_case "min poly divides charpoly" `Quick
+            test_krylov_minpoly_divides_charpoly;
+          Alcotest.test_case "full degree det relation" `Quick
+            test_krylov_nonsingular_full_degree;
+        ] );
+    ]

@@ -1,0 +1,467 @@
+(* Structured-matrix engine tests: Toeplitz/Hankel representations against
+   dense oracles, the Gohberg/Semencul inverse representation, the §3
+   Newton-iteration characteristic polynomial (Theorem 3), Leverrier
+   conversions, and Chistov's any-characteristic route (§5). *)
+
+module F = Kp_field.Fields.Gf_ntt
+module M = Kp_matrix.Dense.Make (F)
+module G = Kp_matrix.Gauss.Make (F)
+module CKar = Kp_poly.Conv.Karatsuba (F)
+module CNtt = Kp_poly.Conv.Ntt_generic (F) (Kp_poly.Conv.Default_ntt_prime)
+module TZ = Kp_structured.Toeplitz.Make (F) (CKar)
+module HK = Kp_structured.Hankel.Make (F) (CKar)
+module GS = Kp_structured.Gohberg_semencul.Make (F) (CKar)
+module Lev = Kp_structured.Leverrier.Make (F)
+module TC = Kp_structured.Toeplitz_charpoly.Make (F) (CKar)
+module TCN = Kp_structured.Toeplitz_charpoly.Make (F) (CNtt)
+module Ch = Kp_structured.Chistov.Make (F) (CKar)
+module P = Kp_poly.Dense.Make (F)
+
+let check_bool = Alcotest.(check bool)
+let mat = Alcotest.testable M.pp M.equal
+let check_mat = Alcotest.check mat
+
+let feq = F.equal
+let farr_eq a b = Array.length a = Array.length b && Array.for_all2 feq a b
+
+let rand_vec st n = Array.init n (fun _ -> F.random st)
+let rand_diag st n = Array.init ((2 * n) - 1) (fun _ -> F.random st)
+
+(* dense characteristic polynomial oracle: coefficients of det(λI - A) by
+   evaluation at n+1 points + interpolation (exact over GF(p), p >> n) *)
+let charpoly_oracle (a : M.t) =
+  let n = a.M.rows in
+  let pts =
+    Array.init (n + 1) (fun k ->
+        let x = F.of_int (k + 1) in
+        let m = M.sub (M.scale x (M.identity n)) a in
+        (x, G.det m))
+  in
+  P.interpolate pts
+
+let test_toeplitz_entry_dense () =
+  let st = Random.State.make [| 50 |] in
+  let n = 6 in
+  let d = rand_diag st n in
+  let dense = TZ.to_dense ~n d in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      check_bool "entry matches dense" true (feq (TZ.entry ~n d i j) (M.get dense i j))
+    done
+  done;
+  (* constant along diagonals *)
+  for i = 0 to n - 2 do
+    for j = 0 to n - 2 do
+      check_bool "diagonal constant" true
+        (feq (M.get dense i j) (M.get dense (i + 1) (j + 1)))
+    done
+  done
+
+let test_toeplitz_matvec () =
+  let st = Random.State.make [| 51 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 20 in
+    let d = rand_diag st n in
+    let v = rand_vec st n in
+    check_bool "matvec = dense matvec" true
+      (farr_eq (TZ.matvec ~n d v) (M.matvec (TZ.to_dense ~n d) v))
+  done
+
+let test_toeplitz_of_dense_roundtrip () =
+  let st = Random.State.make [| 52 |] in
+  let n = 7 in
+  let d = rand_diag st n in
+  check_bool "roundtrip" true (farr_eq d (TZ.of_dense ~n (TZ.to_dense ~n d)))
+
+let test_toeplitz_leading_principal () =
+  let st = Random.State.make [| 53 |] in
+  let n = 8 in
+  let d = rand_diag st n in
+  let dense = TZ.to_dense ~n d in
+  for i = 1 to n do
+    let di = TZ.leading_principal ~n d i in
+    let sub = M.init i i (fun r c -> M.get dense r c) in
+    check_mat (Printf.sprintf "principal %d" i) sub (TZ.to_dense ~n:i di)
+  done
+
+let test_hankel_matvec () =
+  let st = Random.State.make [| 54 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 20 in
+    let h = rand_diag st n in
+    let v = rand_vec st n in
+    check_bool "matvec = dense" true
+      (farr_eq (HK.matvec ~n h v) (M.matvec (HK.to_dense ~n h) v))
+  done
+
+let test_hankel_symmetric () =
+  let st = Random.State.make [| 55 |] in
+  let n = 6 in
+  let h = rand_diag st n in
+  let d = HK.to_dense ~n h in
+  check_mat "Hankel is symmetric" d (M.transpose d)
+
+let test_hankel_mirror_det () =
+  let st = Random.State.make [| 56 |] in
+  for n = 1 to 10 do
+    let h = rand_diag st n in
+    let det_h = G.det (HK.to_dense ~n h) in
+    let t = HK.to_toeplitz ~n h in
+    let det_t = G.det (TZ.to_dense ~n t) in
+    let sign = HK.mirror_sign n in
+    let expect = if sign = 1 then det_t else F.neg det_t in
+    check_bool (Printf.sprintf "det H = ± det T (n=%d)" n) true (feq det_h expect)
+  done
+
+(* ---- Gohberg/Semencul ---- *)
+
+let nonsingular_toeplitz st n =
+  let rec go () =
+    let d = rand_diag st n in
+    let dense = TZ.to_dense ~n d in
+    match G.inverse dense with
+    | Some inv when not (F.is_zero (M.get inv 0 0)) -> (d, dense, inv)
+    | _ -> go ()
+  in
+  go ()
+
+let test_gs_reconstructs_inverse () =
+  let st = Random.State.make [| 57 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 12 in
+    let _, _, inv = nonsingular_toeplitz st n in
+    let x = M.col inv 0 and y = M.col inv (n - 1) in
+    check_mat "GS formula = inverse" inv (GS.first_last_columns_dense ~x ~y)
+  done
+
+let test_gs_apply () =
+  let st = Random.State.make [| 58 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 15 in
+    let _, _, inv = nonsingular_toeplitz st n in
+    let x = M.col inv 0 and y = M.col inv (n - 1) in
+    let v = rand_vec st n in
+    check_bool "apply = inverse matvec" true
+      (farr_eq (GS.apply ~x ~y v) (M.matvec inv v))
+  done
+
+let test_gs_trace () =
+  let st = Random.State.make [| 59 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 12 in
+    let _, _, inv = nonsingular_toeplitz st n in
+    let x = M.col inv 0 and y = M.col inv (n - 1) in
+    let tr = ref F.zero in
+    for i = 0 to n - 1 do
+      tr := F.add !tr (M.get inv i i)
+    done;
+    check_bool "trace formula" true (feq (GS.trace ~x ~y) !tr)
+  done
+
+(* ---- Leverrier ---- *)
+
+let test_leverrier_newton_vs_series () =
+  let st = Random.State.make [| 60 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 10 in
+    let a = M.random st n n in
+    let s = Lev.power_sums_of_dense ~mul:M.mul a in
+    let c1 = Lev.newton_identities ~n s in
+    let c2 = Lev.from_trace_series ~n s in
+    check_bool "two Leverrier routes agree" true (farr_eq c1 c2)
+  done
+
+let test_leverrier_matches_oracle () =
+  let st = Random.State.make [| 61 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 8 in
+    let a = M.random st n n in
+    let s = Lev.power_sums_of_dense ~mul:M.mul a in
+    let cp = Lev.newton_identities ~n s in
+    let oracle = charpoly_oracle a in
+    check_bool "newton identities = det(λI-A)" true
+      (P.equal (P.of_coeffs cp) oracle)
+  done
+
+let test_leverrier_det () =
+  let st = Random.State.make [| 62 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 8 in
+    let a = M.random st n n in
+    let s = Lev.power_sums_of_dense ~mul:M.mul a in
+    let cp = Lev.newton_identities ~n s in
+    check_bool "char_to_det = Gauss det" true (feq (Lev.char_to_det ~n cp) (G.det a))
+  done
+
+(* ---- Toeplitz charpoly (§3 engine) ---- *)
+
+let test_inverse_columns_invariant () =
+  let st = Random.State.make [| 63 |] in
+  for _ = 1 to 8 do
+    let n = 1 + Random.State.int st 10 in
+    let d = rand_diag st n in
+    let len = n + 1 in
+    let x, y = TC.inverse_columns ~n ~len d in
+    (* multiply (I - λT)·x as truncated series and compare with e1 *)
+    let dense = TZ.to_dense ~n d in
+    let check_col col target =
+      (* col is n series; compute col - λ·T·col coefficient-wise *)
+      for k = 0 to len - 1 do
+        for i = 0 to n - 1 do
+          (* coefficient k of (col_i - λ (T col)_i) *)
+          let t_coeff =
+            if k = 0 then F.zero
+            else begin
+              let acc = ref F.zero in
+              for j = 0 to n - 1 do
+                acc := F.add !acc (F.mul (M.get dense i j) col.(j).(k - 1))
+              done;
+              !acc
+            end
+          in
+          let v = F.sub col.(i).(k) t_coeff in
+          let expect =
+            if k = 0 && i = target then F.one else F.zero
+          in
+          check_bool "resolvent column" true (feq v expect)
+        done
+      done
+    in
+    check_col x 0;
+    check_col y (n - 1)
+  done
+
+let test_trace_series_matches_powers () =
+  let st = Random.State.make [| 64 |] in
+  for _ = 1 to 8 do
+    let n = 1 + Random.State.int st 9 in
+    let d = rand_diag st n in
+    let len = n + 1 in
+    let tr = TC.trace_series ~n ~len d in
+    let s = Lev.power_sums_of_dense ~mul:M.mul (TZ.to_dense ~n d) in
+    for k = 0 to n do
+      check_bool (Printf.sprintf "trace λ^%d" k) true (feq tr.(k) s.(k))
+    done
+  done
+
+let test_toeplitz_charpoly_oracle () =
+  let st = Random.State.make [| 65 |] in
+  for _ = 1 to 8 do
+    let n = 1 + Random.State.int st 10 in
+    let d = rand_diag st n in
+    let cp = TC.charpoly ~n d in
+    let oracle = charpoly_oracle (TZ.to_dense ~n d) in
+    check_bool "charpoly = oracle" true (P.equal (P.of_coeffs cp) oracle)
+  done
+
+let test_toeplitz_charpoly_ntt_conv () =
+  let st = Random.State.make [| 66 |] in
+  for _ = 1 to 5 do
+    let n = 1 + Random.State.int st 12 in
+    let d = rand_diag st n in
+    check_bool "NTT and Karatsuba multipliers agree" true
+      (farr_eq (TC.charpoly ~n d) (TCN.charpoly ~n d))
+  done
+
+let test_toeplitz_det () =
+  let st = Random.State.make [| 67 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 12 in
+    let d = rand_diag st n in
+    check_bool "det = Gauss" true (feq (TC.det ~n d) (G.det (TZ.to_dense ~n d)))
+  done
+
+let test_charpoly_coefficient_identities () =
+  (* c_{n-1} = -trace(T), c_0 = (-1)^n det(T): classic identities, checked
+     on the §3 engine output *)
+  let st = Random.State.make [| 76 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 10 in
+    let d = rand_diag st n in
+    let cp = TC.charpoly ~n d in
+    let dense = TZ.to_dense ~n d in
+    let tr = ref F.zero in
+    for i = 0 to n - 1 do
+      tr := F.add !tr (M.get dense i i)
+    done;
+    check_bool "monic" true (feq cp.(n) F.one);
+    check_bool "second coefficient = -trace" true (feq cp.(n - 1) (F.neg !tr));
+    let det = G.det dense in
+    let expect = if n land 1 = 0 then det else F.neg det in
+    check_bool "constant term = (-1)^n det" true (feq cp.(0) expect)
+  done
+
+let test_toeplitz_cayley_hamilton () =
+  let st = Random.State.make [| 68 |] in
+  let n = 7 in
+  let d = rand_diag st n in
+  let cp = TC.charpoly ~n d in
+  let t = TZ.to_dense ~n d in
+  let acc = ref (M.make n n) in
+  let power = ref (M.identity n) in
+  for k = 0 to n do
+    acc := M.add !acc (M.scale cp.(k) !power);
+    if k < n then power := M.mul !power t
+  done;
+  check_mat "f(T) = 0" (M.make n n) !acc
+
+(* ---- Chistov ---- *)
+
+let test_chistov_matches_charpoly () =
+  let st = Random.State.make [| 69 |] in
+  for _ = 1 to 8 do
+    let n = 1 + Random.State.int st 10 in
+    let d = rand_diag st n in
+    check_bool "chistov = §3 engine over GF(p)" true
+      (farr_eq (Ch.charpoly ~n d) (TC.charpoly ~n d))
+  done
+
+let test_chistov_gf2 () =
+  (* characteristic 2: Leverrier impossible (divides by 2), Chistov fine.
+     Verify by evaluating det(λ0·I - T) in GF(2^16) at random points. *)
+  let module E = Kp_field.Fields.Gf2_16 in
+  let module CE = Kp_poly.Conv.Karatsuba (E) in
+  let module ChE = Kp_structured.Chistov.Make (E) (CE) in
+  let module TZE = Kp_structured.Toeplitz.Make (E) (CE) in
+  let module ME = Kp_matrix.Dense.Make (E) in
+  let module GE = Kp_matrix.Gauss.Make (E) in
+  let st = Random.State.make [| 70 |] in
+  for _ = 1 to 4 do
+    let n = 1 + Random.State.int st 7 in
+    (* entries in the base field GF(2) embedded in GF(2^16) *)
+    let d = Array.init ((2 * n) - 1) (fun _ -> E.embed (Random.State.int st 2)) in
+    let cp = ChE.charpoly ~n d in
+    let dense = TZE.to_dense ~n d in
+    for _ = 1 to 5 do
+      let x = E.random st in
+      let lhs =
+        (* eval cp at x *)
+        let acc = ref E.zero in
+        for k = n downto 0 do
+          acc := E.add (E.mul !acc x) cp.(k)
+        done;
+        !acc
+      in
+      let m = ME.sub (ME.scale x (ME.identity n)) dense in
+      check_bool "GF(2) charpoly evaluates to det" true (E.equal lhs (GE.det m))
+    done
+  done
+
+let test_chistov_parallel_variant () =
+  let st = Random.State.make [| 72 |] in
+  for _ = 1 to 6 do
+    let n = 1 + Random.State.int st 9 in
+    let d = rand_diag st n in
+    check_bool "parallel = sequential Chistov" true
+      (farr_eq (Ch.charpoly_parallel ~n d) (Ch.charpoly ~n d))
+  done;
+  (* and over GF(2), where it must also work *)
+  let module E = Kp_field.Fields.Gf2_16 in
+  let module CE = Kp_poly.Conv.Karatsuba (E) in
+  let module ChE = Kp_structured.Chistov.Make (E) (CE) in
+  let st = Random.State.make [| 73 |] in
+  for _ = 1 to 3 do
+    let n = 1 + Random.State.int st 6 in
+    let d = Array.init ((2 * n) - 1) (fun _ -> E.random st) in
+    let a = ChE.charpoly_parallel ~n d and b = ChE.charpoly ~n d in
+    check_bool "GF(2^16) parallel Chistov" true
+      (Array.for_all2 E.equal a b)
+  done
+
+let test_chistov_general_dense () =
+  let module ChG = Kp_structured.Chistov_general.Make (F) in
+  let st = Random.State.make [| 74 |] in
+  for _ = 1 to 8 do
+    let n = 1 + Random.State.int st 8 in
+    let a = M.random st n n in
+    let cp = ChG.charpoly a in
+    let oracle = charpoly_oracle a in
+    check_bool "general Chistov = oracle" true (P.equal (P.of_coeffs cp) oracle);
+    check_bool "det" true (feq (ChG.det a) (G.det a))
+  done
+
+let test_chistov_general_gf2 () =
+  (* works over GF(2) directly — no extension field needed for charpoly *)
+  let module ChG = Kp_structured.Chistov_general.Make (Kp_field.Gf2) in
+  let module M2 = Kp_matrix.Dense.Make (Kp_field.Gf2) in
+  let module G2 = Kp_matrix.Gauss.Make (Kp_field.Gf2) in
+  let st = Random.State.make [| 75 |] in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 8 in
+    let a = M2.random st n n in
+    let cp = ChG.charpoly a in
+    (* det from the constant coefficient must match elimination over GF(2) *)
+    check_bool "GF(2) det via charpoly" true
+      (Kp_field.Gf2.equal (ChG.det a) (G2.det a));
+    (* Cayley-Hamilton over GF(2) *)
+    let acc = ref (M2.make n n) in
+    let power = ref (M2.identity n) in
+    for k = 0 to n do
+      acc := M2.add !acc (M2.scale cp.(k) !power);
+      if k < n then power := M2.mul !power a
+    done;
+    check_bool "f(A) = 0 over GF(2)" true (M2.is_zero !acc)
+  done
+
+let test_chistov_resolvent_entry () =
+  let st = Random.State.make [| 71 |] in
+  let n = 6 in
+  let d = rand_diag st n in
+  let len = 9 in
+  let beta = Ch.diagonal_resolvent_entry ~n ~len d in
+  (* oracle: Neumann series via dense powers *)
+  let t = TZ.to_dense ~n d in
+  let power = ref (M.identity n) in
+  for k = 0 to len - 1 do
+    check_bool "resolvent coefficient" true (feq beta.(k) (M.get !power (n - 1) (n - 1)));
+    if k < len - 1 then power := M.mul !power t
+  done
+
+let () =
+  Alcotest.run "kp_structured"
+    [
+      ( "toeplitz",
+        [
+          Alcotest.test_case "entries vs dense" `Quick test_toeplitz_entry_dense;
+          Alcotest.test_case "matvec" `Quick test_toeplitz_matvec;
+          Alcotest.test_case "of_dense roundtrip" `Quick test_toeplitz_of_dense_roundtrip;
+          Alcotest.test_case "leading principal" `Quick test_toeplitz_leading_principal;
+        ] );
+      ( "hankel",
+        [
+          Alcotest.test_case "matvec" `Quick test_hankel_matvec;
+          Alcotest.test_case "symmetric" `Quick test_hankel_symmetric;
+          Alcotest.test_case "mirror det relation" `Quick test_hankel_mirror_det;
+        ] );
+      ( "gohberg-semencul",
+        [
+          Alcotest.test_case "reconstructs inverse" `Quick test_gs_reconstructs_inverse;
+          Alcotest.test_case "apply" `Quick test_gs_apply;
+          Alcotest.test_case "trace formula" `Quick test_gs_trace;
+        ] );
+      ( "leverrier",
+        [
+          Alcotest.test_case "newton = series route" `Quick test_leverrier_newton_vs_series;
+          Alcotest.test_case "matches oracle" `Quick test_leverrier_matches_oracle;
+          Alcotest.test_case "determinant" `Quick test_leverrier_det;
+        ] );
+      ( "toeplitz-charpoly",
+        [
+          Alcotest.test_case "resolvent columns" `Quick test_inverse_columns_invariant;
+          Alcotest.test_case "trace series" `Quick test_trace_series_matches_powers;
+          Alcotest.test_case "charpoly oracle" `Quick test_toeplitz_charpoly_oracle;
+          Alcotest.test_case "NTT multiplier agrees" `Quick test_toeplitz_charpoly_ntt_conv;
+          Alcotest.test_case "determinant" `Quick test_toeplitz_det;
+          Alcotest.test_case "coefficient identities" `Quick test_charpoly_coefficient_identities;
+          Alcotest.test_case "Cayley-Hamilton" `Quick test_toeplitz_cayley_hamilton;
+        ] );
+      ( "chistov",
+        [
+          Alcotest.test_case "matches §3 engine" `Quick test_chistov_matches_charpoly;
+          Alcotest.test_case "characteristic 2" `Quick test_chistov_gf2;
+          Alcotest.test_case "parallel variant" `Quick test_chistov_parallel_variant;
+          Alcotest.test_case "general dense" `Quick test_chistov_general_dense;
+          Alcotest.test_case "general over GF(2)" `Quick test_chistov_general_gf2;
+          Alcotest.test_case "resolvent entry" `Quick test_chistov_resolvent_entry;
+        ] );
+    ]

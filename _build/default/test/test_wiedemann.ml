@@ -1,0 +1,203 @@
+(* Black-box Wiedemann (the §2 sequential instantiation) and the
+   counting↔circuit cross-validation: the two measurement instruments of
+   the experiment harness must agree with each other and with the dense
+   oracles. *)
+
+module F = Kp_field.Fields.Gf_ntt
+module M = Kp_matrix.Dense.Make (F)
+module G = Kp_matrix.Gauss.Make (F)
+module Sp = Kp_matrix.Sparse.Make (F)
+module Bb = Kp_matrix.Blackbox.Make (F)
+module W = Kp_core.Wiedemann.Make (F)
+module Lev = Kp_structured.Leverrier.Make (F)
+module CK = Kp_poly.Conv.Karatsuba (F)
+module TC = Kp_structured.Toeplitz_charpoly.Make (F) (CK)
+module TZ = Kp_structured.Toeplitz.Make (F) (CK)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let st0 k = Kp_util.Rng.make (9000 + k)
+let farr_eq a b = Array.length a = Array.length b && Array.for_all2 F.equal a b
+
+let test_solve_dense_blackbox () =
+  let st = st0 1 in
+  for _ = 1 to 8 do
+    let n = 2 + Random.State.int st 14 in
+    let a = M.random_nonsingular st n in
+    let x_true = Array.init n (fun _ -> F.random st) in
+    let b = M.matvec a x_true in
+    match W.solve st (Bb.of_dense a) b with
+    | Ok x -> check_bool "solution" true (farr_eq x x_true)
+    | Error e -> Alcotest.fail e
+  done
+
+let test_solve_sparse_blackbox () =
+  let st = st0 2 in
+  for _ = 1 to 5 do
+    let n = 20 + Random.State.int st 40 in
+    let s = Sp.random_nonsingular st n ~density:0.1 in
+    let x_true = Array.init n (fun _ -> F.random st) in
+    let b = Sp.matvec s x_true in
+    match W.solve st (Bb.of_sparse s) b with
+    | Ok x -> check_bool "sparse solution" true (farr_eq x x_true)
+    | Error e -> Alcotest.fail e
+  done
+
+let test_solve_composed_blackbox () =
+  let st = st0 3 in
+  let n = 15 in
+  let a1 = M.random_nonsingular st n and a2 = M.random_nonsingular st n in
+  let bb = Bb.compose (Bb.of_dense a1) (Bb.of_dense a2) in
+  let x_true = Array.init n (fun _ -> F.random st) in
+  let b = bb.Bb.apply x_true in
+  match W.solve st bb b with
+  | Ok x -> check_bool "product blackbox" true (farr_eq x x_true)
+  | Error e -> Alcotest.fail e
+
+let test_det_blackbox () =
+  let st = st0 4 in
+  for _ = 1 to 8 do
+    let n = 2 + Random.State.int st 10 in
+    let a = M.random st n n in
+    match W.det st (Bb.of_dense a) with
+    | Ok d -> check_bool "det = Gauss" true (F.equal d (G.det a))
+    | Error e -> Alcotest.fail e
+  done
+
+let test_det_singular_blackbox () =
+  let st = st0 5 in
+  for _ = 1 to 4 do
+    let n = 4 + Random.State.int st 5 in
+    let a = M.random_of_rank st n ~rank:(n - 1) in
+    match W.det st (Bb.of_dense a) with
+    | Ok d -> check_bool "det 0 certified" true (F.is_zero d)
+    | Error _ -> Alcotest.fail "singular det should certify zero"
+  done
+
+let test_minpoly_is_dense_minpoly () =
+  let st = st0 6 in
+  for _ = 1 to 6 do
+    let n = 2 + Random.State.int st 8 in
+    let a = M.random_nonsingular st n in
+    let f = W.minimal_polynomial st (Bb.of_dense a) in
+    (* f must annihilate A when it has full degree (equals charpoly) *)
+    if Array.length f = n + 1 then begin
+      let s = Lev.power_sums_of_dense ~mul:M.mul a in
+      let cp = Lev.newton_identities ~n s in
+      check_bool "minpoly = charpoly at full degree" true (farr_eq f cp)
+    end
+  done
+
+let test_singularity_certificate () =
+  let st = st0 7 in
+  let hits = ref 0 in
+  for _ = 1 to 5 do
+    let n = 5 + Random.State.int st 5 in
+    let sing = M.random_of_rank st n ~rank:(n - 1) in
+    if W.is_probably_singular st (Bb.of_dense sing) then incr hits;
+    let nonsing = M.random_nonsingular st n in
+    (* one-sided: must never claim a non-singular matrix singular *)
+    check_bool "no false positives" false
+      (W.is_probably_singular st (Bb.of_dense nonsing))
+  done;
+  check_bool "detects singular most of the time" true (!hits >= 4)
+
+(* ---- Toeplitz solve (public §3 API) ---- *)
+
+let test_toeplitz_solve () =
+  let st = st0 8 in
+  for _ = 1 to 10 do
+    let n = 1 + Random.State.int st 12 in
+    let d = Array.init ((2 * n) - 1) (fun _ -> F.random st) in
+    let dense = TZ.to_dense ~n d in
+    match G.solve dense (Array.init n (fun _ -> F.random st)) with
+    | None -> () (* singular draw; skip *)
+    | Some _ ->
+      let x_true = Array.init n (fun _ -> F.random st) in
+      let b = M.matvec dense x_true in
+      let x = TC.solve ~n d b in
+      check_bool "Toeplitz CH solve" true (farr_eq x x_true)
+  done
+
+let test_toeplitz_solve_singular_raises () =
+  (* the all-ones Toeplitz matrix is singular for n >= 2 *)
+  let n = 4 in
+  let d = Array.make ((2 * n) - 1) F.one in
+  check_bool "singular raises" true
+    (try ignore (TC.solve ~n d (Array.make n F.one)); false
+     with Division_by_zero -> true)
+
+(* ---- cross-validation: counting field vs circuit size ---- *)
+
+let test_counting_equals_circuit_size () =
+  (* the same straight-line functor, instrumented two ways, must agree:
+     ops counted by the Counting wrapper = arithmetic gates of the traced
+     circuit (constants are free on both sides) *)
+  let module Cnt = Kp_field.Counting.Make (F) in
+  let module CCK = Kp_poly.Conv.Karatsuba (Cnt) in
+  let module CTC = Kp_structured.Toeplitz_charpoly.Make (Cnt) (CCK) in
+  let st = st0 9 in
+  List.iter
+    (fun n ->
+      let d = Array.init ((2 * n) - 1) (fun _ -> F.random st) in
+      (* counting *)
+      Cnt.reset ();
+      let _, ops =
+        Cnt.measure (fun () -> ignore (CTC.charpoly ~n (Array.map Cnt.of_int d)))
+      in
+      let counted = Kp_field.Counting.total ops in
+      (* tracing *)
+      let module B = Kp_circuit.Circuit.Builder () in
+      let module BCK = Kp_poly.Conv.Karatsuba (B) in
+      let module BTC = Kp_structured.Toeplitz_charpoly.Make (B) (BCK) in
+      let inputs = Array.map (fun _ -> B.fresh_input ()) d in
+      let cp = BTC.charpoly ~n inputs in
+      B.finish ~outputs:cp;
+      let stats = Kp_circuit.Circuit.stats B.circuit in
+      check_int
+        (Printf.sprintf "ops = gates (n=%d)" n)
+        counted stats.Kp_circuit.Circuit.size)
+    [ 2; 4; 7 ]
+
+let test_traced_charpoly_evaluates_correctly () =
+  (* the traced circuit, replayed over the concrete field, must equal the
+     directly computed characteristic polynomial *)
+  let st = st0 10 in
+  let n = 6 in
+  let d = Array.init ((2 * n) - 1) (fun _ -> F.random st) in
+  let module B = Kp_circuit.Circuit.Builder () in
+  let module BCK = Kp_poly.Conv.Karatsuba (B) in
+  let module BTC = Kp_structured.Toeplitz_charpoly.Make (B) (BCK) in
+  let inputs = Array.map (fun _ -> B.fresh_input ()) d in
+  let cp = BTC.charpoly ~n inputs in
+  B.finish ~outputs:cp;
+  let replayed =
+    Kp_circuit.Circuit.eval (module F) B.circuit ~inputs:d ~randoms:[||]
+  in
+  let direct = TC.charpoly ~n d in
+  check_bool "replay = direct" true (farr_eq replayed direct)
+
+let () =
+  Alcotest.run "kp_wiedemann"
+    [
+      ( "blackbox",
+        [
+          Alcotest.test_case "solve (dense bb)" `Quick test_solve_dense_blackbox;
+          Alcotest.test_case "solve (sparse bb)" `Quick test_solve_sparse_blackbox;
+          Alcotest.test_case "solve (composed bb)" `Quick test_solve_composed_blackbox;
+          Alcotest.test_case "det" `Quick test_det_blackbox;
+          Alcotest.test_case "det singular" `Quick test_det_singular_blackbox;
+          Alcotest.test_case "min poly" `Quick test_minpoly_is_dense_minpoly;
+          Alcotest.test_case "singularity certificate" `Quick test_singularity_certificate;
+        ] );
+      ( "toeplitz-solve",
+        [
+          Alcotest.test_case "solve" `Quick test_toeplitz_solve;
+          Alcotest.test_case "singular raises" `Quick test_toeplitz_solve_singular_raises;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "counting = circuit size" `Quick test_counting_equals_circuit_size;
+          Alcotest.test_case "traced charpoly replays" `Quick test_traced_charpoly_evaluates_correctly;
+        ] );
+    ]
