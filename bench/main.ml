@@ -53,6 +53,9 @@ module AD = Kp_circuit.Autodiff
 let fast = ref false
 let st () = Kp_util.Rng.make 31337
 
+(* expose the counting field's tallies to the observability exporter *)
+let () = Cnt.register_gauges ~prefix:"field" ()
+
 let log2 n = log (float_of_int n) /. log 2.
 
 let measure_ops f =
@@ -766,6 +769,17 @@ let () =
   List.iter
     (fun (name, run) ->
       Printf.printf "==== %s ====\n%!" name;
+      (* fresh measurement window per table: monotonic spans, blackbox /
+         solver / pool counters, and the field-op tallies all restart at 0,
+         so the STATS line below is attributable to this table alone *)
+      Kp_obs.Export.reset ();
+      Cnt.reset ();
       let _, secs = Kp_util.Timing.time run in
-      Printf.printf "(%s finished in %.1fs)\n\n%!" name secs)
+      Printf.printf "(%s finished in %.1fs)\n%!" name secs;
+      (* one-line machine-readable summary (op counts next to seconds),
+         ready for BENCH_*.json capture: grep '^STATS ' | cut -d' ' -f2- *)
+      Printf.printf "STATS %s\n\n%!"
+        (Kp_obs.Export.to_json ~label:name
+           ~extra:[ ("seconds", Printf.sprintf "%.3f" secs) ]
+           ~events:false ()))
     selected

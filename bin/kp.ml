@@ -5,6 +5,7 @@
    or generated randomly with --random.
 
      kp solve  --random 24
+     kp solve  --random 200 --stats=json   (observability report on stderr-free stdout)
      kp det    --matrix m.txt
      kp rank   --random 16 --rank-hint 9
      kp inverse --random 6
@@ -28,11 +29,15 @@ type setup = {
   matrix : string option;
   random : int option;
   rank_hint : int option;
+  engine : [ `Blackbox | `Dense ];
+  stats : [ `Text | `Json ] option;
 }
 
 (* all subcommand bodies, generic in the runtime field *)
 module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
   module M = Kp_matrix.Dense.Make (F)
+  module Bb = Kp_matrix.Blackbox.Make (F)
+  module W = Kp_core.Wiedemann.Make (F)
   module C = Kp_poly.Conv.Karatsuba (F)
   module S = Kp_core.Solver.Make (F) (C)
   module R = Kp_core.Rank.Make (F) (C)
@@ -57,6 +62,20 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       | None -> (M.random_nonsingular st n, []))
     | None, None -> failwith "provide --matrix FILE or --random N"
 
+  let print_solution ~engine ~attempts x =
+    Printf.printf "solution (engine: %s, attempts: %d):\n" engine attempts;
+    Array.iteri (fun i v -> Printf.printf "  x_%d = %s\n" i (F.to_string v)) x
+
+  let solve_dense st a b =
+    match S.solve st a b with
+    | Ok (x, report) ->
+      print_solution ~engine:"dense" ~attempts:report.S.attempts x;
+      `Ok ()
+    | Error { S.outcome = `Singular; _ } ->
+      print_endline "matrix is singular (certified witness)";
+      `Ok ()
+    | Error _ -> `Error (false, "solver failed")
+
   let solve setup =
     let st = Kp_util.Rng.make setup.seed in
     let a, extra = load_matrix setup st in
@@ -67,15 +86,18 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
         |> Array.map F.of_int
       else Array.init n (fun _ -> F.random st)
     in
-    match S.solve st a b with
-    | Ok (x, report) ->
-      Printf.printf "solution (attempts: %d):\n" report.S.attempts;
-      Array.iteri (fun i v -> Printf.printf "  x_%d = %s\n" i (F.to_string v)) x;
-      `Ok ()
-    | Error { S.outcome = `Singular; _ } ->
-      print_endline "matrix is singular (certified witness)";
-      `Ok ()
-    | Error _ -> `Error (false, "solver failed")
+    match setup.engine with
+    | `Dense -> solve_dense st a b
+    | `Blackbox -> (
+      (* the paper's black-box route: Ã = A·H·D, fully instrumented *)
+      match W.solve_preconditioned st (Bb.of_dense a) b with
+      | Ok (x, attempts) ->
+        print_solution ~engine:"blackbox" ~attempts x;
+        `Ok ()
+      | Error _ ->
+        (* retries exhausted — possibly singular; the dense route carries
+           the singularity certificate *)
+        solve_dense st a b)
 
   let det setup =
     let st = Kp_util.Rng.make setup.seed in
@@ -160,18 +182,46 @@ let rank_hint_t =
   Arg.(value & opt (some int) None
        & info [ "rank-hint" ] ~doc:"With --random: generate this exact rank.")
 
+let engine_t =
+  Arg.(value
+       & opt (enum [ ("blackbox", `Blackbox); ("dense", `Dense) ]) `Blackbox
+       & info [ "engine" ]
+           ~doc:
+             "Solve engine: $(b,blackbox) (preconditioned black-box \
+              Wiedemann, fully instrumented) or $(b,dense) (the dense \
+              Theorem-4 pipeline).")
+
+let stats_t =
+  Arg.(value
+       & opt ~vopt:(Some `Text) (some (enum [ ("text", `Text); ("json", `Json) ])) None
+       & info [ "stats" ]
+           ~doc:
+             "Print an observability report (monotonic span timings, \
+              black-box/solver counters, per-attempt events) after the \
+              command: $(b,--stats) for text, $(b,--stats=json) for one-line \
+              JSON.")
+
+let print_stats = function
+  | None -> ()
+  | Some `Text -> print_string (Kp_obs.Export.to_text ~label:"kp" ())
+  | Some `Json -> print_endline (Kp_obs.Export.to_json ~label:"kp" ())
+
 let setup_t =
-  let combine prime seed matrix random rank_hint =
-    { prime; seed; matrix; random; rank_hint }
+  let combine prime seed matrix random rank_hint engine stats =
+    { prime; seed; matrix; random; rank_hint; engine; stats }
   in
-  Term.(const combine $ prime_t $ seed_t $ matrix_t $ random_t $ rank_hint_t)
+  Term.(
+    const combine $ prime_t $ seed_t $ matrix_t $ random_t $ rank_hint_t
+    $ engine_t $ stats_t)
 
 let simple_cmd name doc (select : (module DRIVER) -> setup -> ret) =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       ret
         (const (fun setup ->
-             (dispatch setup.prime (fun d -> select d setup) :> unit Cmdliner.Term.ret))
+             let r = dispatch setup.prime (fun d -> select d setup) in
+             print_stats setup.stats;
+             (r :> unit Cmdliner.Term.ret))
          $ setup_t))
 
 let solve_cmd =
@@ -194,9 +244,11 @@ let charpoly_cmd =
        ~doc:"Characteristic polynomial of a Toeplitz matrix (Theorem 3).")
     Term.(
       ret
-        (const (fun p t ->
-             (dispatch p (fun (module D : DRIVER) -> D.charpoly p t) :> unit Cmdliner.Term.ret))
-         $ prime_t $ toeplitz_t))
+        (const (fun p t stats ->
+             let r = dispatch p (fun (module D : DRIVER) -> D.charpoly p t) in
+             print_stats stats;
+             (r :> unit Cmdliner.Term.ret))
+         $ prime_t $ toeplitz_t $ stats_t))
 
 let () =
   let info =

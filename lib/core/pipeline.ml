@@ -18,7 +18,10 @@ struct
 
   type strategy = Doubling | Sequential
 
+  module Span = Kp_obs.Span
+
   let preconditioned (a : M.t) ~h ~d =
+    Span.with_ "pipeline.precondition" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Pipeline.preconditioned: non-square";
     (* (H·D)_{ij} = h_{i+j}·d_j *)
@@ -48,6 +51,7 @@ struct
     Array.map (F.mul neg_inv) acc
 
   let minimal_generator ?mul ~charpoly ~strategy ~n seq =
+    Span.with_ "pipeline.generator" @@ fun () ->
     let mul = Option.value mul ~default:M.mul in
     if Array.length seq < 2 * n then invalid_arg "Pipeline.minimal_generator";
     let dt = Array.sub seq 0 ((2 * n) - 1) in
@@ -69,6 +73,7 @@ struct
     end
 
   let det_hd ~charpoly ~n ~h ~d =
+    Span.with_ "pipeline.det_hd" @@ fun () ->
     let mirror = HK.to_toeplitz ~n h in
     let cp_t = charpoly ~n mirror in
     let det_t = Lev.char_to_det ~n cp_t in
@@ -86,6 +91,7 @@ struct
   }
 
   let sequence_of ~strategy ~mul a_tilde ~u ~v n =
+    Span.with_ "pipeline.krylov" @@ fun () ->
     let cols =
       match strategy with
       | Doubling -> K.columns ~mul a_tilde v (2 * n)
@@ -99,6 +105,7 @@ struct
     let a_tilde = preconditioned a ~h ~d in
     let cols, seq = sequence_of ~strategy ~mul a_tilde ~u ~v:b n in
     let f = minimal_generator ~mul ~charpoly ~strategy ~n seq in
+    Span.with_ "pipeline.recover" @@ fun () ->
     (* x̃ = -(1/f_0) Σ_{i=0}^{n-1} f_{i+1} Ã^i b *)
     let comb = K.combination (M.init n n (fun i j -> M.get cols i j)) (Array.sub f 1 n) in
     let neg_inv = F.neg (F.inv f.(0)) in

@@ -15,6 +15,27 @@ struct
     outcome : outcome;
   }
 
+  module Span = Kp_obs.Span
+  module Counter = Kp_obs.Counter
+
+  let c_attempts = Counter.make "solver.attempts"
+  let c_successes = Counter.make "solver.successes"
+  let c_failures = Counter.make "solver.failures"
+  let c_singular = Counter.make "solver.singular"
+  let c_rej_zero = Counter.make "solver.rejections.zero_constant_term"
+  let c_rej_gen = Counter.make "solver.rejections.low_degree"
+  let c_rej_residual = Counter.make "solver.rejections.residual_mismatch"
+  let c_rej_precond = Counter.make "solver.rejections.singular_preconditioner"
+  let c_witness = Counter.make "solver.singular_witnesses"
+
+  let attempt_event ~op ~attempt ~outcome =
+    Kp_obs.Events.emit "solver.attempt"
+      [ ("op", op); ("attempt", string_of_int attempt); ("outcome", outcome) ]
+
+  let reject counter ~op ~attempt reason =
+    Counter.incr counter;
+    attempt_event ~op ~attempt ~outcome:reason
+
   let charpoly_for_field ~n =
     if F.characteristic = 0 || F.characteristic > n then P.charpoly_leverrier
     else P.charpoly_chistov
@@ -51,6 +72,7 @@ struct
     | Some pool -> MD.mul_parallel pool
 
   let solve ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?pool st (a : M.t) b =
+    Span.with_ "solver.solve" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.solve: non-square";
     if Array.length b <> n then invalid_arg "Solver.solve: bad rhs";
@@ -58,15 +80,26 @@ struct
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ~n in
     let singular_witnesses = ref 0 in
+    let witness () =
+      incr singular_witnesses;
+      Counter.incr c_witness
+    in
     let rec attempt k =
       if k > retries then begin
         let outcome =
-          if !singular_witnesses >= min retries 3 then `Singular
-          else `Failure "retries exhausted"
+          if !singular_witnesses >= min retries 3 then begin
+            Counter.incr c_singular;
+            `Singular
+          end
+          else begin
+            Counter.incr c_failures;
+            `Failure "retries exhausted"
+          end
         in
         Error { attempts = k - 1; outcome }
       end
       else begin
+        Counter.incr c_attempts;
         let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
         let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
         let u = sample_vec st ~card_s n in
@@ -79,38 +112,57 @@ struct
         | exception Division_by_zero ->
           (* singular Toeplitz system: the generator has degree < n — could
              be bad luck or a singular Ã; witness only if H is invertible *)
-          if h_nonsingular () then incr singular_witnesses;
+          if h_nonsingular () then witness ();
+          reject c_rej_gen ~op:"solve" ~attempt:k "low_degree";
           attempt (k + 1)
         | { x; f; seq; _ } ->
           if F.is_zero f.(0) && generator_ok ~n f seq then begin
             (* true minpoly with zero constant term: Ã singular; with H, D
                non-singular this witnesses singularity of A *)
-            if h_nonsingular () then incr singular_witnesses;
+            if h_nonsingular () then witness ();
+            reject c_rej_zero ~op:"solve" ~attempt:k "zero_constant_term";
             attempt (k + 1)
           end
-          else if verify_solution a x b then
+          else if verify_solution a x b then begin
+            Counter.incr c_successes;
+            attempt_event ~op:"solve" ~attempt:k ~outcome:"success";
             Ok (x, { attempts = k; outcome = `Success })
-          else attempt (k + 1)
+          end
+          else begin
+            reject c_rej_residual ~op:"solve" ~attempt:k "residual_mismatch";
+            attempt (k + 1)
+          end
       end
     in
     attempt 1
 
   let det ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?pool st (a : M.t) =
+    Span.with_ "solver.det" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.det: non-square";
     let mul = mul_of pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ~n in
     let singular_witnesses = ref 0 in
+    let witness () =
+      incr singular_witnesses;
+      Counter.incr c_witness
+    in
     let rec attempt k =
       if k > retries then begin
-        if !singular_witnesses >= min retries 3 then
+        if !singular_witnesses >= min retries 3 then begin
           (* consistent singularity witnesses: report det = 0 (Monte Carlo
              on the singular side, exact on the non-singular side) *)
+          Counter.incr c_singular;
           Ok (F.zero, { attempts = k - 1; outcome = `Singular })
-        else Error { attempts = k - 1; outcome = `Failure "retries exhausted" }
+        end
+        else begin
+          Counter.incr c_failures;
+          Error { attempts = k - 1; outcome = `Failure "retries exhausted" }
+        end
       end
       else begin
+        Counter.incr c_attempts;
         let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
         let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
         let u = sample_vec st ~card_s n in
@@ -129,21 +181,35 @@ struct
         in
         match P.minimal_generator ~mul ~charpoly ~strategy ~n seq with
         | exception Division_by_zero ->
-          if h_nonsingular () then incr singular_witnesses;
+          if h_nonsingular () then witness ();
+          reject c_rej_gen ~op:"det" ~attempt:k "low_degree";
           attempt (k + 1)
         | f ->
-          if not (generator_ok ~n f seq) then attempt (k + 1)
+          if not (generator_ok ~n f seq) then begin
+            reject c_rej_gen ~op:"det" ~attempt:k "low_degree";
+            attempt (k + 1)
+          end
           else if F.is_zero f.(0) then begin
-            if h_nonsingular () then incr singular_witnesses;
+            if h_nonsingular () then witness ();
+            reject c_rej_zero ~op:"det" ~attempt:k "zero_constant_term";
             attempt (k + 1)
           end
           else begin
             match P.det_hd ~charpoly ~n ~h ~d with
-            | exception Division_by_zero -> attempt (k + 1)
+            | exception Division_by_zero ->
+              reject c_rej_precond ~op:"det" ~attempt:k
+                "singular_preconditioner";
+              attempt (k + 1)
             | dhd ->
-              if F.is_zero dhd then attempt (k + 1)
+              if F.is_zero dhd then begin
+                reject c_rej_precond ~op:"det" ~attempt:k
+                  "singular_preconditioner";
+                attempt (k + 1)
+              end
               else begin
                 let det_tilde = if n land 1 = 0 then f.(0) else F.neg f.(0) in
+                Counter.incr c_successes;
+                attempt_event ~op:"det" ~attempt:k ~outcome:"success";
                 Ok (F.div det_tilde dhd, { attempts = k; outcome = `Success })
               end
           end

@@ -8,6 +8,27 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
   module BM = Kp_seqgen.Berlekamp_massey.Make (F)
   module LR = Kp_seqgen.Linrec.Make (F)
 
+  module Span = Kp_obs.Span
+  module Counter = Kp_obs.Counter
+  module Events = Kp_obs.Events
+
+  let c_attempts = Counter.make "wiedemann.attempts"
+  let c_successes = Counter.make "wiedemann.successes"
+  let c_failures = Counter.make "wiedemann.failures"
+  let c_rej_zero = Counter.make "wiedemann.rejections.zero_constant_term"
+  let c_rej_low = Counter.make "wiedemann.rejections.low_degree"
+  let c_rej_residual = Counter.make "wiedemann.rejections.residual_mismatch"
+  let c_rej_precond = Counter.make "wiedemann.rejections.singular_preconditioner"
+  let c_singular_witness = Counter.make "wiedemann.singular_witnesses"
+
+  let attempt_event ~op ~attempt ~outcome =
+    Events.emit "wiedemann.attempt"
+      [ ("op", op); ("attempt", string_of_int attempt); ("outcome", outcome) ]
+
+  let reject counter ~op ~attempt reason =
+    Counter.incr counter;
+    attempt_event ~op ~attempt ~outcome:reason
+
   let default_card_s n =
     let bound = max (12 * n * n) 64 in
     match F.cardinality with Some q -> min bound q | None -> bound
@@ -24,25 +45,40 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
     go 0
 
   let minimal_polynomial ?card_s st (bb : Bb.t) =
+    Span.with_ "wiedemann.minpoly" @@ fun () ->
     let n = bb.Bb.dim in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let bb = Bb.instrument bb in
     let u = sample_vec st ~card_s n in
     let b = sample_vec st ~card_s n in
     let seq = LR.krylov_sequence bb.Bb.apply ~u ~b (2 * n) in
     BM.P.to_array (BM.minimal_polynomial seq)
 
   let solve ?(retries = 10) ?card_s st (bb : Bb.t) b =
+    Span.with_ "wiedemann.solve" @@ fun () ->
     let n = bb.Bb.dim in
     if Array.length b <> n then invalid_arg "Wiedemann.solve: bad rhs";
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let bb = Bb.instrument bb in
     let rec attempt k =
-      if k > retries then Error "Wiedemann.solve: retries exhausted"
+      if k > retries then begin
+        Counter.incr c_failures;
+        Error "Wiedemann.solve: retries exhausted"
+      end
       else begin
+        Counter.incr c_attempts;
         let u = sample_vec st ~card_s n in
         let seq = LR.krylov_sequence bb.Bb.apply ~u ~b (2 * n) in
         let f = BM.P.to_array (BM.minimal_polynomial seq) in
         let deg = Array.length f - 1 in
-        if deg = 0 || F.is_zero f.(0) then attempt (k + 1)
+        if deg = 0 then begin
+          reject c_rej_low ~op:"solve" ~attempt:k "low_degree";
+          attempt (k + 1)
+        end
+        else if F.is_zero f.(0) then begin
+          reject c_rej_zero ~op:"solve" ~attempt:k "zero_constant_term";
+          attempt (k + 1)
+        end
         else begin
           (* x = -(1/f_0) Σ_{i=1}^{deg} f_i A^{i-1} b *)
           let acc = ref (Array.make n F.zero) in
@@ -53,43 +89,147 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
           done;
           let c = F.neg (F.inv f.(0)) in
           let x = Array.map (F.mul c) !acc in
-          if Array.for_all2 F.equal (bb.Bb.apply x) b then Ok x
-          else attempt (k + 1)
+          if Array.for_all2 F.equal (bb.Bb.apply x) b then begin
+            Counter.incr c_successes;
+            attempt_event ~op:"solve" ~attempt:k ~outcome:"success";
+            Ok x
+          end
+          else begin
+            reject c_rej_residual ~op:"solve" ~attempt:k "residual_mismatch";
+            attempt (k + 1)
+          end
         end
       end
     in
     attempt 1
+
+  (* One Hankel matvec is a full convolution of lengths 2n-1 and n.  The
+     Karatsuba multiplier is oblivious — its operation sequence depends
+     only on the input lengths — so its true cost is measured once per n
+     through the counting field and cached. *)
+  module CntF = Kp_field.Counting.Make (F)
+  module CntC = Kp_poly.Conv.Karatsuba (CntF)
+  module CntHK = Kp_structured.Hankel.Make (CntF) (CntC)
+
+  let hankel_cost_cache : (int, int) Hashtbl.t = Hashtbl.create 8
+
+  let hankel_ops_per_apply n =
+    match Hashtbl.find_opt hankel_cost_cache n with
+    | Some c -> c
+    | None ->
+      let h = Array.make ((2 * n) - 1) CntF.one in
+      let v = Array.make n CntF.one in
+      let _, ops = CntF.measure (fun () -> ignore (CntHK.matvec ~n h v)) in
+      let c = Kp_field.Counting.total ops in
+      Hashtbl.replace hankel_cost_cache n c;
+      c
 
   let hankel_blackbox ~n h =
     {
       Bb.dim = n;
       apply = HK.matvec ~n h;
       apply_transpose = Some (HK.matvec ~n h) (* Hankel matrices are symmetric *);
-      ops_per_apply = 0;
+      ops_per_apply = hankel_ops_per_apply n;
     }
+
+  (* Ã = A·H·D as a black-box composition: H is the Hankel preconditioner,
+     D a random non-zero diagonal (Theorem 2's preconditioning). *)
+  let preconditioned_blackbox (bb : Bb.t) ~h ~d =
+    let n = bb.Bb.dim in
+    Bb.scale_columns (Bb.compose bb (hankel_blackbox ~n h)) d
+
+  let solve_preconditioned ?(retries = 10) ?card_s st (bb : Bb.t) b =
+    Span.with_ "wiedemann.solve_preconditioned" @@ fun () ->
+    let n = bb.Bb.dim in
+    if Array.length b <> n then
+      invalid_arg "Wiedemann.solve_preconditioned: bad rhs";
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let bb_i = Bb.instrument bb in
+    let rec attempt k =
+      if k > retries then begin
+        Counter.incr c_failures;
+        Error "Wiedemann.solve_preconditioned: retries exhausted"
+      end
+      else begin
+        Counter.incr c_attempts;
+        let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
+        let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+        let u = sample_vec st ~card_s n in
+        let a_tilde =
+          Bb.instrument ~name:"preconditioned" (preconditioned_blackbox bb ~h ~d)
+        in
+        let seq = LR.krylov_sequence a_tilde.Bb.apply ~u ~b (2 * n) in
+        let f = BM.P.to_array (BM.minimal_polynomial seq) in
+        let deg = Array.length f - 1 in
+        if deg = 0 then begin
+          reject c_rej_low ~op:"solve_preconditioned" ~attempt:k "low_degree";
+          attempt (k + 1)
+        end
+        else if F.is_zero f.(0) then begin
+          reject c_rej_zero ~op:"solve_preconditioned" ~attempt:k
+            "zero_constant_term";
+          attempt (k + 1)
+        end
+        else begin
+          (* y = Ã^{-1} b by Cayley–Hamilton on the minimum polynomial *)
+          let acc = ref (Array.make n F.zero) in
+          let w = ref b in
+          for i = 1 to deg do
+            acc := Array.mapi (fun j aj -> F.add aj (F.mul f.(i) !w.(j))) !acc;
+            if i < deg then w := a_tilde.Bb.apply !w
+          done;
+          let c = F.neg (F.inv f.(0)) in
+          let y = Array.map (F.mul c) !acc in
+          (* x = H·(D·y) solves A·x = b *)
+          let dy = Array.init n (fun i -> F.mul d.(i) y.(i)) in
+          let x = HK.matvec ~n h dy in
+          if Array.for_all2 F.equal (bb_i.Bb.apply x) b then begin
+            Counter.incr c_successes;
+            attempt_event ~op:"solve_preconditioned" ~attempt:k
+              ~outcome:"success";
+            Ok (x, k)
+          end
+          else begin
+            reject c_rej_residual ~op:"solve_preconditioned" ~attempt:k
+              "residual_mismatch";
+            attempt (k + 1)
+          end
+        end
+      end
+    in
+    attempt 1
 
   let charpoly_engine ~n =
     if F.characteristic = 0 || F.characteristic > n then TC.charpoly
     else Ch.charpoly
 
   let det ?(retries = 10) ?card_s st (bb : Bb.t) =
+    Span.with_ "wiedemann.det" @@ fun () ->
     let n = bb.Bb.dim in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_engine ~n in
     let singular_witnesses = ref 0 in
     let rec attempt k =
       if k > retries then begin
-        if !singular_witnesses >= min retries 3 then Ok F.zero
-        else Error "Wiedemann.det: retries exhausted"
+        if !singular_witnesses >= min retries 3 then begin
+          Counter.incr c_successes;
+          attempt_event ~op:"det" ~attempt:(k - 1) ~outcome:"singular";
+          Ok F.zero
+        end
+        else begin
+          Counter.incr c_failures;
+          Error "Wiedemann.det: retries exhausted"
+        end
       end
       else begin
+        Counter.incr c_attempts;
         let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
         let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
         let u = sample_vec st ~card_s n in
         let v = sample_vec st ~card_s n in
-        (* Ã = A·H·D as a black-box composition: one Hankel product is a
-           convolution, so the preconditioner costs O(M(n)) per call *)
-        let a_tilde = Bb.scale_columns (Bb.compose bb (hankel_blackbox ~n h)) d in
+        let a_tilde =
+          Bb.instrument ~name:"preconditioned" (preconditioned_blackbox bb ~h ~d)
+        in
         let seq = LR.krylov_sequence a_tilde.Bb.apply ~u ~b:v (2 * n) in
         let f = BM.P.to_array (BM.minimal_polynomial seq) in
         let deg = Array.length f - 1 in
@@ -101,18 +241,29 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
         if deg >= 1 && F.is_zero f.(0) then begin
           (* λ divides the sequence's minimum polynomial: Ã is singular,
              hence (H, D non-singular) so is A — any degree suffices *)
-          if not (F.is_zero (det_h ())) then incr singular_witnesses;
+          if not (F.is_zero (det_h ())) then begin
+            incr singular_witnesses;
+            Counter.incr c_singular_witness
+          end;
+          reject c_rej_zero ~op:"det" ~attempt:k "zero_constant_term";
           attempt (k + 1)
         end
-        else if deg < n then
+        else if deg < n then begin
           (* full degree not reached without a zero root: inconclusive *)
+          reject c_rej_low ~op:"det" ~attempt:k "low_degree";
           attempt (k + 1)
+        end
         else begin
           let dh = det_h () in
-          if F.is_zero dh then attempt (k + 1)
+          if F.is_zero dh then begin
+            reject c_rej_precond ~op:"det" ~attempt:k "singular_preconditioner";
+            attempt (k + 1)
+          end
           else begin
             let dd = Array.fold_left F.mul F.one d in
             let det_tilde = if n land 1 = 0 then f.(0) else F.neg f.(0) in
+            Counter.incr c_successes;
+            attempt_event ~op:"det" ~attempt:k ~outcome:"success";
             Ok (F.div det_tilde (F.mul dh dd))
           end
         end
@@ -121,18 +272,25 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
     attempt 1
 
   let is_probably_singular ?(trials = 4) ?card_s st (bb : Bb.t) =
+    Span.with_ "wiedemann.is_probably_singular" @@ fun () ->
     let n = bb.Bb.dim in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let bb = Bb.instrument bb in
     (* one-sided: λ | f_u^{A,b} certifies singularity; for a singular A the
        witness appears with probability >= 1 - 2n/card(S) per trial *)
     let rec go k =
       if k = 0 then false
       else begin
+        Counter.incr c_attempts;
         let u = sample_vec st ~card_s n in
         let b = sample_vec st ~card_s n in
         let seq = LR.krylov_sequence bb.Bb.apply ~u ~b (2 * n) in
         let f = BM.P.to_array (BM.minimal_polynomial seq) in
-        if Array.length f > 1 && F.is_zero f.(0) then true else go (k - 1)
+        if Array.length f > 1 && F.is_zero f.(0) then begin
+          Counter.incr c_singular_witness;
+          true
+        end
+        else go (k - 1)
       end
     in
     go trials

@@ -10,7 +10,16 @@
     All routines are Las Vegas where a certificate is available (solutions
     are verified against the black box) and Monte Carlo otherwise
     (minimum polynomial: always a divisor of the truth; the failure
-    probability follows estimate (2) once preconditioned). *)
+    probability follows estimate (2) once preconditioned).
+
+    Telemetry: every routine runs inside a {!Kp_obs.Span} (e.g.
+    [wiedemann.solve]) and records per-attempt counters —
+    [wiedemann.attempts], [wiedemann.successes], [wiedemann.failures], and
+    [wiedemann.rejections.{zero_constant_term,low_degree,residual_mismatch,
+    singular_preconditioner}] — plus one [wiedemann.attempt] event per
+    attempt with its index and outcome.  Black-box applications of the
+    iterated operator are counted via {!Bb.instrument}
+    ([blackbox.applies] / [blackbox.ops]). *)
 
 module Make (F : Kp_field.Field_intf.FIELD) : sig
   module Bb : module type of Kp_matrix.Blackbox.Make (F)
@@ -26,6 +35,22 @@ module Make (F : Kp_field.Field_intf.FIELD) : sig
     Random.State.t -> Bb.t -> F.t array -> (F.t array, string) result
   (** Solve A·x = b for a non-singular black box via the minimum polynomial
       of the sequence {A^i b}: x = −(1/f₀)·Σ f₍ᵢ₊₁₎·Aⁱ·b.  Verified. *)
+
+  val hankel_blackbox : n:int -> F.t array -> Bb.t
+  (** The Hankel preconditioner H (entries [h.(i+j)], [h] of length 2n−1)
+      as a black box whose [apply] is one O(M(n)) convolution.
+      [ops_per_apply] is the {e measured} field-operation count of that
+      convolution (the Karatsuba multiplier is oblivious, so the count
+      depends only on [n] and is cached). *)
+
+  val solve_preconditioned :
+    ?retries:int -> ?card_s:int ->
+    Random.State.t -> Bb.t -> F.t array -> (F.t array * int, string) result
+  (** The paper's preconditioned route, black-box form: solve Ã·y = b for
+      Ã = A·H·D ({!hankel_blackbox} composed with a random non-zero
+      diagonal), then recover x = H·D·y.  The residual A·x = b is verified
+      against the original black box.  [Ok (x, attempts)] reports the
+      number of preconditioner draws consumed. *)
 
   val det :
     ?retries:int -> ?card_s:int ->

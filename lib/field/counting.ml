@@ -23,6 +23,15 @@ module Make (F : Field_intf.FIELD) = struct
       divisions = counters.divisions;
     }
 
+  let register_gauges ?(prefix = "field") () =
+    Kp_obs.Counter.register_gauge (prefix ^ ".additions") (fun () ->
+        counters.additions);
+    Kp_obs.Counter.register_gauge (prefix ^ ".multiplications") (fun () ->
+        counters.multiplications);
+    Kp_obs.Counter.register_gauge (prefix ^ ".divisions") (fun () ->
+        counters.divisions);
+    Kp_obs.Counter.register_gauge (prefix ^ ".ops") (fun () -> total counters)
+
   let measure f =
     let before = snapshot () in
     let x = f () in

@@ -25,4 +25,11 @@ module Make (F : Field_intf.FIELD) : sig
   (** [measure f] runs [f] and returns the operations it performed
       (restoring the previous counts afterwards is the caller's business:
       counts are cumulative and [measure] reports the delta). *)
+
+  val register_gauges : ?prefix:string -> unit -> unit
+  (** Expose this instantiation's cumulative tallies as {!Kp_obs.Counter}
+      gauges named [<prefix>.additions] / [.multiplications] / [.divisions]
+      / [.ops] (default prefix ["field"]), so field-operation counts appear
+      in exported observability reports.  Re-registering (e.g. from another
+      instantiation) replaces the previous gauges. *)
 end

@@ -52,6 +52,34 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
       ops_per_apply = a.ops_per_apply + a.dim;
     }
 
+  let c_applies = Kp_obs.Counter.make "blackbox.applies"
+  let c_ops = Kp_obs.Counter.make "blackbox.ops"
+
+  let instrument ?name t =
+    let named =
+      Option.map
+        (fun n -> Kp_obs.Counter.make ("blackbox." ^ n ^ ".applies"))
+        name
+    in
+    let tick () =
+      Kp_obs.Counter.incr c_applies;
+      Kp_obs.Counter.add c_ops t.ops_per_apply;
+      Option.iter Kp_obs.Counter.incr named
+    in
+    {
+      t with
+      apply =
+        (fun v ->
+          tick ();
+          t.apply v);
+      apply_transpose =
+        Option.map
+          (fun at v ->
+            tick ();
+            at v)
+          t.apply_transpose;
+    }
+
   let identity n =
     {
       dim = n;

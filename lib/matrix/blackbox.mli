@@ -20,10 +20,19 @@ module Make (F : Kp_field.Field_intf.FIELD) : sig
   val of_fun : int -> (F.t array -> F.t array) -> t
 
   val compose : t -> t -> t
-  (** [compose a b] applies b then a (i.e. the matrix product A·B). *)
+  (** [compose a b] applies b then a (i.e. the matrix product A·B);
+      [ops_per_apply] is the sum of the components' costs. *)
 
   val scale_columns : t -> F.t array -> t
-  (** [scale_columns a d] = A·Diag(d). *)
+  (** [scale_columns a d] = A·Diag(d).  [ops_per_apply] is the component's
+      cost plus [dim] (the diagonal scaling). *)
+
+  val instrument : ?name:string -> t -> t
+  (** Observable wrapper: every [apply]/[apply_transpose] call increments
+      the global {!Kp_obs.Counter} [blackbox.applies] and adds
+      [ops_per_apply] to [blackbox.ops]; with [~name] it additionally
+      increments [blackbox.<name>.applies].  Instrument only the operator
+      actually iterated (not its components) to avoid double counting. *)
 
   val identity : int -> t
 

@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "kp_obs_monotonic_ns"
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+let now_s () = ns_to_s (now_ns ())

@@ -1,0 +1,15 @@
+(** Monotonic time source.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] via a C stub: readings never
+    go backwards and are unaffected by NTP slews or wall-clock jumps, so
+    differences of two readings are always valid durations. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary (boot-time) origin.  Only differences
+    are meaningful. *)
+
+val now_s : unit -> float
+(** [now_ns] in seconds. *)
+
+val ns_to_s : int64 -> float
+(** Convert a nanosecond duration to seconds. *)

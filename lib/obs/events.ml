@@ -1,0 +1,41 @@
+type event = { ts_ns : int64; name : string; attrs : (string * string) list }
+
+let mutex = Mutex.create ()
+let capacity = ref 4096
+let ring : event Queue.t = Queue.create ()
+let dropped_count = ref 0
+
+let emit name attrs =
+  let e = { ts_ns = Clock.now_ns (); name; attrs } in
+  Mutex.lock mutex;
+  Queue.push e ring;
+  while Queue.length ring > !capacity do
+    ignore (Queue.pop ring);
+    incr dropped_count
+  done;
+  Mutex.unlock mutex
+
+let snapshot () =
+  Mutex.lock mutex;
+  let out = List.of_seq (Queue.to_seq ring) in
+  Mutex.unlock mutex;
+  out
+
+let dropped () =
+  Mutex.lock mutex;
+  let d = !dropped_count in
+  Mutex.unlock mutex;
+  d
+
+let reset () =
+  Mutex.lock mutex;
+  Queue.clear ring;
+  dropped_count := 0;
+  Mutex.unlock mutex
+
+let set_capacity n =
+  Mutex.lock mutex;
+  capacity := max 1 n;
+  Queue.clear ring;
+  dropped_count := 0;
+  Mutex.unlock mutex

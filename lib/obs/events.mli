@@ -1,0 +1,27 @@
+(** Bounded telemetry event ring.
+
+    Structured one-shot records — e.g. one per solver attempt, carrying the
+    attempt index and rejection reason — kept in a fixed-capacity ring so a
+    pathological retry loop cannot exhaust memory.  When the ring is full
+    the oldest events are dropped and counted. *)
+
+type event = {
+  ts_ns : int64;  (** monotonic timestamp *)
+  name : string;
+  attrs : (string * string) list;
+}
+
+val emit : string -> (string * string) list -> unit
+
+val snapshot : unit -> event list
+(** Retained events, oldest first. *)
+
+val dropped : unit -> int
+(** Events discarded because the ring was full. *)
+
+val set_capacity : int -> unit
+(** Resize the ring (clamped to at least 1); clears retained events and the
+    drop count.  Default capacity: 4096. *)
+
+val reset : unit -> unit
+(** Clear retained events and the drop count. *)

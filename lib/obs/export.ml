@@ -1,0 +1,112 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+let counters_json () =
+  jobj (List.map (fun (n, v) -> (n, string_of_int v)) (Counter.snapshot ()))
+
+let span_json (s : Span.stat) =
+  jobj
+    [
+      ("path", jstr s.Span.path);
+      ("count", string_of_int s.Span.count);
+      ("total_ns", Int64.to_string s.Span.total_ns);
+      ("max_ns", Int64.to_string s.Span.max_ns);
+    ]
+
+let event_json (e : Events.event) =
+  jobj
+    [
+      ("ts_ns", Int64.to_string e.Events.ts_ns);
+      ("name", jstr e.Events.name);
+      ("attrs", jobj (List.map (fun (k, v) -> (k, jstr v)) e.Events.attrs));
+    ]
+
+let to_json ?label ?(extra = []) ?(events = true) () =
+  let fields =
+    (match label with Some l -> [ ("label", jstr l) ] | None -> [])
+    @ extra
+    @ [
+        ("counters", counters_json ());
+        ("spans", jarr (List.map span_json (Span.snapshot ())));
+      ]
+    @
+    if events then
+      [
+        ("events", jarr (List.map event_json (Events.snapshot ())));
+        ("events_dropped", string_of_int (Events.dropped ()));
+      ]
+    else []
+  in
+  jobj fields
+
+let to_text ?label () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== observability report%s ==\n"
+       (match label with Some l -> " (" ^ l ^ ")" | None -> ""));
+  let counters = Counter.snapshot () in
+  if counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-44s %12d\n" n v))
+      counters
+  end;
+  let spans = Span.snapshot () in
+  if spans <> [] then begin
+    Buffer.add_string buf "spans:\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  %-44s %10s %12s %12s\n" "path" "calls" "total (s)"
+         "max (s)");
+    List.iter
+      (fun (s : Span.stat) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-44s %10d %12.6f %12.6f\n" s.Span.path
+             s.Span.count
+             (Clock.ns_to_s s.Span.total_ns)
+             (Clock.ns_to_s s.Span.max_ns)))
+      spans
+  end;
+  let events = Events.snapshot () in
+  if events <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "events: %d retained, %d dropped\n" (List.length events)
+         (Events.dropped ()));
+    List.iter
+      (fun (e : Events.event) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  [%12.6f] %s%s\n"
+             (Clock.ns_to_s e.Events.ts_ns)
+             e.Events.name
+             (String.concat ""
+                (List.map
+                   (fun (k, v) -> Printf.sprintf " %s=%s" k v)
+                   e.Events.attrs))))
+      events
+  end;
+  Buffer.contents buf
+
+let reset () =
+  Counter.reset ();
+  Span.reset ();
+  Events.reset ()

@@ -1,0 +1,31 @@
+(** Render the current counters, gauges, spans and events.
+
+    [to_json] emits a single line of JSON (no trailing newline) of the
+    shape
+
+    {v
+    {"label":"...","extra...":...,
+     "counters":{"name":N,...},
+     "spans":[{"path":"...","count":N,"total_ns":N,"max_ns":N},...],
+     "events":[{"ts_ns":N,"name":"...","attrs":{...}},...],
+     "events_dropped":N}
+    v}
+
+    suitable for one-record-per-line capture (bench tables, BENCH_*.json).
+    [extra] entries are spliced in verbatim as top-level fields — values
+    must already be valid JSON fragments (e.g. [("seconds", "1.25")]). *)
+
+val to_json :
+  ?label:string ->
+  ?extra:(string * string) list ->
+  ?events:bool ->
+  unit ->
+  string
+(** [events] defaults to [true]; pass [false] for a compact summary. *)
+
+val to_text : ?label:string -> unit -> string
+(** Human-readable multi-line report (counters, spans, recent events). *)
+
+val reset : unit -> unit
+(** Zero counters and drop spans and events — the start of a fresh
+    measurement window. *)

@@ -1,0 +1,27 @@
+/* Monotonic clock primitive for Kp_obs.Clock.
+
+   OCaml's Unix library exposes only the wall clock (gettimeofday), which
+   jumps under NTP adjustment and makes measured durations unreliable.  The
+   observability layer needs CLOCK_MONOTONIC, so we bind it directly. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value kp_obs_monotonic_ns(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+#endif
+  /* last-resort fallback: wall clock (non-monotonic) */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_int64((int64_t)tv.tv_sec * 1000000000 +
+                           (int64_t)tv.tv_usec * 1000);
+  }
+}

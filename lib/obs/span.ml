@@ -1,0 +1,58 @@
+type stat = { path : string; count : int; total_ns : int64; max_ns : int64 }
+
+type cell = {
+  mutable count : int;
+  mutable total_ns : int64;
+  mutable max_ns : int64;
+}
+
+let mutex = Mutex.create ()
+let table : (string, cell) Hashtbl.t = Hashtbl.create 32
+
+(* Current nesting path, one stack per domain so pool workers don't
+   interleave their frames with the caller's. *)
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let record path dt =
+  Mutex.lock mutex;
+  (match Hashtbl.find_opt table path with
+  | Some c ->
+    c.count <- c.count + 1;
+    c.total_ns <- Int64.add c.total_ns dt;
+    if dt > c.max_ns then c.max_ns <- dt
+  | None -> Hashtbl.add table path { count = 1; total_ns = dt; max_ns = dt });
+  Mutex.unlock mutex
+
+let with_ name f =
+  let stack = Domain.DLS.get stack_key in
+  let path =
+    match !stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
+  in
+  stack := path :: !stack;
+  let t0 = Clock.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Int64.sub (Clock.now_ns ()) t0 in
+      (match !stack with
+      | p :: rest when p == path -> stack := rest
+      | s -> stack := List.filter (fun p -> p != path) s);
+      record path dt)
+    f
+
+let snapshot () =
+  Mutex.lock mutex;
+  let out =
+    Hashtbl.fold
+      (fun path c acc ->
+        { path; count = c.count; total_ns = c.total_ns; max_ns = c.max_ns }
+        :: acc)
+      table []
+  in
+  Mutex.unlock mutex;
+  List.sort (fun a b -> compare a.path b.path) out
+
+let reset () =
+  Mutex.lock mutex;
+  Hashtbl.reset table;
+  Mutex.unlock mutex

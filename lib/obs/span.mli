@@ -1,0 +1,26 @@
+(** Hierarchical named spans with monotonic wall-time aggregation.
+
+    [with_ "krylov" f] times [f ()] on the monotonic clock and aggregates
+    (call count, total time, max time) under the span's *path*: nesting
+    [with_] calls builds slash-separated paths, so a solver phase timed
+    inside a solve shows up as ["solver.solve/pipeline.krylov"].  The
+    nesting context is per-domain (pool workers each have their own stack);
+    aggregation is a single mutex-protected table, touched once per span
+    exit. *)
+
+type stat = {
+  path : string;  (** slash-separated nesting path *)
+  count : int;  (** completed calls *)
+  total_ns : int64;  (** summed duration, monotonic clock *)
+  max_ns : int64;  (** slowest single call *)
+}
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  The span is recorded even when the thunk
+    raises (the exception is re-raised). *)
+
+val snapshot : unit -> stat list
+(** All recorded spans, sorted by path. *)
+
+val reset : unit -> unit
+(** Drop all aggregated spans (in-flight spans still record on exit). *)

@@ -1,5 +1,12 @@
 type task = unit -> unit
 
+(* Pool telemetry (see Kp_obs): coarse per-chunk events only, so the
+   counter traffic is negligible next to the chunk bodies. *)
+let c_worker_tasks = Kp_obs.Counter.make "pool.tasks.worker"
+let c_helper_tasks = Kp_obs.Counter.make "pool.tasks.helper"
+let c_regions = Kp_obs.Counter.make "pool.regions"
+let c_region_wait_ns = Kp_obs.Counter.make "pool.region_wait_ns"
+
 type t = {
   streams : int;
   queue : task Queue.t;
@@ -30,7 +37,10 @@ let worker_loop t () =
     in
     match wait () with
     | None -> ()
-    | Some task -> task (); next ()
+    | Some task ->
+      task ();
+      Kp_obs.Counter.incr c_worker_tasks;
+      next ()
   in
   next ()
 
@@ -47,7 +57,20 @@ let create ~domains =
   t.workers <- List.init (streams - 1) (fun _ -> Domain.spawn (worker_loop t));
   t
 
+(* see [default] below; declared here so [shutdown] can refuse to tear the
+   shared default pool down from under other users *)
+let default_mutex = Mutex.create ()
+let default_pool = ref None
+
 let shutdown t =
+  let is_default =
+    Mutex.lock default_mutex;
+    let d = match !default_pool with Some d -> d == t | None -> false in
+    Mutex.unlock default_mutex;
+    d
+  in
+  if is_default then
+    invalid_arg "Pool.shutdown: the default pool must not be shut down";
   let workers =
     locked t (fun () ->
         if t.closing then []
@@ -78,6 +101,7 @@ let region_run t thunks =
   | [] -> ()
   | [ only ] -> only ()
   | first :: rest ->
+    Kp_obs.Counter.incr c_regions;
     let r =
       { pending = List.length rest;
         region_mutex = Mutex.create ();
@@ -110,13 +134,19 @@ let region_run t thunks =
             if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
       in
       match task with
-      | Some task -> task (); help ()
+      | Some task ->
+        task ();
+        Kp_obs.Counter.incr c_helper_tasks;
+        help ()
       | None ->
+        let t0 = Kp_obs.Clock.now_ns () in
         Mutex.lock r.region_mutex;
         while r.pending > 0 do
           Condition.wait r.done_cond r.region_mutex
         done;
-        Mutex.unlock r.region_mutex
+        Mutex.unlock r.region_mutex;
+        Kp_obs.Counter.add c_region_wait_ns
+          (Int64.to_int (Int64.sub (Kp_obs.Clock.now_ns ()) t0))
     in
     help ();
     (match r.error with None -> () | Some e -> raise e)
@@ -157,29 +187,42 @@ let map_reduce t ~map ~combine ~init n =
   if n = 0 then init
   else begin
     let streams = t.streams in
-    let partials = Array.make streams init in
     let chunk = max 1 ((n + streams - 1) / streams) in
+    (* One slot per actual chunk; a slot folds only its own mapped values
+       (seeded from [map cl], NOT from [init]) so that [init] enters the
+       final fold exactly once — correct even for non-neutral [init]. *)
+    let slots = (n + chunk - 1) / chunk in
+    let partials = Array.make slots None in
     parallel_for_chunked t ~lo:0 ~hi:n ~chunk (fun cl ch ->
-        let slot = cl / chunk in
-        let acc = ref partials.(slot) in
-        for i = cl to ch - 1 do
+        let acc = ref (map cl) in
+        for i = cl + 1 to ch - 1 do
           acc := combine !acc (map i)
         done;
-        partials.(slot) <- !acc);
-    Array.fold_left combine init partials
+        partials.(cl / chunk) <- Some !acc);
+    Array.fold_left
+      (fun acc slot ->
+        match slot with None -> acc | Some x -> combine acc x)
+      init partials
   end
 
 let with_pool ~domains f =
   let t = create ~domains in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let default_pool = ref None
-
+(* The process-wide default pool: initialisation is guarded by a mutex so
+   two domains racing through the first [default ()] call cannot each spawn
+   a pool (the loser's workers would leak — nothing would ever shut them
+   down). *)
 let default () =
-  match !default_pool with
-  | Some t -> t
-  | None ->
-    let domains = min 8 (Domain.recommended_domain_count ()) in
-    let t = create ~domains in
-    default_pool := Some t;
-    t
+  Mutex.lock default_mutex;
+  let t =
+    match !default_pool with
+    | Some t -> t
+    | None ->
+      let domains = min 8 (Domain.recommended_domain_count ()) in
+      let t = create ~domains in
+      default_pool := Some t;
+      t
+  in
+  Mutex.unlock default_mutex;
+  t

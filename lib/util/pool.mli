@@ -7,7 +7,13 @@
 
     A pool owns [domains - 1] worker domains; the calling domain participates
     in every parallel region, so [create ~domains:1] degenerates to purely
-    sequential execution with no synchronisation overhead on the hot path. *)
+    sequential execution with no synchronisation overhead on the hot path.
+
+    Telemetry: every pool records into the {!Kp_obs} counters
+    [pool.tasks.worker] (chunks executed on worker domains),
+    [pool.tasks.helper] (chunks drained by a region's caller while waiting),
+    [pool.regions] (parallel regions entered) and [pool.region_wait_ns]
+    (time callers spent blocked on region completion). *)
 
 type t
 
@@ -18,10 +24,21 @@ val create : domains:int -> t
 
 val shutdown : t -> unit
 (** Terminate the worker domains. The pool must not be used afterwards.
-    Idempotent. *)
+    Idempotent.
+
+    @raise Invalid_argument on the pool returned by {!default}: that pool
+    is shared process-wide and must never be shut down. *)
 
 val size : t -> int
 (** Number of execution streams (including the caller). *)
+
+val region_run : t -> (unit -> unit) list -> unit
+(** [region_run pool thunks] executes the thunks as one fork–join region:
+    all but the first are enqueued for the workers, the caller runs the
+    first and then helps drain the queue until the region completes.  The
+    first exception raised by any thunk is re-raised in the caller after
+    every thunk has finished; the pool remains usable.  Re-entrant: a thunk
+    may itself open a region on the same pool. *)
 
 val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for pool ~lo ~hi f] runs [f i] for [lo <= i < hi], splitting
@@ -41,9 +58,12 @@ val parallel_init : t -> int -> (int -> 'a) -> 'a array
 
 val map_reduce :
   t -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> init:'a -> int -> 'a
-(** [map_reduce pool ~map ~combine ~init n] folds [combine] over
-    [map 0 .. map (n-1)] (order unspecified; [combine] must be associative
-    and [init] its unit). *)
+(** [map_reduce pool ~map ~combine ~init n] computes
+    [combine (... (combine init (map 0)) ...) (map (n-1))] with the mapped
+    values folded chunk-wise in parallel.  [combine] must be associative;
+    [init] is folded in {e exactly once}, so it need not be a unit of
+    [combine] (e.g. [~combine:( + ) ~init:1] over [map i = i] yields
+    [1 + Σ i]). *)
 
 val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] creates a pool, runs [f], and shuts the pool down
@@ -51,4 +71,7 @@ val with_pool : domains:int -> (t -> 'a) -> 'a
 
 val default : unit -> t
 (** A lazily created process-wide pool sized from
-    [Domain.recommended_domain_count], capped at 8. *)
+    [Domain.recommended_domain_count], capped at 8.  Creation is guarded by
+    a mutex, so concurrent first calls from several domains return the same
+    pool (no worker-domain leak).  {!shutdown} must not be called on the
+    returned pool — it raises [Invalid_argument]. *)

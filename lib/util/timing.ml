@@ -1,7 +1,9 @@
+let now = Kp_obs.Clock.now_s
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now () in
   let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+  (x, now () -. t0)
 
 let best_of k f =
   assert (k >= 1);

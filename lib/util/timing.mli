@@ -1,8 +1,18 @@
 (** Small wall-clock timing helpers for the examples and ad-hoc tables
-    (the benchmark executable proper uses Bechamel). *)
+    (the benchmark executable proper uses Bechamel).
+
+    All readings come from the *monotonic* clock ({!Kp_obs.Clock}, i.e.
+    [clock_gettime(CLOCK_MONOTONIC)]), not [Unix.gettimeofday]: reported
+    durations are immune to NTP slews and wall-clock jumps and are
+    therefore always non-negative. *)
+
+val now : unit -> float
+(** Monotonic seconds since an arbitrary origin; only differences are
+    meaningful. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+(** [time f] runs [f ()] and returns its result with elapsed seconds
+    (monotonic). *)
 
 val best_of : int -> (unit -> 'a) -> 'a * float
 (** [best_of k f] runs [f] [k] times and reports the minimum elapsed time. *)

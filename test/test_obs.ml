@@ -1,0 +1,199 @@
+(* Observability layer: monotonic clock, counters/gauges, span nesting,
+   the event ring, and exporter well-formedness. *)
+
+open Kp_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* clock *)
+
+let test_clock_monotonic () =
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.now_ns () in
+    check_bool "never goes backwards" true (Int64.compare t !prev >= 0);
+    prev := t
+  done
+
+let test_clock_measures_elapsed () =
+  let t0 = Clock.now_ns () in
+  Unix.sleepf 0.01;
+  let dt = Int64.sub (Clock.now_ns ()) t0 in
+  check_bool "sleep 10ms measured >= 5ms" true (Int64.compare dt 5_000_000L > 0);
+  check_bool "and < 10s" true (Int64.compare dt 10_000_000_000L < 0)
+
+let test_timing_wrapper_monotonic () =
+  (* Kp_util.Timing now rides the monotonic clock *)
+  let (), t = Kp_util.Timing.time (fun () -> Unix.sleepf 0.005) in
+  check_bool "elapsed positive" true (t > 0.);
+  let (), best = Kp_util.Timing.best_of 3 (fun () -> ()) in
+  check_bool "best_of non-negative" true (best >= 0.)
+
+(* counters *)
+
+let test_counters () =
+  let c = Counter.make "test.obs.counter" in
+  let c' = Counter.make "test.obs.counter" in
+  Counter.incr c;
+  Counter.add c' 41;
+  check_int "same name, same cell" 42 (Counter.value c);
+  check_int "find by name" 42
+    (Option.value ~default:(-1) (Counter.find "test.obs.counter"));
+  check_bool "unknown name" true (Counter.find "test.obs.nope" = None)
+
+let test_counter_concurrent () =
+  let c = Counter.make "test.obs.concurrent" in
+  let before = Counter.value c in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Counter.incr c
+            done))
+  in
+  Array.iter Domain.join domains;
+  check_int "no lost increments" (before + 40_000) (Counter.value c)
+
+let test_gauges () =
+  let v = ref 7 in
+  Counter.register_gauge "test.obs.gauge" (fun () -> !v);
+  let lookup () =
+    match List.assoc_opt "test.obs.gauge" (Counter.snapshot ()) with
+    | Some x -> x
+    | None -> Alcotest.fail "gauge missing from snapshot"
+  in
+  check_int "gauge sampled" 7 (lookup ());
+  v := 9;
+  check_int "gauge re-sampled" 9 (lookup ());
+  Counter.register_gauge "test.obs.gauge.raising" (fun () -> failwith "boom");
+  check_int "raising gauge reports 0" 0
+    (Option.value ~default:(-1)
+       (List.assoc_opt "test.obs.gauge.raising" (Counter.snapshot ())))
+
+(* spans *)
+
+let test_span_nesting () =
+  Span.reset ();
+  let r =
+    Span.with_ "outer" (fun () ->
+        Span.with_ "inner" (fun () -> ());
+        Span.with_ "inner" (fun () -> ());
+        17)
+  in
+  check_int "value returned" 17 r;
+  let stats = Span.snapshot () in
+  let find p =
+    match List.find_opt (fun (s : Span.stat) -> s.Span.path = p) stats with
+    | Some s -> s
+    | None -> Alcotest.fail ("span missing: " ^ p)
+  in
+  let outer = find "outer" and inner = find "outer/inner" in
+  check_int "outer count" 1 outer.Span.count;
+  check_int "inner count (path-aggregated)" 2 inner.Span.count;
+  check_bool "outer time >= inner time" true
+    (Int64.compare outer.Span.total_ns inner.Span.total_ns >= 0);
+  check_bool "max <= total" true
+    (Int64.compare inner.Span.max_ns inner.Span.total_ns <= 0)
+
+let test_span_records_on_raise () =
+  Span.reset ();
+  (try Span.with_ "raising" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let recorded =
+    List.exists
+      (fun (s : Span.stat) -> s.Span.path = "raising" && s.Span.count = 1)
+      (Span.snapshot ())
+  in
+  check_bool "span recorded despite raise" true recorded;
+  (* and the stack was unwound: a following span is top-level again *)
+  Span.with_ "after" (fun () -> ());
+  check_bool "stack unwound" true
+    (List.exists (fun (s : Span.stat) -> s.Span.path = "after") (Span.snapshot ()))
+
+(* events *)
+
+let test_event_ring () =
+  Events.set_capacity 3;
+  Events.emit "e1" [ ("k", "v1") ];
+  Events.emit "e2" [];
+  Events.emit "e3" [];
+  Events.emit "e4" [ ("k", "v4") ];
+  let evs = Events.snapshot () in
+  check_int "capacity enforced" 3 (List.length evs);
+  check_int "oldest dropped" 1 (Events.dropped ());
+  check_bool "order oldest-first" true
+    (List.map (fun (e : Events.event) -> e.Events.name) evs = [ "e2"; "e3"; "e4" ]);
+  let ts = List.map (fun (e : Events.event) -> e.Events.ts_ns) evs in
+  check_bool "timestamps monotone" true (List.sort Int64.compare ts = ts);
+  Events.set_capacity 4096;
+  check_int "set_capacity clears" 0 (List.length (Events.snapshot ()))
+
+(* export *)
+
+let test_export_json_shape () =
+  Export.reset ();
+  Counter.add (Counter.make "test.export.counter") 5;
+  Span.with_ "test.export.span" (fun () -> ());
+  Events.emit "test.export.event" [ ("why", "because \"quotes\" and \\slashes") ];
+  let j = Export.to_json ~label:"unit" ~extra:[ ("seconds", "1.25") ] () in
+  check_bool "single line" true (not (String.contains j '\n'));
+  List.iter
+    (fun needle -> check_bool ("json contains " ^ needle) true (contains j needle))
+    [
+      "\"label\":\"unit\"";
+      "\"seconds\":1.25";
+      "\"test.export.counter\":5";
+      "\"path\":\"test.export.span\"";
+      "\"name\":\"test.export.event\"";
+      "\\\"quotes\\\"";
+      "\"events_dropped\":0";
+    ];
+  let compact = Export.to_json ~events:false () in
+  check_bool "events omitted when asked" true (not (contains compact "events"));
+  let txt = Export.to_text ~label:"unit" () in
+  check_bool "text mentions counter" true (contains txt "test.export.counter");
+  check_bool "text mentions span" true (contains txt "test.export.span")
+
+let test_export_reset () =
+  Counter.add (Counter.make "test.export.reset") 3;
+  Span.with_ "test.export.reset.span" (fun () -> ());
+  Events.emit "x" [];
+  Export.reset ();
+  check_int "counter zeroed" 0
+    (Option.value ~default:(-1) (Counter.find "test.export.reset"));
+  check_int "spans dropped" 0 (List.length (Span.snapshot ()));
+  check_int "events dropped" 0 (List.length (Events.snapshot ()))
+
+let () =
+  Alcotest.run "kp_obs"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "elapsed" `Quick test_clock_measures_elapsed;
+          Alcotest.test_case "timing wrapper" `Quick test_timing_wrapper_monotonic;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counters;
+          Alcotest.test_case "concurrent" `Quick test_counter_concurrent;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "raise-safe" `Quick test_span_records_on_raise;
+        ] );
+      ( "events", [ Alcotest.test_case "ring" `Quick test_event_ring ] );
+      ( "export",
+        [
+          Alcotest.test_case "json shape" `Quick test_export_json_shape;
+          Alcotest.test_case "reset" `Quick test_export_reset;
+        ] );
+    ]

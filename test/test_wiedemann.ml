@@ -127,6 +127,83 @@ let test_toeplitz_solve_singular_raises () =
     (try ignore (TC.solve ~n d (Array.make n F.one)); false
      with Division_by_zero -> true)
 
+(* ---- ops accounting (regression: hankel_blackbox used to report 0) ---- *)
+
+let test_hankel_ops_nonzero () =
+  let st = st0 11 in
+  List.iter
+    (fun n ->
+      let h = Array.init ((2 * n) - 1) (fun _ -> F.random st) in
+      let bb = W.hankel_blackbox ~n h in
+      check_int "dim" n bb.Bb.dim;
+      check_bool
+        (Printf.sprintf "hankel ops_per_apply > 0 (n=%d)" n)
+        true (bb.Bb.ops_per_apply > 0);
+      (* and it is at least the trivial lower bound: n outputs each touch
+         some inputs; Karatsuba convolution is superlinear in n *)
+      check_bool "ops >= n" true (bb.Bb.ops_per_apply >= n))
+    [ 1; 2; 5; 16 ]
+
+let test_ops_accounting_additive () =
+  let st = st0 12 in
+  let n = 9 in
+  let a1 = M.random_nonsingular st n and a2 = M.random_nonsingular st n in
+  let b1 = Bb.of_dense a1 and b2 = Bb.of_dense a2 in
+  check_bool "dense bb charges ops" true (b1.Bb.ops_per_apply > 0);
+  let prod = Bb.compose b1 b2 in
+  check_int "compose sums component costs"
+    (b1.Bb.ops_per_apply + b2.Bb.ops_per_apply)
+    prod.Bb.ops_per_apply;
+  let d = Array.init n (fun _ -> F.random st) in
+  let scaled = Bb.scale_columns prod d in
+  check_int "scale_columns adds one mul per column"
+    (prod.Bb.ops_per_apply + n)
+    scaled.Bb.ops_per_apply;
+  (* the preconditioned operator A·H(h)·D therefore has a nonzero summed
+     cost even though H is applied by convolution, not a stored matrix *)
+  let h = Array.init ((2 * n) - 1) (fun _ -> F.random st) in
+  let pre = Bb.scale_columns (Bb.compose b1 (W.hankel_blackbox ~n h)) d in
+  check_bool "preconditioned cost > dense alone" true
+    (pre.Bb.ops_per_apply > b1.Bb.ops_per_apply)
+
+let test_hankel_blackbox_matches_dense () =
+  (* the instrumented Hankel black box must still be the Hankel matrix *)
+  let st = st0 13 in
+  let n = 7 in
+  let h = Array.init ((2 * n) - 1) (fun _ -> F.random st) in
+  let bb = W.hankel_blackbox ~n h in
+  let dense = M.init n n (fun i j -> h.(i + j)) in
+  let x = Array.init n (fun _ -> F.random st) in
+  check_bool "matvec agrees" true (farr_eq (bb.Bb.apply x) (M.matvec dense x));
+  match bb.Bb.apply_transpose with
+  | None -> ()
+  | Some at ->
+    (* Hankel matrices are symmetric, so Aᵀx = Ax *)
+    check_bool "transpose agrees (symmetric)" true
+      (farr_eq (at x) (M.matvec dense x))
+
+let test_solve_preconditioned_with_counters () =
+  let module Counter = Kp_obs.Counter in
+  let st = st0 14 in
+  let n = 12 in
+  let a = M.random_nonsingular st n in
+  let x_true = Array.init n (fun _ -> F.random st) in
+  let b = M.matvec a x_true in
+  let before name = Option.value ~default:0 (Counter.find name) in
+  let applies0 = before "blackbox.applies" in
+  let ops0 = before "blackbox.ops" in
+  let attempts0 = before "wiedemann.attempts" in
+  match W.solve_preconditioned st (Bb.of_dense a) b with
+  | Error e -> Alcotest.fail e
+  | Ok (x, attempts) ->
+    check_bool "preconditioned solution" true (farr_eq x x_true);
+    check_bool "attempts >= 1" true (attempts >= 1);
+    check_bool "blackbox applies counted" true
+      (before "blackbox.applies" > applies0);
+    check_bool "blackbox ops counted" true (before "blackbox.ops" > ops0);
+    check_int "wiedemann attempts counted" (attempts0 + attempts)
+      (before "wiedemann.attempts")
+
 (* ---- cross-validation: counting field vs circuit size ---- *)
 
 let test_counting_equals_circuit_size () =
@@ -189,6 +266,14 @@ let () =
           Alcotest.test_case "det singular" `Quick test_det_singular_blackbox;
           Alcotest.test_case "min poly" `Quick test_minpoly_is_dense_minpoly;
           Alcotest.test_case "singularity certificate" `Quick test_singularity_certificate;
+        ] );
+      ( "ops-accounting",
+        [
+          Alcotest.test_case "hankel ops nonzero" `Quick test_hankel_ops_nonzero;
+          Alcotest.test_case "compose/scale additive" `Quick test_ops_accounting_additive;
+          Alcotest.test_case "hankel bb = dense Hankel" `Quick test_hankel_blackbox_matches_dense;
+          Alcotest.test_case "preconditioned solve + counters" `Quick
+            test_solve_preconditioned_with_counters;
         ] );
       ( "toeplitz-solve",
         [
