@@ -6,6 +6,8 @@
 
      kp solve  --random 24
      kp solve  --random 200 --stats=json   (observability report on stderr-free stdout)
+     kp solve  --random 200 --engine auto --deadline-ms 500
+                                           (blackbox with dense fallback, bounded wall time)
      kp det    --matrix m.txt
      kp rank   --random 16 --rank-hint 9
      kp inverse --random 6
@@ -29,9 +31,15 @@ type setup = {
   matrix : string option;
   random : int option;
   rank_hint : int option;
-  engine : [ `Blackbox | `Dense ];
+  engine : [ `Auto | `Blackbox | `Dense ];
+  deadline_ms : int option;
   stats : [ `Text | `Json ] option;
 }
+
+module O = Kp_robust.Outcome
+
+let deadline_ns setup =
+  Option.map Kp_robust.Retry.deadline_after_ms setup.deadline_ms
 
 (* all subcommand bodies, generic in the runtime field *)
 module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
@@ -66,18 +74,32 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
     Printf.printf "solution (engine: %s, attempts: %d):\n" engine attempts;
     Array.iteri (fun i v -> Printf.printf "  x_%d = %s\n" i (F.to_string v)) x
 
-  let solve_dense st a b =
-    match S.solve st a b with
+  (* terminal typed failure: taxonomy on one line (the same taxonomy also
+     lands in the events ring as a robust.failure event, so --stats=json
+     carries it in machine-readable form) *)
+  let typed_error e = `Error (false, O.error_to_string e)
+
+  let solve_dense ?deadline_ns st a b =
+    match S.solve ?deadline_ns st a b with
     | Ok (x, report) ->
-      print_solution ~engine:"dense" ~attempts:report.S.attempts x;
+      print_solution ~engine:"dense" ~attempts:report.O.attempts x;
       `Ok ()
-    | Error { S.outcome = `Singular; _ } ->
+    | Error (O.Singular _) ->
       print_endline "matrix is singular (certified witness)";
       `Ok ()
-    | Error _ -> `Error (false, "solver failed")
+    | Error e -> typed_error e
+
+  let solve_blackbox ?deadline_ns st a b =
+    (* the paper's black-box route: Ã = A·H·D, fully instrumented *)
+    match W.solve_preconditioned ?deadline_ns st (Bb.of_dense a) b with
+    | Ok (x, report) ->
+      print_solution ~engine:"blackbox" ~attempts:report.O.attempts x;
+      Ok ()
+    | Error e -> Error e
 
   let solve setup =
     let st = Kp_util.Rng.make setup.seed in
+    let deadline_ns = deadline_ns setup in
     let a, extra = load_matrix setup st in
     let n = a.M.rows in
     let b =
@@ -87,26 +109,33 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       else Array.init n (fun _ -> F.random st)
     in
     match setup.engine with
-    | `Dense -> solve_dense st a b
+    | `Dense -> solve_dense ?deadline_ns st a b
     | `Blackbox -> (
-      (* the paper's black-box route: Ã = A·H·D, fully instrumented *)
-      match W.solve_preconditioned st (Bb.of_dense a) b with
-      | Ok (x, attempts) ->
-        print_solution ~engine:"blackbox" ~attempts x;
-        `Ok ()
-      | Error _ ->
-        (* retries exhausted — possibly singular; the dense route carries
-           the singularity certificate *)
-        solve_dense st a b)
+      match solve_blackbox ?deadline_ns st a b with
+      | Ok () -> `Ok ()
+      | Error e -> typed_error e)
+    | `Auto -> (
+      (* graceful degradation: black-box first, dense on typed failure —
+         the dense route carries the singularity certificate, and a fault
+         or exhausted budget in one engine does not doom the command *)
+      match solve_blackbox ?deadline_ns st a b with
+      | Ok () -> `Ok ()
+      | Error (O.Deadline_exceeded _ as e) ->
+        (* no time left for a second engine *)
+        typed_error e
+      | Error e ->
+        Printf.eprintf "blackbox engine failed (%s); falling back to dense\n%!"
+          (O.error_to_string e);
+        solve_dense ?deadline_ns st a b)
 
   let det setup =
     let st = Kp_util.Rng.make setup.seed in
     let a, _ = load_matrix setup st in
-    match S.det st a with
+    match S.det ?deadline_ns:(deadline_ns setup) st a with
     | Ok (d, _) ->
       Printf.printf "det = %s  (mod %d)\n" (F.to_string d) setup.prime;
       `Ok ()
-    | Error _ -> `Error (false, "determinant failed")
+    | Error e -> typed_error e
 
   let rank setup =
     let st = Kp_util.Rng.make setup.seed in
@@ -117,11 +146,14 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
   let inverse setup =
     let st = Kp_util.Rng.make setup.seed in
     let a, _ = load_matrix setup st in
-    match I.inverse st a with
-    | Ok inv ->
+    match I.inverse ?deadline_ns:(deadline_ns setup) st a with
+    | Ok (inv, _) ->
       print_string (M.to_string inv);
       `Ok ()
-    | Error e -> `Error (false, e)
+    | Error (O.Singular _) ->
+      print_endline "matrix is singular (certified witness)";
+      `Ok ()
+    | Error e -> typed_error e
 
   let charpoly prime toeplitz =
     let d =
@@ -184,12 +216,23 @@ let rank_hint_t =
 
 let engine_t =
   Arg.(value
-       & opt (enum [ ("blackbox", `Blackbox); ("dense", `Dense) ]) `Blackbox
+       & opt
+           (enum [ ("auto", `Auto); ("blackbox", `Blackbox); ("dense", `Dense) ])
+           `Auto
        & info [ "engine" ]
            ~doc:
-             "Solve engine: $(b,blackbox) (preconditioned black-box \
+             "Solve engine: $(b,auto) (black-box first, dense fallback on \
+              typed failure), $(b,blackbox) (preconditioned black-box \
               Wiedemann, fully instrumented) or $(b,dense) (the dense \
               Theorem-4 pipeline).")
+
+let deadline_t =
+  Arg.(value & opt (some int) None
+       & info [ "deadline-ms" ]
+           ~doc:
+             "Abort with a typed Deadline_exceeded error if the command's \
+              randomized core is still retrying after this many \
+              milliseconds (monotonic clock).")
 
 let stats_t =
   Arg.(value
@@ -207,12 +250,12 @@ let print_stats = function
   | Some `Json -> print_endline (Kp_obs.Export.to_json ~label:"kp" ())
 
 let setup_t =
-  let combine prime seed matrix random rank_hint engine stats =
-    { prime; seed; matrix; random; rank_hint; engine; stats }
+  let combine prime seed matrix random rank_hint engine deadline_ms stats =
+    { prime; seed; matrix; random; rank_hint; engine; deadline_ms; stats }
   in
   Term.(
     const combine $ prime_t $ seed_t $ matrix_t $ random_t $ rank_hint_t
-    $ engine_t $ stats_t)
+    $ engine_t $ deadline_t $ stats_t)
 
 let simple_cmd name doc (select : (module DRIVER) -> setup -> ret) =
   Cmd.v (Cmd.info name ~doc)

@@ -46,9 +46,9 @@ let () =
   let n = 6 in
   let a = M.random_nonsingular st n in
   match Inv.inverse st a with
-  | Ok inv ->
+  | Ok (inv, _) ->
     Printf.printf "evaluated the gradient circuit on a random %d×%d matrix:\n" n n;
     Printf.printf "  A·A⁻¹ = I: %b\n" (M.equal (M.mul a inv) (M.identity n));
     Printf.printf "  matches Gaussian elimination: %b\n"
       (M.equal inv (Option.get (G.inverse a)))
-  | Error e -> print_endline e
+  | Error e -> print_endline (Inv.O.error_to_string e)

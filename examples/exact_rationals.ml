@@ -52,4 +52,4 @@ let () =
       (Q.to_string coeffs.(1)) (Q.to_string coeffs.(2));
     Printf.printf "  orthogonality A^T(Ax-b) = 0 verified: %b\n"
       (Lsq.residual_orthogonal a coeffs bvec)
-  | Error e -> print_endline e)
+  | Error e -> print_endline (Lsq.O.error_to_string e))

@@ -65,7 +65,7 @@ let () =
           else failwith "solution left the base field!?")
         x
     in
-    Printf.printf "\npress these (%d attempts):\n" report.S.attempts;
+    Printf.printf "\npress these (%d attempts):\n" report.S.O.attempts;
     render presses;
     let check = M.matvec a x in
     Printf.printf "\nall lights extinguished: %b\n"
@@ -74,7 +74,7 @@ let () =
        the famous 2-dimensional kernel, so we may not match presses_true *)
     Printf.printf "(same as the generating presses: %b — both are valid)\n"
       (presses = presses_true)
-  | Error { S.outcome = `Singular; _ } ->
+  | Error (S.O.Singular _) ->
     (* rank(A) = 23 < 25: the solver may certify singularity instead; the
        configuration is still solvable, so fall back to the singular path *)
     print_endline "\nmatrix certified singular (rank 23) — using §5 singular solve";
@@ -86,5 +86,5 @@ let () =
       Printf.printf "\nall lights extinguished: %b\n"
         (Array.for_all2 E.equal check b)
     | Ok None -> print_endline "unsolvable configuration (outside column space)"
-    | Error e -> print_endline e)
-  | Error _ -> print_endline "solver failed"
+    | Error e -> print_endline (S.O.error_to_string e))
+  | Error e -> Printf.printf "solver failed: %s\n" (S.O.error_to_string e)

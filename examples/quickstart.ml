@@ -23,7 +23,7 @@ let () =
   | Ok (x, report) ->
     let ok = Array.for_all2 F.equal x x_true in
     Printf.printf "solve:   recovered the planted solution: %b (attempts: %d)\n"
-      ok report.S.attempts
+      ok report.S.O.attempts
   | Error _ -> print_endline "solve:   FAILED (unexpected)");
 
   (* 2. determinant, cross-checked against Gaussian elimination *)
@@ -35,15 +35,20 @@ let () =
       (F.equal d (G.det a))
   | Error _ -> print_endline "det:     FAILED (unexpected)");
 
-  (* 3. singularity is certified, not guessed *)
+  (* 3. singularity is certified, not guessed: a zero determinant comes
+     back as Ok (0, report) whose report shows the accumulated f(0) = 0
+     witnesses (Zero_constant_term rejections on every attempt) *)
   let singular = M.random_of_rank st n ~rank:(n - 1) in
   (match S.det st singular with
   | Ok (d, report) ->
-    Printf.printf "det(singular matrix) = %s (outcome: %s)\n" (F.to_string d)
-      (match report.S.outcome with
-      | `Singular -> "certified singular"
-      | `Success -> "success"
-      | `Failure m -> m)
+    let witnesses =
+      List.length
+        (List.filter
+           (fun r -> r.S.O.reason = S.O.Zero_constant_term)
+           report.S.O.rejections)
+    in
+    Printf.printf "det(singular matrix) = %s (%d singularity witnesses)\n"
+      (F.to_string d) witnesses
   | Error _ -> print_endline "det:     FAILED");
 
   (* 4. inverse via the Theorem-6 circuit (Baur–Strassen on the determinant
@@ -52,11 +57,11 @@ let () =
   let n_inv = 6 in
   let a_small = M.random_nonsingular st n_inv in
   (match Inv.inverse st a_small with
-  | Ok inv ->
+  | Ok (inv, _) ->
     let id = M.mul a_small inv in
     Printf.printf "inverse: A·A⁻¹ = I (n = %d): %b\n" n_inv
       (M.equal id (M.identity n_inv))
-  | Error e -> Printf.printf "inverse: FAILED: %s\n" e);
+  | Error e -> Printf.printf "inverse: FAILED: %s\n" (Inv.O.error_to_string e));
 
   print_newline ();
   print_endline "All results above are Las Vegas: every answer was verified";

@@ -36,7 +36,7 @@ let () =
       let xw = ref None in
       let _, tw =
         Kp_util.Timing.time (fun () ->
-            xw := Result.to_option (W.solve st bb b))
+            xw := Option.map fst (Result.to_option (W.solve st bb b)))
       in
       (* elimination has to materialise the product first *)
       let xg = ref None in

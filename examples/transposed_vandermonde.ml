@@ -41,11 +41,11 @@ let () =
   (* 2. V^tr w = b via the Theorem-5 gradient construction *)
   let b = Array.init n (fun _ -> F.random st) in
   (match Tr.solve_transposed st v b with
-  | Ok w ->
+  | Ok (w, _) ->
     let w_gauss = Option.get (G.solve (M.transpose v) b) in
     Printf.printf "V^tr·w = b via Baur-Strassen matches Gauss: %b\n"
       (Array.for_all2 F.equal w w_gauss)
-  | Error e -> print_endline e);
+  | Error e -> print_endline (Tr.O.error_to_string e));
 
   (* 3. the promised constant-factor cost *)
   let r_size, r_depth = Tr.length_ratio ~n in

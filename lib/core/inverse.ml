@@ -8,6 +8,8 @@ struct
   module S = Solver.Make (F) (C)
   module M = S.M
   module MD = Kp_matrix.Dense.Make (F)
+  module O = Kp_robust.Outcome
+  module Rt = Kp_robust.Retry
 
   (* The traced convolution: Karatsuba is field-generic; when F is
      (semantically) the NTT prime field, the O(m log m) transform circuit is
@@ -48,54 +50,55 @@ struct
     let bound = max (4 * 3 * n * n) 64 in
     match F.cardinality with Some q -> min bound q | None -> bound
 
-  let inverse ?(retries = 10) ?card_s st (a : M.t) =
+  let inverse ?(retries = 10) ?card_s ?deadline_ns st (a : M.t) =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Inverse.inverse: non-square";
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let circuit = det_circuit ~n ~charpoly:(charpoly_kind n) in
     let { Ad.circuit = q; _ } = Ad.differentiate circuit in
     let inputs = Array.init (n * n) (fun k -> M.get a (k / n) (k mod n)) in
-    let rec attempt k =
-      if k > retries then Error "Inverse: retries exhausted (singular input?)"
-      else begin
-        let randoms =
-          Array.init (Cc.num_random q) (fun _ -> F.sample st ~card_s)
-        in
-        match Cc.eval (module F) q ~inputs ~randoms with
-        | exception Division_by_zero -> attempt (k + 1)
-        | out ->
-          let det = out.(0) in
-          if F.is_zero det then attempt (k + 1)
-          else begin
-            (* gradient entry for input (i,j) sits at out.(1 + i*n + j);
-               A^{-1}_{ij} = (∂det/∂x_{ji}) / det *)
-            let det_inv = F.inv det in
-            let inv =
-              M.init n n (fun i j -> F.mul det_inv out.(1 + (j * n) + i))
-            in
-            if MD.equal (M.mul a inv) (M.identity n) then Ok inv
-            else attempt (k + 1)
-          end
-      end
+    let policy =
+      Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns ()
     in
-    attempt 1
+    Rt.run ~ns:"inverse" ~op:"inverse" ~policy ~card_s
+    @@ fun ~attempt:_ ~card_s ->
+    let randoms = Array.init (Cc.num_random q) (fun _ -> F.sample st ~card_s) in
+    match Cc.eval (module F) q ~inputs ~randoms with
+    | exception Division_by_zero -> Rt.Reject O.Division_error
+    | out ->
+      let det = out.(0) in
+      if F.is_zero det then
+        (* det(A·H·D) = 0: either a singular preconditioner draw or a
+           singular A — evidence for the latter accumulates as witnesses *)
+        Rt.Reject_with_witness O.Zero_constant_term
+      else begin
+        (* gradient entry for input (i,j) sits at out.(1 + i*n + j);
+           A^{-1}_{ij} = (∂det/∂x_{ji}) / det *)
+        let det_inv = F.inv det in
+        let inv = M.init n n (fun i j -> F.mul det_inv out.(1 + (j * n) + i)) in
+        if MD.equal (M.mul a inv) (M.identity n) then Rt.Accept inv
+        else Rt.Reject O.Residual_mismatch
+      end
 
-  let inverse_via_solves ?(retries = 10) ?card_s st (a : M.t) =
+  let inverse_via_solves ?(retries = 10) ?card_s ?deadline_ns st (a : M.t) =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Inverse.inverse_via_solves: non-square";
     let out = M.make n n in
+    (* attempts accumulate across the n column solves, so an error's report
+       carries the total work, not just the failing column's *)
+    let acc = ref O.empty_report in
     let rec columns j =
-      if j = n then Ok out
+      if j = n then Ok (out, !acc)
       else begin
         let e = Array.init n (fun i -> if i = j then F.one else F.zero) in
-        match S.solve ~retries ?card_s st a e with
-        | Ok (x, _) ->
+        match S.solve ~retries ?card_s ?deadline_ns st a e with
+        | Ok (x, r) ->
+          acc := O.merge_reports !acc r;
           for i = 0 to n - 1 do
             M.set out i j x.(i)
           done;
           columns (j + 1)
-        | Error { outcome = `Singular; _ } -> Error "singular matrix"
-        | Error _ -> Error "solve failed"
+        | Error e -> Error (O.with_report (O.merge_reports !acc) e)
       end
     in
     columns 0

@@ -14,6 +14,7 @@ module Make
     (C : Kp_poly.Conv.S with type elt = F.t) : sig
   module S : module type of Solver.Make (F) (C)
   module M = S.M
+  module O = Kp_robust.Outcome
 
   val det_circuit :
     n:int ->
@@ -26,12 +27,17 @@ module Make
   val inverse :
     ?retries:int ->
     ?card_s:int ->
-    Random.State.t -> M.t -> (M.t, string) result
-  (** Theorem-6 inversion with Las Vegas verification (A·A⁻¹ = I). *)
+    ?deadline_ns:int64 ->
+    Random.State.t -> M.t -> (M.t * O.report, O.error) result
+  (** Theorem-6 inversion with Las Vegas verification (A·A⁻¹ = I).
+      [Error (Singular _)] after consistent zero-determinant witnesses. *)
 
   val inverse_via_solves :
     ?retries:int ->
     ?card_s:int ->
-    Random.State.t -> M.t -> (M.t, string) result
-  (** n independent Theorem-4 solves against the basis vectors. *)
+    ?deadline_ns:int64 ->
+    Random.State.t -> M.t -> (M.t * O.report, O.error) result
+  (** n independent Theorem-4 solves against the basis vectors.  The
+      report (on success or inside the error) accumulates attempts across
+      all columns solved so far. *)
 end

@@ -4,6 +4,7 @@ module Make
 struct
   module S = Solver.Make (F) (C)
   module M = S.M
+  module O = Kp_robust.Outcome
 
   let residual_orthogonal (a : M.t) x b =
     let ax = M.matvec a x in
@@ -20,8 +21,16 @@ struct
     match S.solve ?card_s st normal rhs with
     | Ok (x, _) ->
       if residual_orthogonal a x b then Ok x
-      else Error "normal-equation solution failed orthogonality check"
-    | Error { outcome = `Singular; _ } ->
-      Error "A^tr A singular: A is column-rank-deficient"
-    | Error _ -> Error "solver failed"
+      else
+        (* A·x = A^tr·b was certified, so orthogonality is implied:
+           failing it means the arithmetic itself misbehaved *)
+        Error
+          (O.Fault_detected
+             {
+               op = "least_squares.solve";
+               detail = "residual not orthogonal to the column space";
+             })
+    | Error e ->
+      (* Singular means A^tr·A singular, i.e. A column-rank-deficient *)
+      Error e
 end

@@ -14,12 +14,15 @@ module Make
     (C : Kp_poly.Conv.S with type elt = F.t) : sig
   module S : module type of Solver.Make (F) (C)
   module M = S.M
+  module O = Kp_robust.Outcome
 
   val solve :
     ?card_s:int ->
-    Random.State.t -> M.t -> F.t array -> (F.t array, string) result
+    Random.State.t -> M.t -> F.t array -> (F.t array, O.error) result
   (** Minimizer of ‖A·x − b‖² for full-column-rank A; verified against the
-      normal equations.  @raise Invalid_argument unless char F = 0. *)
+      normal equations.  [Error (Singular _)] when A{^tr}A is singular,
+      i.e. A is column-rank-deficient.
+      @raise Invalid_argument unless char F = 0. *)
 
   val residual_orthogonal : M.t -> F.t array -> F.t array -> bool
   (** Check A{^tr}(A·x − b) = 0 — the defining property of the minimizer. *)

@@ -5,26 +5,30 @@ struct
   module S = Solver.Make (F) (C)
   module M = S.M
   module R = Rank.Make (F) (C)
+  module O = Kp_robust.Outcome
+  module Rt = Kp_robust.Retry
 
-  let default_card_s n = max (4 * 3 * n * n) 64
+  let default_card_s n =
+    let bound = max (4 * 3 * n * n) 64 in
+    match F.cardinality with Some q -> min bound q | None -> bound
 
   (* solve Âr · z = w for several right-hand sides *)
-  let block_solves ?card_s st (ar : M.t) rhss =
+  let block_solves ?card_s ?deadline_ns st (ar : M.t) rhss =
     let rec go acc = function
       | [] -> Ok (List.rev acc)
       | w :: rest -> (
-        match S.solve ?card_s st ar w with
+        match S.solve ?card_s ?deadline_ns st ar w with
         | Ok (z, _) -> go (z :: acc) rest
-        | Error _ -> Error "block solve failed")
+        | Error e -> Error e)
     in
     go [] rhss
 
   let decompose ?card_s st (a : M.t) =
     let n = a.M.rows in
-    let pre = R.precondition st a in
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let pre = R.precondition st ~card_s a in
     let r =
       (* rank via the already-preconditioned matrix *)
-      let card_s = match card_s with Some s -> s | None -> default_card_s n in
       let rec search lo hi =
         if lo >= hi then lo
         else begin
@@ -38,22 +42,39 @@ struct
     in
     (pre, r)
 
-  let nullspace ?card_s st (a : M.t) =
+  let nullspace ?(retries = 4) ?card_s ?deadline_ns st (a : M.t) =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Nullspace.nullspace: non-square";
-    let pre, r = decompose ?card_s st a in
-    if r = n then Ok []
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let policy = Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns () in
+    Result.map fst
+    @@ Rt.run ~ns:"nullspace" ~op:"nullspace" ~policy ~card_s
+    @@ fun ~attempt:_ ~card_s ->
+    let pre, r = decompose ~card_s st a in
+    if r = n then Rt.Accept []
     else if r = 0 then
-      (* A = 0 (whp): the standard basis spans the nullspace *)
-      Ok (List.init n (fun j -> Array.init n (fun i -> if i = j then F.one else F.zero)))
+      if Array.for_all F.is_zero a.M.data then
+        (* A = 0: the standard basis spans the nullspace *)
+        Rt.Accept
+          (List.init n (fun j ->
+               Array.init n (fun i -> if i = j then F.one else F.zero)))
+      else
+        (* rank estimate certainly too low: unlucky preconditioner *)
+        Rt.Reject O.Rank_mismatch
     else begin
       let a_hat = pre.R.a_hat in
       let ar = M.init r r (fun i j -> M.get a_hat i j) in
       let b_cols =
         List.init (n - r) (fun c -> Array.init r (fun i -> M.get a_hat i (r + c)))
       in
-      match block_solves ?card_s st ar b_cols with
-      | Error e -> Error e
+      match block_solves ~card_s ?deadline_ns st ar b_cols with
+      | Error (O.Singular _) ->
+        (* the leading r×r block tested non-singular but a solve certified it
+           singular: the rank profile was not generic this draw *)
+        Rt.Reject O.Rank_mismatch
+      | Error (O.Deadline_exceeded _ as e) | Error (O.Fault_detected _ as e) ->
+        Rt.Error_now e
+      | Error _ -> Rt.Reject O.Residual_mismatch
       | Ok zs ->
         let basis =
           List.mapi
@@ -73,34 +94,51 @@ struct
           List.for_all
             (fun v -> Array.for_all F.is_zero (M.matvec a v))
             basis
-        then Ok basis
-        else Error "nullspace verification failed (unlucky rank profile)"
+        then Rt.Accept basis
+        else Rt.Reject O.Residual_mismatch
     end
 
-  let solve_singular ?card_s st (a : M.t) b =
+  let solve_singular ?(retries = 4) ?card_s ?deadline_ns st (a : M.t) b =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Nullspace.solve_singular: non-square";
-    let pre, r = decompose ?card_s st a in
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let policy = Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns () in
+    Result.map fst
+    @@ Rt.run ~ns:"nullspace" ~op:"solve_singular" ~policy ~card_s
+    @@ fun ~attempt:_ ~card_s ->
+    let pre, r = decompose ~card_s st a in
     if r = n then
-      match S.solve ?card_s st a b with
-      | Ok (x, _) -> Ok (Some x)
-      | Error _ -> Error "solve failed on full-rank input"
+      match S.solve ~card_s ?deadline_ns st a b with
+      | Ok (x, _) -> Rt.Accept (Some x)
+      | Error (O.Singular _) -> Rt.Reject O.Rank_mismatch
+      | Error (O.Deadline_exceeded _ as e) | Error (O.Fault_detected _ as e) ->
+        Rt.Error_now e
+      | Error _ -> Rt.Reject O.Residual_mismatch
     else begin
       let a_hat = pre.R.a_hat in
       let ub = M.matvec pre.R.u_mat b in
       if r = 0 then
-        if Array.for_all F.is_zero ub then Ok (Some (Array.make n F.zero))
-        else Ok None
+        if Array.for_all F.is_zero a.M.data then
+          if Array.for_all F.is_zero ub then Rt.Accept (Some (Array.make n F.zero))
+          else Rt.Accept None
+        else Rt.Reject O.Rank_mismatch
       else begin
         let ar = M.init r r (fun i j -> M.get a_hat i j) in
         let top = Array.sub ub 0 r in
-        match S.solve ?card_s st ar top with
-        | Error _ -> Error "block solve failed"
+        match S.solve ~card_s ?deadline_ns st ar top with
+        | Error (O.Singular _) -> Rt.Reject O.Rank_mismatch
+        | Error (O.Deadline_exceeded _ as e) | Error (O.Fault_detected _ as e) ->
+          Rt.Error_now e
+        | Error _ -> Rt.Reject O.Residual_mismatch
         | Ok (z, _) ->
           let y = Array.init n (fun i -> if i < r then z.(i) else F.zero) in
           let x = M.matvec pre.R.v_mat y in
-          if Array.for_all2 F.equal (M.matvec a x) b then Ok (Some x)
-          else Ok None (* bottom equations inconsistent *)
+          if Array.for_all2 F.equal (M.matvec a x) b then Rt.Accept (Some x)
+          else
+            (* the top block solved but the full residual is non-zero: the
+               bottom equations are inconsistent (if the rank estimate was
+               right — Monte Carlo, as before the refactor) *)
+            Rt.Accept None
       end
     end
 end

@@ -7,22 +7,33 @@
     "hence the right null space of A is spanned by the columns of
     V·[−Âᵣ⁻¹B; I₍ₙ₋ᵣ₎]" — requiring Theorem 6 (inversion / solving) on the
     non-singular block only.  A particular solution of a consistent
-    singular system comes from the same decomposition. *)
+    singular system comes from the same decomposition.
+
+    The whole decomposition is one attempt under {!Kp_robust.Retry}: an
+    unlucky preconditioner (rank profile not generic) rejects with
+    [Rank_mismatch] and is redrawn with an escalated sample set. *)
 
 module Make
     (F : Kp_field.Field_intf.FIELD)
     (C : Kp_poly.Conv.S with type elt = F.t) : sig
   module S : module type of Solver.Make (F) (C)
   module M = S.M
+  module O = Kp_robust.Outcome
 
   val nullspace :
-    ?card_s:int -> Random.State.t -> M.t -> (F.t array list, string) result
-  (** Basis of the right nullspace (empty list for non-singular input). *)
+    ?retries:int ->
+    ?card_s:int ->
+    ?deadline_ns:int64 ->
+    Random.State.t -> M.t -> (F.t array list, O.error) result
+  (** Basis of the right nullspace (empty list for non-singular input).
+      Every basis vector is verified against A·v = 0 before acceptance. *)
 
   val solve_singular :
+    ?retries:int ->
     ?card_s:int ->
+    ?deadline_ns:int64 ->
     Random.State.t -> M.t -> F.t array ->
-    (F.t array option, string) result
+    (F.t array option, O.error) result
   (** [Ok (Some x)] with A·x = b verified; [Ok None] when the system is
-      (certified, against the computed decomposition) inconsistent. *)
+      (against the computed decomposition) inconsistent. *)
 end

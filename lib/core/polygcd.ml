@@ -8,15 +8,13 @@ struct
   module R = Rank.Make (F) (C)
   module G = Kp_matrix.Gauss.Make (F)
   module M = S.M
+  module O = Kp_robust.Outcome
+  module Rt = Kp_robust.Retry
 
   let resultant ?card_s st f g =
     if P.is_zero f || P.is_zero g then Ok F.zero
     else if P.degree f = 0 || P.degree g = 0 then Ok (Sy.resultant_gauss f g)
-    else begin
-      match S.det ?card_s st (Sy.matrix f g) with
-      | Ok (d, _) -> Ok d
-      | Error _ -> Error "resultant: determinant failed"
-    end
+    else Result.map fst (S.det ?card_s st (Sy.matrix f g))
 
   module W = Wiedemann.Make (F)
 
@@ -33,9 +31,7 @@ struct
           ops_per_apply = 0;
         }
       in
-      match W.det ?card_s st bb with
-      | Ok d -> Ok d
-      | Error e -> Error ("resultant_blackbox: " ^ e)
+      Result.map fst (W.det ?card_s st bb)
     end
 
   let gcd_degree ?card_s st f g =
@@ -47,48 +43,56 @@ struct
       P.degree f + P.degree g - R.rank ?card_s st s
     end
 
-  let gcd ?card_s st f g =
+  let default_card_s dim =
+    let bound = max (4 * 3 * dim * dim) 64 in
+    match F.cardinality with Some q -> min bound q | None -> bound
+
+  let gcd ?(retries = 6) ?card_s ?deadline_ns st f g =
     if P.is_zero f then Ok (P.monic g)
     else if P.is_zero g then Ok (P.monic f)
     else if P.degree f = 0 || P.degree g = 0 then Ok P.one
     else begin
       let m = P.degree f and n = P.degree g in
-      let rec attempt k =
-        if k > 6 then Error "gcd: retries exhausted"
-        else begin
-          let d = gcd_degree ?card_s st f g in
-          if d = 0 then Ok P.one
-          else begin
-            (* nullspace of the restricted system is spanned by (-g/h, f/h) *)
-            let sys = Sy.cofactor_matrix f g ~deg_gcd:d in
-            match G.nullspace sys with
-            | [ w ] ->
-              let cols_u = n - d + 1 in
-              let v = P.of_coeffs (Array.sub w cols_u (m - d + 1)) in
-              (* v = c·(f/h): h = f / v when the division is exact *)
-              if P.is_zero v then attempt (k + 1)
-              else begin
-                let h, r = P.divmod f v in
-                if P.is_zero r && P.degree h = d
-                   && P.is_zero (P.rem g h) && P.is_zero (P.rem f h)
-                then Ok (P.monic h)
-                else attempt (k + 1)
-              end
-            | _ ->
-              (* wrong rank guess: nullity must be exactly 1 *)
-              attempt (k + 1)
-          end
-        end
+      let card_s =
+        match card_s with Some s -> s | None -> default_card_s (m + n)
       in
-      attempt 1
+      let policy = Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns () in
+      Result.map fst
+      @@ Rt.run ~ns:"polygcd" ~op:"gcd" ~policy ~card_s
+      @@ fun ~attempt:_ ~card_s ->
+      let d = gcd_degree ~card_s st f g in
+      if d = 0 then Rt.Accept P.one
+      else begin
+        (* nullspace of the restricted system is spanned by (-g/h, f/h) *)
+        let sys = Sy.cofactor_matrix f g ~deg_gcd:d in
+        match G.nullspace sys with
+        | [ w ] ->
+          let cols_u = n - d + 1 in
+          let v = P.of_coeffs (Array.sub w cols_u (m - d + 1)) in
+          (* v = c·(f/h): h = f / v when the division is exact *)
+          if P.is_zero v then Rt.Reject O.Low_degree
+          else begin
+            let h, r = P.divmod f v in
+            if P.is_zero r && P.degree h = d
+               && P.is_zero (P.rem g h) && P.is_zero (P.rem f h)
+            then Rt.Accept (P.monic h)
+            else Rt.Reject O.Residual_mismatch
+          end
+        | _ ->
+          (* wrong rank guess: nullity must be exactly 1 *)
+          Rt.Reject O.Rank_mismatch
+      end
     end
 
-  let bezout ?card_s st f g =
-    match gcd ?card_s st f g with
+  let bezout ?card_s ?deadline_ns st f g =
+    match gcd ?card_s ?deadline_ns st f g with
     | Error e -> Error e
     | Ok h ->
       let m = P.degree f and n = P.degree g and d = P.degree h in
-      if m < 0 || n < 0 then Error "bezout: zero polynomial"
+      if m < 0 || n < 0 then
+        Error
+          (O.Fault_detected
+             { op = "polygcd.bezout"; detail = "zero polynomial after gcd" })
       else if d = m then Ok (h, P.constant (F.inv (P.leading f)), P.zero)
       else if d = n then Ok (h, P.zero, P.constant (F.inv (P.leading g)))
       else begin
@@ -103,11 +107,23 @@ struct
         in
         let rhs = Array.init rows (fun r -> P.coeff h r) in
         match G.solve_general sys rhs with
-        | None -> Error "bezout: system inconsistent (should not happen)"
+        | None ->
+          (* h = gcd certified divides both f and g, so the Bezout system
+             is consistent: reaching this is a deterministic-invariant
+             violation, not bad randomness *)
+          Error
+            (O.Fault_detected
+               { op = "polygcd.bezout"; detail = "Bezout system inconsistent" })
         | Some w ->
           let u = P.of_coeffs (Array.sub w 0 cols_u) in
           let v = P.of_coeffs (Array.sub w cols_u cols_v) in
           if P.equal (P.add (P.mul u f) (P.mul v g)) h then Ok (h, u, v)
-          else Error "bezout: verification failed"
+          else
+            Error
+              (O.Fault_detected
+                 {
+                   op = "polygcd.bezout";
+                   detail = "u·f + v·g ≠ h after elimination";
+                 })
       end
 end

@@ -16,18 +16,23 @@
 
     Both Monte Carlo ingredients (rank) are verified: the result is checked
     to divide f and g and to have the Bezout degree bound, and the whole
-    computation retried on failure — Las Vegas overall, matching Euclid. *)
+    computation retried through {!Kp_robust.Retry} on failure — Las Vegas
+    overall, matching Euclid.  Failures are typed
+    ({!Kp_robust.Outcome.error}); invariants that should hold
+    deterministically surface as [Fault_detected]. *)
 
 module Make
     (F : Kp_field.Field_intf.FIELD)
     (C : Kp_poly.Conv.S with type elt = F.t) : sig
   module P : module type of Kp_poly.Dense.Make (F)
+  module O = Kp_robust.Outcome
 
-  val resultant : ?card_s:int -> Random.State.t -> P.t -> P.t -> (F.t, string) result
+  val resultant :
+    ?card_s:int -> Random.State.t -> P.t -> P.t -> (F.t, O.error) result
   (** Resultant via the Theorem-4 determinant of the Sylvester matrix. *)
 
   val resultant_blackbox :
-    ?card_s:int -> Random.State.t -> P.t -> P.t -> (F.t, string) result
+    ?card_s:int -> Random.State.t -> P.t -> P.t -> (F.t, O.error) result
   (** Resultant via black-box Wiedemann on the structured Sylvester
       operator (two convolutions per application, never materialising the
       matrix) — the §5 "Toeplitz-like" exploitation, asymptotically
@@ -36,11 +41,18 @@ module Make
   val gcd_degree : ?card_s:int -> Random.State.t -> P.t -> P.t -> int
   (** m + n − rank S(f,g) by the randomized rank (0 for coprime inputs). *)
 
-  val gcd : ?card_s:int -> Random.State.t -> P.t -> P.t -> (P.t, string) result
-  (** Monic gcd, cross-checked against division; retried on bad luck. *)
+  val gcd :
+    ?retries:int ->
+    ?card_s:int ->
+    ?deadline_ns:int64 ->
+    Random.State.t -> P.t -> P.t -> (P.t, O.error) result
+  (** Monic gcd, cross-checked against division; retried on bad luck with
+      sample-set escalation. *)
 
   val bezout :
-    ?card_s:int -> Random.State.t -> P.t -> P.t -> (P.t * P.t * P.t, string) result
+    ?card_s:int ->
+    ?deadline_ns:int64 ->
+    Random.State.t -> P.t -> P.t -> (P.t * P.t * P.t, O.error) result
   (** [(h, u, v)] with [u·f + v·g = h = gcd(f,g)], deg u < deg g − deg h and
       deg v < deg f − deg h — "the coefficients of the polynomials in the
       Euclidean scheme" (§5), by solving the corresponding Sylvester-type

@@ -12,14 +12,17 @@ struct
     a_hat : M.t;
   }
 
-  let default_card_s n = max (4 * 3 * n * n) 64
+  let default_card_s n =
+    let bound = max (4 * 3 * n * n) 64 in
+    match F.cardinality with Some q -> min bound q | None -> bound
 
   let precondition st ?card_s (a : M.t) =
     let n = a.M.rows in
-    ignore (match card_s with Some _ -> 0 | None -> 0);
-    (* unit-triangular products are always non-singular *)
-    let u_mat = MD.random_nonsingular st n in
-    let v_mat = MD.random_nonsingular st n in
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    (* unit-triangular products are always non-singular; their random
+       entries come from the caller's sample set *)
+    let u_mat = MD.sample_nonsingular st ~card_s n in
+    let v_mat = MD.sample_nonsingular st ~card_s n in
     { u_mat; v_mat; a_hat = M.mul u_mat (M.mul a v_mat) }
 
   let leading sub i =
@@ -38,7 +41,7 @@ struct
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Rank.rank: non-square (embed first)";
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
-    let { a_hat; _ } = precondition st a in
+    let { a_hat; _ } = precondition st ~card_s a in
     (* binary search: largest i with non-singular leading i×i minor *)
     let rec search lo hi =
       (* invariant: minor lo is non-singular (or lo=0), minor hi+1.. unknown;

@@ -8,33 +8,9 @@ struct
   module BM = Kp_seqgen.Berlekamp_massey.Make (F)
   module LR = Kp_seqgen.Linrec.Make (F)
 
-  type outcome = [ `Success | `Singular | `Failure of string ]
-
-  type report = {
-    attempts : int;
-    outcome : outcome;
-  }
-
+  module O = Kp_robust.Outcome
+  module Rt = Kp_robust.Retry
   module Span = Kp_obs.Span
-  module Counter = Kp_obs.Counter
-
-  let c_attempts = Counter.make "solver.attempts"
-  let c_successes = Counter.make "solver.successes"
-  let c_failures = Counter.make "solver.failures"
-  let c_singular = Counter.make "solver.singular"
-  let c_rej_zero = Counter.make "solver.rejections.zero_constant_term"
-  let c_rej_gen = Counter.make "solver.rejections.low_degree"
-  let c_rej_residual = Counter.make "solver.rejections.residual_mismatch"
-  let c_rej_precond = Counter.make "solver.rejections.singular_preconditioner"
-  let c_witness = Counter.make "solver.singular_witnesses"
-
-  let attempt_event ~op ~attempt ~outcome =
-    Kp_obs.Events.emit "solver.attempt"
-      [ ("op", op); ("attempt", string_of_int attempt); ("outcome", outcome) ]
-
-  let reject counter ~op ~attempt reason =
-    Counter.incr counter;
-    attempt_event ~op ~attempt ~outcome:reason
 
   let charpoly_for_field ~n =
     if F.characteristic = 0 || F.characteristic > n then P.charpoly_leverrier
@@ -71,7 +47,11 @@ struct
     | None -> MD.mul
     | Some pool -> MD.mul_parallel pool
 
-  let solve ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?pool st (a : M.t) b =
+  let policy ?deadline_ns retries =
+    Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns ()
+
+  let solve ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns ?pool
+      st (a : M.t) b =
     Span.with_ "solver.solve" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.solve: non-square";
@@ -79,101 +59,57 @@ struct
     let mul = mul_of pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ~n in
-    let singular_witnesses = ref 0 in
-    let witness () =
-      incr singular_witnesses;
-      Counter.incr c_witness
+    Rt.run ~ns:"solver" ~op:"solve" ~policy:(policy ?deadline_ns retries)
+      ~card_s
+    @@ fun ~attempt:_ ~card_s ->
+    let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
+    let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+    let u = sample_vec st ~card_s n in
+    let h_nonsingular () =
+      match P.det_hd ~charpoly ~n ~h ~d with
+      | exception Division_by_zero -> false
+      | dhd -> not (F.is_zero dhd)
     in
-    let rec attempt k =
-      if k > retries then begin
-        let outcome =
-          if !singular_witnesses >= min retries 3 then begin
-            Counter.incr c_singular;
-            `Singular
-          end
-          else begin
-            Counter.incr c_failures;
-            `Failure "retries exhausted"
-          end
-        in
-        Error { attempts = k - 1; outcome }
+    match P.solve ~mul ~charpoly ~strategy a ~b ~h ~d ~u with
+    | exception Division_by_zero ->
+      (* singular Toeplitz system: the generator has degree < n — could
+         be bad luck or a singular Ã; witness only if H is invertible *)
+      if h_nonsingular () then Rt.Reject_with_witness O.Low_degree
+      else Rt.Reject O.Low_degree
+    | { x; f; seq; _ } ->
+      if F.is_zero f.(0) && generator_ok ~n f seq then begin
+        (* true minpoly with zero constant term: Ã singular; with H, D
+           non-singular this witnesses singularity of A *)
+        if h_nonsingular () then Rt.Reject_with_witness O.Zero_constant_term
+        else Rt.Reject O.Zero_constant_term
       end
-      else begin
-        Counter.incr c_attempts;
-        let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
-        let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
-        let u = sample_vec st ~card_s n in
-        let h_nonsingular () =
-          match P.det_hd ~charpoly ~n ~h ~d with
-          | exception Division_by_zero -> false
-          | dhd -> not (F.is_zero dhd)
-        in
-        match P.solve ~mul ~charpoly ~strategy a ~b ~h ~d ~u with
-        | exception Division_by_zero ->
-          (* singular Toeplitz system: the generator has degree < n — could
-             be bad luck or a singular Ã; witness only if H is invertible *)
-          if h_nonsingular () then witness ();
-          reject c_rej_gen ~op:"solve" ~attempt:k "low_degree";
-          attempt (k + 1)
-        | { x; f; seq; _ } ->
-          if F.is_zero f.(0) && generator_ok ~n f seq then begin
-            (* true minpoly with zero constant term: Ã singular; with H, D
-               non-singular this witnesses singularity of A *)
-            if h_nonsingular () then witness ();
-            reject c_rej_zero ~op:"solve" ~attempt:k "zero_constant_term";
-            attempt (k + 1)
-          end
-          else if verify_solution a x b then begin
-            Counter.incr c_successes;
-            attempt_event ~op:"solve" ~attempt:k ~outcome:"success";
-            Ok (x, { attempts = k; outcome = `Success })
-          end
-          else begin
-            reject c_rej_residual ~op:"solve" ~attempt:k "residual_mismatch";
-            attempt (k + 1)
-          end
-      end
-    in
-    attempt 1
+      else if verify_solution a x b then Rt.Accept x
+      else Rt.Reject O.Residual_mismatch
 
-  let det ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?pool st (a : M.t) =
+  let det ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns ?pool
+      st (a : M.t) =
     Span.with_ "solver.det" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.det: non-square";
     let mul = mul_of pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ~n in
-    let singular_witnesses = ref 0 in
-    let witness () =
-      incr singular_witnesses;
-      Counter.incr c_witness
-    in
-    let rec attempt k =
-      if k > retries then begin
-        if !singular_witnesses >= min retries 3 then begin
-          (* consistent singularity witnesses: report det = 0 (Monte Carlo
-             on the singular side, exact on the non-singular side) *)
-          Counter.incr c_singular;
-          Ok (F.zero, { attempts = k - 1; outcome = `Singular })
-        end
-        else begin
-          Counter.incr c_failures;
-          Error { attempts = k - 1; outcome = `Failure "retries exhausted" }
-        end
-      end
-      else begin
-        Counter.incr c_attempts;
+    let result =
+      Rt.run ~ns:"solver" ~op:"det" ~policy:(policy ?deadline_ns retries)
+        ~card_s
+      @@ fun ~attempt:_ ~card_s ->
+      let eval_once () =
         let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
         let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
         let u = sample_vec st ~card_s n in
         let v = sample_vec st ~card_s n in
         let a_tilde = P.preconditioned a ~h ~d in
-        let cols_seq () =
+        let cols =
           match strategy with
           | P.Doubling -> P.K.columns ~mul a_tilde v (2 * n)
           | P.Sequential -> P.K.columns_sequential a_tilde v (2 * n)
         in
-        let seq = P.K.sequence ~u (cols_seq ()) in
+        let seq = P.K.sequence ~u cols in
         let h_nonsingular () =
           match P.det_hd ~charpoly ~n ~h ~d with
           | exception Division_by_zero -> false
@@ -181,41 +117,63 @@ struct
         in
         match P.minimal_generator ~mul ~charpoly ~strategy ~n seq with
         | exception Division_by_zero ->
-          if h_nonsingular () then witness ();
-          reject c_rej_gen ~op:"det" ~attempt:k "low_degree";
-          attempt (k + 1)
+          if h_nonsingular () then Rt.Reject_with_witness O.Low_degree
+          else Rt.Reject O.Low_degree
         | f ->
-          if not (generator_ok ~n f seq) then begin
-            reject c_rej_gen ~op:"det" ~attempt:k "low_degree";
-            attempt (k + 1)
-          end
+          if not (generator_ok ~n f seq) then Rt.Reject O.Low_degree
           else if F.is_zero f.(0) then begin
-            if h_nonsingular () then witness ();
-            reject c_rej_zero ~op:"det" ~attempt:k "zero_constant_term";
-            attempt (k + 1)
+            if h_nonsingular () then
+              Rt.Reject_with_witness O.Zero_constant_term
+            else Rt.Reject O.Zero_constant_term
           end
+          else if
+            (* transient-fault certificate: the full-degree generator is the
+               characteristic polynomial of Ã, so it must also generate the
+               projection of the same Krylov columns onto a fresh random u′.
+               A corrupted column (or a corrupted Berlekamp/Massey run)
+               satisfies no such recurrence and fails here whp. *)
+            not
+              (BM.generates f (P.K.sequence ~u:(sample_vec st ~card_s n) cols))
+          then Rt.Reject (O.Fault "krylov recurrence check failed")
           else begin
-            match P.det_hd ~charpoly ~n ~h ~d with
-            | exception Division_by_zero ->
-              reject c_rej_precond ~op:"det" ~attempt:k
-                "singular_preconditioner";
-              attempt (k + 1)
-            | dhd ->
-              if F.is_zero dhd then begin
-                reject c_rej_precond ~op:"det" ~attempt:k
-                  "singular_preconditioner";
-                attempt (k + 1)
-              end
+            match
+              (P.det_hd ~charpoly ~n ~h ~d, P.det_hd ~charpoly ~n ~h ~d)
+            with
+            | exception Division_by_zero -> Rt.Reject O.Singular_preconditioner
+            | dhd, dhd' ->
+              if not (F.equal dhd dhd') then
+                (* det(H·D) is a deterministic function of (h, d): disagreement
+                   between two evaluations proves a transient fault *)
+                Rt.Reject (O.Fault "det_hd recomputation mismatch")
+              else if F.is_zero dhd then Rt.Reject O.Singular_preconditioner
               else begin
                 let det_tilde = if n land 1 = 0 then f.(0) else F.neg f.(0) in
-                Counter.incr c_successes;
-                attempt_event ~op:"det" ~attempt:k ~outcome:"success";
-                Ok (F.div det_tilde dhd, { attempts = k; outcome = `Success })
+                Rt.Accept (F.div det_tilde dhd)
               end
           end
-      end
+      in
+      (* Unlike solve, det has no residual to check against the ORIGINAL
+         input: a corruption while building Ã is self-consistent — f really
+         is the characteristic polynomial of the corrupted Ã′, every
+         recurrence certificate passes, and det(Ã′)/det(HD) is wrong.
+         det(A) is a deterministic function of A, so we require two fully
+         independent randomized evaluations to agree; a transient fault in
+         either lands on the true value only with negligible probability. *)
+      (match eval_once () with
+      | Rt.Accept d1 -> begin
+          match eval_once () with
+          | Rt.Accept d2 when F.equal d1 d2 -> Rt.Accept d1
+          | Rt.Accept _ -> Rt.Reject (O.Fault "det recomputation mismatch")
+          | other -> other
+        end
+      | other -> other)
     in
-    attempt 1
+    match result with
+    | Error (O.Singular { report; _ }) ->
+      (* consistent singularity witnesses: report det = 0 (Monte Carlo on
+         the singular side, exact on the non-singular side) *)
+      Ok (F.zero, report)
+    | (Ok _ | Error _) as r -> r
 
   let minimal_polynomial_wiedemann ?card_s st apply ~n =
     let card_s = match card_s with Some s -> s | None -> default_card_s n in

@@ -5,11 +5,16 @@
     projection vectors) are drawn uniformly from a sample set S of size
     [card_s]; on a non-singular input the attempt fails with probability at
     most 3n²/card S (estimate (2)).  Failures are *detected* — the degree-n
-    generator is checked against the sequence, the final solution against
-    A·x = b, determinants against a division-by-zero guard — and retried
-    with fresh randomness, so answers are certified (solve) or
+    generator is checked against the sequence (and, for determinants,
+    against a fresh projection of the same Krylov columns), the final
+    solution against A·x = b, determinants against a division-by-zero
+    guard — and retried through {!Kp_robust.Retry} with fresh randomness
+    and a doubled sample set, so answers are certified (solve) or
     certified-given-generator (det: exact whenever the generator check
     passes, which Lemma 1 guarantees implies minpoly = charpoly).
+
+    All failures are typed ({!Kp_robust.Outcome.error}); successes carry
+    the attempt {!Kp_robust.Outcome.report}.
 
     The characteristic-polynomial engine is chosen from the field
     characteristic: the §3 Leverrier route if char = 0 or char > n, else
@@ -21,12 +26,7 @@ module Make
   module P : module type of Pipeline.Make (F) (C)
   module M = P.M
 
-  type outcome = [ `Success | `Singular | `Failure of string ]
-
-  type report = {
-    attempts : int;  (** preconditioner draws consumed *)
-    outcome : outcome;
-  }
+  module O = Kp_robust.Outcome
 
   val charpoly_for_field : n:int -> P.charpoly_engine
   (** Leverrier engine if the characteristic allows, Chistov otherwise. *)
@@ -35,22 +35,27 @@ module Make
     ?retries:int ->
     ?strategy:P.strategy ->
     ?card_s:int ->
+    ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
-    Random.State.t -> M.t -> F.t array -> (F.t array * report, report) result
+    Random.State.t -> M.t -> F.t array ->
+    (F.t array * O.report, O.error) result
   (** Solve A·x = b.  [Ok (x, _)] comes with the certificate A·x = b
-      checked; [Error r] reports [`Singular] when repeated attempts produce
-      the singularity witness (f(0) = 0 or singular Toeplitz on every try).
+      checked; [Error (Singular _)] when repeated attempts produce the
+      singularity witness (f(0) = 0 or singular Toeplitz on every try).
       Default [card_s] = max(4·3n², 64) (failure probability ≤ 1/4 per
-      attempt), default retries = 10. *)
+      attempt), default retries = 10; |S| doubles after every rejection,
+      clamped to the field cardinality.  [deadline_ns] is an absolute
+      monotonic deadline ({!Kp_robust.Retry.deadline_after_ms}). *)
 
   val det :
     ?retries:int ->
     ?strategy:P.strategy ->
     ?card_s:int ->
+    ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
-    Random.State.t -> M.t -> (F.t * report, report) result
+    Random.State.t -> M.t -> (F.t * O.report, O.error) result
   (** Determinant of A (zero is reported as [Ok (F.zero, _)] when the
-      singularity witness is confirmed on all attempts). *)
+      singularity witness is confirmed across attempts). *)
 
   val minimal_polynomial_wiedemann :
     ?card_s:int ->

@@ -7,6 +7,8 @@ module Make
 struct
   module S = Solver.Make (F) (C)
   module M = S.M
+  module O = Kp_robust.Outcome
+  module Rt = Kp_robust.Retry
 
   let use_ntt =
     F.characteristic = Kp_poly.Conv.Default_ntt_prime.p
@@ -48,34 +50,31 @@ struct
     let bound = max (4 * 3 * n * n) 64 in
     match F.cardinality with Some q -> min bound q | None -> bound
 
-  let solve_transposed ?(retries = 10) ?card_s st (a : M.t) b =
+  let solve_transposed ?(retries = 10) ?card_s ?deadline_ns st (a : M.t) b =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Transpose.solve_transposed: non-square";
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let p = solve_circuit ~n ~charpoly:(charpoly_kind n) in
     let { Ad.circuit = q; gradient; _ } = Ad.differentiate p in
+    ignore gradient;
     let at = M.transpose a in
-    let rec attempt k =
-      if k > retries then Error "Transpose: retries exhausted (singular input?)"
-      else begin
-        let c = Array.init n (fun _ -> F.sample st ~card_s) in
-        let inputs =
-          Array.concat
-            [ c; Array.init (n * n) (fun k -> M.get a (k / n) (k mod n)); b ]
-        in
-        let randoms = Array.init (Cc.num_random q) (fun _ -> F.sample st ~card_s) in
-        match Cc.eval (module F) q ~inputs ~randoms with
-        | exception Division_by_zero -> attempt (k + 1)
-        | out ->
-          (* outputs: [f; gradient over all inputs; random gradient];
-             the c-block gradient is outputs 1..n *)
-          ignore gradient;
-          let x = Array.init n (fun i -> out.(1 + i)) in
-          if Array.for_all2 F.equal (M.matvec at x) b then Ok x
-          else attempt (k + 1)
-      end
+    let policy = Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns () in
+    Rt.run ~ns:"transpose" ~op:"solve_transposed" ~policy ~card_s
+    @@ fun ~attempt:_ ~card_s ->
+    let c = Array.init n (fun _ -> F.sample st ~card_s) in
+    let inputs =
+      Array.concat
+        [ c; Array.init (n * n) (fun k -> M.get a (k / n) (k mod n)); b ]
     in
-    attempt 1
+    let randoms = Array.init (Cc.num_random q) (fun _ -> F.sample st ~card_s) in
+    match Cc.eval (module F) q ~inputs ~randoms with
+    | exception Division_by_zero -> Rt.Reject O.Division_error
+    | out ->
+      (* outputs: [f; gradient over all inputs; random gradient];
+         the c-block gradient is outputs 1..n *)
+      let x = Array.init n (fun i -> out.(1 + i)) in
+      if Array.for_all2 F.equal (M.matvec at x) b then Rt.Accept x
+      else Rt.Reject O.Residual_mismatch
 
   let length_ratio ~n =
     let p = solve_circuit ~n ~charpoly:`Leverrier in

@@ -12,6 +12,7 @@ module Make
     (C : Kp_poly.Conv.S with type elt = F.t) : sig
   module S : module type of Solver.Make (F) (C)
   module M = S.M
+  module O = Kp_robust.Outcome
 
   val solve_circuit : n:int -> charpoly:[ `Leverrier | `Chistov ] -> Kp_circuit.Circuit.t
   (** Circuit computing f(c) = (A⁻¹c)·b: inputs = c (n) then A (n², row
@@ -20,9 +21,12 @@ module Make
   val solve_transposed :
     ?retries:int ->
     ?card_s:int ->
-    Random.State.t -> M.t -> F.t array -> (F.t array, string) result
+    ?deadline_ns:int64 ->
+    Random.State.t -> M.t -> F.t array ->
+    (F.t array * O.report, O.error) result
   (** Solve A^tr·x = b through the gradient construction, verified against
-      A^tr·x = b. *)
+      A^tr·x = b; retried via {!Kp_robust.Retry} with sample-set
+      escalation. *)
 
   val length_ratio : n:int -> float * float
   (** (size ratio, depth ratio) of the differentiated solve circuit over the

@@ -8,26 +8,12 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
   module BM = Kp_seqgen.Berlekamp_massey.Make (F)
   module LR = Kp_seqgen.Linrec.Make (F)
 
+  module O = Kp_robust.Outcome
+  module Rt = Kp_robust.Retry
   module Span = Kp_obs.Span
   module Counter = Kp_obs.Counter
-  module Events = Kp_obs.Events
 
-  let c_attempts = Counter.make "wiedemann.attempts"
-  let c_successes = Counter.make "wiedemann.successes"
-  let c_failures = Counter.make "wiedemann.failures"
-  let c_rej_zero = Counter.make "wiedemann.rejections.zero_constant_term"
-  let c_rej_low = Counter.make "wiedemann.rejections.low_degree"
-  let c_rej_residual = Counter.make "wiedemann.rejections.residual_mismatch"
-  let c_rej_precond = Counter.make "wiedemann.rejections.singular_preconditioner"
   let c_singular_witness = Counter.make "wiedemann.singular_witnesses"
-
-  let attempt_event ~op ~attempt ~outcome =
-    Events.emit "wiedemann.attempt"
-      [ ("op", op); ("attempt", string_of_int attempt); ("outcome", outcome) ]
-
-  let reject counter ~op ~attempt reason =
-    Counter.incr counter;
-    attempt_event ~op ~attempt ~outcome:reason
 
   let default_card_s n =
     let bound = max (12 * n * n) 64 in
@@ -44,6 +30,9 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
     in
     go 0
 
+  let policy ?deadline_ns retries =
+    Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns ()
+
   let minimal_polynomial ?card_s st (bb : Bb.t) =
     Span.with_ "wiedemann.minpoly" @@ fun () ->
     let n = bb.Bb.dim in
@@ -54,54 +43,38 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
     let seq = LR.krylov_sequence bb.Bb.apply ~u ~b (2 * n) in
     BM.P.to_array (BM.minimal_polynomial seq)
 
-  let solve ?(retries = 10) ?card_s st (bb : Bb.t) b =
+  (* x = -(1/f_0) Σ_{i=1}^{deg} f_i A^{i-1} b, by Cayley–Hamilton *)
+  let cayley_hamilton_solution apply f ~deg b =
+    let n = Array.length b in
+    let acc = ref (Array.make n F.zero) in
+    let w = ref b in
+    for i = 1 to deg do
+      acc := Array.mapi (fun j aj -> F.add aj (F.mul f.(i) !w.(j))) !acc;
+      if i < deg then w := apply !w
+    done;
+    let c = F.neg (F.inv f.(0)) in
+    Array.map (F.mul c) !acc
+
+  let solve ?(retries = 10) ?card_s ?deadline_ns st (bb : Bb.t) b =
     Span.with_ "wiedemann.solve" @@ fun () ->
     let n = bb.Bb.dim in
     if Array.length b <> n then invalid_arg "Wiedemann.solve: bad rhs";
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let bb = Bb.instrument bb in
-    let rec attempt k =
-      if k > retries then begin
-        Counter.incr c_failures;
-        Error "Wiedemann.solve: retries exhausted"
-      end
-      else begin
-        Counter.incr c_attempts;
-        let u = sample_vec st ~card_s n in
-        let seq = LR.krylov_sequence bb.Bb.apply ~u ~b (2 * n) in
-        let f = BM.P.to_array (BM.minimal_polynomial seq) in
-        let deg = Array.length f - 1 in
-        if deg = 0 then begin
-          reject c_rej_low ~op:"solve" ~attempt:k "low_degree";
-          attempt (k + 1)
-        end
-        else if F.is_zero f.(0) then begin
-          reject c_rej_zero ~op:"solve" ~attempt:k "zero_constant_term";
-          attempt (k + 1)
-        end
-        else begin
-          (* x = -(1/f_0) Σ_{i=1}^{deg} f_i A^{i-1} b *)
-          let acc = ref (Array.make n F.zero) in
-          let w = ref b in
-          for i = 1 to deg do
-            acc := Array.mapi (fun j aj -> F.add aj (F.mul f.(i) !w.(j))) !acc;
-            if i < deg then w := bb.Bb.apply !w
-          done;
-          let c = F.neg (F.inv f.(0)) in
-          let x = Array.map (F.mul c) !acc in
-          if Array.for_all2 F.equal (bb.Bb.apply x) b then begin
-            Counter.incr c_successes;
-            attempt_event ~op:"solve" ~attempt:k ~outcome:"success";
-            Ok x
-          end
-          else begin
-            reject c_rej_residual ~op:"solve" ~attempt:k "residual_mismatch";
-            attempt (k + 1)
-          end
-        end
-      end
-    in
-    attempt 1
+    Rt.run ~ns:"wiedemann" ~op:"solve" ~policy:(policy ?deadline_ns retries)
+      ~card_s
+    @@ fun ~attempt:_ ~card_s ->
+    let u = sample_vec st ~card_s n in
+    let seq = LR.krylov_sequence bb.Bb.apply ~u ~b (2 * n) in
+    let f = BM.P.to_array (BM.minimal_polynomial seq) in
+    let deg = Array.length f - 1 in
+    if deg = 0 then Rt.Reject O.Low_degree
+    else if F.is_zero f.(0) then Rt.Reject O.Zero_constant_term
+    else begin
+      let x = cayley_hamilton_solution bb.Bb.apply f ~deg b in
+      if Array.for_all2 F.equal (bb.Bb.apply x) b then Rt.Accept x
+      else Rt.Reject O.Residual_mismatch
+    end
 
   (* One Hankel matvec is a full convolution of lengths 2n-1 and n.  The
      Karatsuba multiplier is oblivious — its operation sequence depends
@@ -138,97 +111,59 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
     let n = bb.Bb.dim in
     Bb.scale_columns (Bb.compose bb (hankel_blackbox ~n h)) d
 
-  let solve_preconditioned ?(retries = 10) ?card_s st (bb : Bb.t) b =
+  let solve_preconditioned ?(retries = 10) ?card_s ?deadline_ns st (bb : Bb.t)
+      b =
     Span.with_ "wiedemann.solve_preconditioned" @@ fun () ->
     let n = bb.Bb.dim in
     if Array.length b <> n then
       invalid_arg "Wiedemann.solve_preconditioned: bad rhs";
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let bb_i = Bb.instrument bb in
-    let rec attempt k =
-      if k > retries then begin
-        Counter.incr c_failures;
-        Error "Wiedemann.solve_preconditioned: retries exhausted"
-      end
-      else begin
-        Counter.incr c_attempts;
-        let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
-        let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
-        let u = sample_vec st ~card_s n in
-        let a_tilde =
-          Bb.instrument ~name:"preconditioned" (preconditioned_blackbox bb ~h ~d)
-        in
-        let seq = LR.krylov_sequence a_tilde.Bb.apply ~u ~b (2 * n) in
-        let f = BM.P.to_array (BM.minimal_polynomial seq) in
-        let deg = Array.length f - 1 in
-        if deg = 0 then begin
-          reject c_rej_low ~op:"solve_preconditioned" ~attempt:k "low_degree";
-          attempt (k + 1)
-        end
-        else if F.is_zero f.(0) then begin
-          reject c_rej_zero ~op:"solve_preconditioned" ~attempt:k
-            "zero_constant_term";
-          attempt (k + 1)
-        end
-        else begin
-          (* y = Ã^{-1} b by Cayley–Hamilton on the minimum polynomial *)
-          let acc = ref (Array.make n F.zero) in
-          let w = ref b in
-          for i = 1 to deg do
-            acc := Array.mapi (fun j aj -> F.add aj (F.mul f.(i) !w.(j))) !acc;
-            if i < deg then w := a_tilde.Bb.apply !w
-          done;
-          let c = F.neg (F.inv f.(0)) in
-          let y = Array.map (F.mul c) !acc in
-          (* x = H·(D·y) solves A·x = b *)
-          let dy = Array.init n (fun i -> F.mul d.(i) y.(i)) in
-          let x = HK.matvec ~n h dy in
-          if Array.for_all2 F.equal (bb_i.Bb.apply x) b then begin
-            Counter.incr c_successes;
-            attempt_event ~op:"solve_preconditioned" ~attempt:k
-              ~outcome:"success";
-            Ok (x, k)
-          end
-          else begin
-            reject c_rej_residual ~op:"solve_preconditioned" ~attempt:k
-              "residual_mismatch";
-            attempt (k + 1)
-          end
-        end
-      end
+    Rt.run ~ns:"wiedemann" ~op:"solve_preconditioned"
+      ~policy:(policy ?deadline_ns retries) ~card_s
+    @@ fun ~attempt:_ ~card_s ->
+    let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
+    let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+    let u = sample_vec st ~card_s n in
+    let a_tilde =
+      Bb.instrument ~name:"preconditioned" (preconditioned_blackbox bb ~h ~d)
     in
-    attempt 1
+    let seq = LR.krylov_sequence a_tilde.Bb.apply ~u ~b (2 * n) in
+    let f = BM.P.to_array (BM.minimal_polynomial seq) in
+    let deg = Array.length f - 1 in
+    if deg = 0 then Rt.Reject O.Low_degree
+    else if F.is_zero f.(0) then Rt.Reject O.Zero_constant_term
+    else begin
+      (* y = Ã^{-1} b by Cayley–Hamilton on the minimum polynomial *)
+      let y = cayley_hamilton_solution a_tilde.Bb.apply f ~deg b in
+      (* x = H·(D·y) solves A·x = b *)
+      let dy = Array.init n (fun i -> F.mul d.(i) y.(i)) in
+      let x = HK.matvec ~n h dy in
+      if Array.for_all2 F.equal (bb_i.Bb.apply x) b then Rt.Accept x
+      else Rt.Reject O.Residual_mismatch
+    end
 
   let charpoly_engine ~n =
     if F.characteristic = 0 || F.characteristic > n then TC.charpoly
     else Ch.charpoly
 
-  let det ?(retries = 10) ?card_s st (bb : Bb.t) =
+  let det ?(retries = 10) ?card_s ?deadline_ns st (bb : Bb.t) =
     Span.with_ "wiedemann.det" @@ fun () ->
     let n = bb.Bb.dim in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_engine ~n in
-    let singular_witnesses = ref 0 in
-    let rec attempt k =
-      if k > retries then begin
-        if !singular_witnesses >= min retries 3 then begin
-          Counter.incr c_successes;
-          attempt_event ~op:"det" ~attempt:(k - 1) ~outcome:"singular";
-          Ok F.zero
-        end
-        else begin
-          Counter.incr c_failures;
-          Error "Wiedemann.det: retries exhausted"
-        end
-      end
-      else begin
-        Counter.incr c_attempts;
+    let result =
+      Rt.run ~ns:"wiedemann" ~op:"det" ~policy:(policy ?deadline_ns retries)
+        ~card_s
+      @@ fun ~attempt:_ ~card_s ->
+      let eval_once () =
         let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
         let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
         let u = sample_vec st ~card_s n in
         let v = sample_vec st ~card_s n in
         let a_tilde =
-          Bb.instrument ~name:"preconditioned" (preconditioned_blackbox bb ~h ~d)
+          Bb.instrument ~name:"preconditioned"
+            (preconditioned_blackbox bb ~h ~d)
         in
         let seq = LR.krylov_sequence a_tilde.Bb.apply ~u ~b:v (2 * n) in
         let f = BM.P.to_array (BM.minimal_polynomial seq) in
@@ -242,40 +177,48 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
           (* λ divides the sequence's minimum polynomial: Ã is singular,
              hence (H, D non-singular) so is A — any degree suffices *)
           if not (F.is_zero (det_h ())) then begin
-            incr singular_witnesses;
-            Counter.incr c_singular_witness
-          end;
-          reject c_rej_zero ~op:"det" ~attempt:k "zero_constant_term";
-          attempt (k + 1)
+            Counter.incr c_singular_witness;
+            Rt.Reject_with_witness O.Zero_constant_term
+          end
+          else Rt.Reject O.Zero_constant_term
         end
-        else if deg < n then begin
+        else if deg < n then
           (* full degree not reached without a zero root: inconclusive *)
-          reject c_rej_low ~op:"det" ~attempt:k "low_degree";
-          attempt (k + 1)
-        end
+          Rt.Reject O.Low_degree
         else begin
           let dh = det_h () in
-          if F.is_zero dh then begin
-            reject c_rej_precond ~op:"det" ~attempt:k "singular_preconditioner";
-            attempt (k + 1)
-          end
+          if F.is_zero dh then Rt.Reject O.Singular_preconditioner
           else begin
             let dd = Array.fold_left F.mul F.one d in
             let det_tilde = if n land 1 = 0 then f.(0) else F.neg f.(0) in
-            Counter.incr c_successes;
-            attempt_event ~op:"det" ~attempt:k ~outcome:"success";
-            Ok (F.div det_tilde (F.mul dh dd))
+            Rt.Accept (F.div det_tilde (F.mul dh dd))
           end
         end
-      end
+      in
+      (* transient-fault certificate: a corrupted black-box apply can yield a
+         self-consistent Krylov sequence of a perturbed operator, so a single
+         evaluation can pass every recurrence check and still be wrong.
+         det(A) is deterministic — accept only when two fully independent
+         randomized evaluations agree. *)
+      (match eval_once () with
+      | Rt.Accept d1 -> begin
+          match eval_once () with
+          | Rt.Accept d2 when F.equal d1 d2 -> Rt.Accept d1
+          | Rt.Accept _ -> Rt.Reject (O.Fault "det recomputation mismatch")
+          | other -> other
+        end
+      | other -> other)
     in
-    attempt 1
+    match result with
+    | Error (O.Singular { report; _ }) -> Ok (F.zero, report)
+    | (Ok _ | Error _) as r -> r
 
   let is_probably_singular ?(trials = 4) ?card_s st (bb : Bb.t) =
     Span.with_ "wiedemann.is_probably_singular" @@ fun () ->
     let n = bb.Bb.dim in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let bb = Bb.instrument bb in
+    let c_attempts = Counter.make "wiedemann.attempts" in
     (* one-sided: λ | f_u^{A,b} certifies singularity; for a singular A the
        witness appears with probability >= 1 - 2n/card(S) per trial *)
     let rec go k =

@@ -10,19 +10,21 @@
     All routines are Las Vegas where a certificate is available (solutions
     are verified against the black box) and Monte Carlo otherwise
     (minimum polynomial: always a divisor of the truth; the failure
-    probability follows estimate (2) once preconditioned).
+    probability follows estimate (2) once preconditioned).  Retries run
+    through {!Kp_robust.Retry}: fresh randomness and a doubled sample set
+    per attempt, typed {!Kp_robust.Outcome.error} on exhaustion.
 
     Telemetry: every routine runs inside a {!Kp_obs.Span} (e.g.
-    [wiedemann.solve]) and records per-attempt counters —
+    [wiedemann.solve]) and the retry engine records per-attempt counters —
     [wiedemann.attempts], [wiedemann.successes], [wiedemann.failures], and
-    [wiedemann.rejections.{zero_constant_term,low_degree,residual_mismatch,
-    singular_preconditioner}] — plus one [wiedemann.attempt] event per
+    [wiedemann.rejections.*] — plus one [wiedemann.attempt] event per
     attempt with its index and outcome.  Black-box applications of the
     iterated operator are counted via {!Bb.instrument}
     ([blackbox.applies] / [blackbox.ops]). *)
 
 module Make (F : Kp_field.Field_intf.FIELD) : sig
   module Bb : module type of Kp_matrix.Blackbox.Make (F)
+  module O = Kp_robust.Outcome
 
   val minimal_polynomial :
     ?card_s:int -> Random.State.t -> Bb.t -> F.t array
@@ -31,8 +33,9 @@ module Make (F : Kp_field.Field_intf.FIELD) : sig
       ≥ 1 − 2·deg/card(S), Lemma 2). Low-to-high coefficients. *)
 
   val solve :
-    ?retries:int -> ?card_s:int ->
-    Random.State.t -> Bb.t -> F.t array -> (F.t array, string) result
+    ?retries:int -> ?card_s:int -> ?deadline_ns:int64 ->
+    Random.State.t -> Bb.t -> F.t array ->
+    (F.t array * O.report, O.error) result
   (** Solve A·x = b for a non-singular black box via the minimum polynomial
       of the sequence {A^i b}: x = −(1/f₀)·Σ f₍ᵢ₊₁₎·Aⁱ·b.  Verified. *)
 
@@ -44,22 +47,23 @@ module Make (F : Kp_field.Field_intf.FIELD) : sig
       depends only on [n] and is cached). *)
 
   val solve_preconditioned :
-    ?retries:int -> ?card_s:int ->
-    Random.State.t -> Bb.t -> F.t array -> (F.t array * int, string) result
+    ?retries:int -> ?card_s:int -> ?deadline_ns:int64 ->
+    Random.State.t -> Bb.t -> F.t array ->
+    (F.t array * O.report, O.error) result
   (** The paper's preconditioned route, black-box form: solve Ã·y = b for
       Ã = A·H·D ({!hankel_blackbox} composed with a random non-zero
       diagonal), then recover x = H·D·y.  The residual A·x = b is verified
-      against the original black box.  [Ok (x, attempts)] reports the
-      number of preconditioner draws consumed. *)
+      against the original black box.  [Ok (x, report)] carries the number
+      of preconditioner draws consumed in [report.attempts]. *)
 
   val det :
-    ?retries:int -> ?card_s:int ->
-    Random.State.t -> Bb.t -> (F.t, string) result
+    ?retries:int -> ?card_s:int -> ?deadline_ns:int64 ->
+    Random.State.t -> Bb.t -> (F.t * O.report, O.error) result
   (** Determinant via the paper's preconditioning (Theorem 2 with the
       diagonal matrix; here: A·D with random non-zero diagonal, retried
       until the minimum polynomial reaches full degree), since a black box
       cannot be handed to the dense Toeplitz engine.
-      Reports [Ok F.zero] only with a consistent singularity witness. *)
+      Reports [Ok (F.zero, _)] only with a consistent singularity witness. *)
 
   val is_probably_singular :
     ?trials:int -> ?card_s:int -> Random.State.t -> Bb.t -> bool

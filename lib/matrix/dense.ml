@@ -200,6 +200,18 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
     let lu = mul l (mul d u) in
     init n n (fun i j -> get lu perm.(i) j)
 
+  let sample_nonsingular st ~card_s n =
+    (* unit-triangular product: always non-singular (determinant 1), with
+       every random entry drawn from the size-card_s sample set *)
+    let entry lower i j =
+      if i = j then F.one
+      else if (if lower then i > j else i < j) then F.sample st ~card_s
+      else F.zero
+    in
+    let l = init n n (entry true) in
+    let u = init n n (entry false) in
+    mul l u
+
   let random_of_rank st n ~rank =
     if rank < 0 || rank > n then invalid_arg "Dense.random_of_rank";
     (* product of random n×r and r×n full-rank factors *)

@@ -63,6 +63,11 @@ module Make (F : Kp_field.Field_intf.FIELD) : sig
   (** Rejection sampling against a singularity check (unit lower × unit
       upper triangular products, always non-singular). *)
 
+  val sample_nonsingular : Random.State.t -> card_s:int -> int -> t
+  (** Non-singular (unit lower × unit upper triangular, determinant 1)
+      with off-diagonal entries from the size-[card_s] sample set — the
+      preconditioner form whose genericity estimate (2) is stated in. *)
+
   val random_of_rank : Random.State.t -> int -> rank:int -> t
   (** [n×n] matrix of the exact given rank. *)
 

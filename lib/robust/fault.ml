@@ -1,0 +1,67 @@
+type action = Pass | Corrupt | Abort
+
+type plan = {
+  seed : int;
+  p_corrupt : float;
+  p_abort : float;
+  max_faults : int;
+  mutable rng : Random.State.t;
+  mutable injected : int;
+}
+
+exception Injected of string
+
+let c_corruptions = Kp_obs.Counter.make "fault.corruptions"
+let c_aborts = Kp_obs.Counter.make "fault.aborts"
+
+let state_of_seed seed =
+  Random.State.make [| seed; 0x6661756c; seed lxor 0x74706c61 |]
+
+let plan ?(p_corrupt = 0.001) ?(p_abort = 0.) ?(max_faults = 2) ~seed () =
+  { seed; p_corrupt; p_abort; max_faults; rng = state_of_seed seed; injected = 0 }
+
+let decide p =
+  if p.injected >= p.max_faults then Pass
+  else begin
+    let r = Random.State.float p.rng 1.0 in
+    if r < p.p_abort then begin
+      p.injected <- p.injected + 1;
+      Kp_obs.Counter.incr c_aborts;
+      Abort
+    end
+    else if r < p.p_abort +. p.p_corrupt then begin
+      p.injected <- p.injected + 1;
+      Kp_obs.Counter.incr c_corruptions;
+      Corrupt
+    end
+    else Pass
+  end
+
+let injected p = p.injected
+
+let reset p =
+  p.rng <- state_of_seed p.seed;
+  p.injected <- 0
+
+let wrap_apply p ~corrupt f v =
+  match decide p with
+  | Pass -> f v
+  | Corrupt -> corrupt (f v)
+  | Abort -> raise (Injected "apply")
+
+module Field (F : Kp_field.Field_intf.FIELD) = struct
+  let wrap p : (module Kp_field.Field_intf.FIELD with type t = F.t) =
+    let tweak x =
+      match decide p with
+      | Pass -> x
+      | Corrupt -> F.add x F.one
+      | Abort -> raise (Injected "field op")
+    in
+    (module struct
+      include F
+
+      let mul a b = tweak (F.mul a b)
+      let add a b = tweak (F.add a b)
+      let sample st ~card_s = tweak (F.sample st ~card_s)
+    end)
+end

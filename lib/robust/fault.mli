@@ -1,0 +1,57 @@
+(** Deterministic, seeded fault injection.
+
+    A {!plan} is a reproducible schedule of corruptions derived from a
+    seed: each call to {!decide} draws from the plan's private stream and
+    answers [Pass], [Corrupt] (perturb the value about to be returned) or
+    [Abort] (raise {!Injected}).  A budget ([max_faults]) bounds the total
+    number of injected faults, after which every decision is [Pass] — this
+    models transient faults (a flaky worker, a bit flip, a lost message)
+    rather than a permanently broken arithmetic unit, and is what makes
+    the chaos suite's soundness assertion meaningful: certificates are
+    re-evaluated on retry with fresh randomness, so a bounded number of
+    transient corruptions must never survive into an accepted answer.
+
+    The same plan value must be threaded through every wrapped component
+    of one experiment; {!reset} rewinds it to the start of its schedule. *)
+
+type action = Pass | Corrupt | Abort
+
+type plan
+
+exception Injected of string
+(** Raised by wrapped components when the plan says [Abort]. *)
+
+val plan :
+  ?p_corrupt:float ->
+  ?p_abort:float ->
+  ?max_faults:int ->
+  seed:int ->
+  unit ->
+  plan
+(** A fresh schedule.  Defaults: [p_corrupt = 0.001], [p_abort = 0.],
+    [max_faults = 2].  Decisions are deterministic in [seed]. *)
+
+val decide : plan -> action
+(** Consume one decision.  [Corrupt] and [Abort] each count against the
+    budget. *)
+
+val injected : plan -> int
+(** Faults injected so far (corruptions + aborts). *)
+
+val reset : plan -> unit
+(** Rewind the schedule to its seed and zero the fault count. *)
+
+val wrap_apply :
+  plan -> corrupt:('v -> 'v) -> ('v -> 'v) -> 'v -> 'v
+(** [wrap_apply plan ~corrupt f] is [f] with the plan consulted on every
+    call: [Corrupt] post-composes [corrupt] (e.g. flip one vector entry),
+    [Abort] raises {!Injected}.  Use it to corrupt a black-box [apply]. *)
+
+(** A faulty view of a field: [mul], [add] and [sample] results are
+    perturbed (x ↦ x + 1) or aborted on the plan's schedule.  Comparisons
+    and the remaining operations are untouched, so the wrapped module
+    still satisfies [FIELD] and can instantiate any solver functor. *)
+module Field (F : Kp_field.Field_intf.FIELD) : sig
+  val wrap :
+    plan -> (module Kp_field.Field_intf.FIELD with type t = F.t)
+end

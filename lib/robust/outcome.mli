@@ -1,0 +1,78 @@
+(** Structured outcomes for the randomized Las Vegas core.
+
+    Every retried routine in the repository classifies each failed attempt
+    with a {!reason}, accumulates them into a {!report}, and surfaces
+    terminal failures as a typed {!error} — replacing the stringly-typed
+    [(_, string) result] that each module used to hand-roll.
+
+    The taxonomy mirrors the paper's failure discipline: an attempt is
+    {e rejected} (bad randomness, estimate (2)) and retried with a larger
+    sample set, a {e singularity witness} accumulates evidence that the
+    input itself is singular, and anything that contradicts a certificate
+    that should have held deterministically is a detected {e fault}. *)
+
+type reason =
+  | Low_degree
+      (** The minimal generator did not reach full degree (singular
+          Toeplitz system / division by zero inside the straight-line
+          pipeline). *)
+  | Zero_constant_term
+      (** The generator has f(0) = 0: the preconditioned operator is
+          singular (witnesses singularity of A when H, D are not). *)
+  | Residual_mismatch
+      (** The candidate answer failed its certificate (A·x ≠ b,
+          A·A⁻¹ ≠ I, inexact division, …). *)
+  | Singular_preconditioner  (** det(H·D) = 0: the random draw was bad. *)
+  | Division_error
+      (** An uncaught [Division_by_zero] escaped the attempt body. *)
+  | Rank_mismatch
+      (** A Monte Carlo rank/nullity guess was contradicted downstream. *)
+  | Fault of string
+      (** An injected or detected fault: a certificate that holds
+          deterministically failed, or {!Fault.Injected} was raised. *)
+
+type rejection = {
+  attempt : int;  (** 1-based attempt index *)
+  card_s : int;  (** |S| in force for this attempt *)
+  reason : reason;
+}
+
+type report = {
+  attempts : int;  (** attempts consumed (including the successful one) *)
+  card_s_final : int;  (** |S| in force on the last attempt *)
+  rejections : rejection list;  (** chronological *)
+}
+
+type error =
+  | Singular of { witnesses : int; report : report }
+      (** Consistent singularity witnesses across attempts: the input is
+          (Monte Carlo on this side, exact on the other) singular. *)
+  | Retries_exhausted of report
+      (** The attempt budget ran out without a certified answer. *)
+  | Deadline_exceeded of { elapsed_ns : int64; report : report }
+      (** The monotonic deadline passed before an attempt could start. *)
+  | Fault_detected of { op : string; detail : string }
+      (** A deterministic invariant failed outside any retry loop. *)
+
+val empty_report : report
+
+val merge_reports : report -> report -> report
+(** Accumulate two reports from consecutive sub-computations: attempts
+    add, rejections concatenate, [card_s_final] is the later one's. *)
+
+val with_report : (report -> report) -> error -> error
+(** Map over the report carried by an error ([Fault_detected] untouched). *)
+
+val attempts_of_error : error -> int
+
+val reason_slug : reason -> string
+(** Snake-case label used in counter names and events
+    (e.g. [residual_mismatch], [fault]). *)
+
+val reason_to_string : reason -> string
+val report_to_string : report -> string
+val error_to_string : error -> string
+
+val error_to_json : error -> string
+(** One-line JSON rendering of the taxonomy, for [--stats=json] style
+    output: [{"error":"retries_exhausted","attempts":10,...}]. *)

@@ -1,0 +1,74 @@
+(** The one retry engine behind every randomized routine.
+
+    Each module used to hand-roll its own loop with a fixed sample set;
+    this engine centralises the discipline:
+
+    - {b attempt budget}: at most [retries] attempts, each with fresh
+      randomness;
+    - {b sample-set escalation}: after each rejected attempt |S| doubles
+      (clamped to [max_card_s], normally the field cardinality).  By
+      estimate (2) the per-attempt failure probability is ≤ 3n²/|S|, so
+      doubling halves the bound on every retry — this is what makes
+      retries converge on small fields, where a fixed |S| ≥ |K| would
+      fail forever at constant rate;
+    - {b deadline}: an optional absolute monotonic deadline
+      ({!Kp_obs.Clock}) checked before each attempt;
+    - {b singularity accounting}: attempts may reject {e with witness};
+      enough consistent witnesses turn exhaustion into a typed
+      [Singular] verdict;
+    - {b fault containment}: [Division_by_zero] and {!Fault.Injected}
+      escaping the attempt body are converted into typed rejections and
+      retried — a transient fault costs one attempt, never the process;
+    - {b telemetry}: per-attempt counters ([<ns>.attempts],
+      [<ns>.successes], [<ns>.failures], [<ns>.singular],
+      [<ns>.singular_witnesses], [<ns>.rejections.<reason>]), one
+      [<ns>.attempt] event per attempt, [robust.escalate] events on each
+      |S| doubling, and a [robust.failure] event carrying the error
+      taxonomy — all through {!Kp_obs}, so [--stats=json] reports them. *)
+
+type policy = {
+  retries : int;  (** maximum number of attempts *)
+  escalate : bool;  (** double |S| after each rejection *)
+  max_card_s : int option;  (** clamp for |S| (field cardinality) *)
+  deadline_ns : int64 option;  (** absolute monotonic deadline *)
+  witness_threshold : int;
+      (** [min retries witness_threshold] consistent witnesses promote
+          exhaustion to [Singular] *)
+}
+
+val policy :
+  ?retries:int ->
+  ?escalate:bool ->
+  ?max_card_s:int option ->
+  ?deadline_ns:int64 ->
+  ?witness_threshold:int ->
+  unit ->
+  policy
+(** Defaults: [retries = 10], [escalate = true], no clamp, no deadline,
+    [witness_threshold = 3].  [max_card_s] takes the [int option] directly
+    so call sites can pass [F.cardinality] through. *)
+
+val deadline_after_ms : int -> int64
+(** Monotonic deadline [ms] milliseconds from now. *)
+
+type 'a attempt =
+  | Accept of 'a  (** certified answer: stop *)
+  | Reject of Outcome.reason  (** bad randomness: retry, escalated *)
+  | Reject_with_witness of Outcome.reason
+      (** retry, and count one singularity witness *)
+  | Error_now of Outcome.error
+      (** unrecoverable (inner deadline, detected fault): stop immediately,
+          merging this loop's report into the error *)
+
+val run :
+  ns:string ->
+  op:string ->
+  policy:policy ->
+  card_s:int ->
+  (attempt:int -> card_s:int -> 'a attempt) ->
+  ('a * Outcome.report, Outcome.error) result
+(** [run ~ns ~op ~policy ~card_s f] drives [f] until acceptance,
+    exhaustion, or deadline.  [ns] prefixes counters/events (e.g.
+    ["solver"]), [op] labels the operation within the namespace (e.g.
+    ["solve"]).  [f] receives the 1-based attempt index and the |S| in
+    force for that attempt. *)

@@ -1,7 +1,9 @@
 let make seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5851f42d |]
 
-let split st =
-  let a = Random.State.bits st and b = Random.State.bits st in
-  Random.State.make [| a; b; a lxor (b lsl 7) |]
+(* OCaml 5's splittable LXM generator: the child stream is constructed by
+   the domain-safe split primitive, not by reseeding from two 30-bit
+   draws (which collapsed the 256-bit state space to 60 bits and left
+   sibling streams visibly correlated). *)
+let split st = Random.State.split st
 
 let int_array st ~bound n = Array.init n (fun _ -> Random.State.int st bound)

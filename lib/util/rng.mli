@@ -8,8 +8,10 @@ val make : int -> Random.State.t
 (** [make seed] is a fresh state seeded from [seed]. *)
 
 val split : Random.State.t -> Random.State.t
-(** [split st] derives an independent state from [st], advancing [st].
-    Used to hand isolated streams to worker domains. *)
+(** [split st] derives an independent state from [st], advancing [st] —
+    OCaml 5's [Random.State.split] (LXM), so sibling streams are
+    statistically independent by construction.  Used to hand isolated
+    streams to worker domains. *)
 
 val int_array : Random.State.t -> bound:int -> int -> int array
 (** [int_array st ~bound n] is [n] uniform draws from [0, bound). *)

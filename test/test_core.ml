@@ -113,7 +113,7 @@ let test_solve_matches_gauss () =
     match S.solve st a b with
     | Ok (x, report) ->
       check_bool "solution correct" true (farr_eq x x_true);
-      check_bool "few attempts" true (report.S.attempts <= 5)
+      check_bool "few attempts" true (report.S.O.attempts <= 5)
     | Error _ -> Alcotest.fail "solver failed on non-singular input"
   done
 
@@ -165,9 +165,9 @@ let test_solve_singular_detected () =
     | Ok (x, _) ->
       (* consistent by luck: solution must verify *)
       check_bool "verified" true (farr_eq (M.matvec a x) b)
-    | Error { outcome = `Singular; _ } -> ()
-    | Error { outcome = `Failure _; _ } -> ()
-    | Error { outcome = `Success; _ } -> Alcotest.fail "inconsistent report"
+    | Error (S.O.Singular _) -> ()
+    | Error (S.O.Retries_exhausted _) -> ()
+    | Error e -> Alcotest.fail (S.O.error_to_string e)
   done
 
 let test_det_matches_gauss () =
@@ -283,8 +283,8 @@ let test_inverse_autodiff () =
     let n = 2 + Random.State.int st 4 in
     let a = M.random_nonsingular st n in
     match Inv.inverse st a with
-    | Ok inv -> check_mat "Theorem 6 inverse" (Option.get (G.inverse a)) inv
-    | Error e -> Alcotest.fail e
+    | Ok (inv, _) -> check_mat "Theorem 6 inverse" (Option.get (G.inverse a)) inv
+    | Error e -> Alcotest.fail (Inv.O.error_to_string e)
   done
 
 let test_inverse_via_solves () =
@@ -292,8 +292,11 @@ let test_inverse_via_solves () =
   let n = 8 in
   let a = M.random_nonsingular st n in
   match Inv.inverse_via_solves st a with
-  | Ok inv -> check_mat "inverse via solves" (Option.get (G.inverse a)) inv
-  | Error e -> Alcotest.fail e
+  | Ok (inv, report) ->
+    check_mat "inverse via solves" (Option.get (G.inverse a)) inv;
+    (* the report accumulates one successful attempt per column at least *)
+    check_bool "accumulated attempts >= n" true (report.Inv.O.attempts >= n)
+  | Error e -> Alcotest.fail (Inv.O.error_to_string e)
 
 let test_inverse_singular_rejected () =
   let st = st0 18 in
@@ -322,8 +325,8 @@ let test_transpose_solve () =
     let x_true = Array.init n (fun _ -> F.random st) in
     let b = M.matvec (M.transpose a) x_true in
     match Tr.solve_transposed st a b with
-    | Ok x -> check_bool "transposed solution" true (farr_eq x x_true)
-    | Error e -> Alcotest.fail e
+    | Ok (x, _) -> check_bool "transposed solution" true (farr_eq x x_true)
+    | Error e -> Alcotest.fail (Tr.O.error_to_string e)
   done
 
 let test_transpose_length_ratio () =
@@ -342,6 +345,22 @@ let test_rank_matches_gauss () =
     check_int (Printf.sprintf "rank %d/%d" r n) (G.rank a) (Rk.rank st a)
   done
 
+let test_rank_precondition_threads_card_s () =
+  (* regression: precondition used to accept ?card_s and silently drop it.
+     With card_s = 1 the sample set is {0}, so the unit-triangular factors
+     are exactly the identity — deterministic proof the parameter reaches
+     the sampler. *)
+  let st = st0 29 in
+  let n = 6 in
+  let a = M.random_nonsingular st n in
+  let pre = Rk.precondition st ~card_s:1 a in
+  check_mat "U = I when card_s = 1" (M.identity n) pre.Rk.u_mat;
+  check_mat "V = I when card_s = 1" (M.identity n) pre.Rk.v_mat;
+  check_mat "A_hat = A when card_s = 1" a pre.Rk.a_hat;
+  (* and with a real sample set the factors are (whp) not the identity *)
+  let pre2 = Rk.precondition st ~card_s:64 a in
+  check_bool "U <> I when card_s = 64" false (M.equal (M.identity n) pre2.Rk.u_mat)
+
 let test_nullspace () =
   let st = st0 21 in
   for _ = 1 to 5 do
@@ -349,7 +368,7 @@ let test_nullspace () =
     let r = 1 + Random.State.int st (n - 1) in
     let a = M.random_of_rank st n ~rank:r in
     match Ns.nullspace st a with
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Ns.O.error_to_string e)
     | Ok basis ->
       check_int "nullity" (n - r) (List.length basis);
       List.iter
@@ -367,7 +386,7 @@ let test_nullspace_nonsingular_empty () =
   match Ns.nullspace st a with
   | Ok [] -> ()
   | Ok _ -> Alcotest.fail "non-singular matrix has trivial nullspace"
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Ns.O.error_to_string e)
 
 let test_solve_singular_consistent () =
   let st = st0 23 in
@@ -380,7 +399,7 @@ let test_solve_singular_consistent () =
     match Ns.solve_singular st a b with
     | Ok (Some x) -> check_bool "particular solution" true (farr_eq (M.matvec a x) b)
     | Ok None -> Alcotest.fail "consistent system reported inconsistent"
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Ns.O.error_to_string e)
   done
 
 let test_solve_singular_inconsistent () =
@@ -406,7 +425,7 @@ let test_least_squares_exact () =
   let a = MQ.init 6 3 (fun i j -> Q.of_int (((i + 1) * (j + 2)) mod 7 + (if i = j then 3 else 0))) in
   let b = Array.init 6 (fun i -> Q.of_int (i - 2)) in
   match Lsq.solve st a b with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Lsq.O.error_to_string e)
   | Ok x ->
     check_bool "orthogonality" true (Lsq.residual_orthogonal a x b);
     (* cross-check with Gauss on the normal equations *)
@@ -425,7 +444,7 @@ let test_least_squares_consistent_system () =
   let b = MQ.matvec a x_true in
   match Lsq.solve st a b with
   | Ok x -> check_bool "recovers exact solution" true (Array.for_all2 Q.equal x x_true)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Lsq.O.error_to_string e)
 
 let () =
   Alcotest.run "kp_core"
@@ -481,6 +500,8 @@ let () =
       ( "extensions",
         [
           Alcotest.test_case "rank" `Quick test_rank_matches_gauss;
+          Alcotest.test_case "rank precondition threads card_s" `Quick
+            test_rank_precondition_threads_card_s;
           Alcotest.test_case "nullspace" `Quick test_nullspace;
           Alcotest.test_case "nullspace trivial" `Quick test_nullspace_nonsingular_empty;
           Alcotest.test_case "singular consistent" `Quick test_solve_singular_consistent;

@@ -63,7 +63,7 @@ let test_resultant_kp_matches_gauss () =
     let g = P.random st ~degree:(1 + Random.State.int st 6) in
     match Pg.resultant st f g with
     | Ok r -> check_bool "KP resultant = Gauss" true (F.equal r (Sy.resultant_gauss f g))
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Pg.O.error_to_string e)
   done
 
 let test_sylvester_apply_matches_dense () =
@@ -88,14 +88,14 @@ let test_resultant_blackbox () =
     | Ok r ->
       check_bool "blackbox resultant = Gauss" true
         (F.equal r (Sy.resultant_gauss f g))
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Pg.O.error_to_string e)
   done;
   (* common factor -> resultant 0 via the black box too *)
   let h = pol [ 1; 1 ] in
   let f = P.mul h (pol [ 2; 3; 1 ]) and g = P.mul h (pol [ 5; 1 ]) in
   match Pg.resultant_blackbox st f g with
   | Ok r -> check_bool "common factor -> 0" true (F.is_zero r)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Pg.O.error_to_string e)
 
 let test_resultant_multiplicative () =
   let st = st0 3 in
@@ -129,7 +129,7 @@ let test_gcd_matches_euclid () =
     if not (P.is_zero f) && not (P.is_zero g) then begin
       match Pg.gcd st f g with
       | Ok d -> check_poly "gcd = Euclid" (P.gcd f g) d
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Pg.O.error_to_string e)
     end
   done
 
@@ -140,7 +140,7 @@ let test_gcd_coprime () =
   if P.is_zero (P.sub (P.gcd f g) P.one) then begin
     match Pg.gcd st f g with
     | Ok d -> check_poly "coprime -> 1" P.one d
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Pg.O.error_to_string e)
   end
 
 let test_bezout () =
@@ -156,7 +156,7 @@ let test_bezout () =
         check_poly "d is the gcd" (P.gcd f g) d;
         check_bool "deg u bound" true (P.degree u < max 1 (P.degree g - P.degree d));
         check_bool "deg v bound" true (P.degree v < max 1 (P.degree f - P.degree d))
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Pg.O.error_to_string e)
     end
   done
 
@@ -169,17 +169,17 @@ let test_bezout_divisor_case () =
   | Ok (d, u, v) ->
     check_poly "gcd is monic f" (P.monic f) d;
     check_poly "identity" d (P.add (P.mul u f) (P.mul v g))
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Pg.O.error_to_string e)
 
 let test_gcd_with_zero_and_constants () =
   let st = st0 7 in
   let f = pol [ 1; 2; 1 ] in
   (match Pg.gcd st f P.zero with
   | Ok d -> check_poly "gcd(f, 0) = monic f" (P.monic f) d
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Pg.O.error_to_string e));
   match Pg.gcd st f (pol [ 5 ]) with
   | Ok d -> check_poly "gcd(f, const) = 1" P.one d
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Pg.O.error_to_string e)
 
 (* ---- qcheck: the randomized solver against algebra ---- *)
 
@@ -212,6 +212,50 @@ let prop_det_transpose_invariant =
       match (S.det st a, S.det st (M.transpose a)) with
       | Ok (d1, _), Ok (d2, _) -> F.equal d1 d2
       | _ -> false)
+
+(* Small fields: the default card_s = max(12n², 64) exceeds |K|, so the
+   retry engine must clamp |S| to the field cardinality (escalation included)
+   and still terminate with a typed outcome — never loop or widen past |K|. *)
+let prop_small_field_escalation_clamps =
+  QCheck.Test.make ~name:"GF(97): |S| clamps to field, typed outcome" ~count:20
+    (QCheck.int_range 1 8) (fun n ->
+      let module F97 = Kp_field.Fields.Gf_97 in
+      let module C97 = Kp_poly.Conv.Karatsuba (F97) in
+      let module S97 = Kp_core.Solver.Make (F97) (C97) in
+      let module M97 = Kp_matrix.Dense.Make (F97) in
+      let st = Kp_util.Rng.make ((n * 12347) + 5) in
+      let a = M97.random_nonsingular st n in
+      let x_true = Array.init n (fun _ -> F97.random st) in
+      let b = M97.matvec a x_true in
+      match S97.solve st a b with
+      | Ok (x, report) ->
+        Array.for_all2 F97.equal x x_true
+        && report.S97.O.card_s_final <= F97.p
+      | Error (S97.O.Retries_exhausted r) -> r.S97.O.card_s_final <= F97.p
+      | Error _ -> false)
+
+let prop_gf2_typed_termination =
+  QCheck.Test.make ~name:"GF(2): escalation clamps to 2, typed outcome"
+    ~count:20 (QCheck.int_range 1 6) (fun n ->
+      let module F2 = Kp_field.Fields.Gf2 in
+      let module C2 = Kp_poly.Conv.Karatsuba (F2) in
+      let module S2 = Kp_core.Solver.Make (F2) (C2) in
+      let module M2 = Kp_matrix.Dense.Make (F2) in
+      let st = Kp_util.Rng.make ((n * 7001) + 3) in
+      let a = M2.random_nonsingular st n in
+      let x_true = Array.init n (fun _ -> F2.random st) in
+      let b = M2.matvec a x_true in
+      (* over GF(2) the 3n²/|S| bound is vacuous: success is not
+         guaranteed, but every outcome must be typed, the answer (if any)
+         certified, and |S| never escalated past |K| = 2 *)
+      match S2.solve ~retries:8 st a b with
+      | Ok (x, report) ->
+        Array.for_all2 F2.equal (M2.matvec a x) b
+        && report.S2.O.card_s_final <= 2
+      | Error (S2.O.Singular { report; _ }) | Error (S2.O.Retries_exhausted report)
+        ->
+        report.S2.O.card_s_final <= 2 && report.S2.O.attempts <= 8
+      | Error _ -> false)
 
 let prop_gcd_divides =
   QCheck.Test.make ~name:"linear-algebra gcd divides inputs" ~count:20
@@ -249,5 +293,7 @@ let () =
           Alcotest.test_case "zero/constants" `Quick test_gcd_with_zero_and_constants;
         ] );
       ("properties", qtests [ prop_solver_matches_gauss; prop_det_multiplicative;
-                              prop_det_transpose_invariant; prop_gcd_divides ]);
+                              prop_det_transpose_invariant; prop_gcd_divides;
+                              prop_small_field_escalation_clamps;
+                              prop_gf2_typed_termination ]);
     ]

@@ -1,0 +1,349 @@
+(* Chaos suite for lib/robust: the randomized core instantiated over a
+   fault-injecting field (or black box) must be *sound* — under any seeded
+   schedule of transient corruptions/aborts it either returns an answer
+   that re-verifies under CLEAN arithmetic or a typed error, never an
+   uncertified wrong value.  A control case runs the same fault plans
+   through the uncertified straight-line pipeline and shows wrong answers
+   do appear there — i.e. the certificates are load-bearing, and skipping
+   them is caught.
+
+   Everything is deterministic: plans are seeded, solver states are seeded,
+   so a green run is a stable fact, not luck of the draw. *)
+
+module F = Kp_field.Fields.Gf_ntt
+module CK = Kp_poly.Conv.Karatsuba (F)
+module M = Kp_matrix.Dense.Make (F)
+module G = Kp_matrix.Gauss.Make (F)
+module Bb = Kp_matrix.Blackbox.Make (F)
+module W = Kp_core.Wiedemann.Make (F)
+module S = Kp_core.Solver.Make (F) (CK)
+module O = Kp_robust.Outcome
+module Rt = Kp_robust.Retry
+module Fault = Kp_robust.Fault
+module FaultF = Kp_robust.Fault.Field (F)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let st0 k = Kp_util.Rng.make (31000 + k)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* clean-field ground truth: A non-singular with a planted solution *)
+let random_system st n =
+  let a = M.random_nonsingular st n in
+  let x_true = Array.init n (fun _ -> F.random st) in
+  let b = M.matvec a x_true in
+  (a, x_true, b)
+
+(* ---- chaos: certified solve over a faulty field ---- *)
+
+let test_chaos_solve () =
+  let wrong = ref 0 and accepted = ref 0 and injected = ref 0 in
+  for seed = 1 to 40 do
+    let plan =
+      Fault.plan ~p_corrupt:0.002
+        ~p_abort:(if seed mod 5 = 0 then 0.0005 else 0.)
+        ~max_faults:3 ~seed ()
+    in
+    let module FF = (val FaultF.wrap plan) in
+    let module CF = Kp_poly.Conv.Karatsuba (FF) in
+    let module FS = Kp_core.Solver.Make (FF) (CF) in
+    let st = st0 seed in
+    let n = 3 + (seed mod 6) in
+    let a, _, b = random_system st n in
+    let fa = FS.M.init n n (fun i j -> M.get a i j) in
+    (match FS.solve ~retries:10 st fa b with
+    | Ok (x, _) ->
+      incr accepted;
+      (* soundness: re-verify with CLEAN arithmetic *)
+      if not (Array.for_all2 F.equal (M.matvec a x) b) then incr wrong
+    | Error _ -> () (* typed failure: allowed *));
+    injected := !injected + Fault.injected plan
+  done;
+  check_int "zero uncertified wrong solutions" 0 !wrong;
+  check_bool "faults were actually injected" true (!injected > 0);
+  (* transient faults cost attempts, not correctness: most runs recover *)
+  check_bool
+    (Printf.sprintf "most runs recover (%d/40)" !accepted)
+    true (!accepted >= 30)
+
+let test_chaos_det () =
+  let wrong = ref 0 and ok = ref 0 and injected = ref 0 in
+  for seed = 101 to 140 do
+    let plan = Fault.plan ~p_corrupt:0.002 ~max_faults:3 ~seed () in
+    let module FF = (val FaultF.wrap plan) in
+    let module CF = Kp_poly.Conv.Karatsuba (FF) in
+    let module FS = Kp_core.Solver.Make (FF) (CF) in
+    let st = st0 seed in
+    let n = 3 + (seed mod 5) in
+    let a = M.random st n n in
+    let d_true = G.det a in
+    let fa = FS.M.init n n (fun i j -> M.get a i j) in
+    (match FS.det ~retries:10 st fa with
+    | Ok (d, _) ->
+      incr ok;
+      if not (F.equal d d_true) then incr wrong
+    | Error _ -> ());
+    injected := !injected + Fault.injected plan
+  done;
+  check_int "zero uncertified wrong determinants" 0 !wrong;
+  check_bool "faults were actually injected" true (!injected > 0);
+  check_bool (Printf.sprintf "most dets recover (%d/40)" !ok) true (!ok >= 30)
+
+let test_chaos_inverse () =
+  let wrong = ref 0 and ok = ref 0 in
+  (* 20 via the n-solves route, 10 via the Baur–Strassen circuit *)
+  for seed = 201 to 230 do
+    let plan = Fault.plan ~p_corrupt:0.002 ~max_faults:2 ~seed () in
+    let module FF = (val FaultF.wrap plan) in
+    let module CF = Kp_poly.Conv.Karatsuba (FF) in
+    let module FI = Kp_core.Inverse.Make (FF) (CF) in
+    let st = st0 seed in
+    let n = 3 + (seed mod 3) in
+    let a = M.random_nonsingular st n in
+    let fa = FI.M.init n n (fun i j -> M.get a i j) in
+    let result =
+      if seed <= 220 then FI.inverse_via_solves ~retries:8 st fa
+      else FI.inverse ~retries:8 st fa
+    in
+    match result with
+    | Ok (inv, _) ->
+      incr ok;
+      let minv = M.init n n (fun i j -> FI.M.get inv i j) in
+      if not (M.equal (M.mul a minv) (M.identity n)) then incr wrong
+    | Error _ -> ()
+  done;
+  check_int "zero uncertified wrong inverses" 0 !wrong;
+  check_bool (Printf.sprintf "most inverses recover (%d/30)" !ok) true (!ok >= 24)
+
+let test_chaos_wiedemann_blackbox () =
+  (* clean field, faulty OPERATOR: the black-box apply is wrapped so whole
+     result vectors get corrupted or the apply aborts mid-flight *)
+  let wrong = ref 0 and ok = ref 0 and injected = ref 0 in
+  for seed = 301 to 320 do
+    let plan =
+      Fault.plan ~p_corrupt:0.15
+        ~p_abort:(if seed mod 4 = 0 then 0.05 else 0.)
+        ~max_faults:2 ~seed ()
+    in
+    let st = st0 seed in
+    let n = 5 + (seed mod 6) in
+    let a, _, b = random_system st n in
+    let base = Bb.of_dense a in
+    let corrupt v =
+      if Array.length v > 0 then v.(0) <- F.add v.(0) F.one;
+      v
+    in
+    let bb = { base with Bb.apply = Fault.wrap_apply plan ~corrupt base.Bb.apply } in
+    (match W.solve ~retries:10 st bb b with
+    | Ok (x, _) ->
+      incr ok;
+      if not (Array.for_all2 F.equal (M.matvec a x) b) then incr wrong
+    | Error _ -> ());
+    injected := !injected + Fault.injected plan
+  done;
+  check_int "zero uncertified wrong blackbox solutions" 0 !wrong;
+  check_bool "faults were actually injected" true (!injected > 0);
+  check_bool (Printf.sprintf "most recover (%d/20)" !ok) true (!ok >= 15)
+
+(* ---- control: skipping the certificates IS caught ---- *)
+
+let test_control_uncertified_pipeline () =
+  (* the same class of fault plans, pushed through the raw straight-line
+     pipeline with NO verification: wrong answers must appear (and the
+     certified path on the SAME schedule returns none) — proof that the
+     chaos suite would catch a certificate-skipping regression *)
+  let wrong_uncertified = ref 0 and wrong_certified = ref 0 in
+  for seed = 401 to 420 do
+    let plan = Fault.plan ~p_corrupt:0.005 ~max_faults:4 ~seed () in
+    let module FF = (val FaultF.wrap plan) in
+    let module CF = Kp_poly.Conv.Karatsuba (FF) in
+    let module FS = Kp_core.Solver.Make (FF) (CF) in
+    let st = st0 (700 + seed) in
+    let n = 6 in
+    let a, _, b = random_system st n in
+    let fa = FS.M.init n n (fun i j -> M.get a i j) in
+    let card_s = 65536 in
+    let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
+    let d =
+      Array.init n (fun _ ->
+          let x = F.sample st ~card_s in
+          if F.is_zero x then F.one else x)
+    in
+    let u = Array.init n (fun _ -> F.sample st ~card_s) in
+    (match
+       FS.P.solve ~charpoly:FS.P.charpoly_leverrier ~strategy:FS.P.Doubling fa
+         ~b ~h ~d ~u
+     with
+    | exception _ -> () (* uncertified pipeline may just die; not wrong *)
+    | { FS.P.x; _ } ->
+      if not (Array.for_all2 F.equal (M.matvec a x) b) then
+        incr wrong_uncertified);
+    (* certified run over the SAME schedule, rewound *)
+    Fault.reset plan;
+    match FS.solve ~retries:10 st fa b with
+    | Ok (x, _) ->
+      if not (Array.for_all2 F.equal (M.matvec a x) b) then
+        incr wrong_certified
+    | Error _ -> ()
+  done;
+  check_bool
+    (Printf.sprintf "uncertified pipeline returned wrong answers (%d/20)"
+       !wrong_uncertified)
+    true
+    (!wrong_uncertified >= 1);
+  check_int "certified path: zero wrong on the same schedules" 0
+    !wrong_certified
+
+(* ---- retry engine unit tests ---- *)
+
+let test_retry_escalation_doubles_and_clamps () =
+  let seen = ref [] in
+  let r =
+    Rt.run ~ns:"testns" ~op:"esc"
+      ~policy:(Rt.policy ~retries:5 ~max_card_s:(Some 40) ())
+      ~card_s:8
+      (fun ~attempt:_ ~card_s ->
+        seen := card_s :: !seen;
+        Rt.Reject O.Low_degree)
+  in
+  (match r with
+  | Error (O.Retries_exhausted rep) ->
+    check_int "attempts" 5 rep.O.attempts;
+    check_int "final card_s clamped" 40 rep.O.card_s_final;
+    check_int "all attempts recorded" 5 (List.length rep.O.rejections)
+  | Ok _ | Error _ -> Alcotest.fail "expected Retries_exhausted");
+  check_bool "card_s trace 8,16,32,40,40" true
+    (List.rev !seen = [ 8; 16; 32; 40; 40 ])
+
+let test_retry_deadline_in_past () =
+  let past = Int64.sub (Kp_obs.Clock.now_ns ()) 1_000_000L in
+  match
+    Rt.run ~ns:"testns" ~op:"deadline"
+      ~policy:(Rt.policy ~retries:5 ~deadline_ns:past ())
+      ~card_s:16
+      (fun ~attempt:_ ~card_s:_ -> Rt.Accept ())
+  with
+  | Error (O.Deadline_exceeded { elapsed_ns; report }) ->
+    check_bool "elapsed >= 0" true (Int64.compare elapsed_ns 0L >= 0);
+    check_int "no attempt ran" 0 report.O.attempts
+  | Ok _ | Error _ -> Alcotest.fail "expected Deadline_exceeded"
+
+let test_retry_witness_threshold () =
+  match
+    Rt.run ~ns:"testns" ~op:"witness"
+      ~policy:(Rt.policy ~retries:4 ~witness_threshold:3 ())
+      ~card_s:16
+      (fun ~attempt:_ ~card_s:_ -> Rt.Reject_with_witness O.Zero_constant_term)
+  with
+  | Error (O.Singular { witnesses; report }) ->
+    check_int "all four witnessed" 4 witnesses;
+    check_int "attempts" 4 report.O.attempts
+  | Ok _ | Error _ -> Alcotest.fail "expected Singular"
+
+let test_retry_converts_exceptions () =
+  (* an Injected fault and a Division_by_zero each cost one attempt *)
+  match
+    Rt.run ~ns:"testns" ~op:"exn" ~policy:(Rt.policy ~retries:4 ()) ~card_s:4
+      (fun ~attempt ~card_s:_ ->
+        if attempt = 1 then raise (Fault.Injected "boom")
+        else if attempt = 2 then raise Division_by_zero
+        else Rt.Accept 42)
+  with
+  | Ok (v, rep) ->
+    check_int "value" 42 v;
+    check_int "attempts" 3 rep.O.attempts;
+    (match rep.O.rejections with
+    | [ r1; r2 ] ->
+      check_bool "fault reason" true (r1.O.reason = O.Fault "boom");
+      check_bool "division reason" true (r2.O.reason = O.Division_error)
+    | _ -> Alcotest.fail "expected two rejections")
+  | Error _ -> Alcotest.fail "expected recovery on attempt 3"
+
+let test_retry_error_now_short_circuits () =
+  let calls = ref 0 in
+  match
+    Rt.run ~ns:"testns" ~op:"now" ~policy:(Rt.policy ~retries:5 ()) ~card_s:4
+      (fun ~attempt:_ ~card_s:_ ->
+        incr calls;
+        Rt.Error_now (O.Fault_detected { op = "t"; detail = "d" }))
+  with
+  | Error (O.Fault_detected { op = "t"; detail = "d" }) ->
+    check_int "no retry after Error_now" 1 !calls
+  | Ok _ | Error _ -> Alcotest.fail "expected Fault_detected"
+
+let test_solver_deadline_integration () =
+  let st = st0 999 in
+  let a, _, b = random_system st 6 in
+  match
+    S.solve ~deadline_ns:(Int64.sub (Kp_obs.Clock.now_ns ()) 1L) st a b
+  with
+  | Error (O.Deadline_exceeded _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Deadline_exceeded from solver"
+
+(* ---- outcome taxonomy smoke ---- *)
+
+let test_outcome_rendering () =
+  let rep =
+    {
+      O.attempts = 3;
+      card_s_final = 128;
+      rejections = [ { O.attempt = 1; card_s = 64; reason = O.Low_degree } ];
+    }
+  in
+  let e = O.Retries_exhausted rep in
+  check_bool "to_string mentions attempts" true
+    (contains (O.error_to_string e) "3");
+  check_bool "json tagged" true
+    (contains (O.error_to_json e) "retries_exhausted");
+  check_int "attempts_of_error" 3 (O.attempts_of_error e);
+  let m = O.merge_reports rep rep in
+  check_int "merged attempts add" 6 m.O.attempts;
+  check_int "merged rejections concat" 2 (List.length m.O.rejections);
+  let e' = O.with_report (fun r -> { r with O.attempts = 9 }) e in
+  check_int "with_report maps" 9 (O.attempts_of_error e');
+  let f = O.Fault_detected { op = "x"; detail = "y" } in
+  check_bool "fault json tagged" true
+    (contains (O.error_to_json f) "fault_detected");
+  check_bool "singular string" true
+    (contains
+       (O.error_to_string (O.Singular { witnesses = 2; report = rep }))
+       "singular")
+
+let () =
+  Alcotest.run "kp_robust"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "solve sound under field faults" `Quick
+            test_chaos_solve;
+          Alcotest.test_case "det sound under field faults" `Quick
+            test_chaos_det;
+          Alcotest.test_case "inverse sound under field faults" `Quick
+            test_chaos_inverse;
+          Alcotest.test_case "wiedemann sound under blackbox faults" `Quick
+            test_chaos_wiedemann_blackbox;
+          Alcotest.test_case "control: uncertified pipeline caught" `Quick
+            test_control_uncertified_pipeline;
+        ] );
+      ( "retry-engine",
+        [
+          Alcotest.test_case "escalation doubles and clamps" `Quick
+            test_retry_escalation_doubles_and_clamps;
+          Alcotest.test_case "deadline in the past" `Quick
+            test_retry_deadline_in_past;
+          Alcotest.test_case "witness threshold -> Singular" `Quick
+            test_retry_witness_threshold;
+          Alcotest.test_case "exceptions become rejections" `Quick
+            test_retry_converts_exceptions;
+          Alcotest.test_case "Error_now short-circuits" `Quick
+            test_retry_error_now_short_circuits;
+          Alcotest.test_case "solver honours deadline" `Quick
+            test_solver_deadline_integration;
+        ] );
+      ( "outcome",
+        [ Alcotest.test_case "taxonomy rendering" `Quick test_outcome_rendering ] );
+    ]

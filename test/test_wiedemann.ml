@@ -27,8 +27,8 @@ let test_solve_dense_blackbox () =
     let x_true = Array.init n (fun _ -> F.random st) in
     let b = M.matvec a x_true in
     match W.solve st (Bb.of_dense a) b with
-    | Ok x -> check_bool "solution" true (farr_eq x x_true)
-    | Error e -> Alcotest.fail e
+    | Ok (x, _) -> check_bool "solution" true (farr_eq x x_true)
+    | Error e -> Alcotest.fail (W.O.error_to_string e)
   done
 
 let test_solve_sparse_blackbox () =
@@ -39,8 +39,8 @@ let test_solve_sparse_blackbox () =
     let x_true = Array.init n (fun _ -> F.random st) in
     let b = Sp.matvec s x_true in
     match W.solve st (Bb.of_sparse s) b with
-    | Ok x -> check_bool "sparse solution" true (farr_eq x x_true)
-    | Error e -> Alcotest.fail e
+    | Ok (x, _) -> check_bool "sparse solution" true (farr_eq x x_true)
+    | Error e -> Alcotest.fail (W.O.error_to_string e)
   done
 
 let test_solve_composed_blackbox () =
@@ -51,8 +51,8 @@ let test_solve_composed_blackbox () =
   let x_true = Array.init n (fun _ -> F.random st) in
   let b = bb.Bb.apply x_true in
   match W.solve st bb b with
-  | Ok x -> check_bool "product blackbox" true (farr_eq x x_true)
-  | Error e -> Alcotest.fail e
+  | Ok (x, _) -> check_bool "product blackbox" true (farr_eq x x_true)
+  | Error e -> Alcotest.fail (W.O.error_to_string e)
 
 let test_det_blackbox () =
   let st = st0 4 in
@@ -60,8 +60,8 @@ let test_det_blackbox () =
     let n = 2 + Random.State.int st 10 in
     let a = M.random st n n in
     match W.det st (Bb.of_dense a) with
-    | Ok d -> check_bool "det = Gauss" true (F.equal d (G.det a))
-    | Error e -> Alcotest.fail e
+    | Ok (d, _) -> check_bool "det = Gauss" true (F.equal d (G.det a))
+    | Error e -> Alcotest.fail (W.O.error_to_string e)
   done
 
 let test_det_singular_blackbox () =
@@ -70,7 +70,7 @@ let test_det_singular_blackbox () =
     let n = 4 + Random.State.int st 5 in
     let a = M.random_of_rank st n ~rank:(n - 1) in
     match W.det st (Bb.of_dense a) with
-    | Ok d -> check_bool "det 0 certified" true (F.is_zero d)
+    | Ok (d, _) -> check_bool "det 0 certified" true (F.is_zero d)
     | Error _ -> Alcotest.fail "singular det should certify zero"
   done
 
@@ -194,8 +194,9 @@ let test_solve_preconditioned_with_counters () =
   let ops0 = before "blackbox.ops" in
   let attempts0 = before "wiedemann.attempts" in
   match W.solve_preconditioned st (Bb.of_dense a) b with
-  | Error e -> Alcotest.fail e
-  | Ok (x, attempts) ->
+  | Error e -> Alcotest.fail (W.O.error_to_string e)
+  | Ok (x, report) ->
+    let attempts = report.W.O.attempts in
     check_bool "preconditioned solution" true (farr_eq x x_true);
     check_bool "attempts >= 1" true (attempts >= 1);
     check_bool "blackbox applies counted" true
