@@ -13,7 +13,13 @@
      E9  intro       wall-clock: practicality of the classical-multiplier
                      instantiation; sparse black-box crossover; multicore
 
-   Usage:  dune exec bench/main.exe -- [--table E1 ... | all] [--fast]  *)
+   Usage:  dune exec bench/main.exe --
+             [--table E1 ... | all] [--fast] [--json FILE]
+
+   --json FILE captures the per-table STATS records (one-line JSON: label,
+   wall-clock seconds, observability counters, span timings) into FILE as a
+   kp-bench/1 run file; bench/compare.exe diffs two such files.  Unknown
+   --table names (anything outside E1..E12) are a usage error (exit 2).  *)
 
 module F = Kp_field.Fields.Gf_ntt
 module Cnt = Kp_field.Counting.Make (F)
@@ -584,7 +590,48 @@ let e9 () =
               ]
           | _ -> ()))
     pools;
-  Tables.print t2
+  Tables.print t2;
+  (* pooled end-to-end charpoly: the §3 engine with every layer (Newton
+     doubling, Gohberg/Semencul applies, convolutions) fanned out on the
+     pool — pooled output is required to be bit-identical to sequential *)
+  let nc = 128 in
+  let module TCN = Kp_structured.Toeplitz_charpoly.Make (F) (NK) in
+  let dvec = Array.init ((2 * nc) - 1) (fun _ -> F.random rng) in
+  let cp_seq = TCN.charpoly ~n:nc dvec in
+  let t3 =
+    Tables.create
+      ~title:
+        (Printf.sprintf
+           "pooled Toeplitz charpoly (n = %d, NTT multiplier) over OCaml \
+            domains" nc)
+      ~columns:[ "domains"; "time/run"; "speedup"; "identical" ]
+  in
+  let base = ref nan in
+  List.iter
+    (fun domains ->
+      Kp_util.Pool.with_pool ~domains (fun pool ->
+          let identical =
+            Array.for_all2 F.equal (TCN.charpoly ~pool ~n:nc dvec) cp_seq
+          in
+          let tests =
+            [
+              Test.make ~name:(Printf.sprintf "pcharpoly d=%d" domains)
+                (Staged.stage (fun () -> ignore (TCN.charpoly ~pool ~n:nc dvec)));
+            ]
+          in
+          match run_bechamel tests with
+          | [ (_, ns) ] ->
+            if domains = 1 then base := ns;
+            Tables.add_row t3
+              [
+                string_of_int domains;
+                Printf.sprintf "%.1f ms" (ns /. 1e6);
+                Printf.sprintf "%.2fx" (!base /. ns);
+                string_of_bool identical;
+              ]
+          | _ -> ()))
+    pools;
+  Tables.print t3
 
 (* ------------------------------------------------------------------ *)
 (* E10: ablation — the matrix-multiplication black box (ω)              *)
@@ -742,21 +789,39 @@ let all_tables =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12) ]
 
+let usage_error fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "bench: %s\n" m;
+      Printf.eprintf
+        "usage: main.exe [--table E1 ... | all] [--fast] [--json FILE]\n";
+      exit 2)
+    fmt
+
 let () =
   let requested = ref [] in
+  let json_out = ref None in
   let args = Array.to_list Sys.argv |> List.tl in
+  let valid = List.map fst all_tables in
   let rec parse = function
     | [] -> ()
     | "--fast" :: rest ->
       fast := true;
       parse rest
     | "--table" :: name :: rest ->
-      requested := String.uppercase_ascii name :: !requested;
+      let name = String.uppercase_ascii name in
+      if not (List.mem name valid) then
+        usage_error "unknown table %S (valid: %s)" name
+          (String.concat " " valid);
+      requested := name :: !requested;
       parse rest
+    | [ "--table" ] -> usage_error "--table needs a name (E1..E%d)" (List.length valid)
+    | "--json" :: file :: rest ->
+      json_out := Some file;
+      parse rest
+    | [ "--json" ] -> usage_error "--json needs a file path"
     | "all" :: rest -> parse rest
-    | unknown :: rest ->
-      Printf.eprintf "ignoring unknown argument %S\n" unknown;
-      parse rest
+    | unknown :: _ -> usage_error "unknown argument %S" unknown
   in
   parse args;
   let selected =
@@ -766,6 +831,7 @@ let () =
   Printf.printf
     "Kaltofen–Pan (SPAA 1991) experiment harness%s\n\n"
     (if !fast then " [fast mode]" else "");
+  let records = ref [] in
   List.iter
     (fun (name, run) ->
       Printf.printf "==== %s ====\n%!" name;
@@ -776,10 +842,22 @@ let () =
       Cnt.reset ();
       let _, secs = Kp_util.Timing.time run in
       Printf.printf "(%s finished in %.1fs)\n%!" name secs;
-      (* one-line machine-readable summary (op counts next to seconds),
-         ready for BENCH_*.json capture: grep '^STATS ' | cut -d' ' -f2- *)
-      Printf.printf "STATS %s\n\n%!"
-        (Kp_obs.Export.to_json ~label:name
-           ~extra:[ ("seconds", Printf.sprintf "%.3f" secs) ]
-           ~events:false ()))
-    selected
+      (* one-line machine-readable summary (op counts next to seconds);
+         --json captures exactly these records into a kp-bench/1 run file *)
+      let stats =
+        Kp_obs.Export.to_json ~label:name
+          ~extra:[ ("seconds", Printf.sprintf "%.3f" secs) ]
+          ~events:false ()
+      in
+      records := stats :: !records;
+      Printf.printf "STATS %s\n\n%!" stats)
+    selected;
+  match !json_out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    Printf.fprintf oc
+      "{\"schema\":\"kp-bench/1\",\"fast\":%b,\"tables\":[\n%s\n]}\n" !fast
+      (String.concat ",\n" (List.rev !records));
+    close_out oc;
+    Printf.printf "wrote %s (%d tables)\n" file (List.length !records)

@@ -34,12 +34,20 @@ type setup = {
   engine : [ `Auto | `Blackbox | `Dense ];
   deadline_ms : int option;
   stats : [ `Text | `Json ] option;
+  domains : int;
 }
 
 module O = Kp_robust.Outcome
 
 let deadline_ns setup =
   Option.map Kp_robust.Retry.deadline_after_ms setup.deadline_ms
+
+(* --domains N > 1: run the command's solver core on an N-domain pool (the
+   PRAM stand-in); pooled kernels return the same answers as sequential
+   ones, so this only changes the schedule and the pool.* counters *)
+let with_pool_opt ~domains f =
+  if domains > 1 then Kp_util.Pool.with_pool ~domains (fun p -> f (Some p))
+  else f None
 
 (* all subcommand bodies, generic in the runtime field *)
 module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
@@ -79,8 +87,8 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
      carries it in machine-readable form) *)
   let typed_error e = `Error (false, O.error_to_string e)
 
-  let solve_dense ?deadline_ns st a b =
-    match S.solve ?deadline_ns st a b with
+  let solve_dense ?deadline_ns ?pool st a b =
+    match S.solve ?deadline_ns ?pool st a b with
     | Ok (x, report) ->
       print_solution ~engine:"dense" ~attempts:report.O.attempts x;
       `Ok ()
@@ -98,6 +106,7 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
     | Error e -> Error e
 
   let solve setup =
+    with_pool_opt ~domains:setup.domains @@ fun pool ->
     let st = Kp_util.Rng.make setup.seed in
     let deadline_ns = deadline_ns setup in
     let a, extra = load_matrix setup st in
@@ -109,7 +118,7 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       else Array.init n (fun _ -> F.random st)
     in
     match setup.engine with
-    | `Dense -> solve_dense ?deadline_ns st a b
+    | `Dense -> solve_dense ?deadline_ns ?pool st a b
     | `Blackbox -> (
       match solve_blackbox ?deadline_ns st a b with
       | Ok () -> `Ok ()
@@ -126,12 +135,13 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       | Error e ->
         Printf.eprintf "blackbox engine failed (%s); falling back to dense\n%!"
           (O.error_to_string e);
-        solve_dense ?deadline_ns st a b)
+        solve_dense ?deadline_ns ?pool st a b)
 
   let det setup =
+    with_pool_opt ~domains:setup.domains @@ fun pool ->
     let st = Kp_util.Rng.make setup.seed in
     let a, _ = load_matrix setup st in
-    match S.det ?deadline_ns:(deadline_ns setup) st a with
+    match S.det ?deadline_ns:(deadline_ns setup) ?pool st a with
     | Ok (d, _) ->
       Printf.printf "det = %s  (mod %d)\n" (F.to_string d) setup.prime;
       `Ok ()
@@ -144,9 +154,18 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
     `Ok ()
 
   let inverse setup =
+    with_pool_opt ~domains:setup.domains @@ fun pool ->
     let st = Kp_util.Rng.make setup.seed in
     let a, _ = load_matrix setup st in
-    match I.inverse ?deadline_ns:(deadline_ns setup) st a with
+    let result =
+      match pool with
+      | None -> I.inverse ?deadline_ns:(deadline_ns setup) st a
+      (* the Baur–Strassen circuit evaluates sequentially; with a pool the
+         n-solves route is the one whose columns fan out *)
+      | Some _ ->
+        I.inverse_via_solves ?deadline_ns:(deadline_ns setup) ?pool st a
+    in
+    match result with
     | Ok (inv, _) ->
       print_string (M.to_string inv);
       `Ok ()
@@ -155,7 +174,8 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       `Ok ()
     | Error e -> typed_error e
 
-  let charpoly prime toeplitz =
+  let charpoly ~domains prime toeplitz =
+    with_pool_opt ~domains @@ fun pool ->
     let d =
       String.split_on_char ',' toeplitz
       |> List.map String.trim
@@ -169,7 +189,8 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
     else begin
       let n = (len + 1) / 2 in
       let cp =
-        if F.characteristic > n then TC.charpoly ~n d else Ch.charpoly ~n d
+        if F.characteristic > n then TC.charpoly ?pool ~n d
+        else Ch.charpoly ?pool ~n d
       in
       Printf.printf "det(λI - T), low to high coefficients (mod %d):\n" prime;
       Array.iteri (fun i c -> Printf.printf "  λ^%d: %s\n" i (F.to_string c)) cp;
@@ -184,7 +205,7 @@ module type DRIVER = sig
   val det : setup -> ret
   val rank : setup -> ret
   val inverse : setup -> ret
-  val charpoly : int -> string -> ret
+  val charpoly : domains:int -> int -> string -> ret
 end
 
 let dispatch prime k : ret =
@@ -234,6 +255,14 @@ let deadline_t =
               randomized core is still retrying after this many \
               milliseconds (monotonic clock).")
 
+let domains_t =
+  Arg.(value & opt int 1
+       & info [ "domains" ]
+           ~doc:
+             "Run the solver core on a pool of this many domains (the PRAM \
+              stand-in).  Results are identical to $(b,--domains 1); the \
+              pool.* counters in $(b,--stats) show which layers fanned out.")
+
 let stats_t =
   Arg.(value
        & opt ~vopt:(Some `Text) (some (enum [ ("text", `Text); ("json", `Json) ])) None
@@ -250,12 +279,14 @@ let print_stats = function
   | Some `Json -> print_endline (Kp_obs.Export.to_json ~label:"kp" ())
 
 let setup_t =
-  let combine prime seed matrix random rank_hint engine deadline_ms stats =
-    { prime; seed; matrix; random; rank_hint; engine; deadline_ms; stats }
+  let combine prime seed matrix random rank_hint engine deadline_ms stats
+      domains =
+    { prime; seed; matrix; random; rank_hint; engine; deadline_ms; stats;
+      domains }
   in
   Term.(
     const combine $ prime_t $ seed_t $ matrix_t $ random_t $ rank_hint_t
-    $ engine_t $ deadline_t $ stats_t)
+    $ engine_t $ deadline_t $ stats_t $ domains_t)
 
 let simple_cmd name doc (select : (module DRIVER) -> setup -> ret) =
   Cmd.v (Cmd.info name ~doc)
@@ -287,11 +318,13 @@ let charpoly_cmd =
        ~doc:"Characteristic polynomial of a Toeplitz matrix (Theorem 3).")
     Term.(
       ret
-        (const (fun p t stats ->
-             let r = dispatch p (fun (module D : DRIVER) -> D.charpoly p t) in
+        (const (fun p t stats domains ->
+             let r =
+               dispatch p (fun (module D : DRIVER) -> D.charpoly ~domains p t)
+             in
              print_stats stats;
              (r :> unit Cmdliner.Term.ret))
-         $ prime_t $ toeplitz_t $ stats_t))
+         $ prime_t $ toeplitz_t $ stats_t $ domains_t))
 
 let () =
   let info =

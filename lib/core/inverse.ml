@@ -63,8 +63,24 @@ struct
     Rt.run ~ns:"inverse" ~op:"inverse" ~policy ~card_s
     @@ fun ~attempt:_ ~card_s ->
     let randoms = Array.init (Cc.num_random q) (fun _ -> F.sample st ~card_s) in
+    (* random-node indices are stable through differentiation, so the first
+       2n-1 are the Hankel entries and the next n the diagonal (creation
+       order in det_circuit) — recover them to classify failures below *)
+    let hd_nonsingular () =
+      let h = Array.sub randoms 0 ((2 * n) - 1) in
+      let d = Array.sub randoms ((2 * n) - 1) n in
+      match S.P.det_hd ~charpoly:(S.charpoly_for_field ?pool:None ~n) ~n ~h ~d with
+      | exception Division_by_zero -> false
+      | dhd -> not (F.is_zero dhd)
+    in
     match Cc.eval (module F) q ~inputs ~randoms with
-    | exception Division_by_zero -> Rt.Reject O.Division_error
+    | exception Division_by_zero ->
+      (* the generator stage divided by zero: the minimal generator has
+         degree < n — either an unlucky draw or a singular Ã.  As in
+         {!Solver.solve}, it witnesses singularity of A only when H·D is
+         invertible. *)
+      if hd_nonsingular () then Rt.Reject_with_witness O.Low_degree
+      else Rt.Reject O.Division_error
     | out ->
       let det = out.(0) in
       if F.is_zero det then
@@ -80,26 +96,41 @@ struct
         else Rt.Reject O.Residual_mismatch
       end
 
-  let inverse_via_solves ?(retries = 10) ?card_s ?deadline_ns st (a : M.t) =
+  let c_pool_columns = Kp_obs.Counter.make "pool.inverse.columns"
+
+  let inverse_via_solves ?(retries = 10) ?card_s ?deadline_ns ?pool st
+      (a : M.t) =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Inverse.inverse_via_solves: non-square";
+    (* Per-column random states are split off [st] up front, in column
+       order, so the answer is a function of [st] alone — identical for any
+       pool size (including none).  The n solves are then independent. *)
+    let sts = Array.init n (fun _ -> Kp_util.Rng.split st) in
+    let solve_col j =
+      let e = Array.init n (fun i -> if i = j then F.one else F.zero) in
+      S.solve ~retries ?card_s ?deadline_ns ?pool sts.(j) a e
+    in
+    let results =
+      match pool with
+      | Some p when Kp_util.Pool.size p > 1 && n > 1 ->
+        Kp_obs.Counter.incr c_pool_columns;
+        Kp_util.Pool.parallel_init p n solve_col
+      | _ -> Array.init n solve_col
+    in
+    (* merge in column order: attempts accumulate across the columns before
+       the first failure, so an error's report carries that prior work *)
     let out = M.make n n in
-    (* attempts accumulate across the n column solves, so an error's report
-       carries the total work, not just the failing column's *)
-    let acc = ref O.empty_report in
-    let rec columns j =
-      if j = n then Ok (out, !acc)
+    let rec merge j acc =
+      if j = n then Ok (out, acc)
       else begin
-        let e = Array.init n (fun i -> if i = j then F.one else F.zero) in
-        match S.solve ~retries ?card_s ?deadline_ns st a e with
+        match results.(j) with
         | Ok (x, r) ->
-          acc := O.merge_reports !acc r;
           for i = 0 to n - 1 do
             M.set out i j x.(i)
           done;
-          columns (j + 1)
-        | Error e -> Error (O.with_report (O.merge_reports !acc) e)
+          merge (j + 1) (O.merge_reports acc r)
+        | Error e -> Error (O.with_report (O.merge_reports acc) e)
       end
     in
-    columns 0
+    merge 0 O.empty_report
 end

@@ -36,8 +36,13 @@ module Make
     ?retries:int ->
     ?card_s:int ->
     ?deadline_ns:int64 ->
+    ?pool:Kp_util.Pool.t ->
     Random.State.t -> M.t -> (M.t * O.report, O.error) result
-  (** n independent Theorem-4 solves against the basis vectors.  The
-      report (on success or inside the error) accumulates attempts across
-      all columns solved so far. *)
+  (** n independent Theorem-4 solves against the basis vectors.  Per-column
+      random states are split off [st] up front (in column order), so the
+      result is a deterministic function of [st] whether or not a pool is
+      supplied; with [?pool] the columns fan out on the pool (counted in
+      [pool.inverse.columns]) and each solve also uses the pooled kernels.
+      The report (on success or inside the error) accumulates attempts over
+      the columns preceding the first failure. *)
 end

@@ -12,24 +12,37 @@ struct
 
   type charpoly_engine = n:int -> F.t array -> F.t array
 
-  let charpoly_leverrier ~n d = TC.charpoly ~n d
-  let charpoly_chistov ~n d = CH.charpoly ~n d
-  let charpoly_chistov_parallel ~n d = CH.charpoly_parallel ~n d
+  (* The pooled constructors close over the (optional) pool so the engine
+     type stays a plain function — circuit builders and counting fields keep
+     using the unpooled aliases below and never see a pool. *)
+  let charpoly_leverrier_pooled pool : charpoly_engine =
+   fun ~n d -> TC.charpoly ?pool ~n d
+
+  let charpoly_chistov_pooled pool : charpoly_engine =
+   fun ~n d -> CH.charpoly ?pool ~n d
+
+  let charpoly_chistov_parallel_pooled pool : charpoly_engine =
+   fun ~n d -> CH.charpoly_parallel ?pool ~n d
+
+  let charpoly_leverrier = charpoly_leverrier_pooled None
+  let charpoly_chistov = charpoly_chistov_pooled None
+  let charpoly_chistov_parallel = charpoly_chistov_parallel_pooled None
 
   type strategy = Doubling | Sequential
 
   module Span = Kp_obs.Span
 
-  let preconditioned (a : M.t) ~h ~d =
+  let preconditioned ?mul (a : M.t) ~h ~d =
     Span.with_ "pipeline.precondition" @@ fun () ->
+    let mul = Option.value mul ~default:M.mul in
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Pipeline.preconditioned: non-square";
     (* (H·D)_{ij} = h_{i+j}·d_j *)
     let hd = M.init n n (fun i j -> F.mul h.(i + j) d.(j)) in
-    M.mul a hd
+    mul a hd
 
   (* solve T z = rhs by Cayley-Hamilton using the charpoly of T *)
-  let toeplitz_ch_solve ~charpoly ~strategy ~mul ~n dt rhs =
+  let toeplitz_ch_solve ?pool ~charpoly ~strategy ~mul ~n dt rhs =
     let cp = charpoly ~n dt in
     (* T^{-1} rhs = -(1/cp_0) Σ_{k=1}^{n} cp_k T^{k-1} rhs *)
     let acc =
@@ -39,7 +52,7 @@ struct
         let w = ref rhs in
         for k = 1 to n do
           acc := Array.mapi (fun i ai -> F.add ai (F.mul cp.(k) !w.(i))) !acc;
-          if k < n then w := TZ.matvec ~n dt !w
+          if k < n then w := TZ.matvec ?pool ~n dt !w
         done;
         !acc
       | Doubling ->
@@ -50,13 +63,13 @@ struct
     let neg_inv = F.neg (F.inv cp.(0)) in
     Array.map (F.mul neg_inv) acc
 
-  let minimal_generator ?mul ~charpoly ~strategy ~n seq =
+  let minimal_generator ?mul ?pool ~charpoly ~strategy ~n seq =
     Span.with_ "pipeline.generator" @@ fun () ->
     let mul = Option.value mul ~default:M.mul in
     if Array.length seq < 2 * n then invalid_arg "Pipeline.minimal_generator";
     let dt = Array.sub seq 0 ((2 * n) - 1) in
     let rhs = Array.init n (fun j -> seq.(n + j)) in
-    let x = toeplitz_ch_solve ~charpoly ~strategy ~mul ~n dt rhs in
+    let x = toeplitz_ch_solve ?pool ~charpoly ~strategy ~mul ~n dt rhs in
     (* x solves T x = rhs; generator f(λ) = λ^n - Σ_{i<n} x_{n-1-i} λ^i *)
     Array.init (n + 1) (fun i -> if i = n then F.one else F.neg x.(n - 1 - i))
 
@@ -99,12 +112,12 @@ struct
     in
     (cols, K.sequence ~u cols)
 
-  let solve ?mul ~charpoly ~strategy (a : M.t) ~b ~h ~d ~u =
+  let solve ?mul ?pool ~charpoly ~strategy (a : M.t) ~b ~h ~d ~u =
     let mul = Option.value mul ~default:M.mul in
     let n = a.M.rows in
-    let a_tilde = preconditioned a ~h ~d in
+    let a_tilde = preconditioned ~mul a ~h ~d in
     let cols, seq = sequence_of ~strategy ~mul a_tilde ~u ~v:b n in
-    let f = minimal_generator ~mul ~charpoly ~strategy ~n seq in
+    let f = minimal_generator ~mul ?pool ~charpoly ~strategy ~n seq in
     Span.with_ "pipeline.recover" @@ fun () ->
     (* x̃ = -(1/f_0) Σ_{i=0}^{n-1} f_{i+1} Ã^i b *)
     let comb = K.combination (M.init n n (fun i j -> M.get cols i j)) (Array.sub f 1 n) in
@@ -112,17 +125,17 @@ struct
     let x_tilde = Array.map (F.mul neg_inv) comb in
     (* x = H · (D · x̃) *)
     let dx = Array.init n (fun i -> F.mul d.(i) x_tilde.(i)) in
-    let x = HK.matvec ~n h dx in
+    let x = HK.matvec ?pool ~n h dx in
     let det_tilde = det_from_generator ~n f in
     let det = F.div det_tilde (det_hd ~charpoly ~n ~h ~d) in
     { x; f; seq; det_tilde; det }
 
-  let det ?mul ~charpoly ~strategy (a : M.t) ~h ~d ~u ~v =
+  let det ?mul ?pool ~charpoly ~strategy (a : M.t) ~h ~d ~u ~v =
     let mul = Option.value mul ~default:M.mul in
     let n = a.M.rows in
-    let a_tilde = preconditioned a ~h ~d in
+    let a_tilde = preconditioned ~mul a ~h ~d in
     let _, seq = sequence_of ~strategy ~mul a_tilde ~u ~v n in
-    let f = minimal_generator ~mul ~charpoly ~strategy ~n seq in
+    let f = minimal_generator ~mul ?pool ~charpoly ~strategy ~n seq in
     let det_tilde = det_from_generator ~n f in
     F.div det_tilde (det_hd ~charpoly ~n ~h ~d)
 end

@@ -32,16 +32,29 @@ module Make
   (** §5 composition with the §3 Newton iteration — O((log n)²) depth at
       the (12) work bound; use when tracing small-characteristic circuits. *)
 
+  val charpoly_leverrier_pooled : Kp_util.Pool.t option -> charpoly_engine
+  (** {!charpoly_leverrier} with the pool closed over: the Newton doubling
+      and convolution layers fan out on it, with bit-identical output. *)
+
+  val charpoly_chistov_pooled : Kp_util.Pool.t option -> charpoly_engine
+  (** {!charpoly_chistov} with the n independent βᵢ series pooled. *)
+
+  val charpoly_chistov_parallel_pooled : Kp_util.Pool.t option -> charpoly_engine
+  (** {!charpoly_chistov_parallel}, pooled likewise. *)
+
   type strategy = Doubling | Sequential
   (** How Krylov vectors are produced: [Doubling] is the paper's (9)
       (O(n^ω log n) size, O((log n)²) depth); [Sequential] trades depth for
       total work (O(n²·m) size, Θ(m) depth). *)
 
-  val preconditioned : M.t -> h:F.t array -> d:F.t array -> M.t
-  (** Ã = A·H·Diag(d): one Hankel-column scaling plus one matrix product. *)
+  val preconditioned :
+    ?mul:(M.t -> M.t -> M.t) -> M.t -> h:F.t array -> d:F.t array -> M.t
+  (** Ã = A·H·Diag(d): one Hankel-column scaling plus one matrix product
+      (through [mul] when given, so a pooled product reaches this stage). *)
 
   val minimal_generator :
     ?mul:(M.t -> M.t -> M.t) ->
+    ?pool:Kp_util.Pool.t ->
     charpoly:charpoly_engine -> strategy:strategy -> n:int -> F.t array -> F.t array
   (** From the 2n-term sequence {u·Ãⁱ·v}: the degree-n monic generator f
       (length n+1, low-to-high), via the characteristic polynomial of the
@@ -63,16 +76,21 @@ module Make
 
   val solve :
     ?mul:(M.t -> M.t -> M.t) ->
+    ?pool:Kp_util.Pool.t ->
     charpoly:charpoly_engine ->
     strategy:strategy ->
     M.t -> b:F.t array -> h:F.t array -> d:F.t array -> u:F.t array ->
     solve_result
   (** The full Theorem-4 straight-line program (v := b).  [mul] is the
       matrix-multiplication black box (default: classical; pass Strassen or
-      a pool-parallel product to swap the ω). *)
+      a pool-parallel product to swap the ω).  [?pool] reaches the
+      structured matrix–vector kernels of the recovery stage; pass the
+      matching pooled charpoly engine to cover the generator stage too.
+      Pooled and sequential runs return identical results. *)
 
   val det :
     ?mul:(M.t -> M.t -> M.t) ->
+    ?pool:Kp_util.Pool.t ->
     charpoly:charpoly_engine ->
     strategy:strategy ->
     M.t -> h:F.t array -> d:F.t array -> u:F.t array -> v:F.t array ->

@@ -12,9 +12,10 @@ struct
   module Rt = Kp_robust.Retry
   module Span = Kp_obs.Span
 
-  let charpoly_for_field ~n =
-    if F.characteristic = 0 || F.characteristic > n then P.charpoly_leverrier
-    else P.charpoly_chistov
+  let charpoly_for_field ?pool ~n =
+    if F.characteristic = 0 || F.characteristic > n then
+      P.charpoly_leverrier_pooled pool
+    else P.charpoly_chistov_pooled pool
 
   let default_card_s n =
     let bound = 4 * 3 * n * n in
@@ -58,7 +59,7 @@ struct
     if Array.length b <> n then invalid_arg "Solver.solve: bad rhs";
     let mul = mul_of pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
-    let charpoly = charpoly_for_field ~n in
+    let charpoly = charpoly_for_field ?pool ~n in
     Rt.run ~ns:"solver" ~op:"solve" ~policy:(policy ?deadline_ns retries)
       ~card_s
     @@ fun ~attempt:_ ~card_s ->
@@ -70,7 +71,7 @@ struct
       | exception Division_by_zero -> false
       | dhd -> not (F.is_zero dhd)
     in
-    match P.solve ~mul ~charpoly ~strategy a ~b ~h ~d ~u with
+    match P.solve ~mul ?pool ~charpoly ~strategy a ~b ~h ~d ~u with
     | exception Division_by_zero ->
       (* singular Toeplitz system: the generator has degree < n — could
          be bad luck or a singular Ã; witness only if H is invertible *)
@@ -93,7 +94,7 @@ struct
     if a.M.cols <> n then invalid_arg "Solver.det: non-square";
     let mul = mul_of pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
-    let charpoly = charpoly_for_field ~n in
+    let charpoly = charpoly_for_field ?pool ~n in
     let result =
       Rt.run ~ns:"solver" ~op:"det" ~policy:(policy ?deadline_ns retries)
         ~card_s
@@ -103,7 +104,7 @@ struct
         let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
         let u = sample_vec st ~card_s n in
         let v = sample_vec st ~card_s n in
-        let a_tilde = P.preconditioned a ~h ~d in
+        let a_tilde = P.preconditioned ~mul a ~h ~d in
         let cols =
           match strategy with
           | P.Doubling -> P.K.columns ~mul a_tilde v (2 * n)
@@ -115,7 +116,7 @@ struct
           | exception Division_by_zero -> false
           | dhd -> not (F.is_zero dhd)
         in
-        match P.minimal_generator ~mul ~charpoly ~strategy ~n seq with
+        match P.minimal_generator ~mul ?pool ~charpoly ~strategy ~n seq with
         | exception Division_by_zero ->
           if h_nonsingular () then Rt.Reject_with_witness O.Low_degree
           else Rt.Reject O.Low_degree

@@ -1,8 +1,16 @@
+module Pool = Kp_util.Pool
+
 module type S = sig
   type elt
 
   val mul_full : elt array -> elt array -> elt array
+  val mul_full_pool : Pool.t option -> elt array -> elt array -> elt array
 end
+
+(* Per-layer pool telemetry: one tick per product that actually engaged the
+   pool (small products run sequentially regardless). *)
+let c_pool_karatsuba = Kp_obs.Counter.make "pool.conv.karatsuba"
+let c_pool_ntt = Kp_obs.Counter.make "pool.conv.ntt"
 
 module Karatsuba (F : Kp_field.Field_intf.FIELD_CORE) = struct
   type elt = F.t
@@ -10,6 +18,21 @@ module Karatsuba (F : Kp_field.Field_intf.FIELD_CORE) = struct
   module Ser = Series.Make (F)
 
   let mul_full = Ser.mul_full
+
+  (* Below this operand length the region bookkeeping costs more than the
+     leaf products; the recursion halves lengths, so forking stops well
+     above the dense-leaf threshold. *)
+  let fork_width = 256
+
+  let mul_full_pool pool a b =
+    match pool with
+    | Some pool
+      when Pool.size pool > 1
+           && Array.length a >= fork_width
+           && Array.length b >= fork_width ->
+      Kp_obs.Counter.incr c_pool_karatsuba;
+      Ser.mul_full_fork ~fork:(Pool.region_run pool) ~fork_width a b
+    | _ -> Ser.mul_full a b
 end
 
 module type NTT_PRIME = sig
@@ -41,29 +64,58 @@ struct
 
   let inv_mod a = pow_mod a (P.p - 2)
 
-  (* cache of lifted root tables per transform length *)
+  (* cache of lifted root tables per transform length; guarded so pooled
+     transforms from several domains cannot race the hashtable *)
   let root_tables : (int, F.t array * F.t array) Hashtbl.t = Hashtbl.create 8
+  let root_tables_mutex = Mutex.create ()
 
   let roots_for len =
-    match Hashtbl.find_opt root_tables len with
-    | Some r -> r
-    | None ->
-      (* forward and inverse roots for each butterfly level, lifted once *)
-      let fwd = Array.make len F.one and bwd = Array.make len F.one in
-      let w = pow_mod P.root ((P.p - 1) / len) in
-      let wi = inv_mod w in
-      let cur_f = ref 1 and cur_b = ref 1 in
-      for i = 0 to len - 1 do
-        fwd.(i) <- F.of_int !cur_f;
-        bwd.(i) <- F.of_int !cur_b;
-        cur_f := !cur_f * w mod P.p;
-        cur_b := !cur_b * wi mod P.p
-      done;
-      Hashtbl.replace root_tables len (fwd, bwd);
-      (fwd, bwd)
+    Mutex.lock root_tables_mutex;
+    let r =
+      match Hashtbl.find_opt root_tables len with
+      | Some r -> r
+      | None ->
+        (* forward and inverse roots for each butterfly level, lifted once *)
+        let fwd = Array.make len F.one and bwd = Array.make len F.one in
+        let w = pow_mod P.root ((P.p - 1) / len) in
+        let wi = inv_mod w in
+        let cur_f = ref 1 and cur_b = ref 1 in
+        for i = 0 to len - 1 do
+          fwd.(i) <- F.of_int !cur_f;
+          bwd.(i) <- F.of_int !cur_b;
+          cur_f := !cur_f * w mod P.p;
+          cur_b := !cur_b * wi mod P.p
+        done;
+        Hashtbl.replace root_tables len (fwd, bwd);
+        (fwd, bwd)
+    in
+    Mutex.unlock root_tables_mutex;
+    r
 
-  let transform (a : F.t array) ~inverse =
+  (* A transform shorter than this runs sequentially even with a pool: one
+     butterfly level is ~n/2 multiplies, too little to amortize a region. *)
+  let pool_width = 1 lsl 12
+
+  (* One butterfly level is a data-parallel loop over n/2 independent
+     (u, v) pairs; pooled execution splits that index space into chunks.
+     Every pair is touched by exactly one chunk, so values (and therefore
+     results) are identical to the sequential schedule. *)
+  let transform ?pool (a : F.t array) ~inverse =
     let n = Array.length a in
+    let pool =
+      match pool with
+      | Some p when n >= pool_width && Pool.size p > 1 -> Some p
+      | _ -> None
+    in
+    if pool <> None then Kp_obs.Counter.incr c_pool_ntt;
+    let parallel_or ~hi seq body =
+      match pool with
+      | Some p ->
+        Pool.parallel_for_chunked p ~lo:0 ~hi
+          ~chunk:(max 1024 (hi / (4 * Pool.size p)))
+          body
+      | None -> seq ()
+    in
     let j = ref 0 in
     for i = 1 to n - 1 do
       let bit = ref (n lsr 1) in
@@ -83,25 +135,44 @@ struct
       let fwd, bwd = roots_for !len in
       let roots = if inverse then bwd else fwd in
       let half = !len lsr 1 in
-      let i = ref 0 in
-      while !i < n do
-        for k = 0 to half - 1 do
-          let u = a.(!i + k) and v = F.mul a.(!i + k + half) roots.(k) in
-          a.(!i + k) <- F.add u v;
-          a.(!i + k + half) <- F.sub u v
-        done;
-        i := !i + !len
-      done;
+      let butterfly q =
+        let blk = q / half and k = q mod half in
+        let i = (blk * !len) + k in
+        let u = a.(i) and v = F.mul a.(i + half) roots.(k) in
+        a.(i) <- F.add u v;
+        a.(i + half) <- F.sub u v
+      in
+      let sequential () =
+        let i = ref 0 in
+        while !i < n do
+          for k = 0 to half - 1 do
+            let u = a.(!i + k) and v = F.mul a.(!i + k + half) roots.(k) in
+            a.(!i + k) <- F.add u v;
+            a.(!i + k + half) <- F.sub u v
+          done;
+          i := !i + !len
+        done
+      in
+      parallel_or ~hi:(n lsr 1) sequential (fun cl ch ->
+          for q = cl to ch - 1 do
+            butterfly q
+          done);
       len := !len lsl 1
     done;
     if inverse then begin
       let ninv = F.of_int (inv_mod n) in
-      for i = 0 to n - 1 do
-        a.(i) <- F.mul a.(i) ninv
-      done
+      parallel_or ~hi:n
+        (fun () ->
+          for i = 0 to n - 1 do
+            a.(i) <- F.mul a.(i) ninv
+          done)
+        (fun cl ch ->
+          for i = cl to ch - 1 do
+            a.(i) <- F.mul a.(i) ninv
+          done)
     end
 
-  let mul_full a b =
+  let mul_full_pool pool a b =
     let la = Array.length a and lb = Array.length b in
     if la = 0 || lb = 0 then [||]
     else begin
@@ -110,19 +181,30 @@ struct
       while !size < out_len do
         size := !size lsl 1
       done;
-      if !size > 1 lsl P.max_log2 then Fallback.mul_full a b
+      if !size > 1 lsl P.max_log2 then Fallback.mul_full_pool pool a b
       else begin
         let pad v =
           Array.init !size (fun i -> if i < Array.length v then v.(i) else F.zero)
         in
         let fa = pad a and fb = pad b in
-        transform fa ~inverse:false;
-        transform fb ~inverse:false;
-        for i = 0 to !size - 1 do
-          fa.(i) <- F.mul fa.(i) fb.(i)
-        done;
-        transform fa ~inverse:true;
+        transform ?pool fa ~inverse:false;
+        transform ?pool fb ~inverse:false;
+        (match pool with
+        | Some p when !size >= pool_width && Pool.size p > 1 ->
+          Pool.parallel_for_chunked p ~lo:0 ~hi:!size
+            ~chunk:(max 1024 (!size / (4 * Pool.size p)))
+            (fun cl ch ->
+              for i = cl to ch - 1 do
+                fa.(i) <- F.mul fa.(i) fb.(i)
+              done)
+        | _ ->
+          for i = 0 to !size - 1 do
+            fa.(i) <- F.mul fa.(i) fb.(i)
+          done);
+        transform ?pool fa ~inverse:true;
         Array.sub fa 0 out_len
       end
     end
+
+  let mul_full a b = mul_full_pool None a b
 end

@@ -17,6 +17,17 @@ module type S = sig
 
   val mul_full : elt array -> elt array -> elt array
   (** Full product, length la+lb-1 ([[||]] if either input is empty). *)
+
+  val mul_full_pool :
+    Kp_util.Pool.t option -> elt array -> elt array -> elt array
+  (** [mul_full_pool (Some pool) a b] is [mul_full a b] with the work fanned
+      out over [pool] — parallel butterfly layers for the NTT, forked
+      sub-products for Karatsuba — and [mul_full_pool None] {e is}
+      [mul_full].  Parallel execution never changes the result: products
+      below an internal width threshold run sequentially, larger ones
+      partition disjoint index ranges whose per-coefficient operation order
+      is schedule-independent.  Pooled calls are counted in the
+      [pool.conv.*] {!Kp_obs} counters. *)
 end
 
 module Karatsuba (F : Kp_field.Field_intf.FIELD_CORE) : S with type elt = F.t

@@ -12,8 +12,9 @@ module Make
     (C : Kp_poly.Conv.S with type elt = F.t) : sig
   val entry : n:int -> F.t array -> int -> int -> F.t
 
-  val matvec : n:int -> F.t array -> F.t array -> F.t array
-  (** One convolution. *)
+  val matvec :
+    ?pool:Kp_util.Pool.t -> n:int -> F.t array -> F.t array -> F.t array
+  (** One convolution; [?pool] runs it pool-parallel, same result. *)
 
   val to_dense : n:int -> F.t array -> Kp_matrix.Dense.Core(F).t
 

@@ -1,0 +1,235 @@
+(* The benchmark-regression layer: the kp-bench/1 run-file parser and the
+   tolerance-band comparison compare.exe applies, including the acceptance
+   case — a synthetically degraded run must be flagged as a regression. *)
+
+module B = Kp_bench_lib.Baseline
+module J = Kp_bench_lib.Json_min
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- JSON reader ---- *)
+
+let test_json_scalars () =
+  check_bool "number" true (J.parse "42.5" = J.Num 42.5);
+  check_bool "negative int" true (J.parse "-7" = J.Num (-7.));
+  check_bool "exponent" true (J.parse "1e3" = J.Num 1000.);
+  check_bool "string" true (J.parse {|"hi"|} = J.Str "hi");
+  check_bool "escapes" true (J.parse {|"a\n\"b\""|} = J.Str "a\n\"b\"");
+  check_bool "true" true (J.parse "true" = J.Bool true);
+  check_bool "null" true (J.parse " null " = J.Null)
+
+let test_json_structures () =
+  let v = J.parse {|{"a":[1,2,{"b":"c"}],"d":{}}|} in
+  (match J.member "a" v with
+  | Some (J.Arr [ J.Num 1.; J.Num 2.; inner ]) ->
+    check_bool "nested member" true (J.member "b" inner = Some (J.Str "c"))
+  | _ -> Alcotest.fail "array member shape");
+  check_bool "empty object" true (J.member "d" v = Some (J.Obj []));
+  check_bool "missing member" true (J.member "zzz" v = None)
+
+let test_json_errors () =
+  let fails s =
+    match J.parse s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "trailing garbage" true (fails "{} x");
+  check_bool "unterminated string" true (fails {|"abc|});
+  check_bool "bad literal" true (fails "trve");
+  check_bool "unclosed object" true (fails {|{"a":1|})
+
+(* ---- run files ---- *)
+
+let run_file ~fast tables =
+  Printf.sprintf "{\"schema\":\"kp-bench/1\",\"fast\":%b,\"tables\":[%s]}" fast
+    (String.concat "," tables)
+
+let table ?(label = "E5") ?(seconds = 1.0) counters =
+  Printf.sprintf "{\"label\":%S,\"seconds\":%f,\"counters\":{%s},\"spans\":[]}"
+    label seconds
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "%S:%d" k v) counters))
+
+let parse_ok text =
+  match B.run_of_string text with
+  | Ok run -> run
+  | Error m -> Alcotest.failf "expected run file to parse, got: %s" m
+
+let test_run_parse () =
+  let run =
+    parse_ok
+      (run_file ~fast:true
+         [ table ~label:"E5" [ ("field.ops", 1000) ];
+           table ~label:"E6" ~seconds:2.5 [ ("field.ops", 50) ] ])
+  in
+  check_bool "fast flag" true run.B.fast;
+  check_int "tables" 2 (List.length run.B.tables);
+  let t6 = List.nth run.B.tables 1 in
+  check_bool "seconds" true (t6.B.seconds = Some 2.5);
+  check_bool "counter" true (List.assoc "field.ops" t6.B.counters = 50.)
+
+let test_run_parse_rejects () =
+  let rejects text =
+    match B.run_of_string text with Error _ -> true | Ok _ -> false
+  in
+  check_bool "wrong schema" true
+    (rejects {|{"schema":"other/9","tables":[]}|});
+  check_bool "no schema" true (rejects {|{"tables":[]}|});
+  check_bool "unlabelled table" true
+    (rejects {|{"schema":"kp-bench/1","tables":[{"seconds":1}]}|});
+  check_bool "not json" true (rejects "STATS {")
+
+(* ---- comparison ---- *)
+
+let compare_strings ?seconds_ratio ?counter_rel_tol b c =
+  B.compare_runs ?seconds_ratio ?counter_rel_tol ~baseline:(parse_ok b)
+    ~current:(parse_ok c) ()
+
+let test_identical_runs_pass () =
+  let r =
+    run_file ~fast:true
+      [ table [ ("field.ops", 123456); ("solver.attempts", 3) ] ]
+  in
+  check_int "no regressions" 0 (List.length (B.regressions (compare_strings r r)))
+
+let test_degraded_counters_fail () =
+  (* the acceptance case: a synthetically degraded run — 2x the field ops —
+     must be flagged *)
+  let base = run_file ~fast:true [ table [ ("field.ops", 100000) ] ] in
+  let degraded = run_file ~fast:true [ table [ ("field.ops", 200000) ] ] in
+  let issues = compare_strings base degraded in
+  check_bool "degraded run is a regression" true (B.regressions issues <> []);
+  (* and within the 10% band nothing fires *)
+  let ok = run_file ~fast:true [ table [ ("field.ops", 105000) ] ] in
+  check_int "5% drift is inside the band" 0
+    (List.length (B.regressions (compare_strings base ok)))
+
+let test_small_counter_slack () =
+  (* tiny counts get ±2 absolute slack: 1 -> 3 passes, 1 -> 4 fails *)
+  let base = run_file ~fast:true [ table [ ("solver.attempts", 1) ] ] in
+  let near = run_file ~fast:true [ table [ ("solver.attempts", 3) ] ] in
+  let far = run_file ~fast:true [ table [ ("solver.attempts", 4) ] ] in
+  check_int "within slack" 0
+    (List.length (B.regressions (compare_strings base near)));
+  check_bool "outside slack" true
+    (B.regressions (compare_strings base far) <> [])
+
+let test_seconds_band () =
+  let base = run_file ~fast:true [ table ~seconds:2.0 [] ] in
+  let slow = run_file ~fast:true [ table ~seconds:20.0 [] ] in
+  let ok = run_file ~fast:true [ table ~seconds:7.0 [] ] in
+  check_bool "10x wall-clock blowup flagged" true
+    (B.regressions (compare_strings base slow) <> []);
+  check_int "3.5x is inside the default 4x band" 0
+    (List.length (B.regressions (compare_strings base ok)));
+  check_int "wider ratio accepted" 0
+    (List.length
+       (B.regressions (compare_strings ~seconds_ratio:15.0 base slow)))
+
+let test_timing_metrics_ignored () =
+  (* schedule-dependent metrics never fire, even at huge drift *)
+  let base =
+    run_file ~fast:true
+      [ table
+          [ ("pool.region_wait_ns", 1000); ("pool.tasks.helper", 10);
+            ("pool.tasks.worker", 90) ] ]
+  in
+  let drifted =
+    run_file ~fast:true
+      [ table
+          [ ("pool.region_wait_ns", 999999999); ("pool.tasks.helper", 95);
+            ("pool.tasks.worker", 5) ] ]
+  in
+  check_int "no regression from timing metrics" 0
+    (List.length (B.regressions (compare_strings base drifted)))
+
+let test_iteration_scaled_table_ignored () =
+  (* E9's counters scale with bechamel iterations: ignored wholesale *)
+  let base =
+    run_file ~fast:true [ table ~label:"E9" [ ("solver.attempts", 3) ] ]
+  in
+  let drifted =
+    run_file ~fast:true [ table ~label:"E9" [ ("solver.attempts", 300) ] ]
+  in
+  check_int "E9 counters ignored" 0
+    (List.length (B.regressions (compare_strings base drifted)))
+
+let test_missing_table_and_counter () =
+  let base =
+    run_file ~fast:true
+      [ table ~label:"E5" [ ("field.ops", 10) ]; table ~label:"E6" [] ]
+  in
+  let missing_table = run_file ~fast:true [ table ~label:"E5" [ ("field.ops", 10) ] ] in
+  check_bool "missing table flagged" true
+    (B.regressions (compare_strings base missing_table) <> []);
+  let missing_counter =
+    run_file ~fast:true [ table ~label:"E5" []; table ~label:"E6" [] ]
+  in
+  check_bool "missing counter flagged" true
+    (B.regressions (compare_strings base missing_counter) <> []);
+  (* new tables / counters in the current run are info, not regressions *)
+  let extra =
+    run_file ~fast:true
+      [ table ~label:"E5" [ ("field.ops", 10); ("new.counter", 7) ];
+        table ~label:"E6" []; table ~label:"E13" [] ]
+  in
+  let issues = compare_strings base extra in
+  check_int "extras are not regressions" 0 (List.length (B.regressions issues));
+  check_bool "extras are reported as info" true (issues <> [])
+
+let test_fast_flag_mismatch () =
+  let base = run_file ~fast:true [ table [] ] in
+  let full = run_file ~fast:false [ table [] ] in
+  check_bool "fast/full runs are not comparable" true
+    (B.regressions (compare_strings base full) <> [])
+
+let test_committed_baseline_parses () =
+  (* the baseline committed at the repo root must stay loadable; skip
+     silently if the test runs outside the source tree *)
+  let candidates = [ "BENCH_PR3.json"; "../BENCH_PR3.json"; "../../BENCH_PR3.json" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> ()
+  | Some path -> (
+    match B.load path with
+    | Error m -> Alcotest.failf "committed baseline failed to parse: %s" m
+    | Ok run ->
+      check_bool "baseline has tables" true (run.B.tables <> []);
+      check_int "baseline self-compare is clean" 0
+        (List.length
+           (B.regressions (B.compare_runs ~baseline:run ~current:run ()))))
+
+let () =
+  Alcotest.run "bench_compare"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "structures" `Quick test_json_structures;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "run files",
+        [
+          Alcotest.test_case "parse" `Quick test_run_parse;
+          Alcotest.test_case "rejects" `Quick test_run_parse_rejects;
+          Alcotest.test_case "committed baseline" `Quick
+            test_committed_baseline_parses;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "identical runs" `Quick test_identical_runs_pass;
+          Alcotest.test_case "degraded counters" `Quick
+            test_degraded_counters_fail;
+          Alcotest.test_case "small-counter slack" `Quick
+            test_small_counter_slack;
+          Alcotest.test_case "seconds band" `Quick test_seconds_band;
+          Alcotest.test_case "timing metrics ignored" `Quick
+            test_timing_metrics_ignored;
+          Alcotest.test_case "iteration-scaled table ignored" `Quick
+            test_iteration_scaled_table_ignored;
+          Alcotest.test_case "missing table/counter" `Quick
+            test_missing_table_and_counter;
+          Alcotest.test_case "fast flag mismatch" `Quick
+            test_fast_flag_mismatch;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Differential suite: the same question asked of every engine that can
+   answer it must yield the identical answer — or the identical typed
+   rejection.
+
+   For each shared seed we build the same (seed-determined) input and run
+   solve / det / inverse / rank / nullspace through
+
+     - the black-box engine (preconditioned Wiedemann, [Kp_core.Wiedemann]),
+     - the dense Theorem-4 engine ([Kp_core.Solver] / [Inverse] / [Rank] /
+       [Nullspace]),
+     - the Gaussian-elimination oracle ([Kp_matrix.Gauss]),
+
+   over four fields: GF(97) (small prime — the clamped-sample-set regime),
+   the NTT prime field, GF(2⁸) (characteristic 2 — the Chistov route), and
+   Q (characteristic 0, exact rationals).  Answers to these questions are
+   unique, so agreement must be exact ([F.equal], no tolerance); nullspaces
+   are compared by dimension plus membership, the only well-defined
+   comparison between bases. *)
+
+(* the one seed list every field block shares *)
+let shared_seeds = [ 3; 17; 92 ]
+
+module type PROFILE = sig
+  val name : string
+
+  val sizes : int list
+  (** Non-singular test sizes (kept small for the expensive fields). *)
+
+  val singular_n : int
+end
+
+module Diff (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
+  module C = Kp_poly.Conv.Karatsuba (F)
+  module M = Kp_matrix.Dense.Make (F)
+  module G = Kp_matrix.Gauss.Make (F)
+  module Bb = Kp_matrix.Blackbox.Make (F)
+  module S = Kp_core.Solver.Make (F) (C)
+  module I = Kp_core.Inverse.Make (F) (C)
+  module Rk = Kp_core.Rank.Make (F) (C)
+  module Ns = Kp_core.Nullspace.Make (F) (C)
+  module W = Kp_core.Wiedemann.Make (F)
+  module O = Kp_robust.Outcome
+
+  let vec_equal = Array.for_all2 F.equal
+
+  let ctx seed n what = Printf.sprintf "%s seed=%d n=%d: %s" P.name seed n what
+
+  let fail_typed seed n what e =
+    Alcotest.failf "%s" (ctx seed n (what ^ ": " ^ O.error_to_string e))
+
+  (* engines draw their randomness from states split off one seed-derived
+     root, so the whole case is a deterministic function of (field, seed) *)
+  let states seed k =
+    let root = Kp_util.Rng.make seed in
+    Array.init k (fun _ -> Kp_util.Rng.split root)
+
+  let test_nonsingular () =
+    List.iter
+      (fun seed ->
+        List.iter
+          (fun n ->
+            let st = Kp_util.Rng.make seed in
+            let a = M.random_nonsingular st n in
+            let x_true = Array.init n (fun _ -> F.random st) in
+            let b = M.matvec a x_true in
+            let sts = states (seed + n) 8 in
+            (* solve — the unique solution, bit-identical on all engines *)
+            (match G.solve a b with
+            | Some x -> Alcotest.(check bool) (ctx seed n "gauss solve") true (vec_equal x x_true)
+            | None -> Alcotest.failf "%s" (ctx seed n "gauss oracle called the matrix singular"));
+            (match S.solve sts.(0) a b with
+            | Ok (x, _) ->
+              Alcotest.(check bool) (ctx seed n "dense solve = oracle") true (vec_equal x x_true)
+            | Error e -> fail_typed seed n "dense solve" e);
+            (match W.solve_preconditioned sts.(1) (Bb.of_dense a) b with
+            | Ok (x, _) ->
+              Alcotest.(check bool) (ctx seed n "blackbox solve = oracle") true (vec_equal x x_true)
+            | Error e -> fail_typed seed n "blackbox solve" e);
+            (* det *)
+            let det_oracle = G.det a in
+            (match S.det sts.(2) a with
+            | Ok (d, _) ->
+              Alcotest.(check bool) (ctx seed n "dense det = oracle") true (F.equal d det_oracle)
+            | Error e -> fail_typed seed n "dense det" e);
+            (match W.det sts.(3) (Bb.of_dense a) with
+            | Ok (d, _) ->
+              Alcotest.(check bool) (ctx seed n "blackbox det = oracle") true (F.equal d det_oracle)
+            | Error e -> fail_typed seed n "blackbox det" e);
+            (* inverse — both Theorem-6 routes against the oracle *)
+            (match G.inverse a with
+            | None -> Alcotest.failf "%s" (ctx seed n "gauss oracle failed to invert")
+            | Some inv_oracle ->
+              (match I.inverse sts.(4) a with
+              | Ok (inv, _) ->
+                Alcotest.(check bool) (ctx seed n "baur-strassen inverse = oracle") true
+                  (M.equal inv inv_oracle)
+              | Error e -> fail_typed seed n "baur-strassen inverse" e);
+              (match I.inverse_via_solves sts.(5) a with
+              | Ok (inv, _) ->
+                Alcotest.(check bool) (ctx seed n "n-solves inverse = oracle") true
+                  (M.equal inv inv_oracle)
+              | Error e -> fail_typed seed n "n-solves inverse" e));
+            (* rank *)
+            Alcotest.(check int) (ctx seed n "rank = oracle") (G.rank a) (Rk.rank sts.(6) a);
+            (* nullspace of a non-singular matrix is trivial *)
+            (match Ns.nullspace sts.(7) a with
+            | Ok [] -> ()
+            | Ok basis ->
+              Alcotest.failf "%s" (ctx seed n (Printf.sprintf
+                   "nullspace returned %d vectors for a non-singular matrix"
+                   (List.length basis)))
+            | Error e -> fail_typed seed n "nullspace" e))
+          P.sizes)
+      shared_seeds
+
+  let test_singular () =
+    List.iter
+      (fun seed ->
+        let n = P.singular_n in
+        let r = n - 2 in
+        let st = Kp_util.Rng.make seed in
+        let a = M.random_of_rank st n ~rank:r in
+        let xs = Array.init n (fun _ -> F.random st) in
+        let b = M.matvec a xs in
+        let sts = states (seed + n) 8 in
+        Alcotest.(check bool) (ctx seed n "oracle sees singular") true (G.is_singular a);
+        (* solve: the dense engine must reject with the typed singularity
+           witness the oracle's verdict corresponds to *)
+        (match S.solve sts.(0) a b with
+        | Error (O.Singular _) -> ()
+        | Ok _ -> Alcotest.failf "%s" (ctx seed n "dense solve accepted a singular system")
+        | Error e -> fail_typed seed n "dense solve (expected Singular)" e);
+        (* det: zero everywhere, as an answer (with witness), not an error *)
+        Alcotest.(check bool) (ctx seed n "oracle det = 0") true (F.is_zero (G.det a));
+        (match S.det sts.(1) a with
+        | Ok (d, _) -> Alcotest.(check bool) (ctx seed n "dense det = 0") true (F.is_zero d)
+        | Error e -> fail_typed seed n "dense det" e);
+        (match W.det sts.(2) (Bb.of_dense a) with
+        | Ok (d, _) -> Alcotest.(check bool) (ctx seed n "blackbox det = 0") true (F.is_zero d)
+        | Error e -> fail_typed seed n "blackbox det" e);
+        (* inverse: common typed rejection *)
+        (match G.inverse a with
+        | Some _ -> Alcotest.failf "%s" (ctx seed n "gauss oracle inverted a singular matrix")
+        | None -> ());
+        (match I.inverse sts.(3) a with
+        | Error (O.Singular _) -> ()
+        | Ok _ -> Alcotest.failf "%s" (ctx seed n "inverse accepted a singular matrix")
+        | Error e -> fail_typed seed n "inverse (expected Singular)" e);
+        (* rank *)
+        Alcotest.(check int) (ctx seed n "oracle rank = construction") r (G.rank a);
+        Alcotest.(check int) (ctx seed n "rank = oracle") r (Rk.rank sts.(4) a);
+        (* nullspace: same dimension as the oracle's, every vector a member *)
+        (match Ns.nullspace sts.(5) a with
+        | Ok basis ->
+          Alcotest.(check int) (ctx seed n "nullspace dimension = oracle")
+            (List.length (G.nullspace a))
+            (List.length basis);
+          List.iter
+            (fun v ->
+              Alcotest.(check bool) (ctx seed n "nullspace vector satisfies A·v = 0") true
+                (Array.for_all F.is_zero (M.matvec a v)))
+            basis
+        | Error e -> fail_typed seed n "nullspace" e);
+        (* singular solve: a solution of the consistent system, verified *)
+        (match Ns.solve_singular sts.(6) a b with
+        | Ok (Some x) ->
+          Alcotest.(check bool) (ctx seed n "singular solve satisfies A·x = b") true
+            (vec_equal (M.matvec a x) b)
+        | Ok None ->
+          Alcotest.failf "%s" (ctx seed n "singular solve called a consistent system inconsistent")
+        | Error e -> fail_typed seed n "singular solve" e))
+      shared_seeds
+
+  let tests =
+    [
+      Alcotest.test_case (P.name ^ " nonsingular") `Quick test_nonsingular;
+      Alcotest.test_case (P.name ^ " singular") `Quick test_singular;
+    ]
+end
+
+module Gf97_suite =
+  Diff
+    (Kp_field.Fields.Gf_97)
+    (struct
+      let name = "gf97"
+      let sizes = [ 3; 5 ]
+      let singular_n = 5
+    end)
+
+module Ntt_suite =
+  Diff
+    (Kp_field.Fields.Gf_ntt)
+    (struct
+      let name = "gf_ntt"
+      let sizes = [ 3; 6 ]
+      let singular_n = 6
+    end)
+
+module Gf2_8 = Kp_field.Gfext.Make (struct
+  let p = 2
+  let k = 8
+  let seed = 11
+end)
+
+module Gf2_8_suite =
+  Diff
+    (Gf2_8)
+    (struct
+      let name = "gf2^8"
+      let sizes = [ 3; 5 ]
+      let singular_n = 5
+    end)
+
+module Q_suite =
+  Diff
+    (Kp_field.Rational)
+    (struct
+      let name = "Q"
+      let sizes = [ 3; 4 ]
+      let singular_n = 4
+    end)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ("gf97", Gf97_suite.tests);
+      ("gf_ntt", Ntt_suite.tests);
+      ("gf2^8", Gf2_8_suite.tests);
+      ("rational", Q_suite.tests);
+    ]
