@@ -12,6 +12,8 @@
      E8  §5          rank / nullspace / singular solve / least squares
      E9  intro       wall-clock: practicality of the classical-multiplier
                      instantiation; sparse black-box crossover; multicore
+     E13 §2/§3       solve sessions: k solves of one matrix, fresh vs the
+                     cached RHS-independent prefix (charpoly computed once)
 
    Usage:  dune exec bench/main.exe --
              [--table E1 ... | all] [--fast] [--json FILE]
@@ -19,7 +21,7 @@
    --json FILE captures the per-table STATS records (one-line JSON: label,
    wall-clock seconds, observability counters, span timings) into FILE as a
    kp-bench/1 run file; bench/compare.exe diffs two such files.  Unknown
-   --table names (anything outside E1..E12) are a usage error (exit 2).  *)
+   --table names (anything outside E1..E13) are a usage error (exit 2).  *)
 
 module F = Kp_field.Fields.Gf_ntt
 module Cnt = Kp_field.Counting.Make (F)
@@ -39,6 +41,7 @@ module Tr = Kp_core.Transpose.Make (F) (CK)
 module Rk = Kp_core.Rank.Make (F) (CK)
 module Ns = Kp_core.Nullspace.Make (F) (CK)
 module TZ = Kp_structured.Toeplitz.Make (F) (CK)
+module Sess = Kp_session.Session.Make (F) (CK)
 
 (* counting modules — both multipliers *)
 module CCK = Kp_poly.Conv.Karatsuba (Cnt)
@@ -784,10 +787,83 @@ let e12 () =
     sizes;
   Tables.print t
 
+(* ------------------------------------------------------------------ *)
+(* E13: solve sessions — k solves of one matrix, fresh vs cached prefix  *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  let rng = st () in
+  print_endline
+    "E13 (sessions): k solves against ONE matrix.  Fresh pays the full \
+     Theorem-4 pipeline per RHS (~(2+log n)n^3 + two charpoly engines); a \
+     session computes the RHS-independent prefix once and serves each RHS \
+     with the O(n^3) rectangular-Krylov remainder.  'identical' checks the \
+     sessioned answers equal the fresh ones; misses = 1 certifies exactly \
+     one charpoly computation.\n";
+  let t =
+    Tables.create ~title:"k certified solves of the same matrix, single runs"
+      ~columns:
+        [ "n"; "k"; "fresh (s)"; "session (s)"; "ratio"; "identical"; "hits";
+          "misses" ]
+  in
+  let n = if !fast then 48 else 128 in
+  let ks = [ 1; 4; 16 ] in
+  let a = M.random_nonsingular rng n in
+  List.iter
+    (fun k ->
+      let bs =
+        Array.init k (fun _ -> Array.init n (fun _ -> F.random rng))
+      in
+      (* fresh: k independent certified solves, states pre-split as a batch
+         caller would *)
+      let st_fresh = Kp_util.Rng.make 7001 in
+      let sts = Array.init k (fun _ -> Kp_util.Rng.split st_fresh) in
+      let fresh = ref [||] in
+      let (), t_fresh =
+        Kp_util.Timing.time (fun () ->
+            fresh :=
+              Array.init k (fun i ->
+                  match Slv.solve sts.(i) a bs.(i) with
+                  | Ok (x, _) -> x
+                  | Error e ->
+                    failwith ("E13 fresh: " ^ Kp_robust.Outcome.error_to_string e)))
+      in
+      (* sessioned: k separate solve calls through one session — the first
+         misses and builds, the rest hit the cached record *)
+      let sess = Sess.create (Kp_util.Rng.make 7001) in
+      let sessioned = ref [||] in
+      let (), t_sess =
+        Kp_util.Timing.time (fun () ->
+            sessioned :=
+              Array.init k (fun i ->
+                  match Sess.solve sess a bs.(i) with
+                  | Ok (x, _) -> x
+                  | Error e ->
+                    failwith
+                      ("E13 session: " ^ Kp_robust.Outcome.error_to_string e)))
+      in
+      let s = Sess.stats sess in
+      let identical =
+        Array.for_all2 (Array.for_all2 F.equal) !fresh !sessioned
+      in
+      Tables.add_row t
+        [
+          string_of_int n;
+          string_of_int k;
+          Tables.fmt_float t_fresh;
+          Tables.fmt_float t_sess;
+          Printf.sprintf "%.2fx" (t_sess /. t_fresh);
+          string_of_bool identical;
+          string_of_int s.Sess.hits;
+          string_of_int s.Sess.misses;
+        ])
+    ks;
+  Tables.print t
+
 let all_tables =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12) ]
+    ("E12", e12); ("E13", e13) ]
 
 let usage_error fmt =
   Printf.ksprintf

@@ -35,6 +35,8 @@ type setup = {
   deadline_ms : int option;
   stats : [ `Text | `Json ] option;
   domains : int;
+  batch : string option;
+  session : bool;
 }
 
 module O = Kp_robust.Outcome
@@ -60,6 +62,7 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
   module I = Kp_core.Inverse.Make (F) (C)
   module TC = Kp_structured.Toeplitz_charpoly.Make (F) (C)
   module Ch = Kp_structured.Chistov.Make (F) (C)
+  module Sess = Kp_session.Session.Make (F) (C)
 
   let load_matrix setup st =
     match (setup.matrix, setup.random) with
@@ -105,6 +108,46 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       Ok ()
     | Error e -> Error e
 
+  (* --batch / --session: the per-matrix session cache — the charpoly
+     pipeline runs once, every right-hand side reuses it *)
+  let solve_sessioned ?deadline_ns ?pool st a bs =
+    let sess = Sess.create ?deadline_ns ?pool st in
+    let results = Sess.solve_many sess a bs in
+    let rec report i =
+      if i = Array.length results then begin
+        let s = Sess.stats sess in
+        Printf.printf "session: %d hit(s), %d miss(es), %d eviction(s)\n"
+          s.Sess.hits s.Sess.misses s.Sess.evictions;
+        `Ok ()
+      end
+      else
+        match results.(i) with
+        | Ok (x, rep) ->
+          print_solution
+            ~engine:(Printf.sprintf "session b[%d]" i)
+            ~attempts:rep.O.attempts x;
+          report (i + 1)
+        | Error (O.Singular _) ->
+          print_endline "matrix is singular (certified witness)";
+          `Ok ()
+        | Error e -> typed_error e
+    in
+    report 0
+
+  let load_batch path ~n =
+    let ints = read_ints path in
+    let len = List.length ints in
+    if len = 0 || len mod n <> 0 then
+      failwith
+        (Printf.sprintf
+           "batch file: expected a positive multiple of n = %d integers, got %d"
+           n len)
+    else begin
+      let arr = Array.of_list ints in
+      Array.init (len / n) (fun i ->
+          Array.init n (fun j -> F.of_int arr.((i * n) + j)))
+    end
+
   let solve setup =
     with_pool_opt ~domains:setup.domains @@ fun pool ->
     let st = Kp_util.Rng.make setup.seed in
@@ -117,6 +160,11 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
         |> Array.map F.of_int
       else Array.init n (fun _ -> F.random st)
     in
+    match setup.batch with
+    | Some path ->
+      solve_sessioned ?deadline_ns ?pool st a (load_batch path ~n)
+    | None when setup.session -> solve_sessioned ?deadline_ns ?pool st a [| b |]
+    | None -> (
     match setup.engine with
     | `Dense -> solve_dense ?deadline_ns ?pool st a b
     | `Blackbox -> (
@@ -135,7 +183,7 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       | Error e ->
         Printf.eprintf "blackbox engine failed (%s); falling back to dense\n%!"
           (O.error_to_string e);
-        solve_dense ?deadline_ns ?pool st a b)
+        solve_dense ?deadline_ns ?pool st a b))
 
   let det setup =
     with_pool_opt ~domains:setup.domains @@ fun pool ->
@@ -278,15 +326,30 @@ let print_stats = function
   | Some `Text -> print_string (Kp_obs.Export.to_text ~label:"kp" ())
   | Some `Json -> print_endline (Kp_obs.Export.to_json ~label:"kp" ())
 
+let batch_t =
+  Arg.(value & opt (some string) None
+       & info [ "batch" ]
+           ~doc:
+             "File of k·n whitespace-separated integers: k right-hand sides, \
+              all solved through one per-matrix solve session (the charpoly \
+              pipeline runs once, each RHS reuses it).")
+
+let session_t =
+  Arg.(value & flag
+       & info [ "session" ]
+           ~doc:
+             "Route the solve through the per-matrix session cache even for \
+              a single right-hand side.")
+
 let setup_t =
   let combine prime seed matrix random rank_hint engine deadline_ms stats
-      domains =
+      domains batch session =
     { prime; seed; matrix; random; rank_hint; engine; deadline_ms; stats;
-      domains }
+      domains; batch; session }
   in
   Term.(
     const combine $ prime_t $ seed_t $ matrix_t $ random_t $ rank_hint_t
-    $ engine_t $ deadline_t $ stats_t $ domains_t)
+    $ engine_t $ deadline_t $ stats_t $ domains_t $ batch_t $ session_t)
 
 let simple_cmd name doc (select : (module DRIVER) -> setup -> ret) =
   Cmd.v (Cmd.info name ~doc)

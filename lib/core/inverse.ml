@@ -98,27 +98,11 @@ struct
 
   let c_pool_columns = Kp_obs.Counter.make "pool.inverse.columns"
 
-  let inverse_via_solves ?(retries = 10) ?card_s ?deadline_ns ?pool st
-      (a : M.t) =
-    let n = a.M.rows in
-    if a.M.cols <> n then invalid_arg "Inverse.inverse_via_solves: non-square";
-    (* Per-column random states are split off [st] up front, in column
-       order, so the answer is a function of [st] alone — identical for any
-       pool size (including none).  The n solves are then independent. *)
-    let sts = Array.init n (fun _ -> Kp_util.Rng.split st) in
-    let solve_col j =
-      let e = Array.init n (fun i -> if i = j then F.one else F.zero) in
-      S.solve ~retries ?card_s ?deadline_ns ?pool sts.(j) a e
-    in
-    let results =
-      match pool with
-      | Some p when Kp_util.Pool.size p > 1 && n > 1 ->
-        Kp_obs.Counter.incr c_pool_columns;
-        Kp_util.Pool.parallel_init p n solve_col
-      | _ -> Array.init n solve_col
-    in
-    (* merge in column order: attempts accumulate across the columns before
-       the first failure, so an error's report carries that prior work *)
+  (* merge per-column solve results in column order: attempts accumulate
+     across the columns before the first failure, so an error's report
+     carries that prior work.  Shared with the session layer, whose columns
+     come from cached-precomputation solves instead of fresh ones. *)
+  let merge_columns ~n results =
     let out = M.make n n in
     let rec merge j acc =
       if j = n then Ok (out, acc)
@@ -133,4 +117,30 @@ struct
       end
     in
     merge 0 O.empty_report
+
+  let solve_columns ?pool ~n solve_col st =
+    (* Per-column random states are split off [st] up front, in column
+       order, so the answer is a function of [st] alone — identical for any
+       pool size (including none).  The n solves are then independent. *)
+    let sts = Array.init n (fun _ -> Kp_util.Rng.split st) in
+    let one j =
+      let e = Array.init n (fun i -> if i = j then F.one else F.zero) in
+      solve_col j sts.(j) e
+    in
+    let results =
+      match pool with
+      | Some p when Kp_util.Pool.size p > 1 && n > 1 ->
+        Kp_obs.Counter.incr c_pool_columns;
+        Kp_util.Pool.parallel_init p n one
+      | _ -> Array.init n one
+    in
+    merge_columns ~n results
+
+  let inverse_via_solves ?(retries = 10) ?card_s ?deadline_ns ?pool st
+      (a : M.t) =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Inverse.inverse_via_solves: non-square";
+    solve_columns ?pool ~n
+      (fun _j st_j e -> S.solve ~retries ?card_s ?deadline_ns ?pool st_j a e)
+      st
 end

@@ -45,4 +45,25 @@ module Make
       [pool.inverse.columns]) and each solve also uses the pooled kernels.
       The report (on success or inside the error) accumulates attempts over
       the columns preceding the first failure. *)
+
+  val merge_columns :
+    n:int ->
+    (F.t array * O.report, O.error) result array ->
+    (M.t * O.report, O.error) result
+  (** Assemble n per-column solve results into the inverse matrix, merging
+      reports in column order (the error of the first failed column carries
+      the attempts of the columns before it).  Exposed so the session layer
+      can assemble an inverse from cached-precomputation column solves. *)
+
+  val solve_columns :
+    ?pool:Kp_util.Pool.t ->
+    n:int ->
+    (int -> Random.State.t -> F.t array -> (F.t array * O.report, O.error) result) ->
+    Random.State.t ->
+    (M.t * O.report, O.error) result
+  (** The column fan-out skeleton of {!inverse_via_solves}: pre-splits one
+      state per column (so the answer is a function of [st] alone, for any
+      pool size), runs [solve_col j st_j e_j] for each basis vector —
+      pooled when [?pool] has more than one domain — and merges with
+      {!merge_columns}. *)
 end

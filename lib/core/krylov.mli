@@ -16,6 +16,20 @@ module Make (F : Kp_field.Field_intf.FIELD_CORE) : sig
   (** [columns ~mul a v m]: the n×m matrix whose column i is Aⁱ·v,
       by doubling. *)
 
+  val doubling_powers : mul:mul -> M.t -> int -> M.t array
+  (** [doubling_powers ~mul a m] = [|A; A²; A⁴; …|], the repeated squarings
+      {!columns} performs on its way to [m] columns.  These are independent
+      of the start vector, so a solve session computes them once per matrix
+      and replays them against every right-hand side. *)
+
+  val columns_of_powers : mul:mul -> powers:M.t array -> F.t array -> int -> M.t
+  (** [columns_of_powers ~mul ~powers v m]: the same matrix as
+      [columns ~mul a v m], with the squarings read from [powers] (from
+      {!doubling_powers} with a column target ≥ [m]) instead of recomputed —
+      only the rectangular block extensions remain, O(n²·m) work per
+      right-hand side.
+      @raise Invalid_argument if [powers] covers fewer than [m] columns. *)
+
   val columns_sequential : M.t -> F.t array -> int -> M.t
   (** Same result by m-1 matrix–vector products (O(n²m) work but O(m·log n)
       depth — the sequential fallback, cheaper in total work). *)

@@ -87,6 +87,66 @@ struct
       else if verify_solution a x b then Rt.Accept x
       else Rt.Reject O.Residual_mismatch
 
+  (* one randomized det evaluation — the body both [det] (two agreeing
+     evaluations) and the session layer's cache-validation discipline
+     ([det_once]) drive through the retry engine *)
+  let det_eval ?pool ~mul ~charpoly ~strategy st ~card_s (a : M.t) =
+    let n = a.M.rows in
+    let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
+    let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+    let u = sample_vec st ~card_s n in
+    let v = sample_vec st ~card_s n in
+    let a_tilde = P.preconditioned ~mul a ~h ~d in
+    let cols =
+      match strategy with
+      | P.Doubling -> P.K.columns ~mul a_tilde v (2 * n)
+      | P.Sequential -> P.K.columns_sequential a_tilde v (2 * n)
+    in
+    let seq = P.K.sequence ~u cols in
+    let h_nonsingular () =
+      match P.det_hd ~charpoly ~n ~h ~d with
+      | exception Division_by_zero -> false
+      | dhd -> not (F.is_zero dhd)
+    in
+    match P.minimal_generator ~mul ?pool ~charpoly ~strategy ~n seq with
+    | exception Division_by_zero ->
+      if h_nonsingular () then Rt.Reject_with_witness O.Low_degree
+      else Rt.Reject O.Low_degree
+    | f ->
+      if not (generator_ok ~n f seq) then Rt.Reject O.Low_degree
+      else if F.is_zero f.(0) then begin
+        if h_nonsingular () then Rt.Reject_with_witness O.Zero_constant_term
+        else Rt.Reject O.Zero_constant_term
+      end
+      else if
+        (* transient-fault certificate: the full-degree generator is the
+           characteristic polynomial of Ã, so it must also generate the
+           projection of the same Krylov columns onto a fresh random u′.
+           A corrupted column (or a corrupted Berlekamp/Massey run)
+           satisfies no such recurrence and fails here whp. *)
+        not (BM.generates f (P.K.sequence ~u:(sample_vec st ~card_s n) cols))
+      then Rt.Reject (O.Fault "krylov recurrence check failed")
+      else begin
+        match (P.det_hd ~charpoly ~n ~h ~d, P.det_hd ~charpoly ~n ~h ~d) with
+        | exception Division_by_zero -> Rt.Reject O.Singular_preconditioner
+        | dhd, dhd' ->
+          if not (F.equal dhd dhd') then
+            (* det(H·D) is a deterministic function of (h, d): disagreement
+               between two evaluations proves a transient fault *)
+            Rt.Reject (O.Fault "det_hd recomputation mismatch")
+          else if F.is_zero dhd then Rt.Reject O.Singular_preconditioner
+          else begin
+            let det_tilde = if n land 1 = 0 then f.(0) else F.neg f.(0) in
+            Rt.Accept (F.div det_tilde dhd)
+          end
+      end
+
+  (* consistent singularity witnesses: report det = 0 (Monte Carlo on the
+     singular side, exact on the non-singular side) *)
+  let as_det_result = function
+    | Error (O.Singular { report; _ }) -> Ok (F.zero, report)
+    | (Ok _ | Error _) as r -> r
+
   let det ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns ?pool
       st (a : M.t) =
     Span.with_ "solver.det" @@ fun () ->
@@ -95,86 +155,84 @@ struct
     let mul = mul_of pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ?pool ~n in
-    let result =
-      Rt.run ~ns:"solver" ~op:"det" ~policy:(policy ?deadline_ns retries)
-        ~card_s
-      @@ fun ~attempt:_ ~card_s ->
-      let eval_once () =
-        let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
-        let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
-        let u = sample_vec st ~card_s n in
-        let v = sample_vec st ~card_s n in
-        let a_tilde = P.preconditioned ~mul a ~h ~d in
-        let cols =
-          match strategy with
-          | P.Doubling -> P.K.columns ~mul a_tilde v (2 * n)
-          | P.Sequential -> P.K.columns_sequential a_tilde v (2 * n)
-        in
-        let seq = P.K.sequence ~u cols in
-        let h_nonsingular () =
-          match P.det_hd ~charpoly ~n ~h ~d with
-          | exception Division_by_zero -> false
-          | dhd -> not (F.is_zero dhd)
-        in
-        match P.minimal_generator ~mul ?pool ~charpoly ~strategy ~n seq with
-        | exception Division_by_zero ->
-          if h_nonsingular () then Rt.Reject_with_witness O.Low_degree
-          else Rt.Reject O.Low_degree
-        | f ->
-          if not (generator_ok ~n f seq) then Rt.Reject O.Low_degree
-          else if F.is_zero f.(0) then begin
-            if h_nonsingular () then
-              Rt.Reject_with_witness O.Zero_constant_term
-            else Rt.Reject O.Zero_constant_term
-          end
-          else if
-            (* transient-fault certificate: the full-degree generator is the
-               characteristic polynomial of Ã, so it must also generate the
-               projection of the same Krylov columns onto a fresh random u′.
-               A corrupted column (or a corrupted Berlekamp/Massey run)
-               satisfies no such recurrence and fails here whp. *)
-            not
-              (BM.generates f (P.K.sequence ~u:(sample_vec st ~card_s n) cols))
-          then Rt.Reject (O.Fault "krylov recurrence check failed")
-          else begin
-            match
-              (P.det_hd ~charpoly ~n ~h ~d, P.det_hd ~charpoly ~n ~h ~d)
-            with
-            | exception Division_by_zero -> Rt.Reject O.Singular_preconditioner
-            | dhd, dhd' ->
-              if not (F.equal dhd dhd') then
-                (* det(H·D) is a deterministic function of (h, d): disagreement
-                   between two evaluations proves a transient fault *)
-                Rt.Reject (O.Fault "det_hd recomputation mismatch")
-              else if F.is_zero dhd then Rt.Reject O.Singular_preconditioner
-              else begin
-                let det_tilde = if n land 1 = 0 then f.(0) else F.neg f.(0) in
-                Rt.Accept (F.div det_tilde dhd)
-              end
-          end
-      in
-      (* Unlike solve, det has no residual to check against the ORIGINAL
-         input: a corruption while building Ã is self-consistent — f really
-         is the characteristic polynomial of the corrupted Ã′, every
-         recurrence certificate passes, and det(Ã′)/det(HD) is wrong.
-         det(A) is a deterministic function of A, so we require two fully
-         independent randomized evaluations to agree; a transient fault in
-         either lands on the true value only with negligible probability. *)
-      (match eval_once () with
-      | Rt.Accept d1 -> begin
-          match eval_once () with
-          | Rt.Accept d2 when F.equal d1 d2 -> Rt.Accept d1
-          | Rt.Accept _ -> Rt.Reject (O.Fault "det recomputation mismatch")
-          | other -> other
-        end
-      | other -> other)
+    as_det_result
+      (Rt.run ~ns:"solver" ~op:"det" ~policy:(policy ?deadline_ns retries)
+         ~card_s
+       @@ fun ~attempt:_ ~card_s ->
+       let eval_once () = det_eval ?pool ~mul ~charpoly ~strategy st ~card_s a in
+       (* Unlike solve, det has no residual to check against the ORIGINAL
+          input: a corruption while building Ã is self-consistent — f really
+          is the characteristic polynomial of the corrupted Ã′, every
+          recurrence certificate passes, and det(Ã′)/det(HD) is wrong.
+          det(A) is a deterministic function of A, so we require two fully
+          independent randomized evaluations to agree; a transient fault in
+          either lands on the true value only with negligible probability. *)
+       match eval_once () with
+       | Rt.Accept d1 -> begin
+           match eval_once () with
+           | Rt.Accept d2 when F.equal d1 d2 -> Rt.Accept d1
+           | Rt.Accept _ -> Rt.Reject (O.Fault "det recomputation mismatch")
+           | other -> other
+         end
+       | other -> other)
+
+  let det_once ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns
+      ?pool st (a : M.t) =
+    Span.with_ "solver.det_once" @@ fun () ->
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Solver.det_once: non-square";
+    let mul = mul_of pool in
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let charpoly = charpoly_for_field ?pool ~n in
+    as_det_result
+      (Rt.run ~ns:"solver" ~op:"det_once" ~policy:(policy ?deadline_ns retries)
+         ~card_s
+       @@ fun ~attempt:_ ~card_s ->
+       det_eval ?pool ~mul ~charpoly ~strategy st ~card_s a)
+
+  let precompute ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns
+      ?pool st (a : M.t) =
+    Span.with_ "solver.precompute" @@ fun () ->
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Solver.precompute: non-square";
+    let mul = mul_of pool in
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let charpoly = charpoly_for_field ?pool ~n in
+    Rt.run ~ns:"solver" ~op:"precompute" ~policy:(policy ?deadline_ns retries)
+      ~card_s
+    @@ fun ~attempt:_ ~card_s ->
+    let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
+    let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+    let u = sample_vec st ~card_s n in
+    let v = sample_vec st ~card_s n in
+    let h_nonsingular () =
+      match P.det_hd ~charpoly ~n ~h ~d with
+      | exception Division_by_zero -> false
+      | dhd -> not (F.is_zero dhd)
     in
-    match result with
-    | Error (O.Singular { report; _ }) ->
-      (* consistent singularity witnesses: report det = 0 (Monte Carlo on
-         the singular side, exact on the non-singular side) *)
-      Ok (F.zero, report)
-    | (Ok _ | Error _) as r -> r
+    match P.precompute ~mul ?pool ~charpoly ~strategy a ~h ~d ~u ~v with
+    | exception Division_by_zero ->
+      (* singular Toeplitz system or singular H: witness singularity of A
+         only when H·D is invertible, exactly as in [solve] *)
+      if h_nonsingular () then Rt.Reject_with_witness O.Low_degree
+      else Rt.Reject O.Low_degree
+    | pc, cols, seq ->
+      let f = pc.P.charpoly_f in
+      if not (generator_ok ~n f seq) then Rt.Reject O.Low_degree
+      else if F.is_zero f.(0) then begin
+        (* charpoly(Ã)(0) = 0: Ã is singular — a singularity witness for A
+           whenever H·D is invertible.  Never cache such a record: every
+           solve through it would divide by zero. *)
+        if h_nonsingular () then Rt.Reject_with_witness O.Zero_constant_term
+        else Rt.Reject O.Zero_constant_term
+      end
+      else if
+        (* fresh-projection recurrence certificate, as in [det]: the cached
+           generator must also generate the same columns under a new u′ *)
+        not (BM.generates f (P.K.sequence ~u:(sample_vec st ~card_s n) cols))
+      then Rt.Reject (O.Fault "krylov recurrence check failed")
+      else if F.is_zero pc.P.dhd then Rt.Reject O.Singular_preconditioner
+      else Rt.Accept pc
 
   let minimal_polynomial_wiedemann ?card_s st apply ~n =
     let card_s = match card_s with Some s -> s | None -> default_card_s n in

@@ -6,6 +6,7 @@ type reason =
   | Division_error
   | Rank_mismatch
   | Fault of string
+  | Stale_cache of string
 
 type rejection = {
   attempt : int;
@@ -55,9 +56,11 @@ let reason_slug = function
   | Division_error -> "division_error"
   | Rank_mismatch -> "rank_mismatch"
   | Fault _ -> "fault"
+  | Stale_cache _ -> "stale_cache"
 
 let reason_to_string = function
   | Fault detail -> "fault: " ^ detail
+  | Stale_cache detail -> "stale_cache: " ^ detail
   | r -> reason_slug r
 
 let report_to_string r =

@@ -30,6 +30,10 @@ type reason =
   | Fault of string
       (** An injected or detected fault: a certificate that holds
           deterministically failed, or {!Fault.Injected} was raised. *)
+  | Stale_cache of string
+      (** A cached precomputation (session layer) failed re-verification
+          against the live input: the entry is poisoned — it must be
+          evicted and rebuilt, never silently reused. *)
 
 type rejection = {
   attempt : int;  (** 1-based attempt index *)

@@ -1,0 +1,41 @@
+type content = Hashed of int64 | Keyed of string
+
+type t = { field : string; rows : int; cols : int; content : content }
+
+(* 64-bit FNV-1a: cheap, seedless, good avalanche for short strings *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fold_string h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  (* entry separator, so ["ab";"c"] and ["a";"bc"] hash apart *)
+  Int64.mul (Int64.logxor !h 0x1fL) fnv_prime
+
+let of_entries ~field ~rows ~cols ~to_string entries =
+  let h = ref fnv_offset in
+  Array.iter (fun e -> h := fold_string !h (to_string e)) entries;
+  { field; rows; cols; content = Hashed !h }
+
+let of_key ~field ~rows ~cols key = { field; rows; cols; content = Keyed key }
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols && String.equal a.field b.field
+  && match (a.content, b.content) with
+     | Hashed x, Hashed y -> Int64.equal x y
+     | Keyed x, Keyed y -> String.equal x y
+     | Hashed _, Keyed _ | Keyed _, Hashed _ -> false
+
+let hash t =
+  Hashtbl.hash
+    ( t.field, t.rows, t.cols,
+      match t.content with Hashed h -> Int64.to_string h | Keyed k -> k )
+
+let to_string t =
+  Printf.sprintf "%s:%dx%d:%s" t.field t.rows t.cols
+    (match t.content with
+    | Hashed h -> Printf.sprintf "fnv1a64=%016Lx" h
+    | Keyed k -> "key=" ^ k)

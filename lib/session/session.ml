@@ -1,0 +1,281 @@
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) =
+struct
+  module S = Kp_core.Solver.Make (F) (C)
+  module I = Kp_core.Inverse.Make (F) (C)
+  module M = S.M
+  module O = Kp_robust.Outcome
+  module Cnt = Kp_obs.Counter
+  module Span = Kp_obs.Span
+
+  let c_hit = Cnt.make "session.cache.hit"
+  let c_miss = Cnt.make "session.cache.miss"
+  let c_evict = Cnt.make "session.cache.evict"
+  let c_pool_batch = Cnt.make "pool.session.batch"
+
+  module Tbl = Hashtbl.Make (struct
+    type t = Fingerprint.t
+
+    let equal = Fingerprint.equal
+    let hash = Fingerprint.hash
+  end)
+
+  type ready = { pc : S.P.precomp; mutable det_certified : F.t option }
+
+  type entry =
+    | Ready of ready
+    | Sing of { witnesses : int; report : O.report }
+
+  type cfg = {
+    retries : int;
+    strategy : S.P.strategy;
+    card_s : int option;
+    deadline_ns : int64 option;
+    pool : Kp_util.Pool.t option;
+  }
+
+  type stats = { hits : int; misses : int; evictions : int }
+
+  type t = {
+    cfg : cfg;
+    st : Random.State.t;
+    cache : entry Tbl.t;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ?(retries = 10) ?(strategy = S.P.Doubling) ?card_s ?deadline_ns
+      ?pool st =
+    { cfg = { retries; strategy; card_s; deadline_ns; pool };
+      st;
+      cache = Tbl.create 8;
+      hits = 0;
+      misses = 0;
+      evictions = 0 }
+
+  let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+  let fingerprint (a : M.t) =
+    let rows = a.M.rows and cols = a.M.cols in
+    Fingerprint.of_entries ~field:F.name ~rows ~cols ~to_string:F.to_string
+      (Array.init (rows * cols) (fun k -> M.get a (k / cols) (k mod cols)))
+
+  let fingerprint_of ?key (a : M.t) =
+    match key with
+    | Some k -> Fingerprint.of_key ~field:F.name ~rows:a.M.rows ~cols:a.M.cols k
+    | None -> fingerprint a
+
+  (* First use builds the entry through the certified precompute loop; a
+     Singular verdict is itself cached (the witness discipline already ran),
+     while transient failures (exhaustion, deadline) are NOT cached — the
+     next call retries the build. *)
+  let obtain ?key t (a : M.t) =
+    let fp = fingerprint_of ?key a in
+    match Tbl.find_opt t.cache fp with
+    | Some e ->
+      t.hits <- t.hits + 1;
+      Cnt.incr c_hit;
+      (fp, Ok e)
+    | None -> (
+      t.misses <- t.misses + 1;
+      Cnt.incr c_miss;
+      let built =
+        Span.with_ "session.build" @@ fun () ->
+        S.precompute ~retries:t.cfg.retries ~strategy:t.cfg.strategy
+          ?card_s:t.cfg.card_s ?deadline_ns:t.cfg.deadline_ns ?pool:t.cfg.pool
+          t.st a
+      in
+      match built with
+      | Ok (pc, _report) ->
+        let e = Ready { pc; det_certified = None } in
+        Tbl.replace t.cache fp e;
+        (fp, Ok e)
+      | Error (O.Singular { witnesses; report }) ->
+        let e = Sing { witnesses; report } in
+        Tbl.replace t.cache fp e;
+        (fp, Ok e)
+      | Error e -> (fp, Error e))
+
+  let evict t fp =
+    if Tbl.mem t.cache fp then begin
+      Tbl.remove t.cache fp;
+      t.evictions <- t.evictions + 1;
+      Cnt.incr c_evict
+    end
+
+  let poison_charpoly ?key t (a : M.t) f =
+    let fp = fingerprint_of ?key a in
+    match Tbl.find_opt t.cache fp with
+    | Some (Ready r) ->
+      let pc = { r.pc with S.P.charpoly_f = f r.pc.S.P.charpoly_f } in
+      Tbl.replace t.cache fp (Ready { pc; det_certified = None });
+      true
+    | Some (Sing _) | None -> false
+
+  let pooled_init t k f =
+    match t.cfg.pool with
+    | Some p when Kp_util.Pool.size p > 1 && k > 1 ->
+      Cnt.incr c_pool_batch;
+      Kp_util.Pool.parallel_init p k f
+    | _ -> Array.init k f
+
+  (* The pure per-RHS serve: cached-record application plus the live
+     certificate.  No session mutation — safe to fan out on the pool. *)
+  let serve_pure t pc (a : M.t) b =
+    match S.P.apply_precomp ?pool:t.cfg.pool pc ~b with
+    | exception Division_by_zero ->
+      Error "division by zero applying cached generator"
+    | x ->
+      if S.verify_solution a x b then Ok x
+      else Error "cached-record solution failed A.x = b"
+
+  let serve_report rejs =
+    { O.attempts = 1 + List.length rejs;
+      card_s_final = 0;
+      rejections = List.rev rejs }
+
+  let prepend_rejections rejs (r : O.report) =
+    { r with
+      O.attempts = r.O.attempts + List.length rejs;
+      rejections = List.rev_append rejs r.O.rejections }
+
+  let stale_rejection rejs detail =
+    { O.attempt = 1 + List.length rejs; card_s = 0;
+      reason = O.Stale_cache detail }
+
+  let solve_many ?key t (a : M.t) (bs : F.t array array) =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Session.solve_many: non-square";
+    Array.iter
+      (fun b ->
+        if Array.length b <> n then
+          invalid_arg "Session.solve_many: dimension mismatch")
+      bs;
+    let k = Array.length bs in
+    Span.with_ "session.solve_many" @@ fun () ->
+    (* one pre-split state per RHS, in argument order: repair randomness is a
+       function of the session history alone, for any pool size *)
+    let sts = Array.init k (fun _ -> Kp_util.Rng.split t.st) in
+    let out = Array.make k None in
+    let rejs = Array.make k [] in
+    let unresolved () =
+      Array.to_list
+        (Array.of_seq
+           (Seq.filter
+              (fun i -> out.(i) = None)
+              (Seq.init k (fun i -> i))))
+    in
+    let fresh_fallback i =
+      (* last resort: a certified fresh solve with this RHS's pre-split
+         state, its report carrying the stale-cache history *)
+      match
+        S.solve ~retries:t.cfg.retries ~strategy:t.cfg.strategy
+          ?card_s:t.cfg.card_s ?deadline_ns:t.cfg.deadline_ns
+          ?pool:t.cfg.pool sts.(i) a bs.(i)
+      with
+      | Ok (x, r) -> Ok (x, prepend_rejections rejs.(i) r)
+      | Error e -> Error (O.with_report (prepend_rejections rejs.(i)) e)
+    in
+    let rec round rebuilds =
+      match unresolved () with
+      | [] -> ()
+      | todo -> (
+        match obtain ?key t a with
+        | _, Error e ->
+          List.iter (fun i -> out.(i) <- Some (Error e)) todo
+        | _, Ok (Sing { witnesses; report }) ->
+          List.iter
+            (fun i -> out.(i) <- Some (Error (O.Singular { witnesses; report })))
+            todo
+        | fp, Ok (Ready r) ->
+          let todo_arr = Array.of_list todo in
+          let served =
+            pooled_init t (Array.length todo_arr) (fun j ->
+                serve_pure t r.pc a bs.(todo_arr.(j)))
+          in
+          let any_stale = ref false in
+          Array.iteri
+            (fun j res ->
+              let i = todo_arr.(j) in
+              match res with
+              | Ok x -> out.(i) <- Some (Ok (x, serve_report rejs.(i)))
+              | Error detail ->
+                any_stale := true;
+                rejs.(i) <- stale_rejection rejs.(i) detail :: rejs.(i))
+            served;
+          if !any_stale then begin
+            evict t fp;
+            if rebuilds > 0 then round (rebuilds - 1)
+            else
+              List.iter
+                (fun i -> out.(i) <- Some (fresh_fallback i))
+                (unresolved ())
+          end)
+    in
+    round (max 1 t.cfg.retries);
+    Array.map (function Some r -> r | None -> assert false) out
+
+  let solve ?key t a b = (solve_many ?key t a [| b |]).(0)
+
+  let det ?key t (a : M.t) =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Session.det: non-square";
+    Span.with_ "session.det" @@ fun () ->
+    let rec go rebuilds rejs =
+      match obtain ?key t a with
+      | _, Error e -> Error (O.with_report (prepend_rejections rejs) e)
+      | _, Ok (Sing { witnesses = _; report }) ->
+        Ok (F.zero, prepend_rejections rejs report)
+      | fp, Ok (Ready r) -> (
+        match r.det_certified with
+        | Some d -> Ok (d, serve_report rejs)
+        | None -> (
+          let cached = S.P.det_of_precomp ~n r.pc in
+          (* the PR-2 two-evaluation discipline with the cache as one side:
+             one fresh independent evaluation must agree before the cached
+             value is served (and is then certified for later serves) *)
+          match
+            S.det_once ~retries:t.cfg.retries ~strategy:t.cfg.strategy
+              ?card_s:t.cfg.card_s ?deadline_ns:t.cfg.deadline_ns
+              ?pool:t.cfg.pool t.st a
+          with
+          | Error e -> Error (O.with_report (prepend_rejections rejs) e)
+          | Ok (d2, rep2) ->
+            if F.equal cached d2 then begin
+              r.det_certified <- Some cached;
+              Ok (cached, prepend_rejections rejs rep2)
+            end
+            else begin
+              let rejs =
+                stale_rejection rejs
+                  "cached charpoly determinant disagrees with fresh evaluation"
+                :: rejs
+              in
+              evict t fp;
+              if rebuilds > 0 then go (rebuilds - 1) rejs
+              else
+                match
+                  S.det ~retries:t.cfg.retries ~strategy:t.cfg.strategy
+                    ?card_s:t.cfg.card_s ?deadline_ns:t.cfg.deadline_ns
+                    ?pool:t.cfg.pool t.st a
+                with
+                | Ok (d, r) -> Ok (d, prepend_rejections rejs r)
+                | Error e -> Error (O.with_report (prepend_rejections rejs) e)
+            end))
+    in
+    go (max 1 t.cfg.retries) []
+
+  let inverse ?key t (a : M.t) =
+    let n = a.M.rows in
+    if a.M.cols <> n then invalid_arg "Session.inverse: non-square";
+    Span.with_ "session.inverse" @@ fun () ->
+    (* n cached-precomputation column solves — the charpoly is computed once
+       per matrix, not n times — assembled exactly like the fresh engine *)
+    let bs =
+      Array.init n (fun j ->
+          Array.init n (fun i -> if i = j then F.one else F.zero))
+    in
+    I.merge_columns ~n (solve_many ?key t a bs)
+end

@@ -1,0 +1,107 @@
+(** Per-matrix solve sessions: cache the RHS-independent prefix of the
+    Kaltofen–Pan pipeline, serve many solves/dets/inverses from it.
+
+    The Theorem-4 straight-line program splits at the right-hand side: the
+    §2 preconditioning Ã = A·H·D, the Krylov squarings Ã{^2{^i}}, the §3
+    Toeplitz/characteristic-polynomial stage and det(H·D) are functions of
+    (A, h, d) alone.  A session computes that prefix {e once} per matrix —
+    through the certified {!Kp_core.Solver.Make.precompute} retry loop —
+    keys it by a {!Fingerprint.t}, and answers every subsequent
+    [solve]/[det]/[inverse] on the same matrix with only the per-RHS
+    remainder (rectangular Krylov products + Cayley–Hamilton recovery,
+    O(n³) instead of the fresh ~(2 + log n)·n³ plus two charpoly engines).
+
+    {b Cache validity is never assumed.}  Every served answer re-runs its
+    certificate against the live input: solves check A·x = b, determinants
+    compare the cached charpoly-derived value against one fresh
+    independent evaluation (the PR-2 two-evaluation discipline, with the
+    cache as one of the evaluations).  A failed certificate is a
+    {!Kp_robust.Outcome.Stale_cache} rejection: the entry is evicted
+    ([session.cache.evict]) and rebuilt from scratch — a poisoned record
+    costs retries, never a wrong or silently-reused answer.
+
+    Determinism: per-RHS random states are pre-split off the session state
+    in argument order, so results are a function of the session's history
+    alone — identical for any pool size.  On success paths the answers
+    are moreover equal to fresh solver answers by uniqueness (x = A⁻¹b is
+    one point); on singular inputs the same typed outcomes are produced.
+
+    Sessions are single-owner: call them from one domain (the pool is used
+    {e inside} a call, the session itself is not thread-safe). *)
+
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) : sig
+  module S : module type of Kp_core.Solver.Make (F) (C)
+  module I : module type of Kp_core.Inverse.Make (F) (C)
+  module M = S.M
+  module O = Kp_robust.Outcome
+
+  type t
+
+  type stats = {
+    hits : int;  (** lookups served from a cached entry *)
+    misses : int;  (** lookups that triggered a build *)
+    evictions : int;  (** entries discarded after a failed certificate *)
+  }
+
+  val create :
+    ?retries:int ->
+    ?strategy:S.P.strategy ->
+    ?card_s:int ->
+    ?deadline_ns:int64 ->
+    ?pool:Kp_util.Pool.t ->
+    Random.State.t -> t
+  (** A fresh empty session.  The options are the usual solver knobs,
+      applied to every build and serve made through the session; [st] is
+      the session's random state (builds and per-RHS repair states split
+      off it). *)
+
+  val fingerprint : M.t -> Fingerprint.t
+  (** The content fingerprint [solve]/[det]/[inverse] compute when no
+      [?key] is given: field name, dimensions, FNV-1a over the rendered
+      entries. *)
+
+  val stats : t -> stats
+
+  val solve :
+    ?key:string ->
+    t -> M.t -> F.t array -> (F.t array * O.report, O.error) result
+  (** [solve_many] on a single right-hand side. *)
+
+  val solve_many :
+    ?key:string ->
+    t -> M.t -> F.t array array ->
+    (F.t array * O.report, O.error) result array
+  (** Solve A·xᵢ = bᵢ for a batch of right-hand sides against one cached
+      precomputation (built on first use).  The per-RHS serves fan out on
+      the session pool; each is certified (A·x = b) before being returned.
+      Stale entries are evicted and rebuilt mid-batch (bounded by
+      [retries]); as a last resort a right-hand side falls back to a
+      certified fresh solve with its pre-split state.  Reports carry any
+      [Stale_cache] rejections.  [?key] names the matrix instead of
+      hashing it — the caller asserts identity, the certificates still
+      check it. *)
+
+  val det :
+    ?key:string -> t -> M.t -> (F.t * O.report, O.error) result
+  (** det(A) from the cached characteristic polynomial.  First serve per
+      entry cross-checks against one fresh independent evaluation
+      ({!S.det_once}) — agreement certifies the cache (later serves are
+      free), disagreement evicts and rebuilds.  Singular inputs report
+      [Ok (F.zero, _)] exactly as {!S.det} does. *)
+
+  val inverse :
+    ?key:string -> t -> M.t -> (M.t * O.report, O.error) result
+  (** A⁻¹ as n cached-precomputation column solves (so the charpoly is
+      still computed once per matrix, not n times), assembled with
+      {!I.merge_columns}.  [Error (Singular _)] on singular inputs. *)
+
+  val poison_charpoly :
+    ?key:string -> t -> M.t -> (F.t array -> F.t array) -> bool
+  (** {b Fault-injection hook for tests}: destructively replace the cached
+      generator of the entry for this matrix (and drop its determinant
+      certification), returning [false] if nothing is cached.  Lets the
+      chaos suite plant a corrupted charpoly and assert it is detected,
+      evicted and never served. *)
+end

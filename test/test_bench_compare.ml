@@ -184,20 +184,44 @@ let test_fast_flag_mismatch () =
   check_bool "fast/full runs are not comparable" true
     (B.regressions (compare_strings base full) <> [])
 
+let find_committed name =
+  List.find_opt Sys.file_exists [ name; "../" ^ name; "../../" ^ name ]
+
 let test_committed_baseline_parses () =
-  (* the baseline committed at the repo root must stay loadable; skip
+  (* the baselines committed at the repo root must stay loadable; skip
      silently if the test runs outside the source tree *)
-  let candidates = [ "BENCH_PR3.json"; "../BENCH_PR3.json"; "../../BENCH_PR3.json" ] in
-  match List.find_opt Sys.file_exists candidates with
+  List.iter
+    (fun name ->
+      match find_committed name with
+      | None -> ()
+      | Some path -> (
+        match B.load path with
+        | Error m -> Alcotest.failf "%s failed to parse: %s" name m
+        | Ok run ->
+          check_bool (name ^ " has tables") true (run.B.tables <> []);
+          check_int (name ^ " self-compare is clean") 0
+            (List.length
+               (B.regressions (B.compare_runs ~baseline:run ~current:run ())))))
+    [ "BENCH_PR3.json"; "BENCH_PR4.json" ]
+
+let test_pr4_baseline_covers_sessions () =
+  (* the PR-4 baseline is the one CI gates on: it must carry the session
+     experiment and its cache counters, or the E13 regression band is
+     vacuous *)
+  match find_committed "BENCH_PR4.json" with
   | None -> ()
   | Some path -> (
     match B.load path with
-    | Error m -> Alcotest.failf "committed baseline failed to parse: %s" m
+    | Error m -> Alcotest.failf "BENCH_PR4.json failed to parse: %s" m
     | Ok run ->
-      check_bool "baseline has tables" true (run.B.tables <> []);
-      check_int "baseline self-compare is clean" 0
-        (List.length
-           (B.regressions (B.compare_runs ~baseline:run ~current:run ()))))
+      let e13 = List.find_opt (fun t -> t.B.label = "E13") run.B.tables in
+      (match e13 with
+      | None -> Alcotest.fail "BENCH_PR4.json has no E13 table"
+      | Some t ->
+        check_bool "E13 records the session cache counters" true
+          (List.mem_assoc "session.cache.hit" t.B.counters
+          && List.mem_assoc "session.cache.miss" t.B.counters
+          && List.mem_assoc "session.cache.evict" t.B.counters)))
 
 let () =
   Alcotest.run "bench_compare"
@@ -214,6 +238,8 @@ let () =
           Alcotest.test_case "rejects" `Quick test_run_parse_rejects;
           Alcotest.test_case "committed baseline" `Quick
             test_committed_baseline_parses;
+          Alcotest.test_case "PR4 baseline covers sessions" `Quick
+            test_pr4_baseline_covers_sessions;
         ] );
       ( "compare",
         [

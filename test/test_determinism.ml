@@ -19,7 +19,7 @@ module CH = Kp_structured.Chistov.Make (F) (CK)
 module I = Kp_core.Inverse.Make (F) (CK)
 module Pool = Kp_util.Pool
 
-let domain_counts = [ 1; 2; 4 ]
+let domain_counts = Test_seeds.domain_counts
 
 let rand_array st len = Array.init len (fun _ -> F.random st)
 

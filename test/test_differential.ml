@@ -17,8 +17,8 @@
    are compared by dimension plus membership, the only well-defined
    comparison between bases. *)
 
-(* the one seed list every field block shares *)
-let shared_seeds = [ 3; 17; 92 ]
+(* seeds and field instantiations are shared across suites via Test_seeds *)
+let shared_seeds = Test_seeds.shared_seeds
 
 module type PROFILE = sig
   val name : string
@@ -39,6 +39,7 @@ module Diff (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
   module Rk = Kp_core.Rank.Make (F) (C)
   module Ns = Kp_core.Nullspace.Make (F) (C)
   module W = Kp_core.Wiedemann.Make (F)
+  module Sess = Kp_session.Session.Make (F) (C)
   module O = Kp_robust.Outcome
 
   let vec_equal = Array.for_all2 F.equal
@@ -48,11 +49,7 @@ module Diff (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
   let fail_typed seed n what e =
     Alcotest.failf "%s" (ctx seed n (what ^ ": " ^ O.error_to_string e))
 
-  (* engines draw their randomness from states split off one seed-derived
-     root, so the whole case is a deterministic function of (field, seed) *)
-  let states seed k =
-    let root = Kp_util.Rng.make seed in
-    Array.init k (fun _ -> Kp_util.Rng.split root)
+  let states = Test_seeds.states
 
   let test_nonsingular () =
     List.iter
@@ -63,7 +60,7 @@ module Diff (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
             let a = M.random_nonsingular st n in
             let x_true = Array.init n (fun _ -> F.random st) in
             let b = M.matvec a x_true in
-            let sts = states (seed + n) 8 in
+            let sts = states (seed + n) 9 in
             (* solve — the unique solution, bit-identical on all engines *)
             (match G.solve a b with
             | Some x -> Alcotest.(check bool) (ctx seed n "gauss solve") true (vec_equal x x_true)
@@ -100,6 +97,26 @@ module Diff (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
                 Alcotest.(check bool) (ctx seed n "n-solves inverse = oracle") true
                   (M.equal inv inv_oracle)
               | Error e -> fail_typed seed n "n-solves inverse" e));
+            (* session — the cached-prefix engine answers like the fresh
+               ones, with exactly one build behind all three questions *)
+            let sess = Sess.create sts.(8) in
+            (match Sess.solve sess a b with
+            | Ok (x, _) ->
+              Alcotest.(check bool) (ctx seed n "session solve = oracle") true (vec_equal x x_true)
+            | Error e -> fail_typed seed n "session solve" e);
+            (match Sess.det sess a with
+            | Ok (d, _) ->
+              Alcotest.(check bool) (ctx seed n "session det = oracle") true (F.equal d det_oracle)
+            | Error e -> fail_typed seed n "session det" e);
+            (match (Sess.inverse sess a, G.inverse a) with
+            | Ok (inv, _), Some inv_oracle ->
+              Alcotest.(check bool) (ctx seed n "session inverse = oracle") true
+                (M.equal inv inv_oracle)
+            | Error e, _ -> fail_typed seed n "session inverse" e
+            | Ok _, None -> Alcotest.failf "%s" (ctx seed n "gauss oracle failed to invert"));
+            let s = Sess.stats sess in
+            Alcotest.(check bool) (ctx seed n "session: one build, no evictions") true
+              (s.Sess.misses = 1 && s.Sess.hits = 2 && s.Sess.evictions = 0);
             (* rank *)
             Alcotest.(check int) (ctx seed n "rank = oracle") (G.rank a) (Rk.rank sts.(6) a);
             (* nullspace of a non-singular matrix is trivial *)
@@ -146,6 +163,22 @@ module Diff (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
         | Error (O.Singular _) -> ()
         | Ok _ -> Alcotest.failf "%s" (ctx seed n "inverse accepted a singular matrix")
         | Error e -> fail_typed seed n "inverse (expected Singular)" e);
+        (* session: same typed outcomes as the fresh engines, from one
+           cached singularity verdict *)
+        let sess = Sess.create sts.(7) in
+        (match Sess.solve sess a b with
+        | Error (O.Singular _) -> ()
+        | Ok _ -> Alcotest.failf "%s" (ctx seed n "session solve accepted a singular system")
+        | Error e -> fail_typed seed n "session solve (expected Singular)" e);
+        (match Sess.det sess a with
+        | Ok (d, _) -> Alcotest.(check bool) (ctx seed n "session det = 0") true (F.is_zero d)
+        | Error e -> fail_typed seed n "session det" e);
+        (match Sess.inverse sess a with
+        | Error (O.Singular _) -> ()
+        | Ok _ -> Alcotest.failf "%s" (ctx seed n "session inverse accepted a singular matrix")
+        | Error e -> fail_typed seed n "session inverse (expected Singular)" e);
+        Alcotest.(check bool) (ctx seed n "session: singular verdict cached") true
+          ((Sess.stats sess).Sess.misses = 1 && (Sess.stats sess).Sess.hits = 2);
         (* rank *)
         Alcotest.(check int) (ctx seed n "oracle rank = construction") r (G.rank a);
         Alcotest.(check int) (ctx seed n "rank = oracle") r (Rk.rank sts.(4) a);
@@ -196,11 +229,7 @@ module Ntt_suite =
       let singular_n = 6
     end)
 
-module Gf2_8 = Kp_field.Gfext.Make (struct
-  let p = 2
-  let k = 8
-  let seed = 11
-end)
+module Gf2_8 = Test_seeds.Gf2_8
 
 module Gf2_8_suite =
   Diff
@@ -220,6 +249,60 @@ module Q_suite =
       let singular_n = 4
     end)
 
+(* --- fuzz: "same matrix, many RHS" session plans --------------------- *)
+(* A plan is a mixed sequence of solve/det/inverse questions against ONE
+   matrix.  Executed through a session — whatever the order, whatever the
+   interleaving — every answer must equal the oracle's: the cache must be
+   invisible.  Plans are lists of small int codes, so qcheck's built-in
+   list/int shrinking reports a minimal failing plan. *)
+module Fuzz = struct
+  module F = Kp_field.Fields.Gf_ntt
+  module C = Kp_poly.Conv.Karatsuba (F)
+  module M = Kp_matrix.Dense.Make (F)
+  module G = Kp_matrix.Gauss.Make (F)
+  module Sess = Kp_session.Session.Make (F) (C)
+
+  let n = 4
+  let k_rhs = 3
+
+  (* codes 0..k_rhs-1: solve that RHS; k_rhs: det; k_rhs+1: inverse *)
+  let run_plan seed plan =
+    let st = Kp_util.Rng.make (1 + abs seed) in
+    let a = M.random_nonsingular st n in
+    let bs =
+      Array.init k_rhs (fun _ -> Array.init n (fun _ -> F.random st))
+    in
+    let x_ref = Array.map (fun b -> Option.get (G.solve a b)) bs in
+    let det_ref = G.det a in
+    let inv_ref = Option.get (G.inverse a) in
+    let sess = Sess.create (Kp_util.Rng.make (1000 + abs seed)) in
+    List.for_all
+      (fun code ->
+        if code < k_rhs then
+          match Sess.solve sess a bs.(code) with
+          | Ok (x, _) -> Array.for_all2 F.equal x x_ref.(code)
+          | Error _ -> false
+        else if code = k_rhs then
+          match Sess.det sess a with
+          | Ok (d, _) -> F.equal d det_ref
+          | Error _ -> false
+        else
+          match Sess.inverse sess a with
+          | Ok (inv, _) -> M.equal inv inv_ref
+          | Error _ -> false)
+      plan
+    && (Sess.stats sess).Sess.misses <= 1
+
+  let test =
+    QCheck.Test.make ~count:25
+      ~name:"session plans: mixed solve/det/inverse orders, one cached build"
+      QCheck.(
+        pair small_int
+          (list_of_size Gen.(1 -- 8)
+             (int_bound (k_rhs + 1))))
+      (fun (seed, plan) -> run_plan seed plan)
+end
+
 let () =
   Alcotest.run "differential"
     [
@@ -227,4 +310,5 @@ let () =
       ("gf_ntt", Ntt_suite.tests);
       ("gf2^8", Gf2_8_suite.tests);
       ("rational", Q_suite.tests);
+      ("session_fuzz", [ QCheck_alcotest.to_alcotest ~long:false Fuzz.test ]);
     ]

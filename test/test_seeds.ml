@@ -1,0 +1,27 @@
+(* The shared test vocabulary: every deterministic suite draws its seeds,
+   pool sizes and exotic field instantiations from here, so "the same
+   (seed-determined) input" means the same thing across test_differential,
+   test_determinism and test_session — and a seed bump is one edit, not a
+   hunt through the suites. *)
+
+(* the one seed list every field block shares *)
+let shared_seeds = [ 3; 17; 92 ]
+
+(* pool sizes for the determinism sweeps: sequential, the smallest real
+   pool, and enough domains to see work stealing *)
+let domain_counts = [ 1; 2; 4 ]
+
+(* GF(2⁸): characteristic 2, so the Chistov (§5) charpoly route; [seed]
+   fixes the random irreducible polynomial, keeping the field — and every
+   test over it — reproducible *)
+module Gf2_8 = Kp_field.Gfext.Make (struct
+  let p = 2
+  let k = 8
+  let seed = 11
+end)
+
+(* engines draw their randomness from states split off one seed-derived
+   root, so a whole test case is a deterministic function of (field, seed) *)
+let states seed k =
+  let root = Kp_util.Rng.make seed in
+  Array.init k (fun _ -> Kp_util.Rng.split root)

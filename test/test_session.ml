@@ -1,0 +1,383 @@
+(* Session suite: the cache-equivalence and fault-injection guardrails of
+   Kp_session.
+
+   Equivalence: a sessioned solve/det/inverse must return exactly what the
+   fresh engines return — the identical field elements on nonsingular
+   inputs (answers are unique), the identical typed Outcome constructor on
+   singular ones — over GF(97), the NTT prime field, GF(2⁸) and Q, and for
+   pools of 1, 2 and 4 domains (the batch fan-out must not change answers).
+
+   Fault injection: a corrupted cached charpoly must be *detected* (solve:
+   the live A·x = b certificate; det: the PR-2 two-evaluation discipline
+   with the cache as one side), *evicted* (session.cache.evict moves) and
+   *recomputed* — the corrupted record is never served as an answer. *)
+
+module O = Kp_robust.Outcome
+module Cnt = Kp_obs.Counter
+
+let counter name = Option.value ~default:0 (Cnt.find name)
+
+module type PROFILE = sig
+  val name : string
+  val n : int
+  val singular_n : int
+end
+
+module Suite (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
+  module C = Kp_poly.Conv.Karatsuba (F)
+  module M = Kp_matrix.Dense.Make (F)
+  module G = Kp_matrix.Gauss.Make (F)
+  module S = Kp_core.Solver.Make (F) (C)
+  module I = Kp_core.Inverse.Make (F) (C)
+  module Sess = Kp_session.Session.Make (F) (C)
+
+  let vec_equal = Array.for_all2 F.equal
+
+  let ctx seed what = Printf.sprintf "%s seed=%d: %s" P.name seed what
+
+  let fail_typed seed what e =
+    Alcotest.failf "%s" (ctx seed (what ^ ": " ^ O.error_to_string e))
+
+  (* sessioned solve_many / det / inverse vs the fresh engines and the
+     Gauss oracle, across pool sizes — one cached build behind it all *)
+  let test_equivalence () =
+    List.iter
+      (fun seed ->
+        List.iter
+          (fun domains ->
+            Kp_util.Pool.with_pool ~domains @@ fun p ->
+            let pool = if domains > 1 then Some p else None in
+            let n = P.n in
+            let st = Kp_util.Rng.make seed in
+            let a = M.random_nonsingular st n in
+            let k = 3 in
+            let bs =
+              Array.init k (fun _ -> Array.init n (fun _ -> F.random st))
+            in
+            let hit0 = counter "session.cache.hit" in
+            let miss0 = counter "session.cache.miss" in
+            let sess = Sess.create ?pool (Kp_util.Rng.make (seed + 1)) in
+            let results = Sess.solve_many sess a bs in
+            Array.iteri
+              (fun i r ->
+                match (r, G.solve a bs.(i)) with
+                | Ok (x, _), Some x_ref ->
+                  Alcotest.(check bool)
+                    (ctx seed (Printf.sprintf "solve_many[%d] = oracle (domains %d)" i domains))
+                    true (vec_equal x x_ref)
+                | Ok _, None ->
+                  Alcotest.failf "%s" (ctx seed "oracle called the matrix singular")
+                | Error e, _ -> fail_typed seed "solve_many" e)
+              results;
+            (* per-RHS solves after the batch: all hits, same answers *)
+            Array.iteri
+              (fun i b ->
+                match Sess.solve sess a b with
+                | Ok (x, _) ->
+                  Alcotest.(check bool)
+                    (ctx seed (Printf.sprintf "re-solve[%d] hits cache" i))
+                    true
+                    (vec_equal x (Option.get (G.solve a b)))
+                | Error e -> fail_typed seed "re-solve" e)
+              bs;
+            (match (Sess.det sess a, S.det (Kp_util.Rng.make (seed + 2)) a) with
+            | Ok (d, _), Ok (d_fresh, _) ->
+              Alcotest.(check bool) (ctx seed "det = fresh det") true (F.equal d d_fresh);
+              Alcotest.(check bool) (ctx seed "det = oracle") true (F.equal d (G.det a))
+            | Error e, _ | _, Error e -> fail_typed seed "det" e);
+            (match Sess.inverse sess a with
+            | Ok (inv, _) ->
+              Alcotest.(check bool) (ctx seed "inverse = oracle") true
+                (M.equal inv (Option.get (G.inverse a)))
+            | Error e -> fail_typed seed "inverse" e);
+            (* counters: exactly one charpoly computation behind the whole
+               conversation — 1 miss, everything else hits, no evictions *)
+            let s = Sess.stats sess in
+            Alcotest.(check int) (ctx seed "misses = 1") 1 s.Sess.misses;
+            Alcotest.(check int) (ctx seed "hits = k + 2") (k + 2) s.Sess.hits;
+            Alcotest.(check int) (ctx seed "evictions = 0") 0 s.Sess.evictions;
+            Alcotest.(check int)
+              (ctx seed "global session.cache.miss moved with the session")
+              (miss0 + s.Sess.misses)
+              (counter "session.cache.miss");
+            Alcotest.(check int)
+              (ctx seed "global session.cache.hit moved with the session")
+              (hit0 + s.Sess.hits)
+              (counter "session.cache.hit"))
+          Test_seeds.domain_counts)
+      Test_seeds.shared_seeds
+
+  (* singular inputs: the same typed outcome as the fresh engines, served
+     from one cached singularity verdict *)
+  let test_singular () =
+    List.iter
+      (fun seed ->
+        let n = P.singular_n in
+        let st = Kp_util.Rng.make seed in
+        let a = M.random_of_rank st n ~rank:(n - 2) in
+        let b = Array.init n (fun _ -> F.random st) in
+        Alcotest.(check bool) (ctx seed "oracle sees singular") true (G.is_singular a);
+        let sess = Sess.create (Kp_util.Rng.make (seed + 1)) in
+        (match Sess.solve sess a b with
+        | Error (O.Singular _) -> ()
+        | Ok _ -> Alcotest.failf "%s" (ctx seed "solve accepted a singular system")
+        | Error e -> fail_typed seed "solve (expected Singular)" e);
+        (match S.solve (Kp_util.Rng.make (seed + 2)) a b with
+        | Error (O.Singular _) -> ()
+        | Ok _ -> Alcotest.failf "%s" (ctx seed "fresh solve accepted a singular system")
+        | Error e -> fail_typed seed "fresh solve (expected Singular)" e);
+        (match Sess.det sess a with
+        | Ok (d, _) -> Alcotest.(check bool) (ctx seed "det = 0") true (F.is_zero d)
+        | Error e -> fail_typed seed "det" e);
+        (match Sess.inverse sess a with
+        | Error (O.Singular _) -> ()
+        | Ok _ -> Alcotest.failf "%s" (ctx seed "inverse accepted a singular matrix")
+        | Error e -> fail_typed seed "inverse (expected Singular)" e);
+        let s = Sess.stats sess in
+        Alcotest.(check int) (ctx seed "singular verdict cached once") 1 s.Sess.misses)
+      Test_seeds.shared_seeds
+
+  let tests =
+    [
+      Alcotest.test_case (P.name ^ " equivalence") `Quick test_equivalence;
+      Alcotest.test_case (P.name ^ " singular") `Quick test_singular;
+    ]
+end
+
+(* ---- fault injection: a poisoned cache is detected, evicted, rebuilt ---- *)
+
+module FI = struct
+  module F = Kp_field.Fields.Gf_ntt
+  module C = Kp_poly.Conv.Karatsuba (F)
+  module M = Kp_matrix.Dense.Make (F)
+  module G = Kp_matrix.Gauss.Make (F)
+  module Sess = Kp_session.Session.Make (F) (C)
+
+  let n = 6
+
+  let setup seed =
+    let st = Kp_util.Rng.make seed in
+    let a = M.random_nonsingular st n in
+    let b = Array.init n (fun _ -> F.random st) in
+    let sess = Sess.create (Kp_util.Rng.make (seed + 1)) in
+    (a, b, sess)
+
+  (* corrupt the constant term: changes the cached determinant AND the
+     Cayley–Hamilton recovery, so both serve paths must notice *)
+  let corrupt f =
+    Array.mapi (fun i c -> if i = 0 then F.add c F.one else c) f
+
+  let has_stale_rejection (r : Kp_robust.Outcome.report) =
+    List.exists
+      (fun rj ->
+        match rj.Kp_robust.Outcome.reason with
+        | Kp_robust.Outcome.Stale_cache _ -> true
+        | _ -> false)
+      r.Kp_robust.Outcome.rejections
+
+  let test_poisoned_solve () =
+    List.iter
+      (fun seed ->
+        let a, b, sess = setup seed in
+        (match Sess.solve sess a b with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "build: %s" (Kp_robust.Outcome.error_to_string e));
+        Alcotest.(check bool) "poison hook found the entry" true
+          (Sess.poison_charpoly sess a corrupt);
+        let evict0 = counter "session.cache.evict" in
+        (match Sess.solve sess a b with
+        | Ok (x, report) ->
+          (* the served answer is the true solution — the poisoned record
+             was never served — and the report says why it took work *)
+          Alcotest.(check bool) "recovered solution = oracle" true
+            (Array.for_all2 F.equal x (Option.get (G.solve a b)));
+          Alcotest.(check bool) "report carries a Stale_cache rejection" true
+            (has_stale_rejection report)
+        | Error e -> Alcotest.failf "post-poison solve: %s" (Kp_robust.Outcome.error_to_string e));
+        let s = Sess.stats sess in
+        Alcotest.(check bool) "poisoned entry evicted" true (s.Sess.evictions >= 1);
+        Alcotest.(check bool) "global evict counter moved" true
+          (counter "session.cache.evict" >= evict0 + 1);
+        Alcotest.(check int) "rebuilt exactly once" 2 s.Sess.misses;
+        (* the rebuilt entry serves cleanly again *)
+        match Sess.solve sess a b with
+        | Ok (x, report) ->
+          Alcotest.(check bool) "rebuilt cache serves the oracle answer" true
+            (Array.for_all2 F.equal x (Option.get (G.solve a b)));
+          Alcotest.(check bool) "no stale rejection after rebuild" false
+            (has_stale_rejection report)
+        | Error e -> Alcotest.failf "post-rebuild solve: %s" (Kp_robust.Outcome.error_to_string e))
+      Test_seeds.shared_seeds
+
+  let test_poisoned_det () =
+    List.iter
+      (fun seed ->
+        let a, b, sess = setup seed in
+        (match Sess.solve sess a b with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "build: %s" (Kp_robust.Outcome.error_to_string e));
+        Alcotest.(check bool) "poison hook found the entry" true
+          (Sess.poison_charpoly sess a corrupt);
+        (match Sess.det sess a with
+        | Ok (d, report) ->
+          (* two-evaluation discipline: the cached (corrupted) value
+             disagrees with the fresh evaluation, so the entry is evicted
+             and the served determinant is the true one *)
+          Alcotest.(check bool) "served det = oracle, not the poisoned value" true
+            (F.equal d (G.det a));
+          Alcotest.(check bool) "report carries a Stale_cache rejection" true
+            (has_stale_rejection report)
+        | Error e -> Alcotest.failf "post-poison det: %s" (Kp_robust.Outcome.error_to_string e));
+        let s = Sess.stats sess in
+        Alcotest.(check bool) "poisoned entry evicted" true (s.Sess.evictions >= 1);
+        (* a second det is served from the re-certified rebuild: no new
+           build, no new eviction *)
+        let misses = s.Sess.misses in
+        (match Sess.det sess a with
+        | Ok (d, _) ->
+          Alcotest.(check bool) "re-served det = oracle" true (F.equal d (G.det a))
+        | Error e -> Alcotest.failf "re-served det: %s" (Kp_robust.Outcome.error_to_string e));
+        Alcotest.(check int) "no extra build for the re-serve" misses
+          (Sess.stats sess).Sess.misses)
+      Test_seeds.shared_seeds
+
+  (* a poisoned record must also never leak through a batch *)
+  let test_poisoned_batch () =
+    let seed = List.hd Test_seeds.shared_seeds in
+    let a, b, sess = setup seed in
+    (match Sess.solve sess a b with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "build: %s" (Kp_robust.Outcome.error_to_string e));
+    Alcotest.(check bool) "poison hook found the entry" true
+      (Sess.poison_charpoly sess a corrupt);
+    let st = Kp_util.Rng.make (seed + 7) in
+    let bs = Array.init 4 (fun _ -> Array.init n (fun _ -> F.random st)) in
+    let results = Sess.solve_many sess a bs in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Ok (x, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "batch[%d] recovered the oracle answer" i)
+            true
+            (Array.for_all2 F.equal x (Option.get (G.solve a bs.(i))))
+        | Error e ->
+          Alcotest.failf "batch[%d]: %s" i (Kp_robust.Outcome.error_to_string e))
+      results;
+    Alcotest.(check bool) "batch evicted the poisoned entry" true
+      ((Sess.stats sess).Sess.evictions >= 1)
+
+  let tests =
+    [
+      Alcotest.test_case "poisoned charpoly: solve detects, evicts, rebuilds"
+        `Quick test_poisoned_solve;
+      Alcotest.test_case "poisoned charpoly: det two-evaluation discipline"
+        `Quick test_poisoned_det;
+      Alcotest.test_case "poisoned charpoly: batch never serves it" `Quick
+        test_poisoned_batch;
+    ]
+end
+
+(* ---- fingerprinting ---- *)
+
+let test_fingerprint () =
+  let module F = Kp_field.Fields.Gf_ntt in
+  let module C = Kp_poly.Conv.Karatsuba (F) in
+  let module M = Kp_matrix.Dense.Make (F) in
+  let module Sess = Kp_session.Session.Make (F) (C) in
+  let st = Kp_util.Rng.make 5 in
+  let a = M.random st 5 5 in
+  let b = M.random st 5 5 in
+  let fp_a = Sess.fingerprint a and fp_b = Sess.fingerprint b in
+  Alcotest.(check bool) "fingerprint is deterministic" true
+    (Kp_session.Fingerprint.equal fp_a (Sess.fingerprint a));
+  Alcotest.(check bool) "distinct matrices, distinct fingerprints" false
+    (Kp_session.Fingerprint.equal fp_a fp_b);
+  let keyed = Kp_session.Fingerprint.of_key ~field:F.name ~rows:5 ~cols:5 "a" in
+  Alcotest.(check bool) "keyed never equals hashed" false
+    (Kp_session.Fingerprint.equal fp_a keyed);
+  (* a session keyed by ?key trusts the caller: distinct keys, distinct
+     entries, so both matrices get their own build *)
+  let sess = Sess.create (Kp_util.Rng.make 6) in
+  let bvec = Array.init 5 (fun _ -> F.random st) in
+  let a' = M.random_nonsingular st 5 and b' = M.random_nonsingular st 5 in
+  (match (Sess.solve ~key:"a" sess a' bvec, Sess.solve ~key:"b" sess b' bvec) with
+  | Ok _, Ok _ -> ()
+  | Error e, _ | _, Error e ->
+    Alcotest.failf "keyed solves: %s" (Kp_robust.Outcome.error_to_string e));
+  Alcotest.(check int) "two keys, two builds" 2 (Sess.stats sess).Sess.misses
+
+(* a stale caller-supplied key (the key says "same matrix", the matrix
+   changed) is caught by the live certificates like any poisoned entry *)
+let test_stale_key () =
+  let module F = Kp_field.Fields.Gf_ntt in
+  let module C = Kp_poly.Conv.Karatsuba (F) in
+  let module M = Kp_matrix.Dense.Make (F) in
+  let module G = Kp_matrix.Gauss.Make (F) in
+  let module Sess = Kp_session.Session.Make (F) (C) in
+  let st = Kp_util.Rng.make 9 in
+  let a1 = M.random_nonsingular st 5 in
+  let a2 = M.random_nonsingular st 5 in
+  let b = Array.init 5 (fun _ -> F.random st) in
+  let sess = Sess.create (Kp_util.Rng.make 10) in
+  (match Sess.solve ~key:"A" sess a1 b with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "build: %s" (Kp_robust.Outcome.error_to_string e));
+  match Sess.solve ~key:"A" sess a2 b with
+  | Ok (x, _) ->
+    Alcotest.(check bool) "stale key: answer is for the live matrix" true
+      (Array.for_all2 F.equal x (Option.get (G.solve a2 b)));
+    Alcotest.(check bool) "stale key: entry evicted" true
+      ((Sess.stats sess).Sess.evictions >= 1)
+  | Error e -> Alcotest.failf "stale-key solve: %s" (Kp_robust.Outcome.error_to_string e)
+
+module Gf97_suite =
+  Suite
+    (Kp_field.Fields.Gf_97)
+    (struct
+      let name = "gf97"
+      let n = 5
+      let singular_n = 5
+    end)
+
+module Ntt_suite =
+  Suite
+    (Kp_field.Fields.Gf_ntt)
+    (struct
+      let name = "gf_ntt"
+      let n = 6
+      let singular_n = 6
+    end)
+
+module Gf2_8_suite =
+  Suite
+    (Test_seeds.Gf2_8)
+    (struct
+      let name = "gf2^8"
+      let n = 5
+      let singular_n = 5
+    end)
+
+module Q_suite =
+  Suite
+    (Kp_field.Rational)
+    (struct
+      let name = "Q"
+      let n = 4
+      let singular_n = 4
+    end)
+
+let () =
+  Alcotest.run "session"
+    [
+      ("gf97", Gf97_suite.tests);
+      ("gf_ntt", Ntt_suite.tests);
+      ("gf2^8", Gf2_8_suite.tests);
+      ("rational", Q_suite.tests);
+      ("fault_injection", FI.tests);
+      ( "fingerprint",
+        [
+          Alcotest.test_case "fingerprints and keys" `Quick test_fingerprint;
+          Alcotest.test_case "stale caller key detected" `Quick test_stale_key;
+        ] );
+    ]
