@@ -56,7 +56,7 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
   module M = Kp_matrix.Dense.Make (F)
   module Bb = Kp_matrix.Blackbox.Make (F)
   module W = Kp_core.Wiedemann.Make (F)
-  module C = Kp_poly.Conv.Karatsuba (F)
+  module C = Kp_poly.Conv.Karatsuba_field (F)
   module S = Kp_core.Solver.Make (F) (C)
   module R = Kp_core.Rank.Make (F) (C)
   module I = Kp_core.Inverse.Make (F) (C)
@@ -371,6 +371,55 @@ let inverse_cmd =
   simple_cmd "inverse" "Inverse via Baur–Strassen (Theorem 6)." (fun (module D) ->
       D.inverse)
 
+(* kp kernels — which bulk-arithmetic backend each built-in field resolves
+   to (the same dispatch Dense/Sparse/Conv/Toeplitz perform at functor
+   application time via [F.kernel_hint]) *)
+let kernels_cmd =
+  let resolve (type a) name (module F : Kp_field.Field_intf.FIELD with type t = a)
+      =
+    (name, Kp_kernel.Dispatch.backend_name F.kernel_hint)
+  in
+  let rows () =
+    let module Mont = Kp_field.Gfp_mont.Make (struct
+      let p = 998_244_353
+    end) in
+    let module Cnt = Kp_field.Counting.Make (Kp_field.Fields.Gf_ntt) in
+    [
+      resolve "GF(998244353)      Fields.Gf_ntt" (module Kp_field.Fields.Gf_ntt);
+      resolve "GF(1073741789)     Fields.Gf_big" (module Kp_field.Fields.Gf_big);
+      resolve "GF(97)             Fields.Gf_97" (module Kp_field.Fields.Gf_97);
+      resolve "GF(998244353) Mont Gfp_mont.Make" (module Mont);
+      resolve "GF(2)              Fields.Gf2" (module Kp_field.Fields.Gf2);
+      resolve "GF(2^16)           Fields.Gf2_16" (module Kp_field.Fields.Gf2_16);
+      resolve "Q                  Fields.Q" (module Kp_field.Fields.Q);
+      resolve "counting(Gf_ntt)   Counting.Make" (module Cnt);
+    ]
+  in
+  let run prime =
+    (* the runtime field every kp subcommand actually computes in *)
+    (match Kp_field.Gfp.make prime with
+    | exception Invalid_argument m -> Printf.printf "kp --prime %d: %s\n\n" prime m
+    | m ->
+      let module F = (val m) in
+      Printf.printf "kp --prime %d resolves to: %s\n\n" prime
+        (Kp_kernel.Dispatch.backend_name F.kernel_hint));
+    print_endline "built-in fields:";
+    List.iter
+      (fun (name, backend) -> Printf.printf "  %-36s %s\n" name backend)
+      (rows ());
+    print_endline
+      "\nbackends: gfp_word (delayed-reduction word loops), gfp_mont\n\
+       (Montgomery form), gf2_bitpacked (62 elements/word), derived\n\
+       (generic FIELD_CORE ops — op-count-faithful; circuits and counting\n\
+       fields always land here)."
+  in
+  Cmd.v
+    (Cmd.info "kernels"
+       ~doc:
+         "Print which bulk vector-kernel backend each built-in field's \
+          arithmetic dispatches to.")
+    Term.(const run $ prime_t)
+
 let charpoly_cmd =
   let toeplitz_t =
     Arg.(required & opt (some string) None
@@ -396,4 +445,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ solve_cmd; det_cmd; rank_cmd; inverse_cmd; charpoly_cmd ]))
+       (Cmd.group info
+          [ solve_cmd; det_cmd; rank_cmd; inverse_cmd; charpoly_cmd; kernels_cmd ]))

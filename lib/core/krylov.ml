@@ -26,7 +26,10 @@ module Make (F : Kp_field.Field_intf.FIELD_CORE) = struct
 
   let doubling_powers ~mul (a : M.t) m =
     (* exactly the squarings [columns] performs on its way to m columns:
-       A^{2^0}, A^{2^1}, … while the column count is still below m *)
+       A^{2^0}, A^{2^1}, … while the column count is still below m.
+       [mul] carries the backend: the solver passes Dense.Make's
+       kernel-dispatched product (word-level GF(p)/GF(2) loops), while
+       circuit and counting instantiations pass the balanced Core product. *)
     let rec go acc power cols =
       if cols >= m then List.rev acc
       else go (power :: acc) (mul power power) (2 * cols)

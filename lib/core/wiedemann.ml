@@ -1,6 +1,10 @@
 module Make (F : Kp_field.Field_intf.FIELD) = struct
   module Bb = Kp_matrix.Blackbox.Make (F)
-  module C = Kp_poly.Conv.Karatsuba (F)
+
+  (* concrete solves dispatch on F.kernel_hint; the counting instantiation
+     below stays on the derived-kernel Karatsuba so measured op counts are
+     the circuit's, not a word-level backend's *)
+  module C = Kp_poly.Conv.Karatsuba_field (F)
   module HK = Kp_structured.Hankel.Make (F) (C)
   module TC = Kp_structured.Toeplitz_charpoly.Make (F) (C)
   module Ch = Kp_structured.Chistov.Make (F) (C)

@@ -71,6 +71,11 @@ module Make (F : Field_intf.FIELD) = struct
     F.div a b
 
   let of_int = F.of_int
+
+  (* NEVER inherit F's hint: a specialized kernel would perform the bulk
+     arithmetic without ticking these counters, silently under-reporting the
+     circuit size.  Generic forces the derived (op-faithful) kernel. *)
+  let kernel_hint = Field_intf.Generic
   let equal = F.equal
   let is_zero = F.is_zero
   let characteristic = F.characteristic

@@ -39,11 +39,45 @@ module type FIELD_CORE = sig
       all of ℤ in characteristic 0. *)
 end
 
+(** Word-level kernel dispatch hint (see [Kp_kernel]).
+
+    A concrete field may advertise that its runtime representation admits a
+    specialized bulk-arithmetic backend: canonical GF(p) residues in a native
+    [int] ([Gfp_word]), Montgomery residues ([Gfp_montgomery]), or 0/1 bits
+    ([Gf2_bits]).  The GADT ties the claim to the representation type, so a
+    dispatcher that matches [Gfp_word] learns [t = int] and can run unboxed
+    int loops that are {e bit-identical} to the scalar operations.
+
+    [Generic] promises nothing; the kernel layer then derives a
+    reference backend from the field's own operations (same results, same
+    operation counts).  Wrappers that intercept operations — the counting
+    field, the fault injector — MUST declare [Generic], otherwise a
+    specialized kernel would bypass the interception.
+
+    Only {!FIELD} carries the hint.  {!FIELD_CORE} (the straight-line
+    interface implemented by circuit builders) deliberately does not:
+    circuit builders never see a kernel. *)
+type _ kernel_hint =
+  | Generic : _ kernel_hint
+      (** No specialized backend; use the derived reference kernel. *)
+  | Gfp_word : { p : int } -> int kernel_hint
+      (** GF(p), p < 2{^30} prime, elements are canonical residues in
+          [0, p) stored in a native [int]. *)
+  | Gfp_montgomery : { p : int; r_bits : int } -> int kernel_hint
+      (** GF(p) in Montgomery form: elements are x·R mod p with
+          R = 2{^r_bits}, stored in a native [int]. *)
+  | Gf2_bits : int kernel_hint
+      (** GF(2), elements are 0 or 1 in a native [int]. *)
+
 module type FIELD = sig
   include FIELD_CORE
 
   val equal : t -> t -> bool
   val is_zero : t -> bool
+
+  val kernel_hint : t kernel_hint
+  (** How the bulk-kernel layer may specialize hot loops over arrays of
+      this field's elements; [Generic] when in doubt. *)
 
   val characteristic : int
   (** 0 for characteristic zero. *)

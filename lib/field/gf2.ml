@@ -11,6 +11,7 @@ let div a b = mul a (inv b)
 let of_int n = n land 1
 let equal = Int.equal
 let is_zero a = a = 0
+let kernel_hint = Field_intf.Gf2_bits
 let characteristic = 2
 let cardinality = Some 2
 let name = "GF(2)"

@@ -242,6 +242,7 @@ module Make (P : PARAMS) = struct
 
   let equal a b = a = b
   let is_zero a = Array.for_all (fun c -> c = 0) a
+  let kernel_hint = Field_intf.Generic
   let characteristic = p
 
   let cardinality =

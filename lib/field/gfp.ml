@@ -101,6 +101,7 @@ module Make (P : PRIME) = struct
 
   let equal = Int.equal
   let is_zero a = a = 0
+  let kernel_hint = Field_intf.Gfp_word { p }
   let characteristic = p
   let cardinality = Some p
   let name = Printf.sprintf "GF(%d)" p

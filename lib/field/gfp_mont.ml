@@ -60,6 +60,7 @@ module Make (P : Gfp.PRIME) = struct
 
   let equal = Int.equal
   let is_zero a = a = 0
+  let kernel_hint = Field_intf.Gfp_montgomery { p; r_bits }
   let characteristic = p
   let cardinality = Some p
   let name = Printf.sprintf "GF(%d) (Montgomery)" p

@@ -59,6 +59,7 @@ let inv t =
 
 let div a b = mul a (inv b)
 
+let kernel_hint = Field_intf.Generic
 let characteristic = 0
 let cardinality = None
 let name = "Q"

@@ -1,0 +1,88 @@
+(** Reference kernel derived from a field's own scalar operations.
+
+    Each primitive replays {e exactly} the operation pattern of the call
+    site it replaced ([Vec.dot]'s balanced reduction, [Dense.Make.matvec]'s
+    sequential row accumulation, the schoolbook convolution leaf, …), so
+    routing a call site through this kernel changes neither results nor
+    operation counts — the property the counting-field regression baselines
+    (BENCH_PR3/PR4) gate on, and the reason circuit builders can share the
+    code path. *)
+
+module Make (F : Kp_field.Field_intf.FIELD_CORE) :
+  Kernel_intf.KERNEL with type t = F.t = struct
+  type t = F.t
+
+  let backend = "derived"
+
+  (* balanced reduction: O(log n) depth when traced into a circuit, ≤8-element
+     sequential leaves — byte-for-byte the shape of [Vec.balanced_dot] *)
+  let rec balanced_dot a b lo hi =
+    if hi <= lo then F.zero
+    else if hi - lo <= 8 then begin
+      let acc = ref (F.mul a.(lo) b.(lo)) in
+      for i = lo + 1 to hi - 1 do
+        acc := F.add !acc (F.mul a.(i) b.(i))
+      done;
+      !acc
+    end
+    else begin
+      let mid = (lo + hi) / 2 in
+      F.add (balanced_dot a b lo mid) (balanced_dot a b mid hi)
+    end
+
+  let dot a b = balanced_dot a b 0 (Array.length a)
+
+  let dot_gather ~vals ~cols ~lo ~hi ~x =
+    let acc = ref F.zero in
+    for k = lo to hi - 1 do
+      acc := F.add !acc (F.mul vals.(k) x.(cols.(k)))
+    done;
+    !acc
+
+  let axpy_into ~a ~x ~xoff ~y ~yoff ~len =
+    for i = 0 to len - 1 do
+      y.(yoff + i) <- F.add y.(yoff + i) (F.mul a x.(xoff + i))
+    done
+
+  let scale_into ~a ~x ~xoff ~dst ~doff ~len =
+    for i = 0 to len - 1 do
+      dst.(doff + i) <- F.mul a x.(xoff + i)
+    done
+
+  let add_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+    for i = 0 to len - 1 do
+      dst.(doff + i) <- F.add x.(xoff + i) y.(yoff + i)
+    done
+
+  let sub_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+    for i = 0 to len - 1 do
+      dst.(doff + i) <- F.sub x.(xoff + i) y.(yoff + i)
+    done
+
+  let pointwise_mul_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+    for i = 0 to len - 1 do
+      dst.(doff + i) <- F.mul x.(xoff + i) y.(yoff + i)
+    done
+
+  let matvec_into ~m ~cols ~row_lo ~row_hi ~x ~dst =
+    for i = row_lo to row_hi - 1 do
+      let base = i * cols in
+      let acc = ref F.zero in
+      for j = 0 to cols - 1 do
+        acc := F.add !acc (F.mul m.(base + j) x.(j))
+      done;
+      dst.(i) <- !acc
+    done
+
+  let matmul_into ~a ~b ~dst ~inner ~bcols ~row_lo ~row_hi =
+    for i = row_lo to row_hi - 1 do
+      let arow = i * inner and orow = i * bcols in
+      for k = 0 to inner - 1 do
+        let aik = a.(arow + k) in
+        let brow = k * bcols in
+        for j = 0 to bcols - 1 do
+          dst.(orow + j) <- F.add dst.(orow + j) (F.mul aik b.(brow + j))
+        done
+      done
+    done
+end

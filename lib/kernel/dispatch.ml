@@ -1,0 +1,96 @@
+(** Kernel selection and instrumentation.
+
+    [Make (F)] (or [of_field]) inspects [F.kernel_hint] — the GADT ties the
+    hint to [F.t], so matching [Gfp_word] refines [F.t = int] and the
+    specialized [int] backends typecheck without magic — and wraps the chosen
+    backend with hit counters:
+
+    - [kernel.<backend>]  — bulk calls served by that backend;
+    - [kernel.bulk_ops]   — total element operations across all backends.
+
+    The counters are the observable proof that a fast path is (or is not)
+    being taken; [kp --stats] and the benchmark tables surface them. *)
+
+open Kp_field.Field_intf
+
+let c_bulk_ops = Kp_obs.Counter.make "kernel.bulk_ops"
+
+module Instrument (K : Kernel_intf.KERNEL) :
+  Kernel_intf.KERNEL with type t = K.t = struct
+  type t = K.t
+
+  let backend = K.backend
+  let c_hits = Kp_obs.Counter.make ("kernel." ^ K.backend)
+
+  let[@inline] tick work =
+    Kp_obs.Counter.incr c_hits;
+    Kp_obs.Counter.add c_bulk_ops work
+
+  let dot a b =
+    tick (Array.length a);
+    K.dot a b
+
+  let dot_gather ~vals ~cols ~lo ~hi ~x =
+    tick (hi - lo);
+    K.dot_gather ~vals ~cols ~lo ~hi ~x
+
+  let axpy_into ~a ~x ~xoff ~y ~yoff ~len =
+    tick len;
+    K.axpy_into ~a ~x ~xoff ~y ~yoff ~len
+
+  let scale_into ~a ~x ~xoff ~dst ~doff ~len =
+    tick len;
+    K.scale_into ~a ~x ~xoff ~dst ~doff ~len
+
+  let add_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+    tick len;
+    K.add_into ~x ~xoff ~y ~yoff ~dst ~doff ~len
+
+  let sub_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+    tick len;
+    K.sub_into ~x ~xoff ~y ~yoff ~dst ~doff ~len
+
+  let pointwise_mul_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+    tick len;
+    K.pointwise_mul_into ~x ~xoff ~y ~yoff ~dst ~doff ~len
+
+  let matvec_into ~m ~cols ~row_lo ~row_hi ~x ~dst =
+    tick ((row_hi - row_lo) * cols);
+    K.matvec_into ~m ~cols ~row_lo ~row_hi ~x ~dst
+
+  let matmul_into ~a ~b ~dst ~inner ~bcols ~row_lo ~row_hi =
+    tick ((row_hi - row_lo) * inner * bcols);
+    K.matmul_into ~a ~b ~dst ~inner ~bcols ~row_lo ~row_hi
+end
+
+let backend_name (type a) (hint : a kernel_hint) =
+  match hint with
+  | Gfp_word _ -> "gfp_word"
+  | Gfp_montgomery _ -> "gfp_mont"
+  | Gf2_bits -> "gf2_bitpacked"
+  | Generic -> "derived"
+
+let of_field (type a) (module F : FIELD with type t = a) : a Kernel_intf.kernel
+    =
+  let base : a Kernel_intf.kernel =
+    match F.kernel_hint with
+    | Gfp_word { p } -> Gfp_word.make ~p
+    | Gfp_montgomery { p; r_bits } -> Gfp_mont.make ~p ~r_bits
+    | Gf2_bits -> (module Gf2_bits)
+    | Generic -> (module Derived.Make (F))
+  in
+  let module K = (val base) in
+  (module Instrument (K))
+
+(* uninstrumented selection — used by the differential tests to compare raw
+   backends, and anywhere counter traffic is unwanted *)
+let of_field_raw (type a) (module F : FIELD with type t = a) :
+    a Kernel_intf.kernel =
+  match F.kernel_hint with
+  | Gfp_word { p } -> Gfp_word.make ~p
+  | Gfp_montgomery { p; r_bits } -> Gfp_mont.make ~p ~r_bits
+  | Gf2_bits -> (module Gf2_bits)
+  | Generic -> (module Derived.Make (F))
+
+module Make (F : FIELD) : Kernel_intf.KERNEL with type t = F.t =
+  (val of_field (module F : FIELD with type t = F.t))

@@ -1,0 +1,115 @@
+(** Bit-packed GF(2) kernel.
+
+    Elements are 0/1 in native [int]s ([Gf2_bits] hint).  Addition is XOR
+    and multiplication is AND, so the elementwise primitives are single
+    boolean word operations, and inner products pack 62 elements per word
+    on the fly: one AND + one XOR per word, then a parity fold.  All
+    outputs are 0/1, hence bit-identical to the derived kernel over
+    [Kp_field.Gf2]. *)
+
+let word_bits = 62
+
+(* parity of a 62-bit word: XOR-fold down to one bit *)
+let[@inline] parity w =
+  let w = w lxor (w lsr 32) in
+  let w = w lxor (w lsr 16) in
+  let w = w lxor (w lsr 8) in
+  let w = w lxor (w lsr 4) in
+  let w = w lxor (w lsr 2) in
+  let w = w lxor (w lsr 1) in
+  w land 1
+
+type t = int
+
+let backend = "gf2_bitpacked"
+
+let dot a b =
+  let n = Array.length a in
+  let acc = ref 0 and i = ref 0 in
+  while !i < n do
+    let stop = min n (!i + word_bits) in
+    let wa = ref 0 and wb = ref 0 in
+    for k = !i to stop - 1 do
+      wa := (!wa lsl 1) lor a.(k);
+      wb := (!wb lsl 1) lor b.(k)
+    done;
+    acc := !acc lxor (!wa land !wb);
+    i := stop
+  done;
+  parity !acc
+
+let dot_gather ~vals ~cols ~lo ~hi ~x =
+  (* the gather defeats packing of [x]; accumulate AND-products in one word
+     and fold its parity once at the end *)
+  let acc = ref 0 in
+  for k = lo to hi - 1 do
+    acc := !acc lxor (vals.(k) land x.(cols.(k)))
+  done;
+  !acc land 1
+
+let axpy_into ~a ~x ~xoff ~y ~yoff ~len =
+  if a <> 0 then
+    for i = 0 to len - 1 do
+      y.(yoff + i) <- y.(yoff + i) lxor x.(xoff + i)
+    done
+
+let scale_into ~a ~x ~xoff ~dst ~doff ~len =
+  for i = 0 to len - 1 do
+    dst.(doff + i) <- a land x.(xoff + i)
+  done
+
+let add_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+  for i = 0 to len - 1 do
+    dst.(doff + i) <- x.(xoff + i) lxor y.(yoff + i)
+  done
+
+(* subtraction is addition in characteristic 2 *)
+let sub_into = add_into
+
+let pointwise_mul_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+  for i = 0 to len - 1 do
+    dst.(doff + i) <- x.(xoff + i) land y.(yoff + i)
+  done
+
+let matvec_into ~m ~cols ~row_lo ~row_hi ~x ~dst =
+  (* pack x once per call (one small word array — O(cols/62), amortized over
+     all rows), then AND word-against-word with each row packed on the fly *)
+  let nwords = (cols + word_bits - 1) / word_bits in
+  let xw = Array.make (max 1 nwords) 0 in
+  for w = 0 to nwords - 1 do
+    let base = w * word_bits in
+    let stop = min cols (base + word_bits) in
+    let wx = ref 0 in
+    for k = base to stop - 1 do
+      wx := (!wx lsl 1) lor x.(k)
+    done;
+    xw.(w) <- !wx
+  done;
+  for i = row_lo to row_hi - 1 do
+    let rbase = i * cols in
+    let acc = ref 0 in
+    for w = 0 to nwords - 1 do
+      let base = w * word_bits in
+      let stop = min cols (base + word_bits) in
+      let wr = ref 0 in
+      for k = base to stop - 1 do
+        wr := (!wr lsl 1) lor m.(rbase + k)
+      done;
+      acc := !acc lxor (!wr land xw.(w))
+    done;
+    dst.(i) <- parity !acc
+  done
+
+let matmul_into ~a ~b ~dst ~inner ~bcols ~row_lo ~row_hi =
+  (* out row = XOR of the b-rows selected by the 1-bits of the a-row *)
+  for i = row_lo to row_hi - 1 do
+    let arow = i * inner and orow = i * bcols in
+    for k = 0 to inner - 1 do
+      if a.(arow + k) <> 0 then begin
+        let brow = k * bcols in
+        for j = 0 to bcols - 1 do
+          dst.(orow + j) <- dst.(orow + j) lxor b.(brow + j)
+        done
+      end
+    done
+  done

@@ -1,0 +1,133 @@
+(** Montgomery-form GF(p) kernel.
+
+    Elements are x·R mod p with R = 2^r_bits, canonical in [0, p) — the
+    representation advertised by [Gfp_montgomery].  A product of residues is
+    reduced with a {e loose} Montgomery step (no conditional subtract,
+    result in [0, 2p)); the loose values are then accumulated with delayed
+    [mod p] reduction exactly as in {!Gfp_word}.  Since loose reduction is
+    exact modulo p and the final reduction canonicalizes, every primitive is
+    bit-identical to the derived kernel over [Kp_field.Gfp_mont]. *)
+
+let make ~p ~r_bits : (module Kernel_intf.KERNEL with type t = int) =
+  (module struct
+    type t = int
+
+    let backend = "gfp_mont"
+    let r_mask = (1 lsl r_bits) - 1
+
+    (* p' = -p^{-1} mod 2^r_bits, same Newton iteration as Kp_field.Gfp_mont *)
+    let p_neg_inv =
+      let rec newton inv k =
+        if k >= r_bits then inv
+        else newton (inv * (2 - (p * inv)) land r_mask) (k * 2)
+      in
+      let inv = newton p 1 in
+      (-inv) land r_mask
+
+    (* t < p·R  ->  t/R mod p, loose: in [0, 2p) *)
+    let[@inline] reduce_loose t =
+      let m = (t land r_mask) * p_neg_inv land r_mask in
+      (t + (m * p)) lsr r_bits
+
+    (* canonical Montgomery product, identical to Gfp_mont.mul *)
+    let[@inline] mont_mul a b =
+      let u = reduce_loose (a * b) in
+      if u >= p then u - p else u
+
+    (* loose values are < 2p; this many fit on top of a canonical residue *)
+    let lazy_block = max 1 ((max_int - (p - 1)) / ((2 * p) - 1))
+
+    let dot a b =
+      let n = Array.length a in
+      let acc = ref 0 and i = ref 0 in
+      while !i < n do
+        let stop = min n (!i + lazy_block) in
+        let s = ref !acc in
+        for k = !i to stop - 1 do
+          s := !s + reduce_loose (a.(k) * b.(k))
+        done;
+        acc := !s mod p;
+        i := stop
+      done;
+      !acc
+
+    let dot_gather ~vals ~cols ~lo ~hi ~x =
+      let acc = ref 0 and k = ref lo in
+      while !k < hi do
+        let stop = min hi (!k + lazy_block) in
+        let s = ref !acc in
+        for kk = !k to stop - 1 do
+          s := !s + reduce_loose (vals.(kk) * x.(cols.(kk)))
+        done;
+        acc := !s mod p;
+        k := stop
+      done;
+      !acc
+
+    let axpy_into ~a ~x ~xoff ~y ~yoff ~len =
+      if a <> 0 then
+        for i = 0 to len - 1 do
+          y.(yoff + i) <- (y.(yoff + i) + reduce_loose (a * x.(xoff + i))) mod p
+        done
+
+    let scale_into ~a ~x ~xoff ~dst ~doff ~len =
+      for i = 0 to len - 1 do
+        dst.(doff + i) <- mont_mul a x.(xoff + i)
+      done
+
+    let add_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+      for i = 0 to len - 1 do
+        let s = x.(xoff + i) + y.(yoff + i) in
+        dst.(doff + i) <- (if s >= p then s - p else s)
+      done
+
+    let sub_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+      for i = 0 to len - 1 do
+        let d = x.(xoff + i) - y.(yoff + i) in
+        dst.(doff + i) <- (if d < 0 then d + p else d)
+      done
+
+    let pointwise_mul_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+      for i = 0 to len - 1 do
+        dst.(doff + i) <- mont_mul x.(xoff + i) y.(yoff + i)
+      done
+
+    let matvec_into ~m ~cols ~row_lo ~row_hi ~x ~dst =
+      for i = row_lo to row_hi - 1 do
+        let base = i * cols in
+        let acc = ref 0 and j = ref 0 in
+        while !j < cols do
+          let stop = min cols (!j + lazy_block) in
+          let s = ref !acc in
+          for k = !j to stop - 1 do
+            s := !s + reduce_loose (m.(base + k) * x.(k))
+          done;
+          acc := !s mod p;
+          j := stop
+        done;
+        dst.(i) <- !acc
+      done
+
+    let matmul_into ~a ~b ~dst ~inner ~bcols ~row_lo ~row_hi =
+      for i = row_lo to row_hi - 1 do
+        let arow = i * inner and orow = i * bcols in
+        let k = ref 0 in
+        while !k < inner do
+          let stop = min inner (!k + lazy_block) in
+          for kk = !k to stop - 1 do
+            let aik = a.(arow + kk) in
+            if aik <> 0 then begin
+              let brow = kk * bcols in
+              for j = 0 to bcols - 1 do
+                dst.(orow + j) <-
+                  dst.(orow + j) + reduce_loose (aik * b.(brow + j))
+              done
+            end
+          done;
+          for j = 0 to bcols - 1 do
+            dst.(orow + j) <- dst.(orow + j) mod p
+          done;
+          k := stop
+        done
+      done
+  end)

@@ -1,0 +1,119 @@
+(** Word-level GF(p) kernel with delayed modular reduction.
+
+    Elements are canonical residues in [0, p) stored in native [int]s
+    (the representation advertised by [Gfp_word { p }]).  Since p < 2^30,
+    a raw product is below 2^60, so an accumulator in OCaml's 63-bit [int]
+    absorbs [lazy_block] raw products between reductions instead of paying
+    one division per multiply-add.  All outputs are reduced to canonical
+    residues, which makes every primitive bit-identical to the derived
+    kernel over [Kp_field.Gfp] — GF(p) addition is associative and the
+    representation is canonical, so regrouping the reductions cannot change
+    the resulting word. *)
+
+let make ~p : (module Kernel_intf.KERNEL with type t = int) =
+  (module struct
+    type t = int
+
+    let backend = "gfp_word"
+
+    let prod_cap = (p - 1) * (p - 1)
+
+    (* raw products that fit on top of a canonical residue without overflow:
+       (p-1) + lazy_block·(p-1)² ≤ max_int; ≥ 4 even for p just under 2^30 *)
+    let lazy_block = max 1 ((max_int - (p - 1)) / max 1 prod_cap)
+
+    let dot a b =
+      let n = Array.length a in
+      let acc = ref 0 and i = ref 0 in
+      while !i < n do
+        let stop = min n (!i + lazy_block) in
+        let s = ref !acc in
+        for k = !i to stop - 1 do
+          s := !s + (a.(k) * b.(k))
+        done;
+        acc := !s mod p;
+        i := stop
+      done;
+      !acc
+
+    let dot_gather ~vals ~cols ~lo ~hi ~x =
+      let acc = ref 0 and k = ref lo in
+      while !k < hi do
+        let stop = min hi (!k + lazy_block) in
+        let s = ref !acc in
+        for kk = !k to stop - 1 do
+          s := !s + (vals.(kk) * x.(cols.(kk)))
+        done;
+        acc := !s mod p;
+        k := stop
+      done;
+      !acc
+
+    let axpy_into ~a ~x ~xoff ~y ~yoff ~len =
+      if a <> 0 then
+        for i = 0 to len - 1 do
+          y.(yoff + i) <- (y.(yoff + i) + (a * x.(xoff + i))) mod p
+        done
+
+    let scale_into ~a ~x ~xoff ~dst ~doff ~len =
+      for i = 0 to len - 1 do
+        dst.(doff + i) <- a * x.(xoff + i) mod p
+      done
+
+    let add_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+      for i = 0 to len - 1 do
+        let s = x.(xoff + i) + y.(yoff + i) in
+        dst.(doff + i) <- (if s >= p then s - p else s)
+      done
+
+    let sub_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+      for i = 0 to len - 1 do
+        let d = x.(xoff + i) - y.(yoff + i) in
+        dst.(doff + i) <- (if d < 0 then d + p else d)
+      done
+
+    let pointwise_mul_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+      for i = 0 to len - 1 do
+        dst.(doff + i) <- x.(xoff + i) * y.(yoff + i) mod p
+      done
+
+    let matvec_into ~m ~cols ~row_lo ~row_hi ~x ~dst =
+      for i = row_lo to row_hi - 1 do
+        let base = i * cols in
+        let acc = ref 0 and j = ref 0 in
+        while !j < cols do
+          let stop = min cols (!j + lazy_block) in
+          let s = ref !acc in
+          for k = !j to stop - 1 do
+            s := !s + (m.(base + k) * x.(k))
+          done;
+          acc := !s mod p;
+          j := stop
+        done;
+        dst.(i) <- !acc
+      done
+
+    let matmul_into ~a ~b ~dst ~inner ~bcols ~row_lo ~row_hi =
+      for i = row_lo to row_hi - 1 do
+        let arow = i * inner and orow = i * bcols in
+        let k = ref 0 in
+        while !k < inner do
+          let stop = min inner (!k + lazy_block) in
+          for kk = !k to stop - 1 do
+            let aik = a.(arow + kk) in
+            (* adding a zero row then reducing leaves the residues unchanged,
+               so skipping is value-preserving *)
+            if aik <> 0 then begin
+              let brow = kk * bcols in
+              for j = 0 to bcols - 1 do
+                dst.(orow + j) <- dst.(orow + j) + (aik * b.(brow + j))
+              done
+            end
+          done;
+          for j = 0 to bcols - 1 do
+            dst.(orow + j) <- dst.(orow + j) mod p
+          done;
+          k := stop
+        done
+      done
+  end)

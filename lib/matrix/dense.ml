@@ -134,36 +134,33 @@ end
 module Make (F : Kp_field.Field_intf.FIELD) = struct
   include Core (F)
 
-  (* Shadow the PRAM-faithful (balanced-reduction) product of Core with the
-     cache-friendly i,k,j loop for concrete computation — identical results,
-     identical operation count, better constants on real hardware. *)
+  (* Concrete computation dispatches every hot loop to the bulk kernel
+     selected by [F.kernel_hint]: the word-level GF(p)/GF(2) backends when
+     the representation allows, the derived (operation-faithful) kernel
+     otherwise.  Either way the i,k,j order and the sequential row
+     accumulation shadowed here produce the same residues — and for the
+     derived backend, the same operation counts — as the historical scalar
+     loops.  Core's balanced-reduction [mul]/[matvec] stay untouched for
+     circuit builders. *)
+  module K = Kp_kernel.Dispatch.Make (F)
+
   let mul a b =
     if a.cols <> b.rows then invalid_arg "Dense.mul: inner dimension mismatch";
     let out = make a.rows b.cols in
-    let n = a.rows and m = a.cols and q = b.cols in
-    for i = 0 to n - 1 do
-      let arow = i * m in
-      let orow = i * q in
-      for k = 0 to m - 1 do
-        let aik = a.data.(arow + k) in
-        let brow = k * q in
-        for j = 0 to q - 1 do
-          out.data.(orow + j) <-
-            F.add out.data.(orow + j) (F.mul aik b.data.(brow + j))
-        done
-      done
-    done;
+    K.matmul_into ~a:a.data ~b:b.data ~dst:out.data ~inner:a.cols
+      ~bcols:b.cols ~row_lo:0 ~row_hi:a.rows;
     out
+
+  let matvec_into m v dst =
+    if m.cols <> Array.length v || m.rows <> Array.length dst then
+      invalid_arg "Dense.matvec_into: dimension mismatch";
+    K.matvec_into ~m:m.data ~cols:m.cols ~row_lo:0 ~row_hi:m.rows ~x:v ~dst
 
   let matvec m v =
     if m.cols <> Array.length v then invalid_arg "Dense.matvec: dimension mismatch";
-    Array.init m.rows (fun i ->
-        let acc = ref F.zero in
-        let base = i * m.cols in
-        for j = 0 to m.cols - 1 do
-          acc := F.add !acc (F.mul m.data.(base + j) v.(j))
-        done;
-        !acc)
+    let dst = Array.make m.rows F.zero in
+    K.matvec_into ~m:m.data ~cols:m.cols ~row_lo:0 ~row_hi:m.rows ~x:v ~dst;
+    dst
 
   let equal a b =
     a.rows = b.rows && a.cols = b.cols
@@ -229,16 +226,13 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
   let mul_parallel pool a b =
     if a.cols <> b.rows then invalid_arg "Dense.mul_parallel: inner dimension mismatch";
     let out = make a.rows b.cols in
-    let m = a.cols and q = b.cols in
-    Kp_util.Pool.parallel_for pool ~lo:0 ~hi:a.rows (fun i ->
-        let arow = i * m and orow = i * q in
-        for k = 0 to m - 1 do
-          let aik = a.data.(arow + k) in
-          let brow = k * q in
-          for j = 0 to q - 1 do
-            out.data.(orow + j) <- F.add out.data.(orow + j) (F.mul aik b.data.(brow + j))
-          done
-        done);
+    (* row-disjoint chunks, each one bulk kernel call; every row is written
+       by exactly one chunk, so the result is bit-identical to [mul] *)
+    let chunk = max 1 (a.rows / (4 * Kp_util.Pool.size pool)) in
+    Kp_util.Pool.parallel_for_chunked pool ~lo:0 ~hi:a.rows ~chunk
+      (fun cl ch ->
+        K.matmul_into ~a:a.data ~b:b.data ~dst:out.data ~inner:a.cols
+          ~bcols:b.cols ~row_lo:cl ~row_hi:ch);
     out
 
   let to_string m =

@@ -9,7 +9,14 @@
 
     The paper uses matrix multiplication as a black box; [mul] (classical,
     O(n³)) and [mul_strassen] (O(n^2.81)) are the two instantiations, and
-    [mul_parallel] runs the classical product on a domain pool. *)
+    [mul_parallel] runs the classical product on a domain pool.
+
+    {!Make} routes [mul], [matvec] and [mul_parallel] through the bulk
+    kernel selected by [F.kernel_hint] (see {!Kp_kernel.Dispatch}): unboxed
+    word-level loops for GF(p)/GF(2) representations, the derived
+    operation-faithful kernel otherwise.  Results are bit-identical to the
+    scalar i,k,j loops these calls replaced.  {!Core} keeps the
+    balanced-reduction implementations for circuit builders. *)
 
 module Core (F : Kp_field.Field_intf.FIELD_CORE) : sig
   type t = { rows : int; cols : int; data : F.t array }
@@ -71,8 +78,13 @@ module Make (F : Kp_field.Field_intf.FIELD) : sig
   val random_of_rank : Random.State.t -> int -> rank:int -> t
   (** [n×n] matrix of the exact given rank. *)
 
+  val matvec_into : t -> F.t array -> F.t array -> unit
+  (** [matvec_into m v dst] writes [m·v] into [dst] (length [rows]) without
+      allocating — the kernel-backed primitive behind [matvec]. *)
+
   val mul_parallel : Kp_util.Pool.t -> t -> t -> t
-  (** Classical product with rows distributed over the pool. *)
+  (** Classical product with row-disjoint chunks distributed over the pool,
+      each chunk one bulk kernel call; bit-identical to [mul]. *)
 
   val pp : Format.formatter -> t -> unit
   val to_string : t -> string

@@ -1,5 +1,6 @@
 module Make (F : Kp_field.Field_intf.FIELD) = struct
   module M = Dense.Make (F)
+  module K = Kp_kernel.Dispatch.Make (F)
 
   type t = {
     rows : int;
@@ -84,25 +85,26 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
     done;
     of_triplets ~rows:m.M.rows ~cols:m.M.cols !triplets
 
+  (* each CSR row is one kernel gather-product — same sequential
+     accumulation as the historical scalar loop *)
   let matvec t v =
     if Array.length v <> t.cols then invalid_arg "Sparse.matvec: dimension mismatch";
     Array.init t.rows (fun i ->
-        let acc = ref F.zero in
-        for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-          acc := F.add !acc (F.mul t.values.(k) v.(t.col_idx.(k)))
-        done;
-        !acc)
+        K.dot_gather ~vals:t.values ~cols:t.col_idx ~lo:t.row_ptr.(i)
+          ~hi:t.row_ptr.(i + 1) ~x:v)
 
   let matvec_parallel pool t v =
     if Array.length v <> t.cols then
       invalid_arg "Sparse.matvec_parallel: dimension mismatch";
     let out = Array.make t.rows F.zero in
-    Kp_util.Pool.parallel_for pool ~lo:0 ~hi:t.rows (fun i ->
-        let acc = ref F.zero in
-        for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-          acc := F.add !acc (F.mul t.values.(k) v.(t.col_idx.(k)))
-        done;
-        out.(i) <- !acc);
+    let chunk = max 1 (t.rows / (4 * Kp_util.Pool.size pool)) in
+    Kp_util.Pool.parallel_for_chunked pool ~lo:0 ~hi:t.rows ~chunk
+      (fun cl ch ->
+        for i = cl to ch - 1 do
+          out.(i) <-
+            K.dot_gather ~vals:t.values ~cols:t.col_idx ~lo:t.row_ptr.(i)
+              ~hi:t.row_ptr.(i + 1) ~x:v
+        done);
     out
 
   let matvec_transpose t v =

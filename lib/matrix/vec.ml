@@ -1,4 +1,23 @@
-module Make (F : Kp_field.Field_intf.FIELD_CORE) = struct
+module type S = sig
+  type elt
+  type t = elt array
+
+  val make : int -> t
+  val init : int -> (int -> elt) -> t
+  val basis : int -> int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : elt -> t -> t
+  val dot : t -> t -> elt
+  val axpy : elt -> t -> t -> t
+end
+
+module With_kernel
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (K : Kp_kernel.Kernel_intf.KERNEL with type t = F.t) =
+struct
+  type elt = F.t
   type t = F.t array
 
   let make n = Array.make n F.zero
@@ -14,35 +33,39 @@ module Make (F : Kp_field.Field_intf.FIELD_CORE) = struct
 
   let add a b =
     check a b;
-    Array.init (Array.length a) (fun i -> F.add a.(i) b.(i))
+    let n = Array.length a in
+    let out = make n in
+    K.add_into ~x:a ~xoff:0 ~y:b ~yoff:0 ~dst:out ~doff:0 ~len:n;
+    out
 
   let sub a b =
     check a b;
-    Array.init (Array.length a) (fun i -> F.sub a.(i) b.(i))
+    let n = Array.length a in
+    let out = make n in
+    K.sub_into ~x:a ~xoff:0 ~y:b ~yoff:0 ~dst:out ~doff:0 ~len:n;
+    out
 
   let neg a = Array.map F.neg a
-  let scale c a = Array.map (F.mul c) a
 
-  (* balanced reduction: O(log n) depth when traced into a circuit *)
-  let rec balanced_dot a b lo hi =
-    if hi <= lo then F.zero
-    else if hi - lo <= 8 then begin
-      let acc = ref (F.mul a.(lo) b.(lo)) in
-      for i = lo + 1 to hi - 1 do
-        acc := F.add !acc (F.mul a.(i) b.(i))
-      done;
-      !acc
-    end
-    else begin
-      let mid = (lo + hi) / 2 in
-      F.add (balanced_dot a b lo mid) (balanced_dot a b mid hi)
-    end
+  let scale c a =
+    let n = Array.length a in
+    let out = make n in
+    K.scale_into ~a:c ~x:a ~xoff:0 ~dst:out ~doff:0 ~len:n;
+    out
 
   let dot a b =
     check a b;
-    balanced_dot a b 0 (Array.length a)
+    K.dot a b
 
   let axpy a x y =
     check x y;
-    Array.init (Array.length x) (fun i -> F.add (F.mul a x.(i)) y.(i))
+    let out = Array.copy y in
+    K.axpy_into ~a ~x ~xoff:0 ~y:out ~yoff:0 ~len:(Array.length x);
+    out
 end
+
+(* the straight-line functor keeps its historical signature: a FIELD_CORE in,
+   the derived (operation-faithful) kernel inside — circuit builders and
+   counting fields trace exactly the gates they always did *)
+module Make (F : Kp_field.Field_intf.FIELD_CORE) =
+  With_kernel (F) (Kp_kernel.Derived.Make (F))

@@ -1,21 +1,35 @@
 (** Vectors over a field core — straight-line helpers shared by the matrix
-    and solver layers (no zero tests). *)
+    and solver layers (no zero tests).
 
-module Make (F : Kp_field.Field_intf.FIELD_CORE) : sig
-  type t = F.t array
+    All bulk arithmetic is delegated to a {!Kp_kernel.Kernel_intf.KERNEL}.
+    {!Make} plugs in the derived (operation-faithful) kernel, so its circuit
+    trace and operation counts are unchanged from the historical scalar
+    loops; {!With_kernel} lets a caller that knows its field's concrete
+    representation substitute a specialized backend. *)
+
+module type S = sig
+  type elt
+  type t = elt array
 
   val make : int -> t
   (** Zero vector. *)
 
-  val init : int -> (int -> F.t) -> t
+  val init : int -> (int -> elt) -> t
   val basis : int -> int -> t
   (** [basis n i] = e_i. *)
 
   val add : t -> t -> t
   val sub : t -> t -> t
   val neg : t -> t
-  val scale : F.t -> t -> t
-  val dot : t -> t -> F.t
-  val axpy : F.t -> t -> t -> t
+  val scale : elt -> t -> t
+  val dot : t -> t -> elt
+  val axpy : elt -> t -> t -> t
   (** [axpy a x y] = a·x + y. *)
 end
+
+module With_kernel
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (K : Kp_kernel.Kernel_intf.KERNEL with type t = F.t) :
+  S with type elt = F.t
+
+module Make (F : Kp_field.Field_intf.FIELD_CORE) : S with type elt = F.t

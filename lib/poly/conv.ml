@@ -12,10 +12,13 @@ end
 let c_pool_karatsuba = Kp_obs.Counter.make "pool.conv.karatsuba"
 let c_pool_ntt = Kp_obs.Counter.make "pool.conv.ntt"
 
-module Karatsuba (F : Kp_field.Field_intf.FIELD_CORE) = struct
+module Karatsuba_k
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (K : Kp_kernel.Kernel_intf.KERNEL with type t = F.t) =
+struct
   type elt = F.t
 
-  module Ser = Series.Make (F)
+  module Ser = Series.Make_k (F) (K)
 
   let mul_full = Ser.mul_full
 
@@ -35,6 +38,12 @@ module Karatsuba (F : Kp_field.Field_intf.FIELD_CORE) = struct
     | _ -> Ser.mul_full a b
 end
 
+module Karatsuba (F : Kp_field.Field_intf.FIELD_CORE) =
+  Karatsuba_k (F) (Kp_kernel.Derived.Make (F))
+
+module Karatsuba_field (F : Kp_field.Field_intf.FIELD) =
+  Karatsuba_k (F) (Kp_kernel.Dispatch.Make (F))
+
 module type NTT_PRIME = sig
   val p : int
   val root : int
@@ -47,11 +56,14 @@ module Default_ntt_prime = struct
   let max_log2 = 23
 end
 
-module Ntt_generic (F : Kp_field.Field_intf.FIELD_CORE) (P : NTT_PRIME) =
+module Ntt_generic_k
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (K : Kp_kernel.Kernel_intf.KERNEL with type t = F.t)
+    (P : NTT_PRIME) =
 struct
   type elt = F.t
 
-  module Fallback = Karatsuba (F)
+  module Fallback = Karatsuba_k (F) (K)
 
   (* integer plan arithmetic *)
   let pow_mod b e =
@@ -97,9 +109,12 @@ struct
   let pool_width = 1 lsl 12
 
   (* One butterfly level is a data-parallel loop over n/2 independent
-     (u, v) pairs; pooled execution splits that index space into chunks.
-     Every pair is touched by exactly one chunk, so values (and therefore
-     results) are identical to the sequential schedule. *)
+     (u, v) pairs, executed as three bulk kernel passes per block:
+     v = a_hi ⊙ roots into a scratch slice, then a_hi = a_lo - v and
+     a_lo = a_lo + v.  Block [blk] owns the scratch slice at [blk·half], so
+     any partition of the blocks (or of the k-range inside the single
+     topmost block) is race-free, and every pair is touched by exactly one
+     chunk — values are identical to the sequential schedule. *)
   let transform ?pool (a : F.t array) ~inverse =
     let n = Array.length a in
     let pool =
@@ -108,14 +123,6 @@ struct
       | _ -> None
     in
     if pool <> None then Kp_obs.Counter.incr c_pool_ntt;
-    let parallel_or ~hi seq body =
-      match pool with
-      | Some p ->
-        Pool.parallel_for_chunked p ~lo:0 ~hi
-          ~chunk:(max 1024 (hi / (4 * Pool.size p)))
-          body
-      | None -> seq ()
-    in
     let j = ref 0 in
     for i = 1 to n - 1 do
       let bit = ref (n lsr 1) in
@@ -130,46 +137,56 @@ struct
         a.(!j) <- t
       end
     done;
+    let vbuf = Array.make (n lsr 1) F.zero in
     let len = ref 2 in
     while !len <= n do
       let fwd, bwd = roots_for !len in
       let roots = if inverse then bwd else fwd in
       let half = !len lsr 1 in
-      let butterfly q =
-        let blk = q / half and k = q mod half in
-        let i = (blk * !len) + k in
-        let u = a.(i) and v = F.mul a.(i + half) roots.(k) in
-        a.(i) <- F.add u v;
-        a.(i + half) <- F.sub u v
+      let nblocks = n / !len in
+      let do_block blk =
+        let i = blk * !len in
+        let vo = blk * half in
+        K.pointwise_mul_into ~x:a ~xoff:(i + half) ~y:roots ~yoff:0 ~dst:vbuf
+          ~doff:vo ~len:half;
+        K.sub_into ~x:a ~xoff:i ~y:vbuf ~yoff:vo ~dst:a ~doff:(i + half)
+          ~len:half;
+        K.add_into ~x:a ~xoff:i ~y:vbuf ~yoff:vo ~dst:a ~doff:i ~len:half
       in
-      let sequential () =
-        let i = ref 0 in
-        while !i < n do
-          for k = 0 to half - 1 do
-            let u = a.(!i + k) and v = F.mul a.(!i + k + half) roots.(k) in
-            a.(!i + k) <- F.add u v;
-            a.(!i + k + half) <- F.sub u v
-          done;
-          i := !i + !len
-        done
-      in
-      parallel_or ~hi:(n lsr 1) sequential (fun cl ch ->
-          for q = cl to ch - 1 do
-            butterfly q
-          done);
+      (match pool with
+      | Some p when nblocks >= 2 ->
+        Pool.parallel_for_chunked p ~lo:0 ~hi:nblocks
+          ~chunk:(max 1 (nblocks / (4 * Pool.size p)))
+          (fun bl bh ->
+            for blk = bl to bh - 1 do
+              do_block blk
+            done)
+      | Some p ->
+        (* single block spanning the whole array: split the k-range *)
+        Pool.parallel_for_chunked p ~lo:0 ~hi:half
+          ~chunk:(max 1024 (half / (4 * Pool.size p)))
+          (fun kl kh ->
+            let w = kh - kl in
+            K.pointwise_mul_into ~x:a ~xoff:(half + kl) ~y:roots ~yoff:kl
+              ~dst:vbuf ~doff:kl ~len:w;
+            K.sub_into ~x:a ~xoff:kl ~y:vbuf ~yoff:kl ~dst:a ~doff:(half + kl)
+              ~len:w;
+            K.add_into ~x:a ~xoff:kl ~y:vbuf ~yoff:kl ~dst:a ~doff:kl ~len:w)
+      | None ->
+        for blk = 0 to nblocks - 1 do
+          do_block blk
+        done);
       len := !len lsl 1
     done;
     if inverse then begin
       let ninv = F.of_int (inv_mod n) in
-      parallel_or ~hi:n
-        (fun () ->
-          for i = 0 to n - 1 do
-            a.(i) <- F.mul a.(i) ninv
-          done)
-        (fun cl ch ->
-          for i = cl to ch - 1 do
-            a.(i) <- F.mul a.(i) ninv
-          done)
+      match pool with
+      | Some p ->
+        Pool.parallel_for_chunked p ~lo:0 ~hi:n
+          ~chunk:(max 1024 (n / (4 * Pool.size p)))
+          (fun cl ch ->
+            K.scale_into ~a:ninv ~x:a ~xoff:cl ~dst:a ~doff:cl ~len:(ch - cl))
+      | None -> K.scale_into ~a:ninv ~x:a ~xoff:0 ~dst:a ~doff:0 ~len:n
     end
 
   let mul_full_pool pool a b =
@@ -194,13 +211,11 @@ struct
           Pool.parallel_for_chunked p ~lo:0 ~hi:!size
             ~chunk:(max 1024 (!size / (4 * Pool.size p)))
             (fun cl ch ->
-              for i = cl to ch - 1 do
-                fa.(i) <- F.mul fa.(i) fb.(i)
-              done)
+              K.pointwise_mul_into ~x:fa ~xoff:cl ~y:fb ~yoff:cl ~dst:fa
+                ~doff:cl ~len:(ch - cl))
         | _ ->
-          for i = 0 to !size - 1 do
-            fa.(i) <- F.mul fa.(i) fb.(i)
-          done);
+          K.pointwise_mul_into ~x:fa ~xoff:0 ~y:fb ~yoff:0 ~dst:fa ~doff:0
+            ~len:!size);
         transform ?pool fa ~inverse:true;
         Array.sub fa 0 out_len
       end
@@ -208,3 +223,9 @@ struct
 
   let mul_full a b = mul_full_pool None a b
 end
+
+module Ntt_generic (F : Kp_field.Field_intf.FIELD_CORE) (P : NTT_PRIME) =
+  Ntt_generic_k (F) (Kp_kernel.Derived.Make (F)) (P)
+
+module Ntt_field (F : Kp_field.Field_intf.FIELD) (P : NTT_PRIME) =
+  Ntt_generic_k (F) (Kp_kernel.Dispatch.Make (F)) (P)

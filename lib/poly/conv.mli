@@ -30,7 +30,20 @@ module type S = sig
       [pool.conv.*] {!Kp_obs} counters. *)
 end
 
+module Karatsuba_k
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (K : Kp_kernel.Kernel_intf.KERNEL with type t = F.t) :
+  S with type elt = F.t
+(** Karatsuba with its leaf products and recombination passes running on an
+    explicit bulk kernel. *)
+
 module Karatsuba (F : Kp_field.Field_intf.FIELD_CORE) : S with type elt = F.t
+(** [Karatsuba_k] over the derived (operation-faithful) kernel — the
+    historical behaviour, safe for counting fields and circuit builders. *)
+
+module Karatsuba_field (F : Kp_field.Field_intf.FIELD) : S with type elt = F.t
+(** [Karatsuba_k] over the kernel dispatched from [F.kernel_hint] — word-level
+    unboxed leaves for GF(p)/GF(2) representations. *)
 
 module type NTT_PRIME = sig
   val p : int
@@ -46,11 +59,28 @@ end
 module Default_ntt_prime : NTT_PRIME
 (** 998244353 / root 3 / 2{^23} — matches {!Kp_field.Fields.Gf_ntt}. *)
 
+module Ntt_generic_k
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (K : Kp_kernel.Kernel_intf.KERNEL with type t = F.t)
+    (P : NTT_PRIME) : sig
+  include S with type elt = F.t
+
+  (** NTT whose butterfly levels, pointwise stage and inverse scaling run as
+      bulk kernel passes.  Falls back to (kernel-backed) Karatsuba when the
+      product is too long for the root order. *)
+end
+
 module Ntt_generic
     (F : Kp_field.Field_intf.FIELD_CORE)
     (P : NTT_PRIME) : sig
   include S with type elt = F.t
 
-  (** Falls back to Karatsuba when the product is too long for the root
-      order. *)
+  (** [Ntt_generic_k] over the derived kernel; falls back to Karatsuba when
+      the product is too long for the root order. *)
+end
+
+module Ntt_field (F : Kp_field.Field_intf.FIELD) (P : NTT_PRIME) : sig
+  include S with type elt = F.t
+
+  (** [Ntt_generic_k] over the kernel dispatched from [F.kernel_hint]. *)
 end

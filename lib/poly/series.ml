@@ -1,4 +1,38 @@
-module Make (F : Kp_field.Field_intf.FIELD_CORE) = struct
+module type S = sig
+  type elt
+  type t = elt array
+
+  val make : int -> t
+  val of_array : int -> elt array -> t
+  val truncate : int -> t -> t
+  val one : int -> t
+  val constant : int -> elt -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : elt -> t -> t
+  val mul_full : elt array -> elt array -> elt array
+
+  val mul_full_fork :
+    fork:((unit -> unit) list -> unit) ->
+    fork_width:int ->
+    elt array -> elt array -> elt array
+
+  val mul : t -> t -> t
+  val inv : t -> t
+  val div : t -> t -> t
+  val derivative : t -> t
+  val integrate : t -> t
+  val log : t -> t
+  val exp : t -> t
+  val eval : t -> elt -> elt
+end
+
+module Make_k
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (K : Kp_kernel.Kernel_intf.KERNEL with type t = F.t) =
+struct
+  type elt = F.t
   type t = F.t array
 
   let make n = Array.make n F.zero
@@ -25,14 +59,25 @@ module Make (F : Kp_field.Field_intf.FIELD_CORE) = struct
 
   let add a b =
     check_len a b "add";
-    Array.init (Array.length a) (fun i -> F.add a.(i) b.(i))
+    let n = Array.length a in
+    let out = make n in
+    K.add_into ~x:a ~xoff:0 ~y:b ~yoff:0 ~dst:out ~doff:0 ~len:n;
+    out
 
   let sub a b =
     check_len a b "sub";
-    Array.init (Array.length a) (fun i -> F.sub a.(i) b.(i))
+    let n = Array.length a in
+    let out = make n in
+    K.sub_into ~x:a ~xoff:0 ~y:b ~yoff:0 ~dst:out ~doff:0 ~len:n;
+    out
 
   let neg a = Array.map F.neg a
-  let scale c a = Array.map (F.mul c) a
+
+  let scale c a =
+    let n = Array.length a in
+    let out = make n in
+    K.scale_into ~a:c ~x:a ~xoff:0 ~dst:out ~doff:0 ~len:n;
+    out
 
   let karatsuba_threshold = 24
 
@@ -49,11 +94,11 @@ module Make (F : Kp_field.Field_intf.FIELD_CORE) = struct
     let la = Array.length a and lb = Array.length b in
     if la = 0 || lb = 0 then [||]
     else if la < karatsuba_threshold || lb < karatsuba_threshold then begin
+      (* schoolbook leaf: one bulk AXPY per row — the derived kernel replays
+         exactly the historical out.(i+j) <- out.(i+j) + a.(i)·b.(j) loop *)
       let out = Array.make (la + lb - 1) F.zero in
       for i = 0 to la - 1 do
-        for j = 0 to lb - 1 do
-          out.(i + j) <- F.add out.(i + j) (F.mul a.(i) b.(j))
-        done
+        K.axpy_into ~a:a.(i) ~x:b ~xoff:0 ~y:out ~yoff:i ~len:lb
       done;
       out
     end
@@ -84,11 +129,11 @@ module Make (F : Kp_field.Field_intf.FIELD_CORE) = struct
          -z0 -z2 corrections cancel its top; use a scratch and truncate. *)
       let out = Array.make (max (la + lb - 1) (3 * m)) F.zero in
       let acc sign v off =
-        Array.iteri
-          (fun i c ->
-            out.(i + off) <-
-              (if sign then F.add out.(i + off) c else F.sub out.(i + off) c))
-          v
+        let lv = Array.length v in
+        if sign then
+          K.add_into ~x:out ~xoff:off ~y:v ~yoff:0 ~dst:out ~doff:off ~len:lv
+        else
+          K.sub_into ~x:out ~xoff:off ~y:v ~yoff:0 ~dst:out ~doff:off ~len:lv
       in
       acc true z0 0;
       acc true z2 (2 * m);
@@ -170,3 +215,9 @@ module Make (F : Kp_field.Field_intf.FIELD_CORE) = struct
     done;
     !acc
 end
+
+(* historical entry point: the derived kernel replays the scalar loops
+   verbatim, so counting fields and circuit builders see the same operation
+   stream as before the kernel layer existed *)
+module Make (F : Kp_field.Field_intf.FIELD_CORE) =
+  Make_k (F) (Kp_kernel.Derived.Make (F))

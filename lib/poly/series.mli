@@ -9,37 +9,44 @@
 
     Divisions occur only where the paper divides: [inv] divides by the
     constant term, [integrate]/[log]/[exp] divide by 1..n-1 (the
-    characteristic-0-or-large restriction of Leverrier/Csanky). *)
+    characteristic-0-or-large restriction of Leverrier/Csanky).
 
-module Make (F : Kp_field.Field_intf.FIELD_CORE) : sig
-  type t = F.t array
+    Bulk coefficient loops (the schoolbook convolution leaf, the Karatsuba
+    recombination, elementwise add/sub/scale) run on a
+    {!Kp_kernel.Kernel_intf.KERNEL}.  {!Make} plugs in the derived kernel —
+    operation stream identical to the historical scalar loops — while
+    {!Make_k} accepts a specialized backend (see {!Conv.Karatsuba_field}). *)
+
+module type S = sig
+  type elt
+  type t = elt array
 
   val make : int -> t
   (** [make n] is the zero series mod x{^n}. *)
 
-  val of_array : int -> F.t array -> t
+  val of_array : int -> elt array -> t
   (** Truncate or zero-pad to length [n]. *)
 
   val truncate : int -> t -> t
 
   val one : int -> t
-  val constant : int -> F.t -> t
+  val constant : int -> elt -> t
 
   val add : t -> t -> t
   (** Lengths must agree (checked). *)
 
   val sub : t -> t -> t
   val neg : t -> t
-  val scale : F.t -> t -> t
+  val scale : elt -> t -> t
 
-  val mul_full : F.t array -> F.t array -> F.t array
+  val mul_full : elt array -> elt array -> elt array
   (** Full product, length la+lb-1 (empty if either is empty); Karatsuba
       above a threshold.  Oblivious: multiplies zero coefficients too. *)
 
   val mul_full_fork :
     fork:((unit -> unit) list -> unit) ->
     fork_width:int ->
-    F.t array -> F.t array -> F.t array
+    elt array -> elt array -> elt array
   (** [mul_full] with the three Karatsuba sub-products of every node whose
       operands are both at least [fork_width] long handed to [fork] (which
       must run every thunk to completion before returning — e.g.
@@ -72,5 +79,12 @@ module Make (F : Kp_field.Field_intf.FIELD_CORE) : sig
   (** [exp f] for f with zero constant term; same length.  Newton iteration
       via [log]. *)
 
-  val eval : t -> F.t -> F.t
+  val eval : t -> elt -> elt
 end
+
+module Make_k
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (K : Kp_kernel.Kernel_intf.KERNEL with type t = F.t) :
+  S with type elt = F.t
+
+module Make (F : Kp_field.Field_intf.FIELD_CORE) : S with type elt = F.t

@@ -60,6 +60,9 @@ module Field (F : Kp_field.Field_intf.FIELD) = struct
     (module struct
       include F
 
+      (* a specialized bulk kernel would run the arithmetic below without
+         passing through [tweak] — faults must not be optimizable away *)
+      let kernel_hint = Kp_field.Field_intf.Generic
       let mul a b = tweak (F.mul a b)
       let add a b = tweak (F.add a b)
       let sample st ~card_s = tweak (F.sample st ~card_s)

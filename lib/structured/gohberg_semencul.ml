@@ -1,6 +1,7 @@
-module Make
+module Make_k
     (F : Kp_field.Field_intf.FIELD_CORE)
-    (C : Kp_poly.Conv.S with type elt = F.t) =
+    (C : Kp_poly.Conv.S with type elt = F.t)
+    (K : Kp_kernel.Kernel_intf.KERNEL with type t = F.t) =
 struct
   module M = Kp_matrix.Dense.Core (F)
 
@@ -41,7 +42,12 @@ struct
       chain2 ());
     let r1 = !r1 and r2 = !r2 in
     let x0_inv = F.inv x.(0) in
-    Array.init n (fun i -> F.mul x0_inv (F.sub r1.(i) r2.(i)))
+    (* (1/x₀)(r1 − r2) as two bulk passes — same subs/muls as the historical
+       per-element F.mul x0_inv (F.sub r1 r2) *)
+    let out = Array.make n F.zero in
+    K.sub_into ~x:r1 ~xoff:0 ~y:r2 ~yoff:0 ~dst:out ~doff:0 ~len:n;
+    K.scale_into ~a:x0_inv ~x:out ~xoff:0 ~dst:out ~doff:0 ~len:n;
+    out
 
   (* balanced reduction: O(log n) depth when traced into a circuit *)
   let rec balanced_sum lo hi f =
@@ -85,3 +91,8 @@ struct
     in
     M.init n n (fun i j -> cols.(j).(i))
 end
+
+module Make
+    (F : Kp_field.Field_intf.FIELD_CORE)
+    (C : Kp_poly.Conv.S with type elt = F.t) =
+  Make_k (F) (C) (Kp_kernel.Derived.Make (F))

@@ -202,7 +202,7 @@ let test_committed_baseline_parses () =
           check_int (name ^ " self-compare is clean") 0
             (List.length
                (B.regressions (B.compare_runs ~baseline:run ~current:run ())))))
-    [ "BENCH_PR3.json"; "BENCH_PR4.json" ]
+    [ "BENCH_PR3.json"; "BENCH_PR4.json"; "BENCH_PR5.json" ]
 
 let test_pr4_baseline_covers_sessions () =
   (* the PR-4 baseline is the one CI gates on: it must carry the session
@@ -223,6 +223,28 @@ let test_pr4_baseline_covers_sessions () =
           && List.mem_assoc "session.cache.miss" t.B.counters
           && List.mem_assoc "session.cache.evict" t.B.counters)))
 
+let test_pr5_baseline_covers_kernels () =
+  (* the PR-5 baseline adds the kernel experiment: it must carry E14 and
+     the kernel.* hit counters, or the kernel fast path could silently stop
+     being taken without any regression firing *)
+  match find_committed "BENCH_PR5.json" with
+  | None -> ()
+  | Some path -> (
+    match B.load path with
+    | Error m -> Alcotest.failf "BENCH_PR5.json failed to parse: %s" m
+    | Ok run ->
+      let e14 = List.find_opt (fun t -> t.B.label = "E14") run.B.tables in
+      (match e14 with
+      | None -> Alcotest.fail "BENCH_PR5.json has no E14 table"
+      | Some t ->
+        check_bool "E14 records kernel hit counters" true
+          (List.mem_assoc "kernel.gfp_word" t.B.counters
+          && List.mem_assoc "kernel.bulk_ops" t.B.counters);
+        check_bool "E14 kernel fast path was taken" true
+          (match List.assoc_opt "kernel.gfp_word" t.B.counters with
+          | Some v -> v > 0.
+          | None -> false)))
+
 let () =
   Alcotest.run "bench_compare"
     [
@@ -240,6 +262,8 @@ let () =
             test_committed_baseline_parses;
           Alcotest.test_case "PR4 baseline covers sessions" `Quick
             test_pr4_baseline_covers_sessions;
+          Alcotest.test_case "PR5 baseline covers kernels" `Quick
+            test_pr5_baseline_covers_kernels;
         ] );
       ( "compare",
         [

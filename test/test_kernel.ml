@@ -1,0 +1,303 @@
+(* Bulk vector-kernel layer (lib/kernel): differential correctness.
+
+   The contract under test is bit-identity: every specialized backend
+   (gfp_word, gfp_mont, gf2_bitpacked) must return exactly the words the
+   derived reference kernel returns on the same inputs, for every
+   primitive, every size (including 0, 1 and non-powers-of-two straddling
+   the GF(2) 62-bit word boundary), every offset pattern the call sites
+   use (including the aliased dst = x recombination pattern of Karatsuba).
+   Pooled call sites must equal their sequential selves over 1/2/4
+   domains, and routing the generic fields (GF(2^8), Q, counting) through
+   the derived kernel must change neither results nor operation counts. *)
+
+module Dispatch = Kp_kernel.Dispatch
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+module type F_INT = Kp_field.Field_intf.FIELD with type t = int
+
+module Mont = Kp_field.Gfp_mont.Make (struct
+  let p = 998_244_353
+end)
+
+(* one instance per specialized backend, plus a small-prime gfp_word whose
+   lazy-reduction block is effectively infinite (different block schedule) *)
+let specialized : (string * (module F_INT)) list =
+  [
+    ("gfp_word.97", (module Kp_field.Fields.Gf_97));
+    ("gfp_word.ntt", (module Kp_field.Fields.Gf_ntt));
+    ("gfp_mont", (module Mont));
+    ("gf2_bitpacked", (module Kp_field.Gf2));
+  ]
+
+(* 61..64 straddle the bit-packed GF(2) word width (62) *)
+let edge_sizes = [ 0; 1; 2; 3; 7; 8; 13; 61; 62; 63; 64; 100 ]
+
+(* every KERNEL primitive, specialized backend vs derived reference, on
+   identical seed-determined inputs; raises on the first mismatch *)
+let check_primitives ~name (module F : F_INT) ~seed ~n =
+  let module D = Kp_kernel.Derived.Make (F) in
+  let module S =
+    (val Dispatch.of_field_raw
+           (module F : Kp_field.Field_intf.FIELD with type t = int))
+  in
+  let st = Kp_util.Rng.make (seed + (1000 * n)) in
+  let arr k = Array.init k (fun _ -> F.random st) in
+  let ctx prim = Printf.sprintf "%s %s n=%d seed=%d" name prim n seed in
+  let same prim xs ys =
+    check_bool (ctx prim) true (Array.for_all2 F.equal xs ys)
+  in
+  let a = arr n and b = arr n in
+  check_bool (ctx "dot") true (F.equal (S.dot a b) (D.dot a b));
+  (* offset vectors: x read at offset 2, y written at offset 3, so the
+     kernels must neither touch bytes outside [off, off+len) nor misindex *)
+  let x = arr (n + 5) and y = arr (n + 7) in
+  let alpha = F.random st in
+  let into prim f g =
+    let d1 = Array.copy y and d2 = Array.copy y in
+    f d1;
+    g d2;
+    same prim d1 d2
+  in
+  into "axpy_into"
+    (fun d -> S.axpy_into ~a:alpha ~x ~xoff:2 ~y:d ~yoff:3 ~len:n)
+    (fun d -> D.axpy_into ~a:alpha ~x ~xoff:2 ~y:d ~yoff:3 ~len:n);
+  into "axpy_into(zero)"
+    (fun d -> S.axpy_into ~a:F.zero ~x ~xoff:2 ~y:d ~yoff:3 ~len:n)
+    (fun d -> D.axpy_into ~a:F.zero ~x ~xoff:2 ~y:d ~yoff:3 ~len:n);
+  into "scale_into"
+    (fun d -> S.scale_into ~a:alpha ~x ~xoff:2 ~dst:d ~doff:3 ~len:n)
+    (fun d -> D.scale_into ~a:alpha ~x ~xoff:2 ~dst:d ~doff:3 ~len:n);
+  into "add_into"
+    (fun d -> S.add_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n)
+    (fun d -> D.add_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n);
+  into "sub_into"
+    (fun d -> S.sub_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n)
+    (fun d -> D.sub_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n);
+  into "pointwise_mul_into"
+    (fun d -> S.pointwise_mul_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n)
+    (fun d -> D.pointwise_mul_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n);
+  (* Karatsuba's recombination aliases dst with x at the same offset *)
+  into "add_into(aliased)"
+    (fun d -> S.add_into ~x:d ~xoff:3 ~y:x ~yoff:1 ~dst:d ~doff:3 ~len:n)
+    (fun d -> D.add_into ~x:d ~xoff:3 ~y:x ~yoff:1 ~dst:d ~doff:3 ~len:n);
+  (* sparse row: gathered dot over random column indices *)
+  let xn = max 1 n in
+  let gx = arr xn in
+  let vals = arr n in
+  let cols = Array.init n (fun _ -> Random.State.int st xn) in
+  check_bool (ctx "dot_gather") true
+    (F.equal
+       (S.dot_gather ~vals ~cols ~lo:0 ~hi:n ~x:gx)
+       (D.dot_gather ~vals ~cols ~lo:0 ~hi:n ~x:gx));
+  if n >= 2 then
+    check_bool (ctx "dot_gather(partial)") true
+      (F.equal
+         (S.dot_gather ~vals ~cols ~lo:1 ~hi:(n - 1) ~x:gx)
+         (D.dot_gather ~vals ~cols ~lo:1 ~hi:(n - 1) ~x:gx));
+  (* matvec: n rows, irregular column count; full and partial row ranges
+     (rows outside the range must be left untouched, which the shared
+     initial dst contents verify) *)
+  List.iter
+    (fun cols ->
+      let m = arr (n * cols) and mx = arr cols in
+      let dst0 = arr n in
+      let ranges = if n >= 2 then [ (0, n); (1, n - 1) ] else [ (0, n) ] in
+      List.iter
+        (fun (row_lo, row_hi) ->
+          let d1 = Array.copy dst0 and d2 = Array.copy dst0 in
+          S.matvec_into ~m ~cols ~row_lo ~row_hi ~x:mx ~dst:d1;
+          D.matvec_into ~m ~cols ~row_lo ~row_hi ~x:mx ~dst:d2;
+          same (Printf.sprintf "matvec_into c=%d %d..%d" cols row_lo row_hi)
+            d1 d2)
+        ranges)
+    [ n + 3; 5 ];
+  (* matmul: dst canonical-zero on entry (the documented convention) *)
+  let rows = min n 9 and inner = min n 70 and bcols = (n mod 13) + 1 in
+  let am = arr (rows * inner) and bm = arr (inner * bcols) in
+  let ranges = if rows >= 2 then [ (0, rows); (1, rows - 1) ] else [ (0, rows) ] in
+  List.iter
+    (fun (row_lo, row_hi) ->
+      let d1 = Array.make (rows * bcols) F.zero
+      and d2 = Array.make (rows * bcols) F.zero in
+      S.matmul_into ~a:am ~b:bm ~dst:d1 ~inner ~bcols ~row_lo ~row_hi;
+      D.matmul_into ~a:am ~b:bm ~dst:d2 ~inner ~bcols ~row_lo ~row_hi;
+      same (Printf.sprintf "matmul_into %d..%d" row_lo row_hi) d1 d2)
+    ranges
+
+let test_backend_selection () =
+  List.iter
+    (fun (name, (module F : F_INT)) ->
+      let module S =
+        (val Dispatch.of_field_raw
+               (module F : Kp_field.Field_intf.FIELD with type t = int))
+      in
+      check_bool (name ^ " resolves off the derived path") true
+        (S.backend <> "derived");
+      Alcotest.(check string)
+        (name ^ " backend matches its hint") S.backend
+        (Dispatch.backend_name F.kernel_hint))
+    specialized;
+  let module SQ =
+    (val Dispatch.of_field_raw
+           (module Kp_field.Rational : Kp_field.Field_intf.FIELD
+             with type t = Kp_field.Rational.t))
+  in
+  Alcotest.(check string) "Q stays on the derived kernel" "derived" SQ.backend
+
+let test_differential_edges () =
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun seed ->
+          List.iter (fun n -> check_primitives ~name f ~seed ~n) edge_sizes)
+        Test_seeds.shared_seeds)
+    specialized
+
+(* random sizes beyond the deterministic edge sweep *)
+let qcheck_differential =
+  List.map
+    (fun (name, f) ->
+      QCheck.Test.make ~count:30
+        ~name:(Printf.sprintf "kernel %s == derived (random sizes)" name)
+        QCheck.(pair (int_bound 300) (int_bound 10_000))
+        (fun (n, seed) ->
+          check_primitives ~name f ~seed ~n;
+          true))
+    specialized
+
+(* pooled call sites return the words their sequential selves return *)
+let test_pool_identical () =
+  let module F = Kp_field.Fields.Gf_ntt in
+  let module M = Kp_matrix.Dense.Make (F) in
+  let module Sp = Kp_matrix.Sparse.Make (F) in
+  let module NK = Kp_poly.Conv.Ntt_field (F) (Kp_poly.Conv.Default_ntt_prime) in
+  let module CKf = Kp_poly.Conv.Karatsuba_field (F) in
+  List.iter
+    (fun seed ->
+      let st = Kp_util.Rng.make seed in
+      let n = 33 + (seed mod 31) in
+      let a = M.random st n n and b = M.random st n n in
+      let v = Array.init n (fun _ -> F.random st) in
+      let sp = Sp.random st n n ~density:0.2 in
+      let p = Array.init (n * 9) (fun _ -> F.random st) in
+      let q = Array.init ((n * 9) + 5) (fun _ -> F.random st) in
+      let mul_seq = M.mul a b in
+      let spmv_seq = Sp.matvec sp v in
+      let ntt_seq = NK.mul_full p q in
+      let kar_seq = CKf.mul_full p q in
+      List.iter
+        (fun domains ->
+          Kp_util.Pool.with_pool ~domains (fun pool ->
+              let lbl what =
+                Printf.sprintf "%s seed=%d domains=%d" what seed domains
+              in
+              check_bool (lbl "mul_parallel") true
+                (Array.for_all2 F.equal (M.mul_parallel pool a b).M.data
+                   mul_seq.M.data);
+              check_bool (lbl "sparse matvec_parallel") true
+                (Array.for_all2 F.equal (Sp.matvec_parallel pool sp v) spmv_seq);
+              check_bool (lbl "ntt mul_full_pool") true
+                (Array.for_all2 F.equal (NK.mul_full_pool (Some pool) p q)
+                   ntt_seq);
+              check_bool (lbl "karatsuba mul_full_pool") true
+                (Array.for_all2 F.equal (CKf.mul_full_pool (Some pool) p q)
+                   kar_seq)))
+        Test_seeds.domain_counts)
+    Test_seeds.shared_seeds
+
+(* generic fields ride the derived kernel: results identical to the
+   untouched Core loops *)
+let derived_route_identical (type a) name
+    (fm : (module Kp_field.Field_intf.FIELD with type t = a)) () =
+  let module F = (val fm) in
+  let module MC = Kp_matrix.Dense.Core (F) in
+  let module M = Kp_matrix.Dense.Make (F) in
+  List.iter
+    (fun seed ->
+      let st = Kp_util.Rng.make seed in
+      List.iter
+        (fun n ->
+          let a = M.init n n (fun _ _ -> F.random st) in
+          let b = M.init n n (fun _ _ -> F.random st) in
+          let v = Array.init n (fun _ -> F.random st) in
+          check_bool (Printf.sprintf "%s mul n=%d seed=%d" name n seed) true
+            (Array.for_all2 F.equal (M.mul a b).M.data (MC.mul a b).MC.data);
+          check_bool (Printf.sprintf "%s matvec n=%d seed=%d" name n seed) true
+            (Array.for_all2 F.equal (M.matvec a v) (MC.matvec a v)))
+        [ 1; 2; 7; 16 ])
+    Test_seeds.shared_seeds
+
+let test_gf2_8_derived = derived_route_identical "GF(2^8)" (module Test_seeds.Gf2_8)
+let test_q_derived = derived_route_identical "Q" (module Kp_field.Rational)
+
+(* the derived kernel is operation-faithful: routing the counting field
+   through the kernel-dispatched call sites performs exactly the documented
+   scalar operation pattern — the invariant the committed counting-field
+   baselines (BENCH_PR3/PR4) gate end-to-end *)
+let test_counting_op_counts () =
+  let module Cnt = Kp_field.Counting.Make (Kp_field.Fields.Gf_ntt) in
+  let module V = Kp_matrix.Vec.Make (Cnt) in
+  let module CM = Kp_matrix.Dense.Make (Cnt) in
+  let st = Kp_util.Rng.make 5 in
+  let n = 17 in
+  let a = Array.init n (fun _ -> Cnt.random st) in
+  let b = Array.init n (fun _ -> Cnt.random st) in
+  let _, c = Cnt.measure (fun () -> ignore (V.dot a b)) in
+  check_int "dot muls = n" n c.Kp_field.Counting.multiplications;
+  check_int "dot adds = n-1 (balanced)" (n - 1) c.Kp_field.Counting.additions;
+  let am = CM.init n n (fun _ _ -> Cnt.random st) in
+  let bm = CM.init n n (fun _ _ -> Cnt.random st) in
+  let v = Array.init n (fun _ -> Cnt.random st) in
+  let _, c = Cnt.measure (fun () -> ignore (CM.matvec am v)) in
+  check_int "matvec muls = n^2" (n * n) c.Kp_field.Counting.multiplications;
+  check_int "matvec adds = n^2 (sequential rows)" (n * n)
+    c.Kp_field.Counting.additions;
+  let _, c = Cnt.measure (fun () -> ignore (CM.mul am bm)) in
+  check_int "matmul muls = n^3" (n * n * n) c.Kp_field.Counting.multiplications;
+  check_int "matmul adds = n^3 (i,k,j accumulate)" (n * n * n)
+    c.Kp_field.Counting.additions;
+  check_int "no divisions anywhere" 0 c.Kp_field.Counting.divisions
+
+(* kernel.* counters: the instrumented dispatch ticks the chosen backend *)
+let test_counters_tick () =
+  let module F = Kp_field.Fields.Gf_97 in
+  let module K = Kp_kernel.Dispatch.Make (F) in
+  let before =
+    Option.value ~default:0 (Kp_obs.Counter.find "kernel.gfp_word")
+  in
+  let ops_before =
+    Option.value ~default:0 (Kp_obs.Counter.find "kernel.bulk_ops")
+  in
+  let a = Array.init 40 (fun i -> i mod 97) in
+  ignore (K.dot a a);
+  check_int "one bulk call ticked kernel.gfp_word" (before + 1)
+    (Option.value ~default:0 (Kp_obs.Counter.find "kernel.gfp_word"));
+  check_int "kernel.bulk_ops advanced by the element count" (ops_before + 40)
+    (Option.value ~default:0 (Kp_obs.Counter.find "kernel.bulk_ops"))
+
+let () =
+  Alcotest.run "kp_kernel"
+    [
+      ( "dispatch",
+        [
+          Alcotest.test_case "backend selection" `Quick test_backend_selection;
+          Alcotest.test_case "counters tick" `Quick test_counters_tick;
+        ] );
+      ( "differential",
+        Alcotest.test_case "edge sizes x specialized backends" `Quick
+          test_differential_edges
+        :: List.map
+             (QCheck_alcotest.to_alcotest ~long:false)
+             qcheck_differential );
+      ( "pooled",
+        [ Alcotest.test_case "pool == sequential" `Quick test_pool_identical ] );
+      ( "derived route",
+        [
+          Alcotest.test_case "GF(2^8)" `Quick test_gf2_8_derived;
+          Alcotest.test_case "Q" `Quick test_q_derived;
+          Alcotest.test_case "counting op counts" `Quick
+            test_counting_op_counts;
+        ] );
+    ]
