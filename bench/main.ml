@@ -16,6 +16,10 @@
                      cached RHS-independent prefix (charpoly computed once)
      E14 kernel      bulk vector-kernel layer: word-level GF(p) loops vs the
                      scalar abstract-field path, bit-identical by assertion
+     E16 block       block Wiedemann: Krylov phase of the blocked engine
+                     (σ ≈ 2n/b products of n×n by n×b) vs the scalar
+                     engine's doubling and sequential Krylov phases,
+                     answers asserted identical
 
    Usage:  dune exec bench/main.exe --
              [--table E1 ... | all] [--fast] [--json FILE]
@@ -23,7 +27,7 @@
    --json FILE captures the per-table STATS records (one-line JSON: label,
    wall-clock seconds, observability counters, span timings) into FILE as a
    kp-bench/1 run file; bench/compare.exe diffs two such files.  Unknown
-   --table names (anything outside E1..E14) are a usage error (exit 2).  *)
+   --table names (anything outside E1..E16) are a usage error (exit 2).  *)
 
 module F = Kp_field.Fields.Gf_ntt
 module Cnt = Kp_field.Counting.Make (F)
@@ -46,6 +50,7 @@ module Rk = Kp_core.Rank.Make (F) (CK)
 module Ns = Kp_core.Nullspace.Make (F) (CK)
 module TZ = Kp_structured.Toeplitz.Make (F) (CK)
 module Sess = Kp_session.Session.Make (F) (CK)
+module BW = Kp_core.Block_wiedemann.Make (F) (CK)
 
 (* counting modules — both multipliers *)
 module CCK = Kp_poly.Conv.Karatsuba (Cnt)
@@ -966,10 +971,100 @@ let e14 () =
     [ 128; 256 ];
   Tables.print t
 
+(* ------------------------------------------------------------------ *)
+(* E16: block Wiedemann — blocked Krylov phase vs the scalar engine     *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  let rng = st () in
+  print_endline
+    "E16 (block Wiedemann): one certified solve per engine.  The scalar\n\
+     engine's default doubling Krylov phase costs ~(2 + log 2n)·n^3 field\n\
+     multiplications (repeated squaring of Ã); the block engine replaces it\n\
+     with σ = 2⌈n/b⌉+3 sequential n×n by n×b products — ~2n^3 regardless of\n\
+     b, traded against an O(σ²b³) matrix Berlekamp–Massey.  'krylov' columns\n\
+     are the span-measured phase times (doubling / sequential strategy /\n\
+     blocked); answers are asserted identical before any row is printed\n\
+     (the solution of a nonsingular system is unique).\n";
+  let t =
+    Tables.create ~title:"block vs scalar Krylov phase, single certified solves"
+      ~columns:
+        [ "n"; "b"; "solve scalar (s)"; "solve block (s)"; "krylov dbl (s)";
+          "krylov seq (s)"; "krylov block (s)"; "krylov speedup"; "identical" ]
+  in
+  let span_total path =
+    List.fold_left
+      (fun acc (s : Kp_obs.Span.stat) ->
+        if s.Kp_obs.Span.path = path then Int64.add acc s.Kp_obs.Span.total_ns
+        else acc)
+      0L (Kp_obs.Span.snapshot ())
+  in
+  let secs_since path t0 =
+    Int64.to_float (Int64.sub (span_total path) t0) /. 1e9
+  in
+  let scalar_krylov = "solver.solve/pipeline.krylov" in
+  let block_krylov = "block.solve/block.sequence" in
+  let sizes = if !fast then [ 48; 96 ] else [ 128; 256 ] in
+  List.iter
+    (fun n ->
+      let a = M.random_nonsingular rng n in
+      let rhs = Array.init n (fun _ -> F.random rng) in
+      let solve_scalar ?strategy () =
+        match Slv.solve ?strategy (Kp_util.Rng.make 9001) a rhs with
+        | Ok (x, _) -> x
+        | Error e ->
+          failwith ("E16 scalar: " ^ Kp_robust.Outcome.error_to_string e)
+      in
+      (* scalar baselines, measured once per n: default doubling strategy
+         (the engine's choice) and the sequential strategy (same Krylov op
+         count as the blocked phase, scalar schedule) *)
+      let k0 = span_total scalar_krylov in
+      let x_scalar, t_scalar = time (fun () -> solve_scalar ()) in
+      let t_kry_dbl = secs_since scalar_krylov k0 in
+      let k1 = span_total scalar_krylov in
+      let x_seq, _ = time (fun () -> solve_scalar ~strategy:Slv.P.Sequential ()) in
+      let t_kry_seq = secs_since scalar_krylov k1 in
+      if not (Array.for_all2 F.equal x_scalar x_seq) then
+        failwith "E16: doubling and sequential scalar answers differ";
+      List.iter
+        (fun bf ->
+          let kb0 = span_total block_krylov in
+          let x_block, t_block =
+            time (fun () ->
+                match
+                  BW.solve ~block_factor:bf (Kp_util.Rng.make 9001) a rhs
+                with
+                | Ok (x, _) -> x
+                | Error e ->
+                  failwith
+                    (Printf.sprintf "E16 block b=%d: %s" bf
+                       (Kp_robust.Outcome.error_to_string e)))
+          in
+          let t_kry_blk = secs_since block_krylov kb0 in
+          let identical = Array.for_all2 F.equal x_scalar x_block in
+          if not identical then
+            failwith
+              (Printf.sprintf "E16: block (b=%d) and scalar answers differ" bf);
+          Tables.add_row t
+            [
+              string_of_int n;
+              string_of_int bf;
+              Tables.fmt_float t_scalar;
+              Tables.fmt_float t_block;
+              Tables.fmt_float t_kry_dbl;
+              Tables.fmt_float t_kry_seq;
+              Tables.fmt_float t_kry_blk;
+              Printf.sprintf "%.1fx" (t_kry_dbl /. t_kry_blk);
+              string_of_bool identical;
+            ])
+        [ 1; 2; 4 ])
+    sizes;
+  Tables.print t
+
 let all_tables =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E16", e16) ]
 
 let usage_error fmt =
   Printf.ksprintf

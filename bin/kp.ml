@@ -31,7 +31,8 @@ type setup = {
   matrix : string option;
   random : int option;
   rank_hint : int option;
-  engine : [ `Auto | `Blackbox | `Dense ];
+  engine : [ `Auto | `Blackbox | `Dense | `Block ];
+  block_factor : int option;
   deadline_ms : int option;
   stats : [ `Text | `Json ] option;
   domains : int;
@@ -58,6 +59,7 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
   module W = Kp_core.Wiedemann.Make (F)
   module C = Kp_poly.Conv.Karatsuba_field (F)
   module S = Kp_core.Solver.Make (F) (C)
+  module BW = Kp_core.Block_wiedemann.Make (F) (C)
   module R = Kp_core.Rank.Make (F) (C)
   module I = Kp_core.Inverse.Make (F) (C)
   module TC = Kp_structured.Toeplitz_charpoly.Make (F) (C)
@@ -100,6 +102,16 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       `Ok ()
     | Error e -> typed_error e
 
+  let solve_block ?deadline_ns ?pool ?block_factor st a b =
+    match BW.solve ?deadline_ns ?pool ?block_factor st a b with
+    | Ok (x, report) ->
+      print_solution ~engine:"block" ~attempts:report.O.attempts x;
+      `Ok ()
+    | Error (O.Singular _) ->
+      print_endline "matrix is singular (certified witness)";
+      `Ok ()
+    | Error e -> typed_error e
+
   let solve_blackbox ?deadline_ns st a b =
     (* the paper's black-box route: Ã = A·H·D, fully instrumented *)
     match W.solve_preconditioned ?deadline_ns st (Bb.of_dense a) b with
@@ -110,14 +122,16 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
 
   (* --batch / --session: the per-matrix session cache — the charpoly
      pipeline runs once, every right-hand side reuses it *)
-  let solve_sessioned ?deadline_ns ?pool st a bs =
-    let sess = Sess.create ?deadline_ns ?pool st in
+  let solve_sessioned ?deadline_ns ?pool ?block_factor st a bs =
+    let sess = Sess.create ?deadline_ns ?pool ?block_factor st in
     let results = Sess.solve_many sess a bs in
     let rec report i =
       if i = Array.length results then begin
         let s = Sess.stats sess in
-        Printf.printf "session: %d hit(s), %d miss(es), %d eviction(s)\n"
-          s.Sess.hits s.Sess.misses s.Sess.evictions;
+        Printf.printf
+          "session: %d hit(s), %d miss(es), %d eviction(s), %d capacity \
+           eviction(s)\n"
+          s.Sess.hits s.Sess.misses s.Sess.evictions s.Sess.capacity_evictions;
         `Ok ()
       end
       else
@@ -160,12 +174,26 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
         |> Array.map F.of_int
       else Array.init n (fun _ -> F.random st)
     in
+    (* with --engine block, batches route through the session's block lane
+       (one block-Krylov run per batch) at the chosen or automatic factor *)
+    let block_factor =
+      match setup.engine with
+      | `Block ->
+        Some
+          (match setup.block_factor with
+          | Some bf -> bf
+          | None -> BW.auto_block_factor ~n ~pool)
+      | _ -> None
+    in
     match setup.batch with
     | Some path ->
-      solve_sessioned ?deadline_ns ?pool st a (load_batch path ~n)
-    | None when setup.session -> solve_sessioned ?deadline_ns ?pool st a [| b |]
+      solve_sessioned ?deadline_ns ?pool ?block_factor st a (load_batch path ~n)
+    | None when setup.session ->
+      solve_sessioned ?deadline_ns ?pool ?block_factor st a [| b |]
     | None -> (
     match setup.engine with
+    | `Block ->
+      solve_block ?deadline_ns ?pool ?block_factor:setup.block_factor st a b
     | `Dense -> solve_dense ?deadline_ns ?pool st a b
     | `Blackbox -> (
       match solve_blackbox ?deadline_ns st a b with
@@ -189,7 +217,14 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
     with_pool_opt ~domains:setup.domains @@ fun pool ->
     let st = Kp_util.Rng.make setup.seed in
     let a, _ = load_matrix setup st in
-    match S.det ?deadline_ns:(deadline_ns setup) ?pool st a with
+    let result =
+      match setup.engine with
+      | `Block ->
+        BW.det ?deadline_ns:(deadline_ns setup) ?pool
+          ?block_factor:setup.block_factor st a
+      | _ -> S.det ?deadline_ns:(deadline_ns setup) ?pool st a
+    in
+    match result with
     | Ok (d, _) ->
       Printf.printf "det = %s  (mod %d)\n" (F.to_string d) setup.prime;
       `Ok ()
@@ -198,7 +233,12 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
   let rank setup =
     let st = Kp_util.Rng.make setup.seed in
     let a, _ = load_matrix setup st in
-    Printf.printf "rank = %d\n" (R.rank st a);
+    let r =
+      match setup.engine with
+      | `Block -> BW.rank ?block_factor:setup.block_factor st a
+      | _ -> R.rank st a
+    in
+    Printf.printf "rank = %d\n" r;
     `Ok ()
 
   let inverse setup =
@@ -286,14 +326,26 @@ let rank_hint_t =
 let engine_t =
   Arg.(value
        & opt
-           (enum [ ("auto", `Auto); ("blackbox", `Blackbox); ("dense", `Dense) ])
+           (enum
+              [ ("auto", `Auto); ("blackbox", `Blackbox); ("dense", `Dense);
+                ("block", `Block) ])
            `Auto
        & info [ "engine" ]
            ~doc:
              "Solve engine: $(b,auto) (black-box first, dense fallback on \
               typed failure), $(b,blackbox) (preconditioned black-box \
-              Wiedemann, fully instrumented) or $(b,dense) (the dense \
-              Theorem-4 pipeline).")
+              Wiedemann, fully instrumented), $(b,dense) (the dense \
+              Theorem-4 pipeline) or $(b,block) (block Wiedemann: the \
+              Krylov phase runs b columns per matrix product, see \
+              $(b,--block-factor)).")
+
+let block_factor_t =
+  Arg.(value & opt (some int) None
+       & info [ "block-factor" ]
+           ~doc:
+             "With $(b,--engine block): the blocking factor b — columns per \
+              Krylov product, and the number of right-hand sides one block \
+              run can carry.  Default: automatic from n and the pool size.")
 
 let deadline_t =
   Arg.(value & opt (some int) None
@@ -342,14 +394,15 @@ let session_t =
               a single right-hand side.")
 
 let setup_t =
-  let combine prime seed matrix random rank_hint engine deadline_ms stats
-      domains batch session =
-    { prime; seed; matrix; random; rank_hint; engine; deadline_ms; stats;
-      domains; batch; session }
+  let combine prime seed matrix random rank_hint engine block_factor
+      deadline_ms stats domains batch session =
+    { prime; seed; matrix; random; rank_hint; engine; block_factor;
+      deadline_ms; stats; domains; batch; session }
   in
   Term.(
     const combine $ prime_t $ seed_t $ matrix_t $ random_t $ rank_hint_t
-    $ engine_t $ deadline_t $ stats_t $ domains_t $ batch_t $ session_t)
+    $ engine_t $ block_factor_t $ deadline_t $ stats_t $ domains_t $ batch_t
+    $ session_t)
 
 let simple_cmd name doc (select : (module DRIVER) -> setup -> ret) =
   Cmd.v (Cmd.info name ~doc)

@@ -1,0 +1,376 @@
+module Make
+    (F : Kp_field.Field_intf.FIELD)
+    (C : Kp_poly.Conv.S with type elt = F.t) =
+struct
+  module P = Pipeline.Make (F) (C)
+  module M = P.M
+  module K = P.K
+  module MD = Kp_matrix.Dense.Make (F)
+  module MBM = Kp_seqgen.Matrix_bm.Make (F)
+  module G = Kp_matrix.Gauss.Make (F)
+  module HK = Kp_structured.Hankel.Make (F) (C)
+
+  module O = Kp_robust.Outcome
+  module Rt = Kp_robust.Retry
+  module Span = Kp_obs.Span
+  module Cnt = Kp_obs.Counter
+
+  let c_blocks = Cnt.make "block.krylov.blocks"
+  let c_escalate = Cnt.make "block.factor.escalate"
+  let c_batched = Cnt.make "block.solve.batched"
+
+  let default_card_s n =
+    let bound = max (4 * 3 * n * n) 64 in
+    match F.cardinality with Some q -> min bound q | None -> bound
+
+  let sample_nonzero st ~card_s =
+    let rec go tries =
+      let x = F.sample st ~card_s in
+      if F.is_zero x && tries < 100 then go (tries + 1)
+      else if F.is_zero x then F.one
+      else x
+    in
+    go 0
+
+  let charpoly_for_field ~pool ~n =
+    if F.characteristic = 0 || F.characteristic > n then
+      P.charpoly_leverrier_pooled pool
+    else P.charpoly_chistov_pooled pool
+
+  let mul_of pool =
+    match pool with
+    | None -> MD.mul
+    | Some pool -> MD.mul_parallel pool
+
+  let policy ?deadline_ns retries =
+    Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns ()
+
+  (* wide enough to use every worker of the pool and to amortize the kernel
+     call overhead on large systems, but never wider than n/2 (a block the
+     size of the matrix degenerates the sequence to a handful of terms) *)
+  let auto_block_factor ~n ~pool =
+    let workers =
+      match pool with None -> 1 | Some p -> Kp_util.Pool.size p
+    in
+    let base = max workers (if n >= 64 then 4 else 1) in
+    max 1 (min base (min 8 (max 1 (n / 2))))
+
+  (* blocking factor for this attempt: retries escalate the width along
+     with |S| — a wider block sees a strictly larger Krylov space, so bad
+     projection luck cannot repeat indefinitely *)
+  let attempt_block ~n ~b ~attempt =
+    let b_eff = min (max 1 n) (b + attempt - 1) in
+    if b_eff > b then Cnt.incr c_escalate;
+    b_eff
+
+  (* enough b×b terms to determine a generator with column degrees summing
+     to n, plus a safety margin that gives [generates] real windows *)
+  let sigma ~n ~b = (2 * (((n + b) - 1) / b)) + 3
+
+  let square_of_flat b flat = M.init b b (fun r c -> flat.((r * b) + c))
+
+  (* ---- the block Krylov phase ----
+
+     Draw the §2 preconditioner (h, d), a b×n projection Uᵀ and an n×b
+     start block V whose first columns are the right-hand sides (the rest
+     random); produce K_i = Ãⁱ·V for i < σ and the projected b×b sequence
+     S_i = Uᵀ·K_i.  Each step is one kernel-backed n×n by n×b product —
+     the b-column replacement for the scalar engine's matvec chain. *)
+  let krylov_phase ~mul st ~card_s ~b (a : M.t) ~rhs =
+    let n = a.M.rows in
+    let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
+    let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+    let a_tilde = P.preconditioned ~mul a ~h ~d in
+    let k = Array.length rhs in
+    let v =
+      M.init n b (fun i j ->
+          if j < k then rhs.(j).(i) else F.sample st ~card_s)
+    in
+    let ut = MD.sample st ~card_s b n in
+    let m = sigma ~n ~b in
+    let ks = Span.with_ "block.sequence" @@ fun () -> K.blocks ~mul a_tilde v m in
+    Cnt.add c_blocks m;
+    let seq = K.block_sequence ~mul ~ut ks in
+    (h, d, ks, seq)
+
+  let h_nonsingular ~charpoly ~n ~h ~d () =
+    match P.det_hd ~charpoly ~n ~h ~d with
+    | exception Division_by_zero -> false
+    | dhd -> not (F.is_zero dhd)
+
+  (* ---- generator recovery and validation ----
+
+     The candidate matrix generator must (a) generate the sequence it was
+     computed from, (b) be column-reduced (det Λ ≠ 0, certifying
+     deg det F = Σδ), (c) have Σδ = n (else the projections missed part of
+     the space — or Ã is singular, witnessed when H·D is invertible), and
+     (d) have non-singular F(0) (the block analogue of f(0) ≠ 0; singular
+     F(0) with invertible H·D witnesses λ | χ_Ã, i.e. singularity of A). *)
+  let generator_phase ~b ~n ~sigma ~h_ok seq =
+    Span.with_ "block.generator" @@ fun () ->
+    let gen = MBM.minimal_generator ~b seq in
+    if not (MBM.generates ~b seq gen) then
+      Error (Rt.Reject (O.Fault "block generator check failed"))
+    else begin
+      let det_lam = G.det (square_of_flat b (MBM.leading_term gen)) in
+      let dsum = MBM.degree_sum gen in
+      if F.is_zero det_lam then Error (Rt.Reject O.Low_degree)
+      else if dsum < n then
+        if h_ok () then Error (Rt.Reject_with_witness O.Low_degree)
+        else Error (Rt.Reject O.Low_degree)
+      else if dsum > n || Array.exists (fun dj -> dj > sigma) gen.MBM.degrees
+      then Error (Rt.Reject O.Low_degree)
+      else begin
+        let f0 = square_of_flat b (MBM.constant_term gen) in
+        let det_f0 = G.det f0 in
+        if F.is_zero det_f0 then
+          if h_ok () then Error (Rt.Reject_with_witness O.Zero_constant_term)
+          else Error (Rt.Reject O.Zero_constant_term)
+        else Ok (gen, f0, det_lam, det_f0)
+      end
+    end
+
+  (* undo the preconditioner, exactly as the scalar pipeline does:
+     Ã = A·H·D solves Ã·x̃ = b, so x = H·(D·x̃) *)
+  let recover ?pool ~n ~h ~d x_tilde =
+    let dx = Array.init n (fun i -> F.mul d.(i) x_tilde.(i)) in
+    HK.matvec ?pool ~n h dx
+
+  (* ---- solve extraction ----
+
+     Each generator column lifts to Σᵢ Ãⁱ·V·fᵢ = 0 (whp), i.e.
+     V·f₀ = −Ã·(Σ_{i≥1} Ã^{i−1}·V·fᵢ).  Writing Y for the n×b matrix whose
+     column j is Σ_{i≥1} K_{i−1}·fᵢ{^(j)}, any c ∈ K{^b} gives
+     Ã·(−Y·c) = V·(F(0)·c); choosing c = F(0)⁻¹·e_t makes the right side
+     exactly the t-th column of V — the t-th right-hand side.  The random
+     padding columns of V drop out exactly, so one Y serves every target.
+     Las Vegas: every solution is checked against A·x = b. *)
+  let extract_solutions ?pool ~n ~h ~d ~ks ~gen ~f0 (a : M.t) rhs =
+    Span.with_ "block.recover" @@ fun () ->
+    let b = gen.MBM.b in
+    let y_cols =
+      Array.init b (fun j ->
+          let col = gen.MBM.cols.(j) in
+          let dj = gen.MBM.degrees.(j) in
+          K.block_combination ks (Array.init dj (fun i -> col.(i + 1))))
+    in
+    match G.inverse f0 with
+    | None -> Error (Rt.Reject (O.Fault "singular F(0) after det check"))
+    | Some f0_inv ->
+      let solve_one t bvec =
+        let x_tilde =
+          Array.init n (fun r ->
+              let acc = ref F.zero in
+              for j = 0 to b - 1 do
+                acc :=
+                  F.add !acc (F.mul y_cols.(j).(r) (M.get f0_inv j t))
+              done;
+              F.neg !acc)
+        in
+        let x = recover ?pool ~n ~h ~d x_tilde in
+        if Array.for_all2 F.equal (M.matvec a x) bvec then Some x else None
+      in
+      let xs = Array.mapi solve_one rhs in
+      if Array.for_all Option.is_some xs then
+        Ok (Array.map Option.get xs)
+      else Error (Rt.Reject O.Residual_mismatch)
+
+  (* one batched block solve: all right-hand sides of the chunk ride the
+     same Krylov sequence (k ≤ b columns of V), one generator serves all *)
+  let solve_chunk ~retries ?deadline_ns ~card_s ~pool ~b st (a : M.t) rhs =
+    let n = a.M.rows in
+    let mul = mul_of pool in
+    let charpoly = charpoly_for_field ~pool ~n in
+    let k = Array.length rhs in
+    Rt.run ~ns:"block" ~op:"solve" ~policy:(policy ?deadline_ns retries)
+      ~card_s
+    @@ fun ~attempt ~card_s ->
+    let b_eff = max k (attempt_block ~n ~b ~attempt) in
+    let h, d, ks, seq = krylov_phase ~mul st ~card_s ~b:b_eff a ~rhs in
+    let h_ok = h_nonsingular ~charpoly ~n ~h ~d in
+    match
+      generator_phase ~b:b_eff ~n ~sigma:(sigma ~n ~b:b_eff) ~h_ok seq
+    with
+    | Error reject -> reject
+    | Ok (gen, f0, _det_lam, _det_f0) -> begin
+        match extract_solutions ?pool ~n ~h ~d ~ks ~gen ~f0 a rhs with
+        | Error reject -> reject
+        | Ok xs -> Rt.Accept xs
+      end
+
+  let check_square op (a : M.t) =
+    if a.M.cols <> a.M.rows then invalid_arg (op ^ ": non-square")
+
+  let check_rhs op n rhs =
+    Array.iter
+      (fun b ->
+        if Array.length b <> n then invalid_arg (op ^ ": bad rhs length"))
+      rhs
+
+  (* chunk width: never more right-hand sides than rows, and keep the
+     start block narrow enough that σ ≥ 5 terms still cost ~2n³ total *)
+  let chunk_width n = max 1 (min n 32)
+
+  let solve_batch ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor st
+      (a : M.t) rhs =
+    Span.with_ "block.solve" @@ fun () ->
+    let n = a.M.rows in
+    check_square "Block_wiedemann.solve_batch" a;
+    check_rhs "Block_wiedemann.solve_batch" n rhs;
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let b =
+      match block_factor with
+      | Some b when b >= 1 -> min b (max 1 n)
+      | Some _ -> invalid_arg "Block_wiedemann.solve_batch: block_factor < 1"
+      | None -> auto_block_factor ~n ~pool
+    in
+    let k = Array.length rhs in
+    if k = 0 then Ok ([||], O.empty_report)
+    else begin
+      Cnt.add c_batched k;
+      let w = chunk_width n in
+      let rec go start acc report =
+        if start >= k then Ok (Array.concat (List.rev acc), report)
+        else begin
+          let len = min w (k - start) in
+          let chunk = Array.sub rhs start len in
+          match
+            solve_chunk ~retries ?deadline_ns ~card_s ~pool ~b st a chunk
+          with
+          | Ok (xs, r) -> go (start + len) (xs :: acc) (O.merge_reports report r)
+          | Error e -> Error (O.with_report (O.merge_reports report) e)
+        end
+      in
+      go 0 [] O.empty_report
+    end
+
+  let solve ?retries ?card_s ?deadline_ns ?pool ?block_factor st (a : M.t) b =
+    match
+      solve_batch ?retries ?card_s ?deadline_ns ?pool ?block_factor st a [| b |]
+    with
+    | Ok (xs, report) -> Ok (xs.(0), report)
+    | Error e -> Error e
+
+  (* ---- determinant ----
+
+     det F(λ) = det Λ · det(λI − Ã) when Σδ = n and Λ is invertible, so
+     det Ã = (−1)ⁿ · det F(0) / det Λ and det A = det Ã / det(H·D).
+     Like the scalar engine, a det has no residual certificate: each
+     evaluation re-projects the same Krylov blocks onto a fresh Uᵀ′ (the
+     recurrence certificate against corrupted blocks), recomputes det(H·D)
+     twice, and [det] requires two fully independent evaluations to agree. *)
+  let det_eval ~mul ~charpoly st ~card_s ~b (a : M.t) =
+    let n = a.M.rows in
+    let h, d, ks, seq = krylov_phase ~mul st ~card_s ~b a ~rhs:[||] in
+    let h_ok = h_nonsingular ~charpoly ~n ~h ~d in
+    match generator_phase ~b ~n ~sigma:(sigma ~n ~b) ~h_ok seq with
+    | Error reject -> reject
+    | Ok (gen, _f0, det_lam, det_f0) ->
+      let ut' = MD.sample st ~card_s b n in
+      let seq' = K.block_sequence ~mul ~ut:ut' ks in
+      if not (MBM.generates ~b seq' gen) then
+        Rt.Reject (O.Fault "block recurrence check failed")
+      else begin
+        match (P.det_hd ~charpoly ~n ~h ~d, P.det_hd ~charpoly ~n ~h ~d) with
+        | exception Division_by_zero -> Rt.Reject O.Singular_preconditioner
+        | dhd, dhd' ->
+          if not (F.equal dhd dhd') then
+            Rt.Reject (O.Fault "det_hd recomputation mismatch")
+          else if F.is_zero dhd then Rt.Reject O.Singular_preconditioner
+          else begin
+            let chi0 = F.div det_f0 det_lam in
+            let det_tilde = if n land 1 = 0 then chi0 else F.neg chi0 in
+            Rt.Accept (F.div det_tilde dhd)
+          end
+      end
+
+  let as_det_result = function
+    | Error (O.Singular { report; _ }) -> Ok (F.zero, report)
+    | (Ok _ | Error _) as r -> r
+
+  let det_setup ?card_s ?pool ?block_factor op (a : M.t) =
+    let n = a.M.rows in
+    check_square op a;
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let b =
+      match block_factor with
+      | Some b when b >= 1 -> min b (max 1 n)
+      | Some _ -> invalid_arg (op ^ ": block_factor < 1")
+      | None -> auto_block_factor ~n ~pool
+    in
+    (n, card_s, b, charpoly_for_field ~pool ~n)
+
+  let det ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor st
+      (a : M.t) =
+    Span.with_ "block.det" @@ fun () ->
+    let n, card_s, b, charpoly =
+      det_setup ?card_s ?pool ?block_factor "Block_wiedemann.det" a
+    in
+    let mul = mul_of pool in
+    as_det_result
+      (Rt.run ~ns:"block" ~op:"det" ~policy:(policy ?deadline_ns retries)
+         ~card_s
+       @@ fun ~attempt ~card_s ->
+       let b_eff = attempt_block ~n ~b ~attempt in
+       let eval_once () = det_eval ~mul ~charpoly st ~card_s ~b:b_eff a in
+       match eval_once () with
+       | Rt.Accept d1 -> begin
+           match eval_once () with
+           | Rt.Accept d2 when F.equal d1 d2 -> Rt.Accept d1
+           | Rt.Accept _ -> Rt.Reject (O.Fault "det recomputation mismatch")
+           | other -> other
+         end
+       | other -> other)
+
+  let det_once ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor st
+      (a : M.t) =
+    Span.with_ "block.det_once" @@ fun () ->
+    let n, card_s, b, charpoly =
+      det_setup ?card_s ?pool ?block_factor "Block_wiedemann.det_once" a
+    in
+    let mul = mul_of pool in
+    as_det_result
+      (Rt.run ~ns:"block" ~op:"det_once" ~policy:(policy ?deadline_ns retries)
+         ~card_s
+       @@ fun ~attempt ~card_s ->
+       let b_eff = attempt_block ~n ~b ~attempt in
+       det_eval ~mul ~charpoly st ~card_s ~b:b_eff a)
+
+  (* ---- rank ----
+
+     The Kaltofen–Saunders shape with block determinants: precondition
+     Â = U·A·V with unit-triangular U, V (so rank is preserved and leading
+     minors are generic), then binary-search the largest non-singular
+     leading minor.  The blocking factor is clamped to each minor's size. *)
+  let rank ?card_s ?pool ?block_factor st (a : M.t) =
+    Span.with_ "block.rank" @@ fun () ->
+    let n = a.M.rows in
+    check_square "Block_wiedemann.rank" a;
+    let card_s = match card_s with Some s -> s | None -> default_card_s n in
+    let u_mat = MD.sample_nonsingular st ~card_s n in
+    let v_mat = MD.sample_nonsingular st ~card_s n in
+    let a_hat = M.mul u_mat (M.mul a v_mat) in
+    let minor_nonsingular i =
+      if i = 0 then true
+      else begin
+        let sub = M.init i i (fun r c -> M.get a_hat r c) in
+        let block_factor =
+          Option.map (fun b -> min b (max 1 i)) block_factor
+        in
+        match det ~card_s ~retries:6 ?pool ?block_factor st sub with
+        | Ok (d, _) -> not (F.is_zero d)
+        | Error _ -> false
+      end
+    in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi + 1) / 2 in
+        if minor_nonsingular mid then search mid hi else search lo (mid - 1)
+      end
+    in
+    search 0 n
+
+  let verify_solution (a : M.t) x b =
+    Array.for_all2 F.equal (M.matvec a x) b
+end

@@ -77,15 +77,32 @@ struct
   let inv_mod a = pow_mod a (P.p - 2)
 
   (* cache of lifted root tables per transform length; guarded so pooled
-     transforms from several domains cannot race the hashtable *)
-  let root_tables : (int, F.t array * F.t array) Hashtbl.t = Hashtbl.create 8
+     transforms from several domains cannot race the hashtable.  Bounded:
+     a long-running process convolving at many distinct lengths would
+     otherwise retain one O(len) table pair per length forever, so past
+     [max_root_tables] lengths the least-recently-used table is dropped
+     (callers holding its arrays keep them alive; eviction only forgets
+     the cache's reference, results are unchanged). *)
+  let max_root_tables = 8
+  let root_tables : (int, int ref * F.t array * F.t array) Hashtbl.t =
+    Hashtbl.create 8
   let root_tables_mutex = Mutex.create ()
+  let root_stamp = ref 0
+
+  let root_tables_cached () =
+    Mutex.lock root_tables_mutex;
+    let n = Hashtbl.length root_tables in
+    Mutex.unlock root_tables_mutex;
+    n
 
   let roots_for len =
     Mutex.lock root_tables_mutex;
+    incr root_stamp;
     let r =
       match Hashtbl.find_opt root_tables len with
-      | Some r -> r
+      | Some (stamp, fwd, bwd) ->
+        stamp := !root_stamp;
+        (fwd, bwd)
       | None ->
         (* forward and inverse roots for each butterfly level, lifted once *)
         let fwd = Array.make len F.one and bwd = Array.make len F.one in
@@ -98,7 +115,19 @@ struct
           cur_f := !cur_f * w mod P.p;
           cur_b := !cur_b * wi mod P.p
         done;
-        Hashtbl.replace root_tables len (fwd, bwd);
+        if Hashtbl.length root_tables >= max_root_tables then begin
+          let victim = ref None in
+          Hashtbl.iter
+            (fun l (stamp, _, _) ->
+              match !victim with
+              | Some (_, best) when best <= !stamp -> ()
+              | _ -> victim := Some (l, !stamp))
+            root_tables;
+          match !victim with
+          | Some (l, _) -> Hashtbl.remove root_tables l
+          | None -> ()
+        end;
+        Hashtbl.replace root_tables len (ref !root_stamp, fwd, bwd);
         (fwd, bwd)
     in
     Mutex.unlock root_tables_mutex;

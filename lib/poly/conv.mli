@@ -65,6 +65,11 @@ module Ntt_generic_k
     (P : NTT_PRIME) : sig
   include S with type elt = F.t
 
+  val root_tables_cached : unit -> int
+  (** Number of transform lengths whose lifted root tables are currently
+      retained.  The cache is bounded (LRU past 8 lengths), so this never
+      exceeds 8 — the PR-6 leak fix for long-running mixed-size use. *)
+
   (** NTT whose butterfly levels, pointwise stage and inverse scaling run as
       bulk kernel passes.  Falls back to (kernel-backed) Karatsuba when the
       product is too long for the root order. *)
@@ -75,12 +80,18 @@ module Ntt_generic
     (P : NTT_PRIME) : sig
   include S with type elt = F.t
 
+  val root_tables_cached : unit -> int
+  (** See {!Ntt_generic_k}. *)
+
   (** [Ntt_generic_k] over the derived kernel; falls back to Karatsuba when
       the product is too long for the root order. *)
 end
 
 module Ntt_field (F : Kp_field.Field_intf.FIELD) (P : NTT_PRIME) : sig
   include S with type elt = F.t
+
+  val root_tables_cached : unit -> int
+  (** See {!Ntt_generic_k}. *)
 
   (** [Ntt_generic_k] over the kernel dispatched from [F.kernel_hint]. *)
 end

@@ -1,0 +1,190 @@
+module Make (F : Kp_field.Field_intf.FIELD) = struct
+  type generator = {
+    b : int;
+    degrees : int array;
+    cols : F.t array array array;
+  }
+
+  (* Iterative order basis (M-Basis) for E(λ) = [T(λ) | −I_b] with column
+     shift (0,…,0, 1,…,1), order σ = length of the sequence.
+
+     State: 2b polynomial columns p_j ∈ K[λ]^{2b} (coefficient vectors
+     low-to-high), each with a shifted degree δ_j.  The invariant
+     maintained throughout is
+
+       deg (top half of p_j)    ≤ δ_j
+       deg (bottom half of p_j) ≤ δ_j − 1
+       coeff_k (E·p_j) = 0   for all k < t      (order condition)
+
+     where coeff_t(E·p_j) = Σ_k S_{t−k}·g_{j,k} − r_{j,t} with g/r the
+     top/bottom halves.  One step per order t: compute the b×2b discrepancy,
+     then for each row pick the non-pivot column of minimal δ with a
+     non-zero entry, eliminate that row from every other non-pivot column
+     (all of which have δ ≥ the pivot's, so δ bounds are preserved), and
+     multiply the b pivot columns by λ (which shifts their residual past
+     order t).  After σ steps every column satisfies T·g ≡ r mod λ^σ with
+     deg r ≤ δ − 1, i.e. the forward windowed recurrences
+
+       Σ_i S_{m+i}·f_i = 0   for 0 ≤ m ≤ σ − 1 − δ,   f_i := g_{δ−i}. *)
+  let order_basis ~b (seq : F.t array array) =
+    if b < 1 then invalid_arg "Matrix_bm: b < 1";
+    let sigma = Array.length seq in
+    Array.iter
+      (fun s ->
+        if Array.length s <> b * b then
+          invalid_arg "Matrix_bm: sequence terms must be b*b row-major")
+      seq;
+    let s2 = 2 * b in
+    let cap = sigma + 3 in
+    let p =
+      Array.init s2 (fun j ->
+          let c = Array.init cap (fun _ -> Array.make s2 F.zero) in
+          c.(0).(j) <- F.one;
+          c)
+    in
+    let sdeg = Array.init s2 (fun j -> if j < b then 0 else 1) in
+    let disc = Array.make_matrix b s2 F.zero in
+    for t = 0 to sigma - 1 do
+      for j = 0 to s2 - 1 do
+        for r = 0 to b - 1 do
+          disc.(r).(j) <- F.zero
+        done;
+        for k = 0 to min t sdeg.(j) do
+          let pc = p.(j).(k) in
+          let sm = seq.(t - k) in
+          for c = 0 to b - 1 do
+            let g = pc.(c) in
+            if not (F.is_zero g) then
+              for r = 0 to b - 1 do
+                disc.(r).(j) <- F.add disc.(r).(j) (F.mul sm.((r * b) + c) g)
+              done
+          done
+        done;
+        if t <= sdeg.(j) then begin
+          let pc = p.(j).(t) in
+          for r = 0 to b - 1 do
+            disc.(r).(j) <- F.sub disc.(r).(j) pc.(b + r)
+          done
+        end
+      done;
+      let is_pivot = Array.make s2 false in
+      for r = 0 to b - 1 do
+        let piv = ref (-1) in
+        for j = 0 to s2 - 1 do
+          if (not is_pivot.(j)) && not (F.is_zero disc.(r).(j)) then
+            if !piv < 0 || sdeg.(j) < sdeg.(!piv) then piv := j
+        done;
+        if !piv >= 0 then begin
+          let pv = !piv in
+          is_pivot.(pv) <- true;
+          let inv = F.inv disc.(r).(pv) in
+          for j = 0 to s2 - 1 do
+            if j <> pv && (not is_pivot.(j)) && not (F.is_zero disc.(r).(j))
+            then begin
+              let c = F.mul disc.(r).(j) inv in
+              for k = 0 to sdeg.(pv) do
+                let src = p.(pv).(k) and dst = p.(j).(k) in
+                for e = 0 to s2 - 1 do
+                  dst.(e) <- F.sub dst.(e) (F.mul c src.(e))
+                done
+              done;
+              for r' = 0 to b - 1 do
+                disc.(r').(j) <- F.sub disc.(r').(j) (F.mul c disc.(r').(pv))
+              done
+            end
+          done
+        end
+      done;
+      for j = 0 to s2 - 1 do
+        if is_pivot.(j) then begin
+          let d = sdeg.(j) in
+          (* recycle the slot past the top as the fresh constant coefficient *)
+          let freed = p.(j).(d + 1) in
+          for k = d + 1 downto 1 do
+            p.(j).(k) <- p.(j).(k - 1)
+          done;
+          Array.fill freed 0 s2 F.zero;
+          p.(j).(0) <- freed;
+          sdeg.(j) <- d + 1
+        end
+      done
+    done;
+    (p, sdeg)
+
+  let minimal_generator ~b (seq : F.t array array) =
+    let p, sdeg = order_basis ~b seq in
+    let s2 = 2 * b in
+    (* the b columns of smallest shifted degree (ties broken by index) form
+       the candidate minimal generator; callers validate (degree sum,
+       column-reducedness, the [generates] windows) before trusting it *)
+    let order = Array.init s2 Fun.id in
+    Array.sort
+      (fun i j -> compare (sdeg.(i), i) (sdeg.(j), j))
+      order;
+    let chosen = Array.sub order 0 b in
+    let degrees = Array.map (fun j -> sdeg.(j)) chosen in
+    let cols =
+      Array.map
+        (fun j ->
+          let d = sdeg.(j) in
+          (* f_i = g_{d−i}: reverse the top half at the nominal degree *)
+          Array.init (d + 1) (fun i -> Array.sub p.(j).(d - i) 0 b))
+        chosen
+    in
+    { b; degrees; cols }
+
+  let generates ~b (seq : F.t array array) gen =
+    gen.b = b
+    && begin
+         let sigma = Array.length seq in
+         let ok = ref true in
+         Array.iteri
+           (fun jj col ->
+             let d = gen.degrees.(jj) in
+             for m = 0 to sigma - 1 - d do
+               for r = 0 to b - 1 do
+                 let acc = ref F.zero in
+                 for i = 0 to d do
+                   let fi = col.(i) and sm = seq.(m + i) in
+                   for c = 0 to b - 1 do
+                     acc := F.add !acc (F.mul sm.((r * b) + c) fi.(c))
+                   done
+                 done;
+                 if not (F.is_zero !acc) then ok := false
+               done
+             done)
+           gen.cols;
+         !ok
+       end
+
+  let degree_sum gen = Array.fold_left ( + ) 0 gen.degrees
+
+  let constant_term gen =
+    let b = gen.b in
+    Array.init (b * b) (fun k -> gen.cols.(k mod b).(0).(k / b))
+
+  let leading_term gen =
+    let b = gen.b in
+    Array.init (b * b) (fun k ->
+        let j = k mod b in
+        gen.cols.(j).(gen.degrees.(j)).(k / b))
+
+  let to_scalar gen =
+    if gen.b <> 1 then None
+    else begin
+      let col = gen.cols.(0) in
+      let d = gen.degrees.(0) in
+      (* drop zero top coefficients (nominal degree above the actual one),
+         then normalize monic — the scalar Berlekamp/Massey contract *)
+      let dd = ref d in
+      while !dd > 0 && F.is_zero col.(!dd).(0) do
+        decr dd
+      done;
+      let lead = col.(!dd).(0) in
+      if F.is_zero lead then None
+      else begin
+        let inv = F.inv lead in
+        Some (Array.init (!dd + 1) (fun i -> F.mul inv col.(i).(0)))
+      end
+    end
+end

@@ -4,6 +4,7 @@ module Make
 struct
   module S = Kp_core.Solver.Make (F) (C)
   module I = Kp_core.Inverse.Make (F) (C)
+  module BW = Kp_core.Block_wiedemann.Make (F) (C)
   module M = S.M
   module O = Kp_robust.Outcome
   module Cnt = Kp_obs.Counter
@@ -12,7 +13,9 @@ struct
   let c_hit = Cnt.make "session.cache.hit"
   let c_miss = Cnt.make "session.cache.miss"
   let c_evict = Cnt.make "session.cache.evict"
+  let c_evict_capacity = Cnt.make "session.cache.evict_capacity"
   let c_pool_batch = Cnt.make "pool.session.batch"
+  let c_block_batch = Cnt.make "session.block.batch"
 
   module Tbl = Hashtbl.Make (struct
     type t = Fingerprint.t
@@ -27,35 +30,89 @@ struct
     | Ready of ready
     | Sing of { witnesses : int; report : O.report }
 
+  (* cache slots carry a logical-clock stamp for the LRU capacity bound *)
+  type slot = { mutable e : entry; mutable last_used : int }
+
   type cfg = {
     retries : int;
     strategy : S.P.strategy;
     card_s : int option;
     deadline_ns : int64 option;
     pool : Kp_util.Pool.t option;
+    max_entries : int;
+    block_factor : int option;
   }
 
-  type stats = { hits : int; misses : int; evictions : int }
+  type stats = {
+    hits : int;
+    misses : int;
+    evictions : int;
+    capacity_evictions : int;
+  }
 
   type t = {
     cfg : cfg;
     st : Random.State.t;
-    cache : entry Tbl.t;
+    cache : slot Tbl.t;
+    mutable clock : int;
     mutable hits : int;
     mutable misses : int;
     mutable evictions : int;
+    mutable capacity_evictions : int;
   }
 
   let create ?(retries = 10) ?(strategy = S.P.Doubling) ?card_s ?deadline_ns
-      ?pool st =
-    { cfg = { retries; strategy; card_s; deadline_ns; pool };
+      ?pool ?(max_entries = 64) ?block_factor st =
+    if max_entries < 1 then invalid_arg "Session.create: max_entries < 1";
+    (match block_factor with
+    | Some b when b < 1 -> invalid_arg "Session.create: block_factor < 1"
+    | _ -> ());
+    { cfg = { retries; strategy; card_s; deadline_ns; pool; max_entries;
+              block_factor };
       st;
       cache = Tbl.create 8;
+      clock = 0;
       hits = 0;
       misses = 0;
-      evictions = 0 }
+      evictions = 0;
+      capacity_evictions = 0 }
 
-  let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+  let stats t =
+    { hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      capacity_evictions = t.capacity_evictions }
+
+  let touch t slot =
+    t.clock <- t.clock + 1;
+    slot.last_used <- t.clock
+
+  (* capacity bound: before inserting a fresh entry into a full cache,
+     drop the least-recently-used one.  Distinct from certificate-driven
+     eviction — this is pure bookkeeping, no staleness implied, so it has
+     its own counter and stats field. *)
+  let evict_lru_if_full t =
+    if Tbl.length t.cache >= t.cfg.max_entries then begin
+      let victim = ref None in
+      Tbl.iter
+        (fun fp slot ->
+          match !victim with
+          | Some (_, best) when best <= slot.last_used -> ()
+          | _ -> victim := Some (fp, slot.last_used))
+        t.cache;
+      match !victim with
+      | Some (fp, _) ->
+        Tbl.remove t.cache fp;
+        t.capacity_evictions <- t.capacity_evictions + 1;
+        Cnt.incr c_evict_capacity
+      | None -> ()
+    end
+
+  let insert t fp e =
+    evict_lru_if_full t;
+    let slot = { e; last_used = 0 } in
+    touch t slot;
+    Tbl.replace t.cache fp slot
 
   let fingerprint (a : M.t) =
     let rows = a.M.rows and cols = a.M.cols in
@@ -74,10 +131,11 @@ struct
   let obtain ?key t (a : M.t) =
     let fp = fingerprint_of ?key a in
     match Tbl.find_opt t.cache fp with
-    | Some e ->
+    | Some slot ->
       t.hits <- t.hits + 1;
       Cnt.incr c_hit;
-      (fp, Ok e)
+      touch t slot;
+      (fp, Ok slot.e)
     | None -> (
       t.misses <- t.misses + 1;
       Cnt.incr c_miss;
@@ -90,11 +148,11 @@ struct
       match built with
       | Ok (pc, _report) ->
         let e = Ready { pc; det_certified = None } in
-        Tbl.replace t.cache fp e;
+        insert t fp e;
         (fp, Ok e)
       | Error (O.Singular { witnesses; report }) ->
         let e = Sing { witnesses; report } in
-        Tbl.replace t.cache fp e;
+        insert t fp e;
         (fp, Ok e)
       | Error e -> (fp, Error e))
 
@@ -108,11 +166,11 @@ struct
   let poison_charpoly ?key t (a : M.t) f =
     let fp = fingerprint_of ?key a in
     match Tbl.find_opt t.cache fp with
-    | Some (Ready r) ->
+    | Some ({ e = Ready r; _ } as slot) ->
       let pc = { r.pc with S.P.charpoly_f = f r.pc.S.P.charpoly_f } in
-      Tbl.replace t.cache fp (Ready { pc; det_certified = None });
+      slot.e <- Ready { pc; det_certified = None };
       true
-    | Some (Sing _) | None -> false
+    | Some { e = Sing _; _ } | None -> false
 
   let pooled_init t k f =
     match t.cfg.pool with
@@ -155,6 +213,21 @@ struct
       bs;
     let k = Array.length bs in
     Span.with_ "session.solve_many" @@ fun () ->
+    match t.cfg.block_factor with
+    | Some bf when k >= 2 ->
+      (* opted-in block route: the whole batch rides the columns of one
+         block-Krylov start matrix — one sequence, one matrix generator,
+         every solution residual-certified by the engine *)
+      Cnt.incr c_block_batch;
+      let st = Kp_util.Rng.split t.st in
+      (match
+         BW.solve_batch ~retries:t.cfg.retries ?card_s:t.cfg.card_s
+           ?deadline_ns:t.cfg.deadline_ns ?pool:t.cfg.pool ~block_factor:bf
+           st a bs
+       with
+      | Ok (xs, report) -> Array.map (fun x -> Ok (x, report)) xs
+      | Error e -> Array.make k (Error e))
+    | _ ->
     (* one pre-split state per RHS, in argument order: repair randomness is a
        function of the session history alone, for any pool size *)
     let sts = Array.init k (fun _ -> Kp_util.Rng.split t.st) in

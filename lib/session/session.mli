@@ -43,6 +43,10 @@ module Make
     hits : int;  (** lookups served from a cached entry *)
     misses : int;  (** lookups that triggered a build *)
     evictions : int;  (** entries discarded after a failed certificate *)
+    capacity_evictions : int;
+        (** least-recently-used entries dropped to respect [max_entries] —
+            pure bookkeeping, no staleness implied
+            ([session.cache.evict_capacity]) *)
   }
 
   val create :
@@ -51,11 +55,25 @@ module Make
     ?card_s:int ->
     ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
+    ?max_entries:int ->
+    ?block_factor:int ->
     Random.State.t -> t
   (** A fresh empty session.  The options are the usual solver knobs,
       applied to every build and serve made through the session; [st] is
       the session's random state (builds and per-RHS repair states split
-      off it). *)
+      off it).
+
+      [max_entries] (default 64) bounds the per-session cache: inserting
+      past the bound evicts the least-recently-used entry (a precomp
+      record holds the Ã squarings — O(n²·log n) field elements — so an
+      unbounded cache across distinct matrices is a leak, the PR-6 bugfix).
+
+      [block_factor] opts [solve_many] batches of ≥ 2 right-hand sides
+      into the {!Kp_core.Block_wiedemann} engine: the batch rides the
+      columns of one block-Krylov sequence instead of per-RHS serves
+      against the scalar cache.  Single solves, [det] and [inverse] keep
+      the cached scalar route.
+      @raise Invalid_argument if [max_entries] or [block_factor] < 1. *)
 
   val fingerprint : M.t -> Fingerprint.t
   (** The content fingerprint [solve]/[det]/[inverse] compute when no

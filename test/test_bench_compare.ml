@@ -202,7 +202,7 @@ let test_committed_baseline_parses () =
           check_int (name ^ " self-compare is clean") 0
             (List.length
                (B.regressions (B.compare_runs ~baseline:run ~current:run ())))))
-    [ "BENCH_PR3.json"; "BENCH_PR4.json"; "BENCH_PR5.json" ]
+    [ "BENCH_PR3.json"; "BENCH_PR4.json"; "BENCH_PR5.json"; "BENCH_PR6.json" ]
 
 let test_pr4_baseline_covers_sessions () =
   (* the PR-4 baseline is the one CI gates on: it must carry the session
@@ -245,6 +245,32 @@ let test_pr5_baseline_covers_kernels () =
           | Some v -> v > 0.
           | None -> false)))
 
+let test_pr6_baseline_covers_block () =
+  (* the PR-6 baseline adds the block-Wiedemann experiment: it must carry
+     E16 and the block.* counters with the engine actually exercised, or
+     the blocked Krylov path could silently stop running under the bands *)
+  match find_committed "BENCH_PR6.json" with
+  | None -> ()
+  | Some path -> (
+    match B.load path with
+    | Error m -> Alcotest.failf "BENCH_PR6.json failed to parse: %s" m
+    | Ok run ->
+      let e16 = List.find_opt (fun t -> t.B.label = "E16") run.B.tables in
+      (match e16 with
+      | None -> Alcotest.fail "BENCH_PR6.json has no E16 table"
+      | Some t ->
+        check_bool "E16 records the block engine counters" true
+          (List.mem_assoc "block.attempts" t.B.counters
+          && List.mem_assoc "block.krylov.blocks" t.B.counters
+          && List.mem_assoc "block.successes" t.B.counters);
+        check_bool "E16 block solves all succeeded" true
+          (match
+             ( List.assoc_opt "block.successes" t.B.counters,
+               List.assoc_opt "block.failures" t.B.counters )
+           with
+          | Some s, Some f -> s > 0. && f = 0.
+          | _ -> false)))
+
 let () =
   Alcotest.run "bench_compare"
     [
@@ -264,6 +290,8 @@ let () =
             test_pr4_baseline_covers_sessions;
           Alcotest.test_case "PR5 baseline covers kernels" `Quick
             test_pr5_baseline_covers_kernels;
+          Alcotest.test_case "PR6 baseline covers block engine" `Quick
+            test_pr6_baseline_covers_block;
         ] );
       ( "compare",
         [

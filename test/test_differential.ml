@@ -39,6 +39,7 @@ module Diff (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
   module Rk = Kp_core.Rank.Make (F) (C)
   module Ns = Kp_core.Nullspace.Make (F) (C)
   module W = Kp_core.Wiedemann.Make (F)
+  module BW = Kp_core.Block_wiedemann.Make (F) (C)
   module Sess = Kp_session.Session.Make (F) (C)
   module O = Kp_robust.Outcome
 
@@ -204,10 +205,100 @@ module Diff (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
         | Error e -> fail_typed seed n "singular solve" e))
       shared_seeds
 
+  (* --- block engine rows: same seed-determined inputs, every blocking
+     factor must agree exactly with the oracle and the scalar engines --- *)
+
+  let block_factors = [ 1; 2; 4 ]
+
+  let test_block_nonsingular () =
+    List.iter
+      (fun seed ->
+        List.iter
+          (fun n ->
+            let st = Kp_util.Rng.make seed in
+            let a = M.random_nonsingular st n in
+            let x_true = Array.init n (fun _ -> F.random st) in
+            let b = M.matvec a x_true in
+            let det_oracle = G.det a in
+            List.iteri
+              (fun i bf ->
+                let sts = states (seed + n + (137 * (i + 1))) 2 in
+                let what s = Printf.sprintf "%s b=%d" s bf in
+                (match BW.solve ~block_factor:bf sts.(0) a b with
+                | Ok (x, _) ->
+                  Alcotest.(check bool) (ctx seed n (what "block solve = oracle")) true
+                    (vec_equal x x_true)
+                | Error e -> fail_typed seed n (what "block solve") e);
+                match BW.det ~block_factor:bf sts.(1) a with
+                | Ok (d, _) ->
+                  Alcotest.(check bool) (ctx seed n (what "block det = oracle")) true
+                    (F.equal d det_oracle)
+                | Error e -> fail_typed seed n (what "block det") e)
+              block_factors;
+            (* a 2-RHS batch rides one block run *)
+            let sts = states (seed + n + 997) 3 in
+            let x2 = Array.init n (fun _ -> F.random sts.(2)) in
+            let b2 = M.matvec a x2 in
+            (match BW.solve_batch sts.(0) a [| b; b2 |] with
+            | Ok (xs, _) ->
+              Alcotest.(check bool) (ctx seed n "block batch solve = oracle") true
+                (vec_equal xs.(0) x_true && vec_equal xs.(1) x2)
+            | Error e -> fail_typed seed n "block batch solve" e);
+            (* rank of a non-singular matrix through block determinants *)
+            Alcotest.(check int) (ctx seed n "block rank = n") n
+              (BW.rank ~block_factor:2 sts.(1) a);
+            (* b=1 degeneration: same random stream, same answer and the
+               same attempt count as the scalar engine *)
+            let st_scalar = Kp_util.Rng.make ((seed * 65599) + n) in
+            let st_block = Kp_util.Rng.make ((seed * 65599) + n) in
+            match (S.solve st_scalar a b, BW.solve ~block_factor:1 st_block a b) with
+            | Ok (xs_, ra), Ok (xb_, rb) ->
+              Alcotest.(check bool) (ctx seed n "b=1 block = scalar answer") true
+                (vec_equal xs_ xb_);
+              Alcotest.(check int) (ctx seed n "b=1 block = scalar attempts")
+                ra.O.attempts rb.O.attempts
+            | Error e, _ -> fail_typed seed n "scalar solve (b=1 identity)" e
+            | _, Error e -> fail_typed seed n "block solve (b=1 identity)" e)
+          P.sizes)
+      shared_seeds
+
+  let test_block_singular () =
+    List.iter
+      (fun seed ->
+        let n = P.singular_n in
+        let r = n - 2 in
+        let st = Kp_util.Rng.make seed in
+        let a = M.random_of_rank st n ~rank:r in
+        let xs = Array.init n (fun _ -> F.random st) in
+        let b = M.matvec a xs in
+        List.iter
+          (fun bf ->
+            let sts = states (seed + n + (211 * bf)) 2 in
+            let what s = Printf.sprintf "%s b=%d" s bf in
+            (match BW.solve ~block_factor:bf sts.(0) a b with
+            | Error (O.Singular _) -> ()
+            | Ok _ ->
+              Alcotest.failf "%s"
+                (ctx seed n (what "block solve accepted a singular system"))
+            | Error e ->
+              fail_typed seed n (what "block solve (expected Singular)") e);
+            match BW.det ~block_factor:bf sts.(1) a with
+            | Ok (d, _) ->
+              Alcotest.(check bool) (ctx seed n (what "block det = 0")) true
+                (F.is_zero d)
+            | Error e -> fail_typed seed n (what "block det") e)
+          [ 1; 2 ];
+        let sts = states (seed + n + 1777) 1 in
+        Alcotest.(check int) (ctx seed n "block rank = oracle") r
+          (BW.rank ~block_factor:2 sts.(0) a))
+      shared_seeds
+
   let tests =
     [
       Alcotest.test_case (P.name ^ " nonsingular") `Quick test_nonsingular;
       Alcotest.test_case (P.name ^ " singular") `Quick test_singular;
+      Alcotest.test_case (P.name ^ " block nonsingular") `Quick test_block_nonsingular;
+      Alcotest.test_case (P.name ^ " block singular") `Quick test_block_singular;
     ]
 end
 

@@ -280,6 +280,42 @@ let test_ntt_generic_over_counting () =
     (total > 3 * 64 * 7 && total < 3 * 64 * 7 * 6);
   check_bool "result correct" true (NG.mul_full a b = Ntt.convolution a b)
 
+let test_ntt_root_table_cap () =
+  (* the per-length root-table cache is bounded: convolving at many
+     distinct lengths (every product also touches all the levels below its
+     transform size) must never retain more than the cap, and eviction
+     must not change any product — each answer is checked against
+     Karatsuba.  A fresh functor application gives a fresh empty cache. *)
+  let module NG = Kp_poly.Conv.Ntt_generic (F) (Kp_poly.Conv.Default_ntt_prime) in
+  let st = Random.State.make [| 44 |] in
+  check_bool "fresh cache is empty" true (NG.root_tables_cached () = 0);
+  for k = 1 to 12 do
+    let l = 1 lsl k in
+    let a = Array.init l (fun _ -> F.random st) in
+    let b = Array.init (l - (l / 3)) (fun _ -> F.random st) in
+    check_bool
+      (Printf.sprintf "len-%d product survives eviction" l)
+      true
+      (NG.mul_full a b = S.mul_full a b);
+    check_bool
+      (Printf.sprintf "cache stays within cap after len %d" l)
+      true
+      (NG.root_tables_cached () <= 8)
+  done;
+  check_bool "cache retains the recent lengths" true
+    (NG.root_tables_cached () > 0);
+  (* revisiting small sizes after the big ones: still correct, still capped *)
+  for k = 1 to 4 do
+    let l = 1 lsl k in
+    let a = Array.init l (fun _ -> F.random st) in
+    let b = Array.init l (fun _ -> F.random st) in
+    check_bool
+      (Printf.sprintf "len-%d rebuild after eviction" l)
+      true
+      (NG.mul_full a b = S.mul_full a b)
+  done;
+  check_bool "still within cap" true (NG.root_tables_cached () <= 8)
+
 (* ---- qcheck ---- *)
 
 let arb_poly =
@@ -351,6 +387,7 @@ let () =
           Alcotest.test_case "rejects bad length" `Quick test_ntt_rejects_bad_length;
           Alcotest.test_case "generic = specialized" `Quick test_ntt_generic_matches_specialized;
           Alcotest.test_case "generic over counting" `Quick test_ntt_generic_over_counting;
+          Alcotest.test_case "root-table cache capped" `Quick test_ntt_root_table_cap;
         ] );
       ( "properties",
         qtests [ prop_mul_commutative; prop_mul_degree; prop_distributive; prop_eval_hom ] );

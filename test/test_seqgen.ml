@@ -7,6 +7,7 @@ module BMQ = Kp_seqgen.Berlekamp_massey.Make (Q)
 module LR = Kp_seqgen.Linrec.Make (F)
 module M = Kp_matrix.Dense.Make (F)
 module G = Kp_matrix.Gauss.Make (F)
+module MB = Kp_seqgen.Matrix_bm.Make (F)
 module P = BM.P
 
 let check_bool = Alcotest.(check bool)
@@ -127,6 +128,140 @@ let test_generates_rejects () =
   check_bool "wrong poly rejected" false (BM.generates [| fi 1; fi 1 |] s);
   check_bool "right poly accepted" true (BM.generates [| fi (-1); fi (-1); fi 1 |] s)
 
+(* ---------- matrix Berlekamp/Massey ---------- *)
+
+let arr_eq a b =
+  Array.length a = Array.length b && Array.for_all2 F.equal a b
+
+(* S_i = U·Aⁱ·V with U b×n, V n×b, each term b×b row-major *)
+let block_sequence a ~u ~v len =
+  let s = Array.make len [||] in
+  let k = ref v in
+  for i = 0 to len - 1 do
+    s.(i) <- (M.mul u !k).M.data;
+    k := M.mul a !k
+  done;
+  s
+
+let square_of_flat b flat = M.init b b (fun r c -> flat.((r * b) + c))
+
+let test_mbm_b1_matches_scalar () =
+  let st = Random.State.make [| 90 |] in
+  for _ = 1 to 20 do
+    let l = 1 + Random.State.int st 8 in
+    let rec_poly =
+      Array.init (l + 1) (fun i ->
+          if i = l then F.one
+          else if i = 0 then fi (1 + Random.State.int st 1000)
+          else F.random st)
+    in
+    let init = Array.init l (fun _ -> F.random st) in
+    let s = LR.extend ~init ~rec_poly (2 * l + 4) in
+    let f_scalar = P.to_array (BM.minimal_polynomial s) in
+    let gen = MB.minimal_generator ~b:1 (Array.map (fun x -> [| x |]) s) in
+    match MB.to_scalar gen with
+    | None -> Alcotest.fail "b=1 generator has no scalar form"
+    | Some f_block ->
+        check_bool "b=1 generator = scalar Berlekamp/Massey" true
+          (arr_eq f_scalar f_block)
+  done
+
+let test_mbm_b1_krylov () =
+  let st = Random.State.make [| 91 |] in
+  for _ = 1 to 10 do
+    let n = 2 + Random.State.int st 8 in
+    let a = M.random st n n in
+    let u = Array.init n (fun _ -> F.random st) in
+    let b = Array.init n (fun _ -> F.random st) in
+    let s = LR.krylov_sequence (M.matvec a) ~u ~b ((2 * n) + 3) in
+    let f_scalar = P.to_array (BM.minimal_polynomial s) in
+    let gen = MB.minimal_generator ~b:1 (Array.map (fun x -> [| x |]) s) in
+    check_bool "b=1 Krylov generator generates" true
+      (MB.generates ~b:1 (Array.map (fun x -> [| x |]) s) gen);
+    match MB.to_scalar gen with
+    | None -> Alcotest.fail "b=1 generator has no scalar form"
+    | Some f_block ->
+        check_bool "b=1 Krylov generator = scalar min poly" true
+          (arr_eq f_scalar f_block)
+  done
+
+let test_mbm_block_generates () =
+  let st = Random.State.make [| 92 |] in
+  List.iter
+    (fun b ->
+      for _ = 1 to 8 do
+        let n = b + Random.State.int st 9 in
+        let a = M.random st n n in
+        let u = M.random st b n in
+        let v = M.random st n b in
+        let sigma = (2 * (((n + b) - 1) / b)) + 3 in
+        let s = block_sequence a ~u ~v sigma in
+        let gen = MB.minimal_generator ~b s in
+        check_bool "block generator generates its sequence" true
+          (MB.generates ~b s gen);
+        check_bool "degree sum at most n" true (MB.degree_sum gen <= n)
+      done)
+    [ 2; 3 ]
+
+let test_mbm_det_relation () =
+  (* full-degree case: Σδ = n and det Λ ≠ 0 certify
+     det(λI−A) = det F(λ)/det Λ, so det A = (−1)ⁿ det F(0)/det Λ *)
+  let st = Random.State.make [| 93 |] in
+  let b = 2 in
+  let tried = ref 0 and confirmed = ref 0 in
+  while !confirmed < 5 && !tried < 60 do
+    incr tried;
+    let n = 3 + Random.State.int st 6 in
+    let a = M.random_nonsingular st n in
+    let u = M.random st b n in
+    let v = M.random st n b in
+    let sigma = (2 * (((n + b) - 1) / b)) + 3 in
+    let s = block_sequence a ~u ~v sigma in
+    let gen = MB.minimal_generator ~b s in
+    let lam = square_of_flat b (MB.leading_term gen) in
+    let det_lam = G.det lam in
+    if
+      MB.generates ~b s gen
+      && MB.degree_sum gen = n
+      && not (F.is_zero det_lam)
+    then begin
+      incr confirmed;
+      let f0 = square_of_flat b (MB.constant_term gen) in
+      let lhs = F.div (G.det f0) det_lam in
+      let det = G.det a in
+      let expect = if n land 1 = 0 then det else F.neg det in
+      check_bool "det A = (-1)^n det F(0)/det Λ" true (F.equal lhs expect)
+    end
+  done;
+  check_bool "reached full-degree block cases" true (!confirmed >= 5)
+
+let test_mbm_zero_sequence () =
+  let b = 2 in
+  let s = Array.init 9 (fun _ -> Array.make (b * b) F.zero) in
+  let gen = MB.minimal_generator ~b s in
+  check_int "zero block sequence -> degree sum 0" 0 (MB.degree_sum gen);
+  check_bool "trivial generator generates" true (MB.generates ~b s gen)
+
+let test_mbm_generates_rejects () =
+  let st = Random.State.make [| 94 |] in
+  let b = 2 and n = 6 in
+  let a = M.random st n n in
+  let u = M.random st b n in
+  let v = M.random st n b in
+  let s = block_sequence a ~u ~v ((2 * (n / b)) + 3) in
+  let gen = MB.minimal_generator ~b s in
+  check_bool "good generator accepted" true (MB.generates ~b s gen);
+  let bad =
+    {
+      gen with
+      MB.cols =
+        Array.map
+          (fun col -> Array.map (fun fi -> Array.map F.(add one) fi) col)
+          gen.MB.cols;
+    }
+  in
+  check_bool "tampered generator rejected" false (MB.generates ~b s bad)
+
 let () =
   Alcotest.run "kp_seqgen"
     [
@@ -148,5 +283,17 @@ let () =
             test_krylov_minpoly_divides_charpoly;
           Alcotest.test_case "full degree det relation" `Quick
             test_krylov_nonsingular_full_degree;
+        ] );
+      ( "matrix-bm",
+        [
+          Alcotest.test_case "b=1 matches scalar BM" `Quick
+            test_mbm_b1_matches_scalar;
+          Alcotest.test_case "b=1 Krylov degeneration" `Quick test_mbm_b1_krylov;
+          Alcotest.test_case "block generator generates" `Quick
+            test_mbm_block_generates;
+          Alcotest.test_case "block det relation" `Quick test_mbm_det_relation;
+          Alcotest.test_case "zero block sequence" `Quick test_mbm_zero_sequence;
+          Alcotest.test_case "generates rejects tampering" `Quick
+            test_mbm_generates_rejects;
         ] );
     ]

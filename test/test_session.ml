@@ -278,6 +278,97 @@ module FI = struct
     ]
 end
 
+(* ---- capacity bound: the cache is LRU past max_entries ---- *)
+
+module LRU = struct
+  module F = Kp_field.Fields.Gf_ntt
+  module C = Kp_poly.Conv.Karatsuba (F)
+  module M = Kp_matrix.Dense.Make (F)
+  module G = Kp_matrix.Gauss.Make (F)
+  module Sess = Kp_session.Session.Make (F) (C)
+
+  let n = 4
+
+  (* max_entries = 3; insert m1 m2 m3, touch m1, insert m4.  The LRU entry
+     is m2: it must be the one dropped (m1 was refreshed by its hit), and
+     the drop must be a *capacity* eviction — stale evictions stay 0, a
+     capacity drop implies nothing about the entry's validity. *)
+  let test_lru_eviction () =
+    let st = Kp_util.Rng.make 41 in
+    let ms = Array.init 4 (fun _ -> M.random_nonsingular st n) in
+    let b = Array.init n (fun _ -> F.random st) in
+    let cap0 = counter "session.cache.evict_capacity" in
+    let sess = Sess.create ~max_entries:3 (Kp_util.Rng.make 42) in
+    let solve_ok what m =
+      match Sess.solve sess m b with
+      | Ok (x, _) ->
+        Alcotest.(check bool) (what ^ " = oracle") true
+          (Array.for_all2 F.equal x (Option.get (G.solve m b)))
+      | Error e -> Alcotest.failf "%s: %s" what (O.error_to_string e)
+    in
+    solve_ok "m1" ms.(0);
+    solve_ok "m2" ms.(1);
+    solve_ok "m3" ms.(2);
+    solve_ok "m1 again" ms.(0);
+    Alcotest.(check int) "full cache, no eviction yet" 0
+      (Sess.stats sess).Sess.capacity_evictions;
+    solve_ok "m4 (max+1-th entry)" ms.(3);
+    let s = Sess.stats sess in
+    Alcotest.(check int) "max+1-th insert evicted exactly one entry" 1
+      s.Sess.capacity_evictions;
+    Alcotest.(check int) "capacity drop is not a stale eviction" 0
+      s.Sess.evictions;
+    (* m1 was refreshed, so it survived the eviction... *)
+    solve_ok "m1 survives (was recently used)" ms.(0);
+    Alcotest.(check int) "m1 still cached" (Sess.stats sess).Sess.misses
+      s.Sess.misses;
+    (* ...and m2 was the least-recently-used victim: re-solving it misses *)
+    solve_ok "m2 was evicted" ms.(1);
+    Alcotest.(check int) "re-solving the LRU victim rebuilds"
+      (s.Sess.misses + 1)
+      (Sess.stats sess).Sess.misses;
+    Alcotest.(check int) "global capacity counter moved with the session"
+      (cap0 + (Sess.stats sess).Sess.capacity_evictions)
+      (counter "session.cache.evict_capacity")
+
+  let test_bad_bound () =
+    Alcotest.check_raises "max_entries = 0 rejected"
+      (Invalid_argument "Session.create: max_entries < 1") (fun () ->
+        ignore (Sess.create ~max_entries:0 (Kp_util.Rng.make 1)));
+    Alcotest.check_raises "block_factor = 0 rejected"
+      (Invalid_argument "Session.create: block_factor < 1") (fun () ->
+        ignore (Sess.create ~block_factor:0 (Kp_util.Rng.make 1)))
+
+  (* block_factor routes multi-RHS batches through the block engine; the
+     answers are still certified and equal to the Gauss oracle *)
+  let test_block_batch () =
+    let st = Kp_util.Rng.make 43 in
+    let a = M.random_nonsingular st 6 in
+    let bs = Array.init 3 (fun _ -> Array.init 6 (fun _ -> F.random st)) in
+    let batch0 = counter "session.block.batch" in
+    let sess = Sess.create ~block_factor:2 (Kp_util.Rng.make 44) in
+    let results = Sess.solve_many sess a bs in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Ok (x, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "block batch[%d] = oracle" i)
+            true
+            (Array.for_all2 F.equal x (Option.get (G.solve a bs.(i))))
+        | Error e -> Alcotest.failf "block batch[%d]: %s" i (O.error_to_string e))
+      results;
+    Alcotest.(check int) "batch took the block route" (batch0 + 1)
+      (counter "session.block.batch")
+
+  let tests =
+    [
+      Alcotest.test_case "LRU capacity eviction" `Quick test_lru_eviction;
+      Alcotest.test_case "bounds validated" `Quick test_bad_bound;
+      Alcotest.test_case "block_factor batch route" `Quick test_block_batch;
+    ]
+end
+
 (* ---- fingerprinting ---- *)
 
 let test_fingerprint () =
@@ -375,6 +466,7 @@ let () =
       ("gf2^8", Gf2_8_suite.tests);
       ("rational", Q_suite.tests);
       ("fault_injection", FI.tests);
+      ("cache_bound", LRU.tests);
       ( "fingerprint",
         [
           Alcotest.test_case "fingerprints and keys" `Quick test_fingerprint;
