@@ -24,8 +24,11 @@ type table = {
 type run = { fast : bool; tables : table list }
 
 (* tables whose counters scale with however many timed iterations the
-   benchmark harness chose to run — not comparable across machines *)
-let iteration_scaled_labels = [ "E9" ]
+   benchmark harness chose to run — not comparable across machines.  E15
+   is here for a different reason with the same consequence: its load
+   phase runs concurrent client threads, so per-run counter totals are
+   schedule-dependent; only its wall-clock is gated. *)
+let iteration_scaled_labels = [ "E9"; "E15" ]
 
 let table_of_json j =
   match Option.bind (Json_min.member "label" j) Json_min.to_string with

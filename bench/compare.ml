@@ -6,7 +6,10 @@
    least one metric outside its tolerance band, 2 = usage/parse error.
    Tolerances can be widened for noisy environments with
    --seconds-ratio R and --counter-tol F (see bench/baseline.ml for the
-   metric classification). *)
+   metric classification).  --only LABEL restricts the diff to one table
+   (both sides are filtered; the label must exist in the baseline) — the
+   CI serve-smoke job uses it to gate E15 from a run that produced only
+   E15. *)
 
 let usage_error fmt =
   Printf.ksprintf
@@ -14,7 +17,7 @@ let usage_error fmt =
       Printf.eprintf "compare: %s\n" m;
       Printf.eprintf
         "usage: compare.exe --baseline FILE --current FILE \
-         [--seconds-ratio R] [--counter-tol F]\n";
+         [--seconds-ratio R] [--counter-tol F] [--only LABEL]\n";
       exit 2)
     fmt
 
@@ -22,7 +25,8 @@ let () =
   let baseline = ref None
   and current = ref None
   and seconds_ratio = ref 4.0
-  and counter_tol = ref 0.10 in
+  and counter_tol = ref 0.10
+  and only = ref None in
   let rec parse = function
     | [] -> ()
     | "--baseline" :: path :: rest ->
@@ -43,8 +47,11 @@ let () =
         counter_tol := f;
         parse rest
       | _ -> usage_error "--counter-tol needs a non-negative number, got %S" v)
-    | [ ("--baseline" | "--current" | "--seconds-ratio" | "--counter-tol") as a ]
-      ->
+    | "--only" :: label :: rest ->
+      only := Some (String.uppercase_ascii label);
+      parse rest
+    | [ ("--baseline" | "--current" | "--seconds-ratio" | "--counter-tol"
+        | "--only") as a ] ->
       usage_error "%s needs a value" a
     | unknown :: _ -> usage_error "unknown argument %S" unknown
   in
@@ -60,6 +67,25 @@ let () =
   in
   let baseline = load "baseline" (need "--baseline FILE" !baseline) in
   let current = load "current" (need "--current FILE" !current) in
+  let baseline, current =
+    match !only with
+    | None -> (baseline, current)
+    | Some label ->
+      let restrict (run : Kp_bench_lib.Baseline.run) =
+        {
+          run with
+          Kp_bench_lib.Baseline.tables =
+            List.filter
+              (fun (t : Kp_bench_lib.Baseline.table) ->
+                t.Kp_bench_lib.Baseline.label = label)
+              run.Kp_bench_lib.Baseline.tables;
+        }
+      in
+      let baseline = restrict baseline in
+      if baseline.Kp_bench_lib.Baseline.tables = [] then
+        usage_error "--only %s: no such table in the baseline" label;
+      (baseline, restrict current)
+  in
   let issues =
     Kp_bench_lib.Baseline.compare_runs ~seconds_ratio:!seconds_ratio
       ~counter_rel_tol:!counter_tol ~baseline ~current ()

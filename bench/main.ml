@@ -16,6 +16,11 @@
                      cached RHS-independent prefix (charpoly computed once)
      E14 kernel      bulk vector-kernel layer: word-level GF(p) loops vs the
                      scalar abstract-field path, bit-identical by assertion
+     E15 serve       kp serve under load: concurrent clients, typed overload
+                     shedding at queue_limit 0, breaker demotion and
+                     re-promotion under fault injection; every admitted
+                     answer client-side re-verified (KP_SERVE_SOCKET aims
+                     the load segment at an external daemon)
      E16 block       block Wiedemann: Krylov phase of the blocked engine
                      (σ ≈ 2n/b products of n×n by n×b) vs the scalar
                      engine's doubling and sequential Krylov phases,
@@ -972,6 +977,272 @@ let e14 () =
   Tables.print t
 
 (* ------------------------------------------------------------------ *)
+(* E15: kp serve under load — admission control, deadlines, breakers    *)
+(* ------------------------------------------------------------------ *)
+
+module Srv = Kp_serve.Server.Make (F) (CK)
+module SrvC = Kp_serve.Client
+module SrvP = Kp_serve.Protocol
+module SrvW = Kp_serve.Wire
+
+let e15 () =
+  print_endline
+    "E15 (kp serve): the persistent solve service under load.  Three\n\
+     segments: (load) concurrent clients stream keyed solves — every\n\
+     admitted answer is re-verified client-side and overload rejections\n\
+     are honoured by waiting out retry_after_ms; (shed) a queue_limit=0\n\
+     daemon must turn every solve into a typed `overloaded` reply —\n\
+     never a hang, never a wrong answer — while ping stays answerable;\n\
+     (chaos) a daemon over a fault-injecting field demotes block→scalar\n\
+     through its circuit breaker and re-promotes after the cooldown.\n\
+     Set KP_SERVE_SOCKET to aim the load segment at an external daemon\n\
+     (the CI serve-smoke job does); shed and chaos always run in-process.\n";
+  let t =
+    Tables.create ~title:"serve under load (latencies in ms)"
+      ~columns:
+        [ "segment"; "requests"; "ok"; "shed"; "errors"; "p50"; "p99";
+          "engines" ]
+  in
+  let percentile lats p =
+    match lats with
+    | [] -> 0.
+    | _ ->
+      let a = Array.of_list lats in
+      Array.sort compare a;
+      let k = Array.length a in
+      a.(min (k - 1) (max 0 (int_of_float (ceil (p *. float_of_int k)) - 1)))
+  in
+  let fmt_ms s = Printf.sprintf "%.1f" (s *. 1e3) in
+  let rng = st () in
+  let n = 24 in
+  let a = M.random_nonsingular rng n in
+  let entries = Array.init (n * n) (fun k -> M.get a (k / n) (k mod n)) in
+  let sock_name tag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kp-e15-%s-%d.sock" tag (Unix.getpid ()))
+  in
+  let status j = Option.value ~default:"?" (SrvP.response_status j) in
+  let error_tag j =
+    Option.bind (SrvW.member "error" j) (fun e ->
+        Option.bind (SrvW.member "error" e) SrvW.to_str)
+  in
+  (* ---- load segment ---- *)
+  let threads = if !fast then 3 else 4 in
+  let per_thread = if !fast then 6 else 20 in
+  let socket, local =
+    match Sys.getenv_opt "KP_SERVE_SOCKET" with
+    | Some path -> (path, None)
+    | None ->
+      let path = sock_name "load" in
+      let srv = Srv.start (Srv.default_config ~socket_path:path)
+          (Kp_util.Rng.make 4242) in
+      (path, Some srv)
+  in
+  let results = Array.make threads ([], [], 0, 0) in
+  let worker i () =
+    let c = SrvC.connect socket in
+    Fun.protect ~finally:(fun () -> SrvC.close c) @@ fun () ->
+    let key = Printf.sprintf "e15-%d-%d" (Unix.getpid ()) i in
+    let lats = ref [] and engines = ref [] and ok = ref 0 and shed = ref 0 in
+    for j = 1 to per_thread do
+      (* a planted solution makes every request verifiable client-side *)
+      let x_true =
+        Array.init n (fun k -> F.of_int (1 + ((1 + i + (31 * j) + k) mod 89)))
+      in
+      let b = M.matvec a x_true in
+      let m =
+        if j = 1 then SrvP.Inline { n; entries; key = Some key }
+        else SrvP.Keyed key
+      in
+      let req =
+        {
+          SrvP.id = Some (Printf.sprintf "t%d-%d" i j);
+          op = SrvP.Solve { m; b };
+          engine = SrvP.E_auto;
+          block_factor = None;
+          deadline_ms = Some 10_000;
+        }
+      in
+      let rec go tries =
+        let t0 = Kp_obs.Clock.now_s () in
+        let j' = SrvC.request c req in
+        let dt = Kp_obs.Clock.now_s () -. t0 in
+        match status j' with
+        | "ok" ->
+          lats := dt :: !lats;
+          incr ok;
+          let x =
+            match Option.bind (SrvW.member "x" j') SrvW.to_list with
+            | Some l ->
+              Array.of_list (List.map (fun v -> Option.get (SrvW.to_int v)) l)
+            | None -> failwith "E15: ok reply without x"
+          in
+          if not (Array.for_all2 F.equal (M.matvec a x) b) then
+            failwith "E15: served solution failed clean re-verification";
+          (match Option.bind (SrvW.member "engine" j') SrvW.to_str with
+          | Some e when not (List.mem e !engines) -> engines := e :: !engines
+          | _ -> ())
+        | "error" when error_tag j' = Some "overloaded" ->
+          (* honour the admission hint and retry *)
+          incr shed;
+          if tries > 20 then failwith "E15: shed 20 times in a row";
+          let hint =
+            match
+              Option.bind (SrvW.member "error" j') (fun e ->
+                  Option.bind (SrvW.member "retry_after_ms" e) SrvW.to_int)
+            with
+            | Some ms when ms >= 1 -> ms
+            | _ -> failwith "E15: overloaded reply without a retry hint"
+          in
+          Unix.sleepf (float_of_int (min hint 50) /. 1e3);
+          go (tries + 1)
+        | s -> failwith (Printf.sprintf "E15: unexpected reply status %S" s)
+      in
+      go 0
+    done;
+    results.(i) <- (!lats, !engines, !ok, !shed)
+  in
+  let handles = List.init threads (fun i -> Thread.create (worker i) ()) in
+  List.iter Thread.join handles;
+  (match local with
+  | Some srv -> Srv.stop srv
+  | None -> ());
+  let lats = List.concat_map (fun (l, _, _, _) -> l) (Array.to_list results) in
+  let engines =
+    List.sort_uniq compare
+      (List.concat_map (fun (_, e, _, _) -> e) (Array.to_list results))
+  in
+  let ok = Array.fold_left (fun s (_, _, o, _) -> s + o) 0 results in
+  let shed = Array.fold_left (fun s (_, _, _, d) -> s + d) 0 results in
+  if ok <> threads * per_thread then
+    failwith
+      (Printf.sprintf "E15 load: %d/%d requests answered" ok
+         (threads * per_thread));
+  Tables.add_row t
+    [ "load"; string_of_int (threads * per_thread); string_of_int ok;
+      string_of_int shed; "0"; fmt_ms (percentile lats 0.5);
+      fmt_ms (percentile lats 0.99); String.concat "+" engines ];
+  (* ---- shed segment: queue_limit = 0 turns every solve into a typed
+     overload; the daemon never hangs and stays observable ---- *)
+  let path = sock_name "shed" in
+  let cfg = { (Srv.default_config ~socket_path:path) with Srv.queue_limit = 0 } in
+  let srv = Srv.start cfg (Kp_util.Rng.make 4243) in
+  let burst = if !fast then 12 else 30 in
+  let shed_lats = ref [] and sheds = ref 0 in
+  (let c = SrvC.connect path in
+   Fun.protect ~finally:(fun () -> SrvC.close c) @@ fun () ->
+   for j = 1 to burst do
+     let req =
+       {
+         SrvP.id = Some (Printf.sprintf "s%d" j);
+         op = SrvP.Solve { m = SrvP.Inline { n; entries; key = None };
+                           b = M.matvec a (Array.make n F.one) };
+         engine = SrvP.E_auto;
+         block_factor = None;
+         deadline_ms = Some 1_000;
+       }
+     in
+     let t0 = Kp_obs.Clock.now_s () in
+     let j' = SrvC.request c req in
+     shed_lats := (Kp_obs.Clock.now_s () -. t0) :: !shed_lats;
+     match (status j', error_tag j') with
+     | "error", Some "overloaded" -> incr sheds
+     | s, e ->
+       failwith
+         (Printf.sprintf "E15 shed: expected overloaded, got %s/%s" s
+            (Option.value ~default:"-" e))
+   done;
+   let j' = SrvC.request_line c {|{"op":"ping"}|} in
+   match SrvW.parse j' with
+   | Ok j' when status j' = "ok" -> ()
+   | _ -> failwith "E15 shed: ping no longer answered");
+  Srv.stop srv;
+  if !sheds <> burst then
+    failwith (Printf.sprintf "E15 shed: %d/%d typed rejections" !sheds burst);
+  Tables.add_row t
+    [ "shed"; string_of_int burst; "0"; string_of_int !sheds; "0";
+      fmt_ms (percentile !shed_lats 0.5); fmt_ms (percentile !shed_lats 0.99);
+      "-" ];
+  (* ---- chaos segment: fault-injecting field behind the daemon; the
+     block breaker demotes to scalar, then re-promotes after cooldown ---- *)
+  let plan =
+    Kp_robust.Fault.plan ~p_corrupt:0. ~p_abort:1.0 ~max_faults:10 ~seed:6 ()
+  in
+  let module FFld = Kp_robust.Fault.Field (F) in
+  let module FF = (val FFld.wrap plan) in
+  let module CF = Kp_poly.Conv.Karatsuba (FF) in
+  let module FSrv = Kp_serve.Server.Make (FF) (CF) in
+  let nc = 6 in
+  let ac = M.random_nonsingular rng nc in
+  let bc = M.matvec ac (Array.make nc F.one) in
+  let path = sock_name "chaos" in
+  let now = ref 0L in
+  let cfg =
+    {
+      (FSrv.default_config ~socket_path:path) with
+      FSrv.breaker_threshold = 1;
+      breaker_cooldown_ms = 1;
+    }
+  in
+  let srv = FSrv.start ~now:(fun () -> !now) cfg (Kp_util.Rng.make 4244) in
+  let chaos_lats = ref [] in
+  let seen =
+    let c = SrvC.connect path in
+    Fun.protect ~finally:(fun () -> SrvC.close c) @@ fun () ->
+    List.map
+      (fun (id, clock) ->
+        now := clock;
+        let req =
+          {
+            SrvP.id = Some id;
+            op =
+              SrvP.Solve
+                {
+                  m =
+                    SrvP.Inline
+                      {
+                        n = nc;
+                        entries =
+                          Array.init (nc * nc) (fun k ->
+                              M.get ac (k / nc) (k mod nc));
+                        key = Some "chaos";
+                      };
+                  b = bc;
+                };
+            engine = SrvP.E_block;
+            block_factor = Some 2;
+            deadline_ms = None;
+          }
+        in
+        let t0 = Kp_obs.Clock.now_s () in
+        let j' = SrvC.request c req in
+        chaos_lats := (Kp_obs.Clock.now_s () -. t0) :: !chaos_lats;
+        if status j' <> "ok" then
+          failwith ("E15 chaos: request " ^ id ^ " not served");
+        let x =
+          match Option.bind (SrvW.member "x" j') SrvW.to_list with
+          | Some l ->
+            Array.of_list (List.map (fun v -> Option.get (SrvW.to_int v)) l)
+          | None -> failwith "E15 chaos: reply without x"
+        in
+        if not (Array.for_all2 F.equal (M.matvec ac x) bc) then
+          failwith "E15 chaos: answer failed clean re-verification";
+        Option.value ~default:"?"
+          (Option.bind (SrvW.member "engine" j') SrvW.to_str))
+      [ ("c1", 0L); ("c2", 0L); ("c3", 10_000_000L) ]
+  in
+  FSrv.stop srv;
+  if seen <> [ "scalar"; "scalar"; "block" ] then
+    failwith
+      (Printf.sprintf "E15 chaos: engine walk was %s, want scalar,scalar,block"
+         (String.concat "," seen));
+  Tables.add_row t
+    [ "chaos"; "3"; "3"; "0"; "0"; fmt_ms (percentile !chaos_lats 0.5);
+      fmt_ms (percentile !chaos_lats 0.99); String.concat ">" seen ];
+  Tables.print t
+
+(* ------------------------------------------------------------------ *)
 (* E16: block Wiedemann — blocked Krylov phase vs the scalar engine     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1064,7 +1335,7 @@ let e16 () =
 let all_tables =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("E16", e16) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16) ]
 
 let usage_error fmt =
   Printf.ksprintf

@@ -25,6 +25,16 @@ let read_ints path =
   |> List.filter (fun s -> s <> "")
   |> List.map int_of_string
 
+type serve_opts = {
+  socket : string;
+  queue_limit : int;
+  max_n : int;
+  breaker_threshold : int;
+  breaker_cooldown_ms : int;
+  drain_grace_ms : int;
+  default_deadline_ms : int option;
+}
+
 type setup = {
   prime : int;
   seed : int;
@@ -65,6 +75,7 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
   module TC = Kp_structured.Toeplitz_charpoly.Make (F) (C)
   module Ch = Kp_structured.Chistov.Make (F) (C)
   module Sess = Kp_session.Session.Make (F) (C)
+  module Srv = Kp_serve.Server.Make (F) (C)
 
   let load_matrix setup st =
     match (setup.matrix, setup.random) with
@@ -110,7 +121,16 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
     | Error (O.Singular _) ->
       print_endline "matrix is singular (certified witness)";
       `Ok ()
-    | Error e -> typed_error e
+    | Error (O.Deadline_exceeded _ as e) ->
+      (* no time left for a second engine *)
+      typed_error e
+    | Error e ->
+      (* same degradation ladder as the serve daemon: a block-engine fault
+         or exhausted budget demotes to the scalar Theorem-4 pipeline
+         instead of failing the command *)
+      Printf.eprintf "block engine failed (%s); falling back to scalar\n%!"
+        (O.error_to_string e);
+      solve_dense ?deadline_ns ?pool st a b
 
   let solve_blackbox ?deadline_ns st a b =
     (* the paper's black-box route: Ã = A·H·D, fully instrumented *)
@@ -262,6 +282,32 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       `Ok ()
     | Error e -> typed_error e
 
+  let serve ~domains ~seed (o : serve_opts) =
+    with_pool_opt ~domains @@ fun pool ->
+    let st = Kp_util.Rng.make seed in
+    let cfg =
+      {
+        Srv.socket_path = o.socket;
+        max_n = o.max_n;
+        queue_limit = o.queue_limit;
+        breaker_threshold = o.breaker_threshold;
+        breaker_cooldown_ms = o.breaker_cooldown_ms;
+        drain_grace_ms = o.drain_grace_ms;
+        max_line_bytes = 4 * 1024 * 1024;
+        default_deadline_ms = o.default_deadline_ms;
+      }
+    in
+    let srv = Srv.start ?pool cfg st in
+    Srv.install_sigterm srv;
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Srv.drain srv));
+    Printf.printf
+      "kp serve: listening on %s (GF(%d), queue limit %d, max n %d)\n%!"
+      o.socket F.characteristic o.queue_limit o.max_n;
+    Srv.wait srv;
+    (try Unix.unlink o.socket with Unix.Unix_error _ -> ());
+    print_endline "kp serve: drained";
+    `Ok ()
+
   let charpoly ~domains prime toeplitz =
     with_pool_opt ~domains @@ fun pool ->
     let d =
@@ -294,6 +340,7 @@ module type DRIVER = sig
   val rank : setup -> ret
   val inverse : setup -> ret
   val charpoly : domains:int -> int -> string -> ret
+  val serve : domains:int -> seed:int -> serve_opts -> ret
 end
 
 let dispatch prime k : ret =
@@ -473,6 +520,77 @@ let kernels_cmd =
           arithmetic dispatches to.")
     Term.(const run $ prime_t)
 
+let serve_cmd =
+  let socket_t =
+    Arg.(value & opt string "/tmp/kp-serve.sock"
+         & info [ "socket" ] ~doc:"Unix domain socket path to listen on.")
+  in
+  let queue_limit_t =
+    Arg.(value & opt int 64
+         & info [ "queue-limit" ]
+             ~doc:
+               "Admission bound: requests arriving when this many are \
+                already queued are shed with a typed $(b,overloaded) error \
+                and a retry-after hint.")
+  in
+  let max_n_t =
+    Arg.(value & opt int 512
+         & info [ "max-n" ]
+             ~doc:
+               "Largest accepted matrix dimension; larger requests are a \
+                typed $(b,too_large) rejection.")
+  in
+  let breaker_threshold_t =
+    Arg.(value & opt int 3
+         & info [ "breaker-threshold" ]
+             ~doc:
+               "Consecutive engine failures that open its circuit breaker \
+                (demoting block → scalar → dense).")
+  in
+  let breaker_cooldown_t =
+    Arg.(value & opt int 2000
+         & info [ "breaker-cooldown-ms" ]
+             ~doc:
+               "How long an open breaker waits before half-opening to probe \
+                the engine again (re-promotion).")
+  in
+  let drain_grace_t =
+    Arg.(value & opt int 5000
+         & info [ "drain-grace-ms" ]
+             ~doc:
+               "Hard bound on graceful shutdown: on SIGTERM the daemon stops \
+                accepting, finishes queued and in-flight work, and exits \
+                within this bound.")
+  in
+  let default_deadline_t =
+    Arg.(value & opt (some int) None
+         & info [ "default-deadline-ms" ]
+             ~doc:
+               "Deadline applied to requests that carry no \
+                $(b,deadline_ms) of their own.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent solve daemon: newline-delimited JSON over a \
+          Unix socket, with admission control, per-request deadlines, \
+          per-engine circuit breakers and graceful SIGTERM drain.")
+    Term.(
+      ret
+        (const (fun prime seed domains socket queue_limit max_n
+                    breaker_threshold breaker_cooldown_ms drain_grace_ms
+                    default_deadline_ms ->
+             let opts =
+               { socket; queue_limit; max_n; breaker_threshold;
+                 breaker_cooldown_ms; drain_grace_ms; default_deadline_ms }
+             in
+             (dispatch prime (fun (module D : DRIVER) ->
+                  D.serve ~domains ~seed opts)
+               :> unit Cmdliner.Term.ret))
+         $ prime_t $ seed_t $ domains_t $ socket_t $ queue_limit_t $ max_n_t
+         $ breaker_threshold_t $ breaker_cooldown_t $ drain_grace_t
+         $ default_deadline_t))
+
 let charpoly_cmd =
   let toeplitz_t =
     Arg.(required & opt (some string) None
@@ -499,4 +617,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ solve_cmd; det_cmd; rank_cmd; inverse_cmd; charpoly_cmd; kernels_cmd ]))
+          [ solve_cmd; det_cmd; rank_cmd; inverse_cmd; charpoly_cmd;
+            kernels_cmd; serve_cmd ]))

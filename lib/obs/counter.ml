@@ -28,6 +28,14 @@ let find name =
 
 let register_gauge name f = locked (fun () -> Hashtbl.replace gauges name f)
 
+let gauges_snapshot () =
+  let gauge_fns =
+    locked (fun () -> Hashtbl.fold (fun n f acc -> (n, f) :: acc) gauges [])
+  in
+  (* sample outside the lock: a gauge may itself consult the registry *)
+  let gauged = List.map (fun (n, f) -> (n, try f () with _ -> 0)) gauge_fns in
+  List.sort (fun (a, _) (b, _) -> compare a b) gauged
+
 let snapshot () =
   let counted, gauge_fns =
     locked (fun () ->

@@ -26,6 +26,12 @@ val register_gauge : string -> (unit -> int) -> unit
 (** Register (or replace) a named read-only gauge sampled at snapshot
     time.  A gauge that raises reports 0. *)
 
+val gauges_snapshot : unit -> (string * int) list
+(** Only the registered gauges, sampled now, sorted by name — the live
+    instantaneous view (queue depths, in-flight work, breaker states) as
+    opposed to {!snapshot}, which interleaves them with the monotone
+    counters.  Safe from any domain or thread. *)
+
 val snapshot : unit -> (string * int) list
 (** All counters and gauges with their current values, sorted by name. *)
 

@@ -25,6 +25,7 @@ type error =
   | Retries_exhausted of report
   | Deadline_exceeded of { elapsed_ns : int64; report : report }
   | Fault_detected of { op : string; detail : string }
+  | Overloaded of { queue_depth : int; retry_after_ms : int }
 
 let empty_report = { attempts = 0; card_s_final = 0; rejections = [] }
 
@@ -40,13 +41,13 @@ let with_report f = function
   | Retries_exhausted report -> Retries_exhausted (f report)
   | Deadline_exceeded { elapsed_ns; report } ->
     Deadline_exceeded { elapsed_ns; report = f report }
-  | Fault_detected _ as e -> e
+  | (Fault_detected _ | Overloaded _) as e -> e
 
 let attempts_of_error = function
   | Singular { report; _ } | Retries_exhausted report
   | Deadline_exceeded { report; _ } ->
     report.attempts
-  | Fault_detected _ -> 0
+  | Fault_detected _ | Overloaded _ -> 0
 
 let reason_slug = function
   | Low_degree -> "low_degree"
@@ -91,6 +92,9 @@ let error_to_string = function
       (report_to_string report)
   | Fault_detected { op; detail } ->
     Printf.sprintf "fault detected in %s: %s" op detail
+  | Overloaded { queue_depth; retry_after_ms } ->
+    Printf.sprintf "overloaded (queue depth %d); retry after %d ms" queue_depth
+      retry_after_ms
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -133,3 +137,7 @@ let error_to_json = function
   | Fault_detected { op; detail } ->
     Printf.sprintf "{\"error\":\"fault_detected\",\"op\":%s,\"detail\":%s}"
       (jstr op) (jstr detail)
+  | Overloaded { queue_depth; retry_after_ms } ->
+    Printf.sprintf
+      "{\"error\":\"overloaded\",\"queue_depth\":%d,\"retry_after_ms\":%d}"
+      queue_depth retry_after_ms

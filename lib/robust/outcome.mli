@@ -57,6 +57,12 @@ type error =
       (** The monotonic deadline passed before an attempt could start. *)
   | Fault_detected of { op : string; detail : string }
       (** A deterministic invariant failed outside any retry loop. *)
+  | Overloaded of { queue_depth : int; retry_after_ms : int }
+      (** Admission control rejected the request before any work started:
+          the serving queue is at or past its load-shedding threshold.
+          [retry_after_ms] is the server's backoff hint (queue depth times
+          its recent per-request service estimate).  Carries no report —
+          zero attempts were spent. *)
 
 val empty_report : report
 
@@ -65,7 +71,8 @@ val merge_reports : report -> report -> report
     add, rejections concatenate, [card_s_final] is the later one's. *)
 
 val with_report : (report -> report) -> error -> error
-(** Map over the report carried by an error ([Fault_detected] untouched). *)
+(** Map over the report carried by an error ([Fault_detected] and
+    [Overloaded] untouched). *)
 
 val attempts_of_error : error -> int
 

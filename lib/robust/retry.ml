@@ -18,6 +18,19 @@ let policy ?(retries = 10) ?(escalate = true) ?(max_card_s = None) ?deadline_ns
 let deadline_after_ms ms =
   Int64.add (Clock.now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L)
 
+let remaining_ns ~deadline_ns =
+  let r = Int64.sub deadline_ns (Clock.now_ns ()) in
+  if Int64.compare r 0L > 0 then r else 0L
+
+let remaining_ms ~deadline_ns =
+  Int64.to_int (Int64.div (remaining_ns ~deadline_ns) 1_000_000L)
+
+let split_deadline ~deadline_ns ~ways =
+  if ways <= 1 then deadline_ns
+  else
+    Int64.add (Clock.now_ns ())
+      (Int64.div (remaining_ns ~deadline_ns) (Int64.of_int ways))
+
 type 'a attempt =
   | Accept of 'a
   | Reject of O.reason

@@ -51,6 +51,23 @@ val policy :
 val deadline_after_ms : int -> int64
 (** Monotonic deadline [ms] milliseconds from now. *)
 
+val remaining_ns : deadline_ns:int64 -> int64
+(** Budget left until the monotonic deadline, clamped at 0. *)
+
+val remaining_ms : deadline_ns:int64 -> int
+(** [remaining_ns] in whole milliseconds (0 once the deadline passed). *)
+
+val split_deadline : deadline_ns:int64 -> ways:int -> int64
+(** Sub-deadline granting [1/ways] of the budget still left {e now} — the
+    serving layer's budget splitter: a request admitted with one absolute
+    deadline that may cascade through [ways] fallback engines gives each
+    stage an equal share of whatever time the earlier stages (and queue
+    wait) left over, so the whole cascade still lands inside the caller's
+    deadline.  [ways <= 1] returns the deadline unchanged.  Time already
+    burnt is gone: splitting an expired deadline yields an expired
+    sub-deadline, which the retry engine turns into a typed
+    [Deadline_exceeded] before any attempt starts. *)
+
 type 'a attempt =
   | Accept of 'a  (** certified answer: stop *)
   | Reject of Outcome.reason  (** bad randomness: retry, escalated *)

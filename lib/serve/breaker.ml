@@ -1,0 +1,83 @@
+module Cnt = Kp_obs.Counter
+module Events = Kp_obs.Events
+
+type state = Closed | Half_open | Open
+
+type t = {
+  name : string;
+  threshold : int;
+  cooldown_ns : int64;
+  now : unit -> int64;
+  mutable st : state;
+  mutable open_until : int64;
+  mutable failures : int;
+  (* atomic mirror of [st] so metrics snapshots from the IO thread read a
+     consistent value without taking part in the worker's mutation *)
+  code : int Atomic.t;
+  c_open : Cnt.t;
+  c_reopen : Cnt.t;
+  c_close : Cnt.t;
+}
+
+let code_of = function Closed -> 0 | Half_open -> 1 | Open -> 2
+
+let create ?(threshold = 3) ?(cooldown_ns = 2_000_000_000L)
+    ?(now = Kp_obs.Clock.now_ns) name =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
+  {
+    name;
+    threshold;
+    cooldown_ns;
+    now;
+    st = Closed;
+    open_until = 0L;
+    failures = 0;
+    code = Atomic.make 0;
+    c_open = Cnt.make ("serve.breaker." ^ name ^ ".open");
+    c_reopen = Cnt.make ("serve.breaker." ^ name ^ ".reopen");
+    c_close = Cnt.make ("serve.breaker." ^ name ^ ".close");
+  }
+
+let set t st =
+  t.st <- st;
+  Atomic.set t.code (code_of st)
+
+let event t what =
+  Events.emit "serve.breaker" [ ("engine", t.name); ("state", what) ]
+
+let state t =
+  (match t.st with
+  | Open when Int64.compare (t.now ()) t.open_until >= 0 ->
+    (* cooldown over: the next request is the probe *)
+    set t Half_open;
+    event t "half_open"
+  | _ -> ());
+  t.st
+
+let admits t = match state t with Closed | Half_open -> true | Open -> false
+
+let record_success t =
+  (match state t with
+  | Closed -> ()
+  | Half_open | Open ->
+    Cnt.incr t.c_close;
+    event t "closed");
+  t.failures <- 0;
+  set t Closed
+
+let trip t ~reopened =
+  t.open_until <- Int64.add (t.now ()) t.cooldown_ns;
+  set t Open;
+  Cnt.incr (if reopened then t.c_reopen else t.c_open);
+  event t (if reopened then "reopened" else "open")
+
+let record_failure t =
+  t.failures <- t.failures + 1;
+  match state t with
+  | Half_open -> trip t ~reopened:true
+  | Closed when t.failures >= t.threshold -> trip t ~reopened:false
+  | Closed | Open -> ()
+
+let consecutive_failures t = t.failures
+let name t = t.name
+let state_code t = Atomic.get t.code

@@ -1,0 +1,23 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let request_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  input_line t.ic
+
+let request t req =
+  let reply = request_line t (Protocol.render_request req) in
+  match Wire.parse reply with
+  | Ok v -> v
+  | Error m -> failwith (Printf.sprintf "unparseable reply %S: %s" reply m)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

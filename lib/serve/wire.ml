@@ -1,0 +1,241 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek s = if s.pos < String.length s.src then Some s.src.[s.pos] else None
+let advance s = s.pos <- s.pos + 1
+
+let rec skip_ws s =
+  match peek s with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance s;
+    skip_ws s
+  | _ -> ()
+
+let expect s c =
+  match peek s with
+  | Some c' when c' = c -> advance s
+  | Some c' -> fail "expected %C at offset %d, got %C" c s.pos c'
+  | None -> fail "expected %C at offset %d, got end of input" c s.pos
+
+let parse_string_body s =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek s with
+    | None -> fail "unterminated string at offset %d" s.pos
+    | Some '"' -> advance s
+    | Some '\\' ->
+      advance s;
+      (match peek s with
+      | Some '"' -> Buffer.add_char buf '"'; advance s
+      | Some '\\' -> Buffer.add_char buf '\\'; advance s
+      | Some '/' -> Buffer.add_char buf '/'; advance s
+      | Some 'n' -> Buffer.add_char buf '\n'; advance s
+      | Some 'r' -> Buffer.add_char buf '\r'; advance s
+      | Some 't' -> Buffer.add_char buf '\t'; advance s
+      | Some 'b' -> Buffer.add_char buf '\b'; advance s
+      | Some 'f' -> Buffer.add_char buf '\012'; advance s
+      | Some 'u' ->
+        advance s;
+        if s.pos + 4 > String.length s.src then
+          fail "bad \\u escape at offset %d" s.pos;
+        let hex = String.sub s.src s.pos 4 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+        | Some _ ->
+          (* keep non-ASCII escapes verbatim rather than UTF-8 encoding *)
+          Buffer.add_string buf ("\\u" ^ hex)
+        | None -> fail "bad \\u escape at offset %d" s.pos);
+        s.pos <- s.pos + 4
+      | _ -> fail "bad escape at offset %d" s.pos);
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance s;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_literal s lit value =
+  let n = String.length lit in
+  if s.pos + n <= String.length s.src && String.sub s.src s.pos n = lit then begin
+    s.pos <- s.pos + n;
+    value
+  end
+  else fail "bad literal at offset %d" s.pos
+
+let parse_number s =
+  let start = s.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek s with Some c -> is_num_char c | None -> false) do
+    advance s
+  done;
+  let text = String.sub s.src start (s.pos - start) in
+  let is_integral =
+    String.for_all (function '0' .. '9' | '-' -> true | _ -> false) text
+  in
+  if is_integral then
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> fail "integer out of range %S at offset %d" text start
+  else
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail "bad number %S at offset %d" text start
+
+let rec parse_value depth s =
+  if depth > 64 then fail "nesting too deep at offset %d" s.pos;
+  skip_ws s;
+  match peek s with
+  | Some '{' ->
+    advance s;
+    skip_ws s;
+    if peek s = Some '}' then begin
+      advance s;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws s;
+        expect s '"';
+        let key = parse_string_body s in
+        skip_ws s;
+        expect s ':';
+        let v = parse_value (depth + 1) s in
+        fields := (key, v) :: !fields;
+        skip_ws s;
+        match peek s with
+        | Some ',' -> advance s; members ()
+        | Some '}' -> advance s
+        | _ -> fail "expected ',' or '}' at offset %d" s.pos
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance s;
+    skip_ws s;
+    if peek s = Some ']' then begin
+      advance s;
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value (depth + 1) s in
+        items := v :: !items;
+        skip_ws s;
+        match peek s with
+        | Some ',' -> advance s; elements ()
+        | Some ']' -> advance s
+        | _ -> fail "expected ',' or ']' at offset %d" s.pos
+      in
+      elements ();
+      Arr (List.rev !items)
+    end
+  | Some '"' ->
+    advance s;
+    Str (parse_string_body s)
+  | Some 't' -> parse_literal s "true" (Bool true)
+  | Some 'f' -> parse_literal s "false" (Bool false)
+  | Some 'n' -> parse_literal s "null" Null
+  | Some _ -> parse_number s
+  | None -> fail "unexpected end of input at offset %d" s.pos
+
+let parse text =
+  match
+    let s = { src = text; pos = 0 } in
+    let v = parse_value 0 s in
+    skip_ws s;
+    if s.pos <> String.length text then
+      fail "trailing garbage at offset %d" s.pos;
+    v
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+(* ---- printer ---- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      (* valid JSON even for the awkward floats *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else Buffer.add_string buf "null"
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          go v)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          go v)
+        fields;
+      Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+(* ---- accessors ---- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f
+    when Float.is_integer f && Float.abs f <= 9.007199254740992e15 ->
+    Some (int_of_float f)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> Some l | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None

@@ -1,0 +1,39 @@
+(** JSON values for the serve protocol — parser and printer.
+
+    The daemon speaks newline-delimited JSON over a Unix-domain socket;
+    this is the value type both sides share.  It is deliberately minimal
+    (the repo has a no-external-deps policy): integers are exact (matrix
+    entries are field residues < 2{^30}), floats exist only for the
+    metrics payload, strings are the ASCII/UTF-8 bytes verbatim.
+
+    The parser is total over untrusted input: any malformed byte stream
+    returns [Error] with an offset-carrying message — the server turns
+    that into a typed [bad_request] reply, never an exception. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document (trailing whitespace allowed,
+    trailing garbage rejected). *)
+
+val render : t -> string
+(** One-line rendering; [parse (render v)] = [Ok v] up to float
+    formatting. *)
+
+(** Accessors (all total): *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+(** [Int] directly; a [Float] with integral value inside the 2{^53}-exact
+    range also converts (the bench JSON reader reads numbers as floats). *)
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option

@@ -124,11 +124,17 @@ struct
     | Some k -> Fingerprint.of_key ~field:F.name ~rows:a.M.rows ~cols:a.M.cols k
     | None -> fingerprint a
 
+  (* per-call deadline override: a serving layer admits each request with
+     its own monotonic budget, the session's configured deadline is only
+     the default *)
+  let dl t override =
+    match override with Some _ -> override | None -> t.cfg.deadline_ns
+
   (* First use builds the entry through the certified precompute loop; a
      Singular verdict is itself cached (the witness discipline already ran),
      while transient failures (exhaustion, deadline) are NOT cached — the
      next call retries the build. *)
-  let obtain ?key t (a : M.t) =
+  let obtain ?key ?deadline_ns t (a : M.t) =
     let fp = fingerprint_of ?key a in
     match Tbl.find_opt t.cache fp with
     | Some slot ->
@@ -142,8 +148,8 @@ struct
       let built =
         Span.with_ "session.build" @@ fun () ->
         S.precompute ~retries:t.cfg.retries ~strategy:t.cfg.strategy
-          ?card_s:t.cfg.card_s ?deadline_ns:t.cfg.deadline_ns ?pool:t.cfg.pool
-          t.st a
+          ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
+          ?pool:t.cfg.pool t.st a
       in
       match built with
       | Ok (pc, _report) ->
@@ -203,7 +209,7 @@ struct
     { O.attempt = 1 + List.length rejs; card_s = 0;
       reason = O.Stale_cache detail }
 
-  let solve_many ?key t (a : M.t) (bs : F.t array array) =
+  let solve_many ?key ?deadline_ns t (a : M.t) (bs : F.t array array) =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Session.solve_many: non-square";
     Array.iter
@@ -222,7 +228,7 @@ struct
       let st = Kp_util.Rng.split t.st in
       (match
          BW.solve_batch ~retries:t.cfg.retries ?card_s:t.cfg.card_s
-           ?deadline_ns:t.cfg.deadline_ns ?pool:t.cfg.pool ~block_factor:bf
+           ?deadline_ns:(dl t deadline_ns) ?pool:t.cfg.pool ~block_factor:bf
            st a bs
        with
       | Ok (xs, report) -> Array.map (fun x -> Ok (x, report)) xs
@@ -245,7 +251,7 @@ struct
          state, its report carrying the stale-cache history *)
       match
         S.solve ~retries:t.cfg.retries ~strategy:t.cfg.strategy
-          ?card_s:t.cfg.card_s ?deadline_ns:t.cfg.deadline_ns
+          ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
           ?pool:t.cfg.pool sts.(i) a bs.(i)
       with
       | Ok (x, r) -> Ok (x, prepend_rejections rejs.(i) r)
@@ -255,7 +261,7 @@ struct
       match unresolved () with
       | [] -> ()
       | todo -> (
-        match obtain ?key t a with
+        match obtain ?key ?deadline_ns t a with
         | _, Error e ->
           List.iter (fun i -> out.(i) <- Some (Error e)) todo
         | _, Ok (Sing { witnesses; report }) ->
@@ -290,14 +296,15 @@ struct
     round (max 1 t.cfg.retries);
     Array.map (function Some r -> r | None -> assert false) out
 
-  let solve ?key t a b = (solve_many ?key t a [| b |]).(0)
+  let solve ?key ?deadline_ns t a b =
+    (solve_many ?key ?deadline_ns t a [| b |]).(0)
 
-  let det ?key t (a : M.t) =
+  let det ?key ?deadline_ns t (a : M.t) =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Session.det: non-square";
     Span.with_ "session.det" @@ fun () ->
     let rec go rebuilds rejs =
-      match obtain ?key t a with
+      match obtain ?key ?deadline_ns t a with
       | _, Error e -> Error (O.with_report (prepend_rejections rejs) e)
       | _, Ok (Sing { witnesses = _; report }) ->
         Ok (F.zero, prepend_rejections rejs report)
@@ -311,7 +318,7 @@ struct
              value is served (and is then certified for later serves) *)
           match
             S.det_once ~retries:t.cfg.retries ~strategy:t.cfg.strategy
-              ?card_s:t.cfg.card_s ?deadline_ns:t.cfg.deadline_ns
+              ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
               ?pool:t.cfg.pool t.st a
           with
           | Error e -> Error (O.with_report (prepend_rejections rejs) e)
@@ -331,7 +338,7 @@ struct
               else
                 match
                   S.det ~retries:t.cfg.retries ~strategy:t.cfg.strategy
-                    ?card_s:t.cfg.card_s ?deadline_ns:t.cfg.deadline_ns
+                    ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
                     ?pool:t.cfg.pool t.st a
                 with
                 | Ok (d, r) -> Ok (d, prepend_rejections rejs r)
@@ -340,7 +347,7 @@ struct
     in
     go (max 1 t.cfg.retries) []
 
-  let inverse ?key t (a : M.t) =
+  let inverse ?key ?deadline_ns t (a : M.t) =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Session.inverse: non-square";
     Span.with_ "session.inverse" @@ fun () ->
@@ -350,5 +357,5 @@ struct
       Array.init n (fun j ->
           Array.init n (fun i -> if i = j then F.one else F.zero))
     in
-    I.merge_columns ~n (solve_many ?key t a bs)
+    I.merge_columns ~n (solve_many ?key ?deadline_ns t a bs)
 end

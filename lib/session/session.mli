@@ -84,11 +84,13 @@ module Make
 
   val solve :
     ?key:string ->
+    ?deadline_ns:int64 ->
     t -> M.t -> F.t array -> (F.t array * O.report, O.error) result
   (** [solve_many] on a single right-hand side. *)
 
   val solve_many :
     ?key:string ->
+    ?deadline_ns:int64 ->
     t -> M.t -> F.t array array ->
     (F.t array * O.report, O.error) result array
   (** Solve A·xᵢ = bᵢ for a batch of right-hand sides against one cached
@@ -99,10 +101,15 @@ module Make
       certified fresh solve with its pre-split state.  Reports carry any
       [Stale_cache] rejections.  [?key] names the matrix instead of
       hashing it — the caller asserts identity, the certificates still
-      check it. *)
+      check it.  [?deadline_ns] overrides the session's configured deadline
+      for this call alone (absolute, monotonic): a serving layer admits
+      each request with its own budget and the builds/serves/fallbacks made
+      on its behalf all ride the per-request deadline through the PR-2
+      retry engine. *)
 
   val det :
-    ?key:string -> t -> M.t -> (F.t * O.report, O.error) result
+    ?key:string -> ?deadline_ns:int64 ->
+    t -> M.t -> (F.t * O.report, O.error) result
   (** det(A) from the cached characteristic polynomial.  First serve per
       entry cross-checks against one fresh independent evaluation
       ({!S.det_once}) — agreement certifies the cache (later serves are
@@ -110,7 +117,8 @@ module Make
       [Ok (F.zero, _)] exactly as {!S.det} does. *)
 
   val inverse :
-    ?key:string -> t -> M.t -> (M.t * O.report, O.error) result
+    ?key:string -> ?deadline_ns:int64 ->
+    t -> M.t -> (M.t * O.report, O.error) result
   (** A⁻¹ as n cached-precomputation column solves (so the charpoly is
       still computed once per matrix, not n times), assembled with
       {!I.merge_columns}.  [Error (Singular _)] on singular inputs. *)

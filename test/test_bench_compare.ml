@@ -202,7 +202,8 @@ let test_committed_baseline_parses () =
           check_int (name ^ " self-compare is clean") 0
             (List.length
                (B.regressions (B.compare_runs ~baseline:run ~current:run ())))))
-    [ "BENCH_PR3.json"; "BENCH_PR4.json"; "BENCH_PR5.json"; "BENCH_PR6.json" ]
+    [ "BENCH_PR3.json"; "BENCH_PR4.json"; "BENCH_PR5.json"; "BENCH_PR6.json";
+      "BENCH_PR7.json" ]
 
 let test_pr4_baseline_covers_sessions () =
   (* the PR-4 baseline is the one CI gates on: it must carry the session
@@ -271,6 +272,40 @@ let test_pr6_baseline_covers_block () =
           | Some s, Some f -> s > 0. && f = 0.
           | _ -> false)))
 
+let test_pr7_baseline_covers_serve () =
+  (* the PR-7 baseline adds the serving experiment: it must carry E15 and
+     the serve.* counters showing admission, shedding and the breaker
+     demotion/re-promotion cycle actually happened in the recorded run.
+     E15 counters are classified iteration-scaled (concurrent clients make
+     the totals schedule-dependent), so only the wall-clock is banded —
+     but the recorded counters still document that the run exercised the
+     whole surface, and this test pins that *)
+  match find_committed "BENCH_PR7.json" with
+  | None -> ()
+  | Some path -> (
+    match B.load path with
+    | Error m -> Alcotest.failf "BENCH_PR7.json failed to parse: %s" m
+    | Ok run ->
+      let e15 = List.find_opt (fun t -> t.B.label = "E15") run.B.tables in
+      (match e15 with
+      | None -> Alcotest.fail "BENCH_PR7.json has no E15 table"
+      | Some t ->
+        let positive name =
+          match List.assoc_opt name t.B.counters with
+          | Some v -> v > 0.
+          | None -> false
+        in
+        check_bool "E15 admitted traffic" true (positive "serve.admitted");
+        check_bool "E15 shed traffic with typed rejections" true
+          (positive "serve.shed");
+        check_bool "E15 opened and re-closed the block breaker" true
+          (positive "serve.breaker.block.open"
+          && positive "serve.breaker.block.close");
+        check_bool "E15 walked the degradation ladder" true
+          (positive "serve.engine.block.fail"
+          && positive "serve.engine.scalar.ok"
+          && positive "serve.engine.block.ok")))
+
 let () =
   Alcotest.run "bench_compare"
     [
@@ -292,6 +327,8 @@ let () =
             test_pr5_baseline_covers_kernels;
           Alcotest.test_case "PR6 baseline covers block engine" `Quick
             test_pr6_baseline_covers_block;
+          Alcotest.test_case "PR7 baseline covers serving" `Quick
+            test_pr7_baseline_covers_serve;
         ] );
       ( "compare",
         [

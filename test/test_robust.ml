@@ -284,6 +284,136 @@ let test_solver_deadline_integration () =
   | Error (O.Deadline_exceeded _) -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected Deadline_exceeded from solver"
 
+(* ---- chaos: the block-Wiedemann engine ---- *)
+
+(* the same soundness contract as the scalar suites, now through the
+   blocked pipeline at b ∈ {2, 4}: under seeded field faults every
+   outcome is either clean-verified or typed — never a silent wrong
+   answer escaping the block projections *)
+
+let test_chaos_block_solve () =
+  let wrong = ref 0 and accepted = ref 0 and injected = ref 0 in
+  for seed = 401 to 440 do
+    let plan =
+      Fault.plan ~p_corrupt:0.002
+        ~p_abort:(if seed mod 5 = 0 then 0.0005 else 0.)
+        ~max_faults:3 ~seed ()
+    in
+    let module FF = (val FaultF.wrap plan) in
+    let module CF = Kp_poly.Conv.Karatsuba (FF) in
+    let module FB = Kp_core.Block_wiedemann.Make (FF) (CF) in
+    let st = st0 seed in
+    let n = 4 + (seed mod 5) in
+    let b_factor = if seed mod 2 = 0 then 2 else 4 in
+    let a, _, b = random_system st n in
+    let fa = FB.M.init n n (fun i j -> M.get a i j) in
+    (match FB.solve ~retries:10 ~block_factor:b_factor st fa b with
+    | Ok (x, _) ->
+      incr accepted;
+      if not (Array.for_all2 F.equal (M.matvec a x) b) then incr wrong
+    | Error _ -> ());
+    injected := !injected + Fault.injected plan
+  done;
+  check_int "zero uncertified wrong block solutions" 0 !wrong;
+  check_bool "faults were actually injected" true (!injected > 0);
+  check_bool
+    (Printf.sprintf "most block solves recover (%d/40)" !accepted)
+    true (!accepted >= 30)
+
+let test_chaos_block_det () =
+  let wrong = ref 0 and ok = ref 0 and injected = ref 0 in
+  for seed = 501 to 540 do
+    let plan = Fault.plan ~p_corrupt:0.002 ~max_faults:3 ~seed () in
+    let module FF = (val FaultF.wrap plan) in
+    let module CF = Kp_poly.Conv.Karatsuba (FF) in
+    let module FB = Kp_core.Block_wiedemann.Make (FF) (CF) in
+    let st = st0 seed in
+    let n = 4 + (seed mod 4) in
+    let b_factor = if seed mod 2 = 0 then 2 else 4 in
+    let a = M.random st n n in
+    let d_true = G.det a in
+    let fa = FB.M.init n n (fun i j -> M.get a i j) in
+    (match FB.det ~retries:10 ~block_factor:b_factor st fa with
+    | Ok (d, _) ->
+      incr ok;
+      if not (F.equal d d_true) then incr wrong
+    | Error _ -> ());
+    injected := !injected + Fault.injected plan
+  done;
+  check_int "zero uncertified wrong block determinants" 0 !wrong;
+  check_bool "faults were actually injected" true (!injected > 0);
+  check_bool (Printf.sprintf "most block dets recover (%d/40)" !ok) true
+    (!ok >= 30)
+
+let test_chaos_block_deadline () =
+  (* a fault-riddled block solve against an already-spent deadline is a
+     typed Deadline_exceeded, not a hang and not an answer *)
+  let plan = Fault.plan ~p_corrupt:0.01 ~max_faults:5 ~seed:77 () in
+  let module FF = (val FaultF.wrap plan) in
+  let module CF = Kp_poly.Conv.Karatsuba (FF) in
+  let module FB = Kp_core.Block_wiedemann.Make (FF) (CF) in
+  let st = st0 601 in
+  let a, _, b = random_system st 6 in
+  let fa = FB.M.init 6 6 (fun i j -> M.get a i j) in
+  let past = Int64.sub (Kp_obs.Clock.now_ns ()) 1L in
+  match FB.solve ~deadline_ns:past ~block_factor:2 st fa b with
+  | Error (O.Deadline_exceeded _) -> ()
+  | Ok _ -> Alcotest.fail "expired deadline produced a block answer"
+  | Error e -> Alcotest.fail ("wrong error: " ^ O.error_to_string e)
+
+let test_chaos_block_rank () =
+  (* rank is Monte Carlo with no certificate, so the chaos plan is
+     corrupt-only (p_abort = 0: nothing raises) and the assertion is a
+     tolerance: every value stays in [0, n] and the majority of runs
+     still land on the true rank *)
+  let hits = ref 0 and runs = 40 in
+  for seed = 701 to 700 + runs do
+    let plan =
+      Fault.plan ~p_corrupt:0.001 ~p_abort:0. ~max_faults:2 ~seed ()
+    in
+    let module FF = (val FaultF.wrap plan) in
+    let module CF = Kp_poly.Conv.Karatsuba (FF) in
+    let module FB = Kp_core.Block_wiedemann.Make (FF) (CF) in
+    let st = st0 seed in
+    let n = 4 + (seed mod 4) in
+    let a = M.random_nonsingular st n in
+    let fa = FB.M.init n n (fun i j -> M.get a i j) in
+    let b_factor = if seed mod 2 = 0 then 2 else 4 in
+    let r = FB.rank ~block_factor:b_factor st fa in
+    check_bool
+      (Printf.sprintf "rank in range (seed %d: %d)" seed r)
+      true
+      (r >= 0 && r <= n);
+    if r = n then incr hits
+  done;
+  check_bool
+    (Printf.sprintf "majority of ranks exact under corruption (%d/%d)" !hits
+       runs)
+    true
+    (!hits > runs / 2)
+
+let test_block_falls_back_to_scalar () =
+  (* the `kp --engine block` cascade in miniature: exhaust the block
+     engine under a hostile plan, then show the scalar engine answers
+     the same system cleanly — the fallback the CLI rides *)
+  let plan = Fault.plan ~p_corrupt:0. ~p_abort:1.0 ~max_faults:10 ~seed:9 () in
+  let module FF = (val FaultF.wrap plan) in
+  let module CF = Kp_poly.Conv.Karatsuba (FF) in
+  let module FB = Kp_core.Block_wiedemann.Make (FF) (CF) in
+  let st = st0 801 in
+  let a, _, b = random_system st 6 in
+  let fa = FB.M.init 6 6 (fun i j -> M.get a i j) in
+  (match FB.solve ~retries:5 ~block_factor:2 st fa b with
+  | Error (O.Retries_exhausted _ | O.Fault_detected _) -> ()
+  | Ok _ -> Alcotest.fail "block engine succeeded under a total-abort plan"
+  | Error e -> Alcotest.fail ("untyped block failure: " ^ O.error_to_string e));
+  check_bool "plan budget consumed" true (Fault.injected plan > 0);
+  match S.solve st a b with
+  | Ok (x, _) ->
+    check_bool "scalar fallback verifies" true
+      (Array.for_all2 F.equal (M.matvec a x) b)
+  | Error e -> Alcotest.fail ("scalar fallback failed: " ^ O.error_to_string e)
+
 (* ---- outcome taxonomy smoke ---- *)
 
 let test_outcome_rendering () =
@@ -328,6 +458,19 @@ let () =
             test_chaos_wiedemann_blackbox;
           Alcotest.test_case "control: uncertified pipeline caught" `Quick
             test_control_uncertified_pipeline;
+        ] );
+      ( "chaos-block",
+        [
+          Alcotest.test_case "block solve sound under field faults" `Quick
+            test_chaos_block_solve;
+          Alcotest.test_case "block det sound under field faults" `Quick
+            test_chaos_block_det;
+          Alcotest.test_case "block deadline is typed under faults" `Quick
+            test_chaos_block_deadline;
+          Alcotest.test_case "block rank tolerant under corruption" `Quick
+            test_chaos_block_rank;
+          Alcotest.test_case "block exhaustion falls back to scalar" `Quick
+            test_block_falls_back_to_scalar;
         ] );
       ( "retry-engine",
         [

@@ -1,0 +1,568 @@
+(* The serving layer: wire format, protocol golden cases, circuit
+   breakers, the engine degradation ladder, and the daemon end to end
+   (admission control, chaos demotion/re-promotion, graceful drain).
+
+   Server tests run a real daemon on a Unix socket under a temp path,
+   with the breaker clock injected so demotion and re-promotion are
+   deterministic facts, not timing luck. *)
+
+module F = Kp_field.Fields.Gf_ntt
+module CK = Kp_poly.Conv.Karatsuba (F)
+module M = Kp_matrix.Dense.Make (F)
+module O = Kp_robust.Outcome
+module Fault = Kp_robust.Fault
+module FaultF = Kp_robust.Fault.Field (F)
+module Wire = Kp_serve.Wire
+module P = Kp_serve.Protocol
+module Br = Kp_serve.Breaker
+module En = Kp_serve.Engines.Make (F) (CK)
+module Srv = Kp_serve.Server.Make (F) (CK)
+module Cl = Kp_serve.Client
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let st0 k = Kp_util.Rng.make (77000 + k)
+
+let random_system st n =
+  let a = M.random_nonsingular st n in
+  let x_true = Array.init n (fun _ -> F.random st) in
+  let b = M.matvec a x_true in
+  (a, x_true, b)
+
+let sock_path =
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kp-serve-test-%d-%d.sock" (Unix.getpid ()) !k)
+
+(* ---- wire ---- *)
+
+let test_wire_roundtrip () =
+  let v =
+    Wire.Obj
+      [
+        ("id", Wire.Str "r\"1\n");
+        ("xs", Wire.Arr [ Wire.Int 0; Wire.Int (-3); Wire.Null ]);
+        ("ok", Wire.Bool true);
+      ]
+  in
+  match Wire.parse (Wire.render v) with
+  | Ok v' -> check_bool "roundtrip" true (v = v')
+  | Error m -> Alcotest.fail m
+
+let test_wire_rejects () =
+  let bad s =
+    match Wire.parse s with Ok _ -> false | Error _ -> true
+  in
+  check_bool "trailing garbage" true (bad "{} x");
+  check_bool "unterminated string" true (bad "{\"a\":\"b");
+  check_bool "bare word" true (bad "pong");
+  check_bool "deep nesting" true
+    (bad (String.concat "" (List.init 80 (fun _ -> "[") )));
+  check_bool "huge int" true (bad "123456789123456789123456789")
+
+(* ---- protocol golden ---- *)
+
+let parse line = P.parse_request ~max_n:64 line
+
+let test_protocol_parse_ok () =
+  (match parse {|{"id":"r1","op":"ping"}|} with
+  | Ok { id = Some "r1"; op = P.Ping; _ } -> ()
+  | _ -> Alcotest.fail "ping");
+  (match
+     parse
+       {|{"id":"r2","op":"solve","n":2,"a":[1,2,3,4],"b":[5,6],"key":"m","engine":"block","block_factor":2,"deadline_ms":250}|}
+   with
+  | Ok
+      {
+        id = Some "r2";
+        op = P.Solve { m = P.Inline { n = 2; key = Some "m"; _ }; b = [| 5; 6 |] };
+        engine = P.E_block;
+        block_factor = Some 2;
+        deadline_ms = Some 250;
+      } -> ()
+  | _ -> Alcotest.fail "solve inline");
+  match parse {|{"op":"det","key":"m"}|} with
+  | Ok { id = None; op = P.Det (P.Keyed "m"); engine = P.E_auto; _ } -> ()
+  | _ -> Alcotest.fail "det by key"
+
+let expect_reject line code =
+  match parse line with
+  | Error r -> check_str ("code for " ^ line) code r.P.code
+  | Ok _ -> Alcotest.fail ("accepted: " ^ line)
+
+let test_protocol_rejects () =
+  expect_reject "{nope" "malformed_json";
+  expect_reject "[1,2]" "not_an_object";
+  expect_reject {|{"op":"frobnicate"}|} "unknown_op";
+  expect_reject {|{"op":"solve","n":2,"a":[1,2,3,4]}|} "missing_field";
+  expect_reject {|{"op":"det"}|} "missing_field";
+  expect_reject {|{"op":"det","n":2,"a":[1,2,3]}|} "bad_dimensions";
+  expect_reject {|{"op":"det","n":0,"a":[]}|} "bad_dimensions";
+  expect_reject {|{"op":"det","n":65,"a":[]}|} "too_large";
+  expect_reject {|{"op":"solve","key":"m","b":"x"}|} "bad_field";
+  expect_reject {|{"op":"solve","key":"m","b":[1],"engine":"warp"}|} "bad_field";
+  expect_reject {|{"op":"batch","key":"m","bs":[]}|} "bad_dimensions";
+  expect_reject {|{"op":"det","key":"m","deadline_ms":0}|} "bad_field"
+
+let test_protocol_render_roundtrip () =
+  let req =
+    {
+      P.id = Some "r9";
+      op = P.Batch { m = P.Keyed "m1"; bs = [| [| 1; 2 |]; [| 3; 4 |] |] };
+      engine = P.E_scalar;
+      block_factor = None;
+      deadline_ms = Some 100;
+    }
+  in
+  match parse (P.render_request req) with
+  | Ok req' -> check_bool "request roundtrip" true (req = req')
+  | Error r -> Alcotest.fail r.P.detail
+
+let test_protocol_responses () =
+  let ok_line = P.ok ~id:(Some "a") [ ("rank", Wire.Int 3) ] in
+  (match Wire.parse ok_line with
+  | Ok j ->
+    check_bool "id echoed" true (P.response_id j = Some "a");
+    check_bool "status ok" true (P.response_status j = Some "ok")
+  | Error m -> Alcotest.fail m);
+  let e_line =
+    P.error ~id:None (O.Overloaded { queue_depth = 7; retry_after_ms = 350 })
+  in
+  match Wire.parse e_line with
+  | Ok j -> (
+    check_bool "status error" true (P.response_status j = Some "error");
+    match Wire.member "error" j with
+    | Some err ->
+      check_bool "taxonomy tag" true
+        (Option.bind (Wire.member "error" err) Wire.to_str
+        = Some "overloaded");
+      check_bool "retry hint" true
+        (Option.bind (Wire.member "retry_after_ms" err) Wire.to_int
+        = Some 350)
+    | None -> Alcotest.fail "no error payload")
+  | Error m -> Alcotest.fail m
+
+(* ---- breaker ---- *)
+
+let test_breaker_lifecycle () =
+  let now = ref 0L in
+  let b = Br.create ~threshold:2 ~cooldown_ns:100L ~now:(fun () -> !now) "t" in
+  check_bool "starts closed" true (Br.state b = Br.Closed);
+  Br.record_failure b;
+  check_bool "one failure stays closed" true (Br.admits b);
+  Br.record_failure b;
+  check_bool "threshold opens" true (Br.state b = Br.Open);
+  check_bool "open refuses" false (Br.admits b);
+  check_int "gauge open" 2 (Br.state_code b);
+  now := 101L;
+  check_bool "cooldown half-opens" true (Br.state b = Br.Half_open);
+  check_bool "probe admitted" true (Br.admits b);
+  Br.record_failure b;
+  check_bool "failed probe reopens" true (Br.state b = Br.Open);
+  now := 250L;
+  check_bool "half-open again" true (Br.state b = Br.Half_open);
+  Br.record_success b;
+  check_bool "success closes" true (Br.state b = Br.Closed);
+  check_int "failure run reset" 0 (Br.consecutive_failures b);
+  check_int "gauge closed" 0 (Br.state_code b)
+
+(* ---- the engine ladder (no sockets) ---- *)
+
+let test_ladder_block_demotes_then_repromotes () =
+  (* p_abort = 1: every wrapped field op aborts while the budget lasts,
+     so the block rung burns its retry budget and fails; the budget is
+     then spent and the scalar rung serves clean — demotion in one
+     request, deterministically *)
+  let plan = Fault.plan ~p_corrupt:0. ~p_abort:1.0 ~max_faults:10 ~seed:5 () in
+  let module FF = (val FaultF.wrap plan) in
+  let module CF = Kp_poly.Conv.Karatsuba (FF) in
+  let module E = Kp_serve.Engines.Make (FF) (CF) in
+  let st = st0 1 in
+  let a, _, b = random_system st 6 in
+  let fa = E.M.init 6 6 (fun i j -> M.get a i j) in
+  let now = ref 0L in
+  let session = E.Sess.create (st0 2) in
+  let eng =
+    E.create ~breaker_threshold:1 ~breaker_cooldown_ns:1_000L
+      ~now:(fun () -> !now)
+      ~session (st0 3)
+  in
+  (match E.solve ~engine:P.E_block eng fa b with
+  | Ok (x, served_by, _) ->
+    check_str "demoted to scalar" "scalar" served_by;
+    check_bool "answer correct under clean arithmetic" true
+      (Array.for_all2 F.equal (M.matvec a x) b)
+  | Error e -> Alcotest.fail (O.error_to_string e));
+  check_bool "block breaker opened" true
+    (List.assoc "block" (E.breaker_states eng) = Br.Open);
+  (* still open: the block rung is skipped outright *)
+  (match E.solve ~engine:P.E_block eng fa b with
+  | Ok (_, served_by, _) -> check_str "skip while open" "scalar" served_by
+  | Error e -> Alcotest.fail (O.error_to_string e));
+  (* cooldown passes; the probe runs clean and re-promotes *)
+  now := 2_000L;
+  (match E.solve ~engine:P.E_block eng fa b with
+  | Ok (x, served_by, _) ->
+    check_str "re-promoted" "block" served_by;
+    check_bool "probe answer correct" true
+      (Array.for_all2 F.equal (M.matvec a x) b)
+  | Error e -> Alcotest.fail (O.error_to_string e));
+  check_bool "block breaker closed again" true
+    (List.assoc "block" (E.breaker_states eng) = Br.Closed)
+
+let test_ladder_routes_and_singular () =
+  let st = st0 11 in
+  let a, _, b = random_system st 5 in
+  let session = En.Sess.create (st0 12) in
+  let eng = En.create ~session (st0 13) in
+  (match En.solve ~engine:P.E_auto eng a b with
+  | Ok (_, served_by, _) -> check_str "auto -> scalar" "scalar" served_by
+  | Error e -> Alcotest.fail (O.error_to_string e));
+  (match En.solve ~engine:P.E_dense eng a b with
+  | Ok (x, served_by, _) ->
+    check_str "dense rung" "dense" served_by;
+    check_bool "dense verified" true (Array.for_all2 F.equal (M.matvec a x) b)
+  | Error e -> Alcotest.fail (O.error_to_string e));
+  (match En.det ~engine:P.E_block eng a with
+  | Ok (d, served_by, _) ->
+    check_str "block det" "block" served_by;
+    let module G = Kp_matrix.Gauss.Make (F) in
+    check_bool "det agrees with elimination" true (F.equal d (G.det a))
+  | Error e -> Alcotest.fail (O.error_to_string e));
+  (match En.rank ~engine:P.E_auto eng a with
+  | Ok (r, _) -> check_int "rank" 5 r
+  | Error e -> Alcotest.fail (O.error_to_string e));
+  (match En.inverse ~engine:P.E_auto eng a with
+  | Ok (inv, served_by, _) ->
+    check_str "inverse rung" "scalar" served_by;
+    check_bool "inverse verified" true (M.equal (M.mul a inv) (M.identity 5))
+  | Error e -> Alcotest.fail (O.error_to_string e));
+  (* singular input: an answer, not an engine failure — breakers stay shut *)
+  let s = M.init 4 4 (fun i _ -> if i = 0 then F.zero else F.one) in
+  (match En.solve ~engine:P.E_auto eng s (Array.make 4 F.one) with
+  | Error (O.Singular _) -> ()
+  | Ok _ -> Alcotest.fail "singular system accepted"
+  | Error e -> Alcotest.fail (O.error_to_string e));
+  check_bool "scalar breaker still closed" true
+    (List.assoc "scalar" (En.breaker_states eng) = Br.Closed)
+
+let test_ladder_deadline_expired () =
+  let st = st0 21 in
+  let a, _, b = random_system st 5 in
+  let session = En.Sess.create (st0 22) in
+  let eng = En.create ~session (st0 23) in
+  let past = Int64.sub (Kp_obs.Clock.now_ns ()) 1_000_000L in
+  match En.solve ~deadline_ns:past ~engine:P.E_auto eng a b with
+  | Error (O.Deadline_exceeded _) -> ()
+  | Ok _ -> Alcotest.fail "expired deadline produced an answer"
+  | Error e -> Alcotest.fail (O.error_to_string e)
+
+(* ---- the daemon ---- *)
+
+let with_server ?(cfg_fn = fun c -> c) ?now ~seed k =
+  let path = sock_path () in
+  let cfg = cfg_fn (Srv.default_config ~socket_path:path) in
+  let srv = Srv.start ?now cfg (st0 seed) in
+  Fun.protect
+    ~finally:(fun () ->
+      Srv.drain srv;
+      Srv.stop srv)
+    (fun () -> k path srv)
+
+let field s j name =
+  match Option.bind (Wire.member name j) s with
+  | Some v -> v
+  | None -> Alcotest.fail ("reply missing " ^ name)
+
+let str_field = field Wire.to_str
+let int_field = field Wire.to_int
+
+let int_list j name =
+  match Option.bind (Wire.member name j) Wire.to_list with
+  | Some l -> List.map (fun v -> Option.get (Wire.to_int v)) l
+  | None -> Alcotest.fail ("reply missing " ^ name)
+
+let test_server_golden () =
+  with_server ~seed:31 @@ fun path _srv ->
+  let c = Cl.connect path in
+  Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+  (* ping *)
+  let r = Cl.request_line c {|{"id":"p","op":"ping"}|} in
+  check_bool "pong" true
+    (match Wire.parse r with
+    | Ok j -> P.response_status j = Some "ok"
+    | Error _ -> false);
+  (* solve, registering the matrix under a key *)
+  let st = st0 32 in
+  let a, _, b = random_system st 4 in
+  let entries =
+    Array.to_list (Array.init 16 (fun k -> Wire.Int (M.get a (k / 4) (k mod 4))))
+  in
+  let solve_req rhs =
+    Wire.render
+      (Wire.Obj
+         [
+           ("id", Wire.Str "s");
+           ("op", Wire.Str "solve");
+           ("n", Wire.Int 4);
+           ("a", Wire.Arr entries);
+           ("key", Wire.Str "m1");
+           ("b", Wire.Arr (Array.to_list (Array.map (fun x -> Wire.Int x) rhs)));
+         ])
+  in
+  let j = Result.get_ok (Wire.parse (Cl.request_line c (solve_req b))) in
+  check_str "solve ok" "ok" (str_field j "status");
+  let x = Array.of_list (int_list j "x") in
+  check_bool "solution verifies" true (Array.for_all2 F.equal (M.matvec a x) b);
+  (* by key *)
+  let j =
+    Cl.request c
+      {
+        P.id = Some "k";
+        op = P.Solve { m = P.Keyed "m1"; b };
+        engine = P.E_auto;
+        block_factor = None;
+        deadline_ms = None;
+      }
+  in
+  check_str "keyed solve ok" "ok" (str_field j "status");
+  (* det / rank on the registered matrix *)
+  let j = Result.get_ok (Wire.parse (Cl.request_line c {|{"id":"d","op":"det","key":"m1"}|})) in
+  check_str "det ok" "ok" (str_field j "status");
+  let module G = Kp_matrix.Gauss.Make (F) in
+  check_bool "det value" true (F.equal (int_field j "det") (G.det a));
+  let j = Result.get_ok (Wire.parse (Cl.request_line c {|{"id":"r","op":"rank","key":"m1"}|})) in
+  check_int "rank value" 4 (int_field j "rank");
+  (* batch *)
+  let j =
+    Result.get_ok
+      (Wire.parse
+         (Cl.request_line c
+            {|{"id":"b","op":"batch","key":"m1","bs":[[1,0,0,0],[0,1,0,0]]}|}))
+  in
+  check_str "batch ok" "ok" (str_field j "status");
+  (* typed rejections *)
+  let j = Result.get_ok (Wire.parse (Cl.request_line c {|{"id":"u","op":"det","key":"ghost"}|})) in
+  check_str "unknown key" "bad_request" (str_field j "status");
+  check_str "unknown key code" "unknown_key" (str_field j "code");
+  let j = Result.get_ok (Wire.parse (Cl.request_line c {|{"id":"w","op":"solve","key":"m1","b":[1,2]}|})) in
+  check_str "rhs dims" "bad_request" (str_field j "status");
+  check_str "rhs dims code" "bad_dimensions" (str_field j "code");
+  let j = Result.get_ok (Wire.parse (Cl.request_line c "{oops")) in
+  check_str "malformed" "bad_request" (str_field j "status");
+  (* the daemon survived all of the above: metrics still answer *)
+  let j = Result.get_ok (Wire.parse (Cl.request_line c {|{"id":"m","op":"metrics"}|})) in
+  check_str "metrics ok" "ok" (str_field j "status");
+  match Wire.member "gauges" j with
+  | Some g ->
+    check_bool "queue gauge exported" true
+      (Wire.member "serve.queue.depth" g <> None);
+    check_bool "breaker gauge exported" true
+      (Wire.member "serve.breaker.block.state" g <> None)
+  | None -> Alcotest.fail "no gauges"
+
+let test_server_sheds_when_full () =
+  with_server ~cfg_fn:(fun c -> { c with Srv.queue_limit = 0 }) ~seed:41
+  @@ fun path _srv ->
+  let c = Cl.connect path in
+  Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+  let j =
+    Result.get_ok
+      (Wire.parse
+         (Cl.request_line c {|{"id":"x","op":"det","n":2,"a":[1,2,3,4]}|}))
+  in
+  check_str "typed overload" "error" (str_field j "status");
+  let err =
+    match Wire.member "error" j with
+    | Some e -> e
+    | None -> Alcotest.fail "no error payload"
+  in
+  check_str "overloaded tag" "overloaded" (str_field err "error");
+  check_bool "retry hint positive" true (int_field err "retry_after_ms" >= 1);
+  (* ping and metrics bypass the queue: the daemon is still observable *)
+  let j = Result.get_ok (Wire.parse (Cl.request_line c {|{"op":"ping"}|})) in
+  check_str "ping bypasses admission" "ok" (str_field j "status")
+
+let test_server_oversized_line () =
+  with_server ~cfg_fn:(fun c -> { c with Srv.max_line_bytes = 1024 }) ~seed:51
+  @@ fun path _srv ->
+  let c = Cl.connect path in
+  Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+  (* bigger than the server's 64 KiB read chunk, so the buffer exceeds
+     the limit before the terminating newline can arrive *)
+  let blob = String.make 100_000 'a' in
+  let j = Result.get_ok (Wire.parse (Cl.request_line c blob)) in
+  check_str "oversized rejected" "bad_request" (str_field j "status");
+  check_str "oversized code" "oversized" (str_field j "code");
+  (* the connection is closed after the reply *)
+  match Cl.request_line c {|{"op":"ping"}|} with
+  | exception End_of_file -> ()
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "connection survived an oversized request"
+
+let test_server_chaos_demote_and_repromote () =
+  (* the daemon over a fault-injecting field: one request demotes
+     block → scalar (typed, correct, no crash), the breaker opens, and
+     after the injected cooldown the next request re-promotes *)
+  let plan = Fault.plan ~p_corrupt:0. ~p_abort:1.0 ~max_faults:10 ~seed:6 () in
+  let module FF = (val FaultF.wrap plan) in
+  let module CF = Kp_poly.Conv.Karatsuba (FF) in
+  let module FSrv = Kp_serve.Server.Make (FF) (CF) in
+  let st = st0 61 in
+  let a, _, b = random_system st 6 in
+  let now = ref 0L in
+  let path = sock_path () in
+  let cfg =
+    {
+      (FSrv.default_config ~socket_path:path) with
+      FSrv.breaker_threshold = 1;
+      breaker_cooldown_ms = 1;
+    }
+  in
+  let srv = FSrv.start ~now:(fun () -> !now) cfg (st0 62) in
+  Fun.protect
+    ~finally:(fun () ->
+      FSrv.drain srv;
+      FSrv.stop srv)
+  @@ fun () ->
+  let c = Cl.connect path in
+  Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+  let solve_req id =
+    {
+      P.id = Some id;
+      op =
+        P.Solve
+          {
+            m =
+              P.Inline
+                {
+                  n = 6;
+                  entries =
+                    Array.init 36 (fun k -> M.get a (k / 6) (k mod 6));
+                  key = Some "m";
+                };
+            b;
+          };
+      engine = P.E_block;
+      block_factor = Some 2;
+      deadline_ms = None;
+    }
+  in
+  let served j =
+    check_str "ok under chaos" "ok" (str_field j "status");
+    let x = Array.of_list (int_list j "x") in
+    check_bool "answer correct under clean arithmetic" true
+      (Array.for_all2 F.equal (M.matvec a x) b);
+    str_field j "engine"
+  in
+  check_str "request 1 demotes" "scalar" (served (Cl.request c (solve_req "c1")));
+  check_bool "block breaker open" true
+    (List.assoc "block" (FSrv.E.breaker_states (FSrv.engines srv)) = Br.Open);
+  check_str "request 2 skips open breaker" "scalar"
+    (served (Cl.request c (solve_req "c2")));
+  now := 10_000_000L;
+  check_str "request 3 re-promotes" "block"
+    (served (Cl.request c (solve_req "c3")))
+
+let test_server_drain_no_request_dropped () =
+  with_server ~cfg_fn:(fun c -> { c with Srv.drain_grace_ms = 10_000 }) ~seed:71
+  @@ fun path srv ->
+  let st = st0 72 in
+  let a, _, b = random_system st 8 in
+  let c = Cl.connect path in
+  Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+  (* pipeline several requests in one write, then SIGTERM mid-flight *)
+  let entries = Array.init 64 (fun k -> M.get a (k / 8) (k mod 8)) in
+  let req id m =
+    P.render_request
+      {
+        P.id = Some id;
+        op = P.Solve { m; b };
+        engine = P.E_auto;
+        block_factor = None;
+        deadline_ms = None;
+      }
+  in
+  let lines =
+    req "q0" (P.Inline { n = 8; entries; key = Some "dm" })
+    :: List.init 4 (fun i -> req (Printf.sprintf "q%d" (i + 1)) (P.Keyed "dm"))
+  in
+  let payload = String.concat "\n" lines ^ "\n" in
+  let j0 = Result.get_ok (Wire.parse (Cl.request_line c payload)) in
+  Srv.install_sigterm srv;
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  (* every queued request is still answered, in order *)
+  let replies =
+    j0
+    :: List.init 4 (fun _ ->
+           Result.get_ok (Wire.parse (Cl.request_line c "")))
+  in
+  let rec await_drain n =
+    if Srv.draining srv then ()
+    else if n = 0 then Alcotest.fail "SIGTERM did not initiate drain"
+    else (
+      Unix.sleepf 0.01;
+      await_drain (n - 1))
+  in
+  await_drain 200;
+  List.iteri
+    (fun i j ->
+      check_str (Printf.sprintf "reply %d ok" i) "ok" (str_field j "status");
+      check_str
+        (Printf.sprintf "reply %d id" i)
+        (Printf.sprintf "q%d" i)
+        (str_field j "id"))
+    replies;
+  Srv.wait srv;
+  (* the listener is gone: a fresh connect is refused *)
+  match Cl.connect path with
+  | exception Unix.Unix_error _ -> ()
+  | c2 ->
+    Cl.close c2;
+    Alcotest.fail "listener still accepting after drain"
+
+let () =
+  Alcotest.run "kp_serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "render/parse roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "malformed inputs rejected" `Quick test_wire_rejects;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "golden requests parse" `Quick test_protocol_parse_ok;
+          Alcotest.test_case "typed rejections" `Quick test_protocol_rejects;
+          Alcotest.test_case "render/parse roundtrip" `Quick
+            test_protocol_render_roundtrip;
+          Alcotest.test_case "response envelopes" `Quick test_protocol_responses;
+        ] );
+      ( "breaker",
+        [ Alcotest.test_case "open/half-open/close lifecycle" `Quick
+            test_breaker_lifecycle ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "chaos: block demotes then re-promotes" `Quick
+            test_ladder_block_demotes_then_repromotes;
+          Alcotest.test_case "routing and singular verdicts" `Quick
+            test_ladder_routes_and_singular;
+          Alcotest.test_case "expired deadline is typed" `Quick
+            test_ladder_deadline_expired;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "golden round-trips" `Quick test_server_golden;
+          Alcotest.test_case "sheds with typed overloaded" `Quick
+            test_server_sheds_when_full;
+          Alcotest.test_case "oversized line closed" `Quick
+            test_server_oversized_line;
+          Alcotest.test_case "chaos: demotion and re-promotion" `Quick
+            test_server_chaos_demote_and_repromote;
+          Alcotest.test_case "SIGTERM drain drops nothing" `Quick
+            test_server_drain_no_request_dropped;
+        ] );
+    ]
