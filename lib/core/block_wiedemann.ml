@@ -6,6 +6,7 @@ struct
   module M = P.M
   module K = P.K
   module MD = Kp_matrix.Dense.Make (F)
+  module Sh = Kp_shard.Sharded.Make (F)
   module MBM = Kp_seqgen.Matrix_bm.Make (F)
   module G = Kp_matrix.Gauss.Make (F)
   module HK = Kp_structured.Hankel.Make (F) (C)
@@ -37,10 +38,16 @@ struct
       P.charpoly_leverrier_pooled pool
     else P.charpoly_chistov_pooled pool
 
-  let mul_of pool =
-    match pool with
-    | None -> MD.mul
-    | Some pool -> MD.mul_parallel pool
+  (* sequential, pool-parallel or row-block sharded product — all
+     bit-identical; ?shards makes every blocked Krylov product Ãⁱ·V and
+     projection Uᵀ·Kᵢ fan out as row blocks over the pool *)
+  let mul_of ?shards pool =
+    match shards with
+    | Some s -> Sh.mul_fn ?pool ~shards:s ()
+    | None -> (
+      match pool with
+      | None -> MD.mul
+      | Some pool -> MD.mul_parallel pool)
 
   let policy ?deadline_ns retries =
     Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns ()
@@ -177,9 +184,10 @@ struct
 
   (* one batched block solve: all right-hand sides of the chunk ride the
      same Krylov sequence (k ≤ b columns of V), one generator serves all *)
-  let solve_chunk ~retries ?deadline_ns ~card_s ~pool ~b st (a : M.t) rhs =
+  let solve_chunk ~retries ?deadline_ns ~card_s ~pool ~shards ~b st (a : M.t)
+      rhs =
     let n = a.M.rows in
-    let mul = mul_of pool in
+    let mul = mul_of ?shards pool in
     let charpoly = charpoly_for_field ~pool ~n in
     let k = Array.length rhs in
     Rt.run ~ns:"block" ~op:"solve" ~policy:(policy ?deadline_ns retries)
@@ -211,8 +219,8 @@ struct
      start block narrow enough that σ ≥ 5 terms still cost ~2n³ total *)
   let chunk_width n = max 1 (min n 32)
 
-  let solve_batch ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor st
-      (a : M.t) rhs =
+  let solve_batch ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor
+      ?shards st (a : M.t) rhs =
     Span.with_ "block.solve" @@ fun () ->
     let n = a.M.rows in
     check_square "Block_wiedemann.solve_batch" a;
@@ -235,7 +243,8 @@ struct
           let len = min w (k - start) in
           let chunk = Array.sub rhs start len in
           match
-            solve_chunk ~retries ?deadline_ns ~card_s ~pool ~b st a chunk
+            solve_chunk ~retries ?deadline_ns ~card_s ~pool ~shards ~b st a
+              chunk
           with
           | Ok (xs, r) -> go (start + len) (xs :: acc) (O.merge_reports report r)
           | Error e -> Error (O.with_report (O.merge_reports report) e)
@@ -244,9 +253,11 @@ struct
       go 0 [] O.empty_report
     end
 
-  let solve ?retries ?card_s ?deadline_ns ?pool ?block_factor st (a : M.t) b =
+  let solve ?retries ?card_s ?deadline_ns ?pool ?block_factor ?shards st
+      (a : M.t) b =
     match
-      solve_batch ?retries ?card_s ?deadline_ns ?pool ?block_factor st a [| b |]
+      solve_batch ?retries ?card_s ?deadline_ns ?pool ?block_factor ?shards st
+        a [| b |]
     with
     | Ok (xs, report) -> Ok (xs.(0), report)
     | Error e -> Error e
@@ -300,13 +311,13 @@ struct
     in
     (n, card_s, b, charpoly_for_field ~pool ~n)
 
-  let det ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor st
+  let det ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor ?shards st
       (a : M.t) =
     Span.with_ "block.det" @@ fun () ->
     let n, card_s, b, charpoly =
       det_setup ?card_s ?pool ?block_factor "Block_wiedemann.det" a
     in
-    let mul = mul_of pool in
+    let mul = mul_of ?shards pool in
     as_det_result
       (Rt.run ~ns:"block" ~op:"det" ~policy:(policy ?deadline_ns retries)
          ~card_s
@@ -322,13 +333,13 @@ struct
          end
        | other -> other)
 
-  let det_once ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor st
-      (a : M.t) =
+  let det_once ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor
+      ?shards st (a : M.t) =
     Span.with_ "block.det_once" @@ fun () ->
     let n, card_s, b, charpoly =
       det_setup ?card_s ?pool ?block_factor "Block_wiedemann.det_once" a
     in
-    let mul = mul_of pool in
+    let mul = mul_of ?shards pool in
     as_det_result
       (Rt.run ~ns:"block" ~op:"det_once" ~policy:(policy ?deadline_ns retries)
          ~card_s
@@ -342,7 +353,7 @@ struct
      Â = U·A·V with unit-triangular U, V (so rank is preserved and leading
      minors are generic), then binary-search the largest non-singular
      leading minor.  The blocking factor is clamped to each minor's size. *)
-  let rank ?card_s ?pool ?block_factor st (a : M.t) =
+  let rank ?card_s ?pool ?block_factor ?shards st (a : M.t) =
     Span.with_ "block.rank" @@ fun () ->
     let n = a.M.rows in
     check_square "Block_wiedemann.rank" a;
@@ -357,7 +368,7 @@ struct
         let block_factor =
           Option.map (fun b -> min b (max 1 i)) block_factor
         in
-        match det ~card_s ~retries:6 ?pool ?block_factor st sub with
+        match det ~card_s ~retries:6 ?pool ?block_factor ?shards st sub with
         | Ok (d, _) -> not (F.is_zero d)
         | Error _ -> false
       end

@@ -5,6 +5,7 @@ struct
   module P = Pipeline.Make (F) (C)
   module M = P.M
   module MD = Kp_matrix.Dense.Make (F)
+  module Sh = Kp_shard.Sharded.Make (F)
   module BM = Kp_seqgen.Berlekamp_massey.Make (F)
   module LR = Kp_seqgen.Linrec.Make (F)
 
@@ -41,23 +42,28 @@ struct
     let ax = M.matvec a x in
     Array.for_all2 F.equal ax b
 
-  (* the matrix-multiplication black box: fast sequential loops, or the
-     pool-parallel product when a pool is supplied (the PRAM stand-in) *)
-  let mul_of pool =
-    match pool with
-    | None -> MD.mul
-    | Some pool -> MD.mul_parallel pool
+  (* the matrix-multiplication black box: fast sequential loops, the
+     pool-parallel product when a pool is supplied (the PRAM stand-in), or
+     the row-block sharded product when a shard count is requested — all
+     three are bit-identical, so the choice only moves the schedule *)
+  let mul_of ?shards pool =
+    match shards with
+    | Some s -> Sh.mul_fn ?pool ~shards:s ()
+    | None -> (
+      match pool with
+      | None -> MD.mul
+      | Some pool -> MD.mul_parallel pool)
 
   let policy ?deadline_ns retries =
     Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns ()
 
   let solve ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns ?pool
-      st (a : M.t) b =
+      ?shards st (a : M.t) b =
     Span.with_ "solver.solve" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.solve: non-square";
     if Array.length b <> n then invalid_arg "Solver.solve: bad rhs";
-    let mul = mul_of pool in
+    let mul = mul_of ?shards pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ?pool ~n in
     Rt.run ~ns:"solver" ~op:"solve" ~policy:(policy ?deadline_ns retries)
@@ -148,11 +154,11 @@ struct
     | (Ok _ | Error _) as r -> r
 
   let det ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns ?pool
-      st (a : M.t) =
+      ?shards st (a : M.t) =
     Span.with_ "solver.det" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.det: non-square";
-    let mul = mul_of pool in
+    let mul = mul_of ?shards pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ?pool ~n in
     as_det_result
@@ -177,11 +183,11 @@ struct
        | other -> other)
 
   let det_once ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns
-      ?pool st (a : M.t) =
+      ?pool ?shards st (a : M.t) =
     Span.with_ "solver.det_once" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.det_once: non-square";
-    let mul = mul_of pool in
+    let mul = mul_of ?shards pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ?pool ~n in
     as_det_result
@@ -191,11 +197,11 @@ struct
        det_eval ?pool ~mul ~charpoly ~strategy st ~card_s a)
 
   let precompute ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns
-      ?pool st (a : M.t) =
+      ?pool ?shards st (a : M.t) =
     Span.with_ "solver.precompute" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.precompute: non-square";
-    let mul = mul_of pool in
+    let mul = mul_of ?shards pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ?pool ~n in
     Rt.run ~ns:"solver" ~op:"precompute" ~policy:(policy ?deadline_ns retries)

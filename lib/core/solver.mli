@@ -39,6 +39,7 @@ module Make
     ?card_s:int ->
     ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
+    ?shards:int ->
     Random.State.t -> M.t -> F.t array ->
     (F.t array * O.report, O.error) result
   (** Solve A·x = b.  [Ok (x, _)] comes with the certificate A·x = b
@@ -47,7 +48,12 @@ module Make
       Default [card_s] = max(4·3n², 64) (failure probability ≤ 1/4 per
       attempt), default retries = 10; |S| doubles after every rejection,
       clamped to the field cardinality.  [deadline_ns] is an absolute
-      monotonic deadline ({!Kp_robust.Retry.deadline_after_ms}). *)
+      monotonic deadline ({!Kp_robust.Retry.deadline_after_ms}).
+      [shards] routes every matrix product of the attempt through the
+      row-block sharded engine ({!Kp_shard.Sharded}) at that shard count —
+      bit-identical answers, fanned out per product (here and on
+      [det]/[det_once]/[precompute] alike).
+      @raise Invalid_argument if [shards] < 1. *)
 
   val det :
     ?retries:int ->
@@ -55,6 +61,7 @@ module Make
     ?card_s:int ->
     ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
+    ?shards:int ->
     Random.State.t -> M.t -> (F.t * O.report, O.error) result
   (** Determinant of A (zero is reported as [Ok (F.zero, _)] when the
       singularity witness is confirmed across attempts).  Internally two
@@ -67,6 +74,7 @@ module Make
     ?card_s:int ->
     ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
+    ?shards:int ->
     Random.State.t -> M.t -> (F.t * O.report, O.error) result
   (** A {e single} certified-given-generator evaluation of det(A) — the
       same attempt body as {!det} but without the second agreeing
@@ -81,6 +89,7 @@ module Make
     ?card_s:int ->
     ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
+    ?shards:int ->
     Random.State.t -> M.t -> (P.precomp * O.report, O.error) result
   (** Certified construction of the RHS-independent {!P.precomp} record:
       random (h, d, u, v) drawn through the usual escalating retry loop,

@@ -13,6 +13,7 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
   let rows t = t.rows
   let cols t = t.cols
   let nnz t = Array.length t.values
+  let csr t = (t.row_ptr, t.col_idx, t.values)
 
   let of_triplets ~rows ~cols triplets =
     List.iter

@@ -11,6 +11,12 @@ module Make (F : Kp_field.Field_intf.FIELD) : sig
   val cols : t -> int
   val nnz : t -> int
 
+  val csr : t -> int array * int array * F.t array
+  (** [(row_ptr, col_idx, values)] — the CSR arrays themselves, {e not}
+      copies: row [i] occupies [row_ptr.(i) ≤ k < row_ptr.(i+1)] of
+      [col_idx]/[values].  Callers (the shard planner slicing per-shard
+      CSR blocks) must treat them as read-only. *)
+
   val of_triplets : rows:int -> cols:int -> (int * int * F.t) list -> t
   (** Duplicate coordinates are summed; explicit zeros are dropped. *)
 

@@ -22,17 +22,22 @@ struct
   type t = {
     session : Sess.t;
     pool : Kp_util.Pool.t option;
+    shards : int option;
     st : Random.State.t;
     b_block : Breaker.t;
     b_scalar : Breaker.t;
   }
 
-  let create ?breaker_threshold ?breaker_cooldown_ns ?now ~session ?pool st =
+  let create ?breaker_threshold ?breaker_cooldown_ns ?now ~session ?pool
+      ?shards st =
+    (match shards with
+    | Some s when s < 1 -> invalid_arg "Engines.create: shards < 1"
+    | _ -> ());
     let mk name =
       Breaker.create ?threshold:breaker_threshold
         ?cooldown_ns:breaker_cooldown_ns ?now name
     in
-    { session; pool; st; b_block = mk "block"; b_scalar = mk "scalar" }
+    { session; pool; shards; st; b_block = mk "block"; b_scalar = mk "scalar" }
 
   (* the dense rung is deterministic elimination: no breaker, always admits *)
   let breaker t = function
@@ -219,7 +224,8 @@ struct
     @@ fun rung ~deadline_ns ->
     match rung with
     | Block ->
-      BW.solve ?deadline_ns ?pool:t.pool ?block_factor t.st a b
+      BW.solve ?deadline_ns ?pool:t.pool ?block_factor ?shards:t.shards t.st
+        a b
     | Scalar -> Sess.solve ?key ?deadline_ns t.session a b
     | Dense -> dense_solve ~deadline_ns a b
 
@@ -248,7 +254,8 @@ struct
     @@ fun rung ~deadline_ns ->
     match rung with
     | Block ->
-      BW.solve_batch ?deadline_ns ?pool:t.pool ?block_factor t.st a bs
+      BW.solve_batch ?deadline_ns ?pool:t.pool ?block_factor ?shards:t.shards
+        t.st a bs
     | Scalar -> scalar_batch ?key ?deadline_ns t a bs
     | Dense -> dense_batch ~deadline_ns a bs
 
@@ -257,7 +264,8 @@ struct
     @@ cascade t ~op:"det" ~deadline_ns (ladder engine)
     @@ fun rung ~deadline_ns ->
     match rung with
-    | Block -> BW.det ?deadline_ns ?pool:t.pool ?block_factor t.st a
+    | Block ->
+      BW.det ?deadline_ns ?pool:t.pool ?block_factor ?shards:t.shards t.st a
     | Scalar -> Sess.det ?key ?deadline_ns t.session a
     | Dense -> dense_det ~deadline_ns a
 
@@ -281,7 +289,8 @@ struct
     | Some e -> Error e
     | None -> (
       match rung with
-      | Block -> Ok (BW.rank ?pool:t.pool ?block_factor t.st a)
+      | Block ->
+        Ok (BW.rank ?pool:t.pool ?block_factor ?shards:t.shards t.st a)
       | Scalar -> Ok (R.rank t.st a)
       | Dense -> Ok (G.rank a))
 end

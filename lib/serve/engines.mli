@@ -49,13 +49,19 @@ module Make
     ?now:(unit -> int64) ->
     session:Sess.t ->
     ?pool:Kp_util.Pool.t ->
+    ?shards:int ->
     Random.State.t -> t
   (** The breakers guard the block and scalar rungs ([threshold]
       consecutive failures open one for [cooldown_ns], defaults as
       {!Breaker.create}); [now] is injected into them for deterministic
       tests.  [session] serves the scalar rung (and is the matrix cache
       the serving layer shares across requests); the state seeds the
-      block and rank rungs. *)
+      block and rank rungs.  [shards] routes the block rung's matrix
+      products through the row-block sharded engine
+      ({!Kp_shard.Sharded}, bit-identical answers, fanned over [pool]);
+      configure the session with the same count to shard the scalar
+      rung too.
+      @raise Invalid_argument if [shards] < 1. *)
 
   val breaker_states : t -> (string * Breaker.state) list
   (** [("block", st); ("scalar", st)] — for tests and gauges. *)

@@ -5,6 +5,7 @@ struct
   module S = Kp_core.Solver.Make (F) (C)
   module I = Kp_core.Inverse.Make (F) (C)
   module BW = Kp_core.Block_wiedemann.Make (F) (C)
+  module Sh = Kp_shard.Sharded.Make (F)
   module M = S.M
   module O = Kp_robust.Outcome
   module Cnt = Kp_obs.Counter
@@ -41,6 +42,7 @@ struct
     pool : Kp_util.Pool.t option;
     max_entries : int;
     block_factor : int option;
+    shards : int option;
   }
 
   type stats = {
@@ -62,13 +64,16 @@ struct
   }
 
   let create ?(retries = 10) ?(strategy = S.P.Doubling) ?card_s ?deadline_ns
-      ?pool ?(max_entries = 64) ?block_factor st =
+      ?pool ?(max_entries = 64) ?block_factor ?shards st =
     if max_entries < 1 then invalid_arg "Session.create: max_entries < 1";
     (match block_factor with
     | Some b when b < 1 -> invalid_arg "Session.create: block_factor < 1"
     | _ -> ());
+    (match shards with
+    | Some s when s < 1 -> invalid_arg "Session.create: shards < 1"
+    | _ -> ());
     { cfg = { retries; strategy; card_s; deadline_ns; pool; max_entries;
-              block_factor };
+              block_factor; shards };
       st;
       cache = Tbl.create 8;
       clock = 0;
@@ -149,7 +154,7 @@ struct
         Span.with_ "session.build" @@ fun () ->
         S.precompute ~retries:t.cfg.retries ~strategy:t.cfg.strategy
           ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
-          ?pool:t.cfg.pool t.st a
+          ?pool:t.cfg.pool ?shards:t.cfg.shards t.st a
       in
       match built with
       | Ok (pc, _report) ->
@@ -185,10 +190,15 @@ struct
       Kp_util.Pool.parallel_init p k f
     | _ -> Array.init k f
 
+  (* every configured-shard-count matrix product in a serve rides the
+     row-block sharded engine; None keeps the sequential/pooled default *)
+  let shard_mul t =
+    Option.map (fun s -> Sh.mul ?pool:t.cfg.pool ~shards:s) t.cfg.shards
+
   (* The pure per-RHS serve: cached-record application plus the live
      certificate.  No session mutation — safe to fan out on the pool. *)
   let serve_pure t pc (a : M.t) b =
-    match S.P.apply_precomp ?pool:t.cfg.pool pc ~b with
+    match S.P.apply_precomp ?mul:(shard_mul t) ?pool:t.cfg.pool pc ~b with
     | exception Division_by_zero ->
       Error "division by zero applying cached generator"
     | x ->
@@ -229,7 +239,7 @@ struct
       (match
          BW.solve_batch ~retries:t.cfg.retries ?card_s:t.cfg.card_s
            ?deadline_ns:(dl t deadline_ns) ?pool:t.cfg.pool ~block_factor:bf
-           st a bs
+           ?shards:t.cfg.shards st a bs
        with
       | Ok (xs, report) -> Array.map (fun x -> Ok (x, report)) xs
       | Error e -> Array.make k (Error e))
@@ -252,7 +262,7 @@ struct
       match
         S.solve ~retries:t.cfg.retries ~strategy:t.cfg.strategy
           ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
-          ?pool:t.cfg.pool sts.(i) a bs.(i)
+          ?pool:t.cfg.pool ?shards:t.cfg.shards sts.(i) a bs.(i)
       with
       | Ok (x, r) -> Ok (x, prepend_rejections rejs.(i) r)
       | Error e -> Error (O.with_report (prepend_rejections rejs.(i)) e)
@@ -319,7 +329,7 @@ struct
           match
             S.det_once ~retries:t.cfg.retries ~strategy:t.cfg.strategy
               ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
-              ?pool:t.cfg.pool t.st a
+              ?pool:t.cfg.pool ?shards:t.cfg.shards t.st a
           with
           | Error e -> Error (O.with_report (prepend_rejections rejs) e)
           | Ok (d2, rep2) ->
@@ -339,7 +349,7 @@ struct
                 match
                   S.det ~retries:t.cfg.retries ~strategy:t.cfg.strategy
                     ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
-                    ?pool:t.cfg.pool t.st a
+                    ?pool:t.cfg.pool ?shards:t.cfg.shards t.st a
                 with
                 | Ok (d, r) -> Ok (d, prepend_rejections rejs r)
                 | Error e -> Error (O.with_report (prepend_rejections rejs) e)

@@ -57,6 +57,7 @@ module Make
     ?pool:Kp_util.Pool.t ->
     ?max_entries:int ->
     ?block_factor:int ->
+    ?shards:int ->
     Random.State.t -> t
   (** A fresh empty session.  The options are the usual solver knobs,
       applied to every build and serve made through the session; [st] is
@@ -73,7 +74,15 @@ module Make
       columns of one block-Krylov sequence instead of per-RHS serves
       against the scalar cache.  Single solves, [det] and [inverse] keep
       the cached scalar route.
-      @raise Invalid_argument if [max_entries] or [block_factor] < 1. *)
+
+      [shards] routes every dense matrix product inside builds and serves
+      through the row-block sharded engine ({!Kp_shard.Sharded}) with that
+      many shards, fanned over the session pool.  Sharded products are
+      bit-identical to the unsharded ones, so cached entries, fingerprints
+      and served answers are unchanged by the shard count — only the
+      schedule moves.
+      @raise Invalid_argument if [max_entries], [block_factor] or [shards]
+      < 1. *)
 
   val fingerprint : M.t -> Fingerprint.t
   (** The content fingerprint [solve]/[det]/[inverse] compute when no

@@ -1,0 +1,100 @@
+(** Row-block sharded blackbox: the matvec cost center of every Theorem-4
+    phase, fanned out across pool domains.
+
+    A {!t} is a {e plan}: the input matrix split into [s] contiguous row
+    blocks, each with the payload its shard needs — a zero-copy row range
+    over the shared dense data array (the kernel's [matvec_into] /
+    [matmul_into] are row-ranged, so a dense shard carries no copied
+    data), or a per-shard CSR slice for sparse inputs — plus a
+    preallocated length-n partial-sum buffer for the transpose apply.
+    Applying the plan fans the shards over the pool as one fork–join
+    region and gathers into the output with zero allocation beyond the
+    result vector itself.
+
+    {b Bit-identity.}  The forward apply writes row [i] with exactly the
+    kernel call the unsharded {!Kp_matrix.Dense.Make.matvec} (resp.
+    {!Kp_matrix.Sparse.Make.matvec}) issues for row [i] — per-row results
+    are independent of shard boundaries, so sharded and unsharded answers
+    are identical field elements for {e every} shard count, including the
+    empty shards a plan with [s > n] contains.  The transpose apply
+    accumulates per-shard partials and folds them in fixed shard order;
+    over the exact, canonically-represented fields of this repository the
+    gathered values equal the unsharded ones.  [mul] row-shards the dense
+    matrix product the same way, which is what lets Krylov doubling and
+    the block-Wiedemann sequence products ride sharded applies unchanged
+    through the solvers' [?mul] hook.
+
+    Telemetry: counters [shard.plans], [shard.applies],
+    [shard.transpose.applies], [shard.muls] and [shard.fanouts] (regions
+    actually fanned out, i.e. [s > 1] with a pool); spans [shard.apply],
+    [shard.transpose] and [shard.mul]. *)
+
+module Make (F : Kp_field.Field_intf.FIELD) : sig
+  module M : module type of Kp_matrix.Dense.Make (F)
+  module Sp : module type of Kp_matrix.Sparse.Make (F)
+  module Bb : module type of Kp_matrix.Blackbox.Make (F)
+
+  type t
+
+  val auto_shards : ?pool:Kp_util.Pool.t -> unit -> int
+  (** The default shard count: the pool's stream count (1 without a
+      pool) — one row block per execution stream. *)
+
+  val of_dense : ?pool:Kp_util.Pool.t -> ?shards:int -> M.t -> t
+  (** Plan a square dense matrix into [shards] contiguous row blocks
+      (default {!auto_shards}).  Zero-copy: every shard references the
+      matrix's own data array.  Ragged splits (n not divisible by s) and
+      [s > n] (empty shards) are handled; [shards = 1] short-circuits the
+      fan-out entirely.
+      @raise Invalid_argument on a non-square input or [shards < 1]. *)
+
+  val of_sparse : ?pool:Kp_util.Pool.t -> ?shards:int -> Sp.t -> t
+  (** Same plan over a CSR matrix; each shard holds its own rebased CSR
+      slice of the rows it owns (the row partition of the SNIPPETS MPI
+      exemplars, with the pool in place of ranks). *)
+
+  val dim : t -> int
+
+  val shard_count : t -> int
+
+  val shard_ranges : t -> (int * int) array
+  (** The [(row_lo, row_hi)] ranges, in gather order. *)
+
+  val ops_per_apply : t -> int
+
+  val apply : t -> F.t array -> F.t array
+  (** [apply t v] = A·v, shards fanned over the plan's pool. *)
+
+  val apply_into : t -> F.t array -> F.t array -> unit
+  (** [apply_into t v dst] writes A·v into [dst] with no allocation —
+      every shard writes exactly its own row range of [dst].
+      @raise Invalid_argument on dimension mismatch. *)
+
+  val apply_transpose : t -> F.t array -> F.t array
+  (** [apply_transpose t v] = Aᵀ·v: per-shard column partials into the
+      preallocated buffers, gathered in fixed shard order. *)
+
+  val apply_transpose_into : t -> F.t array -> F.t array -> unit
+
+  val to_blackbox : t -> Bb.t
+  (** The plan as a {!Kp_matrix.Blackbox}: [apply] and [apply_transpose]
+      are the sharded maps above, so the scalar Wiedemann engine iterates
+      sharded applies without knowing it. *)
+
+  val mul : ?pool:Kp_util.Pool.t -> ?shards:int -> M.t -> M.t -> M.t
+  (** Row-sharded dense product: the rows of A·B are split into [shards]
+      blocks (default {!auto_shards}), one kernel [matmul_into] per
+      shard.  Bit-identical to {!Kp_matrix.Dense.Make.mul} — each output
+      row is written by exactly one shard with the same kernel call.
+      This is the [?mul] the solvers install when sharding is requested:
+      Krylov squarings, block products U{^T}·Ã{^i}·V and preconditioner
+      assembly all fan out per call.
+      @raise Invalid_argument on inner-dimension mismatch or
+      [shards < 1]. *)
+
+  val mul_fn :
+    ?pool:Kp_util.Pool.t -> shards:int -> unit -> M.t -> M.t -> M.t
+  (** [mul_fn ?pool ~shards ()] is [mul ?pool ~shards] packaged for the
+      solvers' [?mul] hook; validates [shards] eagerly.
+      @raise Invalid_argument if [shards < 1]. *)
+end

@@ -203,7 +203,7 @@ let test_committed_baseline_parses () =
             (List.length
                (B.regressions (B.compare_runs ~baseline:run ~current:run ())))))
     [ "BENCH_PR3.json"; "BENCH_PR4.json"; "BENCH_PR5.json"; "BENCH_PR6.json";
-      "BENCH_PR7.json" ]
+      "BENCH_PR7.json"; "BENCH_PR8.json" ]
 
 let test_pr4_baseline_covers_sessions () =
   (* the PR-4 baseline is the one CI gates on: it must carry the session
@@ -306,6 +306,40 @@ let test_pr7_baseline_covers_serve () =
           && positive "serve.engine.scalar.ok"
           && positive "serve.engine.block.ok")))
 
+let test_pr8_baseline_covers_shards () =
+  (* the PR-8 baseline adds the sharded-blackbox experiment: it must carry
+     E17 with the shard.* counters showing plans were built and applies /
+     muls actually fanned out over the pool, and with every certified
+     block solve through the sharded engine succeeding — otherwise the
+     sharded path could silently stop being exercised under the bands *)
+  match find_committed "BENCH_PR8.json" with
+  | None -> ()
+  | Some path -> (
+    match B.load path with
+    | Error m -> Alcotest.failf "BENCH_PR8.json failed to parse: %s" m
+    | Ok run ->
+      let e17 = List.find_opt (fun t -> t.B.label = "E17") run.B.tables in
+      (match e17 with
+      | None -> Alcotest.fail "BENCH_PR8.json has no E17 table"
+      | Some t ->
+        let positive name =
+          match List.assoc_opt name t.B.counters with
+          | Some v -> v > 0.
+          | None -> false
+        in
+        check_bool "E17 built shard plans" true (positive "shard.plans");
+        check_bool "E17 ran sharded applies and muls" true
+          (positive "shard.applies" && positive "shard.muls");
+        check_bool "E17 fanned shards over the pool" true
+          (positive "shard.fanouts");
+        check_bool "E17 sharded block solves all succeeded" true
+          (match
+             ( List.assoc_opt "block.successes" t.B.counters,
+               List.assoc_opt "block.failures" t.B.counters )
+           with
+          | Some s, Some f -> s > 0. && f = 0.
+          | _ -> false)))
+
 let () =
   Alcotest.run "bench_compare"
     [
@@ -329,6 +363,8 @@ let () =
             test_pr6_baseline_covers_block;
           Alcotest.test_case "PR7 baseline covers serving" `Quick
             test_pr7_baseline_covers_serve;
+          Alcotest.test_case "PR8 baseline covers shards" `Quick
+            test_pr8_baseline_covers_shards;
         ] );
       ( "compare",
         [

@@ -293,12 +293,96 @@ module Diff (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
           (BW.rank ~block_factor:2 sts.(0) a))
       shared_seeds
 
+  (* --- sharded rows: the row-block engine behind every entry point must
+     reproduce the oracle for every shard count, including s > n --- *)
+
+  let shard_counts = [ 2; 3; 9 ]
+
+  let test_sharded_nonsingular () =
+    List.iter
+      (fun seed ->
+        List.iter
+          (fun n ->
+            let st = Kp_util.Rng.make seed in
+            let a = M.random_nonsingular st n in
+            let x_true = Array.init n (fun _ -> F.random st) in
+            let b = M.matvec a x_true in
+            let det_oracle = G.det a in
+            List.iteri
+              (fun i s ->
+                let sts = states (seed + n + (389 * (i + 1))) 4 in
+                let what w = Printf.sprintf "%s shards=%d" w s in
+                (match S.solve ~shards:s sts.(0) a b with
+                | Ok (x, _) ->
+                  Alcotest.(check bool) (ctx seed n (what "sharded solve = oracle")) true
+                    (vec_equal x x_true)
+                | Error e -> fail_typed seed n (what "sharded solve") e);
+                (match S.det ~shards:s sts.(1) a with
+                | Ok (d, _) ->
+                  Alcotest.(check bool) (ctx seed n (what "sharded det = oracle")) true
+                    (F.equal d det_oracle)
+                | Error e -> fail_typed seed n (what "sharded det") e);
+                (match BW.solve ~block_factor:2 ~shards:s sts.(2) a b with
+                | Ok (x, _) ->
+                  Alcotest.(check bool) (ctx seed n (what "sharded block solve = oracle"))
+                    true (vec_equal x x_true)
+                | Error e -> fail_typed seed n (what "sharded block solve") e);
+                Alcotest.(check int) (ctx seed n (what "sharded block rank = n")) n
+                  (BW.rank ~block_factor:2 ~shards:s sts.(3) a))
+              shard_counts;
+            (* sharding is invisible: the same random stream with and
+               without shards yields bit-identical answers and attempts *)
+            let st1 = Kp_util.Rng.make ((seed * 73) + n) in
+            let st2 = Kp_util.Rng.make ((seed * 73) + n) in
+            match (S.solve st1 a b, S.solve ~shards:3 st2 a b) with
+            | Ok (x1, r1), Ok (x2, r2) ->
+              Alcotest.(check bool) (ctx seed n "sharded = unsharded answer") true
+                (vec_equal x1 x2);
+              Alcotest.(check int) (ctx seed n "sharded = unsharded attempts")
+                r1.O.attempts r2.O.attempts
+            | Error e, _ -> fail_typed seed n "unsharded solve (identity)" e
+            | _, Error e -> fail_typed seed n "sharded solve (identity)" e)
+          P.sizes)
+      shared_seeds
+
+  let test_sharded_singular () =
+    List.iter
+      (fun seed ->
+        let n = P.singular_n in
+        let r = n - 2 in
+        let st = Kp_util.Rng.make seed in
+        let a = M.random_of_rank st n ~rank:r in
+        let xs = Array.init n (fun _ -> F.random st) in
+        let b = M.matvec a xs in
+        List.iter
+          (fun s ->
+            let sts = states (seed + n + (97 * s)) 3 in
+            let what w = Printf.sprintf "%s shards=%d" w s in
+            (match S.solve ~shards:s sts.(0) a b with
+            | Error (O.Singular _) -> ()
+            | Ok _ ->
+              Alcotest.failf "%s"
+                (ctx seed n (what "sharded solve accepted a singular system"))
+            | Error e ->
+              fail_typed seed n (what "sharded solve (expected Singular)") e);
+            (match S.det ~shards:s sts.(1) a with
+            | Ok (d, _) ->
+              Alcotest.(check bool) (ctx seed n (what "sharded det = 0")) true
+                (F.is_zero d)
+            | Error e -> fail_typed seed n (what "sharded det") e);
+            Alcotest.(check int) (ctx seed n (what "sharded rank = oracle")) r
+              (BW.rank ~block_factor:2 ~shards:s sts.(2) a))
+          [ 2; 3 ])
+      shared_seeds
+
   let tests =
     [
       Alcotest.test_case (P.name ^ " nonsingular") `Quick test_nonsingular;
       Alcotest.test_case (P.name ^ " singular") `Quick test_singular;
       Alcotest.test_case (P.name ^ " block nonsingular") `Quick test_block_nonsingular;
       Alcotest.test_case (P.name ^ " block singular") `Quick test_block_singular;
+      Alcotest.test_case (P.name ^ " sharded nonsingular") `Quick test_sharded_nonsingular;
+      Alcotest.test_case (P.name ^ " sharded singular") `Quick test_sharded_singular;
     ]
 end
 

@@ -116,6 +116,41 @@ let test_one_domain_pool () =
           Pool.parallel_for pool ~lo:0 ~hi:4 (fun _ -> incr nested));
       check_int "nested on 1 domain" 16 !nested)
 
+(* fewer tasks than domains: the chunk-size arithmetic could divide to
+   zero here without its max-1 guards — the PR-8 audit found every entry
+   point guarded; these rows pin that so a refactor cannot lose them *)
+
+let test_fewer_tasks_than_domains () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      (* parallel_init with n < domains (and the n = 0 edge) *)
+      let a = Pool.parallel_init pool 2 (fun i -> i * i) in
+      check_bool "parallel_init n < domains" true (a = [| 0; 1 |]);
+      let empty = Pool.parallel_init pool 0 (fun _ -> assert false) in
+      check_int "parallel_init n = 0" 0 (Array.length empty);
+      let one = Pool.parallel_init pool 1 (fun i -> i + 41) in
+      check_bool "parallel_init n = 1" true (one = [| 41 |]);
+      (* parallel_for on a range smaller than the pool *)
+      let hits = Array.make 3 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:3 (fun i -> hits.(i) <- hits.(i) + 1);
+      check_bool "parallel_for hi - lo < domains" true (hits = [| 1; 1; 1 |]);
+      let ran = ref false in
+      Pool.parallel_for pool ~lo:0 ~hi:0 (fun _ -> ran := true);
+      check_bool "parallel_for empty range" false !ran;
+      (* parallel_for_chunked with an explicit chunk larger than the range *)
+      let hits2 = Array.make 2 0 in
+      Pool.parallel_for_chunked pool ~chunk:64 ~lo:0 ~hi:2 (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits2.(i) <- hits2.(i) + 1
+          done);
+      check_bool "parallel_for_chunked chunk > range" true (hits2 = [| 1; 1 |]);
+      (* region_run with fewer thunks than domains *)
+      let acc = Atomic.make 0 in
+      Pool.region_run pool
+        (List.init 2 (fun _ -> fun () -> ignore (Atomic.fetch_and_add acc 1)));
+      check_int "region_run 2 thunks on 4 domains" 2 (Atomic.get acc);
+      Pool.region_run pool [];
+      check_int "region_run no thunks" 2 (Atomic.get acc))
+
 (* default pool: shared, and protected from shutdown *)
 
 let test_default_pool_protected () =
@@ -168,7 +203,11 @@ let () =
           Alcotest.test_case "order preserved" `Quick test_map_reduce_order_preserved;
         ] );
       ( "degenerate",
-        [ Alcotest.test_case "one-domain pool" `Quick test_one_domain_pool ] );
+        [
+          Alcotest.test_case "one-domain pool" `Quick test_one_domain_pool;
+          Alcotest.test_case "fewer tasks than domains" `Quick
+            test_fewer_tasks_than_domains;
+        ] );
       ( "default",
         [
           Alcotest.test_case "shutdown refused" `Quick test_default_pool_protected;

@@ -414,6 +414,113 @@ let test_block_falls_back_to_scalar () =
       (Array.for_all2 F.equal (M.matvec a x) b)
   | Error e -> Alcotest.fail ("scalar fallback failed: " ^ O.error_to_string e)
 
+(* ---- chaos: the row-block sharded engine ---- *)
+
+(* corrupted shards must never escape as certified answers: the fault
+   field injects inside the sharded kernel loops (wrapping forces the
+   generic kernel, so shard arithmetic goes through the plan), and every
+   accepted solution still re-verifies under clean arithmetic.  Half the
+   runs fan the shards over a real 2-domain pool, so injected faults also
+   cross Pool.region_run. *)
+let test_chaos_sharded_solve () =
+  let wrong = ref 0 and accepted = ref 0 and injected = ref 0 in
+  for seed = 901 to 940 do
+    let plan =
+      Fault.plan ~p_corrupt:0.002
+        ~p_abort:(if seed mod 5 = 0 then 0.0005 else 0.)
+        ~max_faults:3 ~seed ()
+    in
+    let module FF = (val FaultF.wrap plan) in
+    let module CF = Kp_poly.Conv.Karatsuba (FF) in
+    let module FS = Kp_core.Solver.Make (FF) (CF) in
+    let st = st0 seed in
+    let n = 4 + (seed mod 5) in
+    let shards = 2 + (seed mod 3) in
+    let a, _, b = random_system st n in
+    let fa = FS.M.init n n (fun i j -> M.get a i j) in
+    let run ?pool () =
+      match FS.solve ~retries:10 ?pool ~shards st fa b with
+      | Ok (x, _) ->
+        incr accepted;
+        if not (Array.for_all2 F.equal (M.matvec a x) b) then incr wrong
+      | Error _ -> ()
+    in
+    if seed mod 2 = 0 then Kp_util.Pool.with_pool ~domains:2 (fun p -> run ~pool:p ())
+    else run ();
+    injected := !injected + Fault.injected plan
+  done;
+  check_int "zero uncertified wrong sharded solutions" 0 !wrong;
+  check_bool "faults were actually injected" true (!injected > 0);
+  check_bool
+    (Printf.sprintf "most sharded solves recover (%d/40)" !accepted)
+    true (!accepted >= 30)
+
+let test_chaos_sharded_det () =
+  let wrong = ref 0 and ok = ref 0 and injected = ref 0 in
+  for seed = 1001 to 1040 do
+    let plan = Fault.plan ~p_corrupt:0.002 ~max_faults:3 ~seed () in
+    let module FF = (val FaultF.wrap plan) in
+    let module CF = Kp_poly.Conv.Karatsuba (FF) in
+    let module FS = Kp_core.Solver.Make (FF) (CF) in
+    let st = st0 seed in
+    let n = 4 + (seed mod 4) in
+    let a = M.random st n n in
+    let d_true = G.det a in
+    let fa = FS.M.init n n (fun i j -> M.get a i j) in
+    (match FS.det ~retries:10 ~shards:(2 + (seed mod 2)) st fa with
+    | Ok (d, _) ->
+      incr ok;
+      if not (F.equal d d_true) then incr wrong
+    | Error _ -> ());
+    injected := !injected + Fault.injected plan
+  done;
+  check_int "zero uncertified wrong sharded determinants" 0 !wrong;
+  check_bool "faults were actually injected" true (!injected > 0);
+  check_bool (Printf.sprintf "most sharded dets recover (%d/40)" !ok) true
+    (!ok >= 30)
+
+let test_chaos_sharded_deadline () =
+  (* an expired deadline reaching a sharded, fault-riddled, pool-fanned
+     solve is a typed Deadline_exceeded — the fan-out neither hangs nor
+     leaks an answer *)
+  let plan = Fault.plan ~p_corrupt:0.01 ~max_faults:5 ~seed:55 () in
+  let module FF = (val FaultF.wrap plan) in
+  let module CF = Kp_poly.Conv.Karatsuba (FF) in
+  let module FS = Kp_core.Solver.Make (FF) (CF) in
+  let st = st0 1101 in
+  let a, _, b = random_system st 6 in
+  let fa = FS.M.init 6 6 (fun i j -> M.get a i j) in
+  Kp_util.Pool.with_pool ~domains:2 (fun pool ->
+      let past = Int64.sub (Kp_obs.Clock.now_ns ()) 1L in
+      match FS.solve ~deadline_ns:past ~pool ~shards:3 st fa b with
+      | Error (O.Deadline_exceeded _) -> ()
+      | Ok _ -> Alcotest.fail "expired deadline produced a sharded answer"
+      | Error e -> Alcotest.fail ("wrong error: " ^ O.error_to_string e))
+
+let test_sharded_abort_is_typed () =
+  (* a total-abort plan inside shard work surfaces as a typed outcome
+     (the exception crosses the pool region and the retry engine), and
+     the unsharded clean engine still answers the same system *)
+  let plan = Fault.plan ~p_corrupt:0. ~p_abort:1.0 ~max_faults:10 ~seed:13 () in
+  let module FF = (val FaultF.wrap plan) in
+  let module CF = Kp_poly.Conv.Karatsuba (FF) in
+  let module FS = Kp_core.Solver.Make (FF) (CF) in
+  let st = st0 1201 in
+  let a, _, b = random_system st 6 in
+  let fa = FS.M.init 6 6 (fun i j -> M.get a i j) in
+  Kp_util.Pool.with_pool ~domains:2 (fun pool ->
+      match FS.solve ~retries:5 ~pool ~shards:2 st fa b with
+      | Error (O.Retries_exhausted _ | O.Fault_detected _) -> ()
+      | Ok _ -> Alcotest.fail "sharded solve succeeded under a total-abort plan"
+      | Error e ->
+        Alcotest.fail ("untyped sharded failure: " ^ O.error_to_string e));
+  check_bool "plan budget consumed" true (Fault.injected plan > 0);
+  match S.solve st a b with
+  | Ok (x, _) ->
+    check_bool "clean engine still answers" true
+      (Array.for_all2 F.equal (M.matvec a x) b)
+  | Error e -> Alcotest.fail ("clean solve failed: " ^ O.error_to_string e)
+
 (* ---- outcome taxonomy smoke ---- *)
 
 let test_outcome_rendering () =
@@ -471,6 +578,17 @@ let () =
             test_chaos_block_rank;
           Alcotest.test_case "block exhaustion falls back to scalar" `Quick
             test_block_falls_back_to_scalar;
+        ] );
+      ( "chaos-shard",
+        [
+          Alcotest.test_case "sharded solve sound under field faults" `Quick
+            test_chaos_sharded_solve;
+          Alcotest.test_case "sharded det sound under field faults" `Quick
+            test_chaos_sharded_det;
+          Alcotest.test_case "sharded deadline is typed under faults" `Quick
+            test_chaos_sharded_deadline;
+          Alcotest.test_case "sharded total-abort is typed" `Quick
+            test_sharded_abort_is_typed;
         ] );
       ( "retry-engine",
         [

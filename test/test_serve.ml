@@ -404,6 +404,61 @@ let test_server_oversized_line () =
   | exception Sys_error _ -> ()
   | _ -> Alcotest.fail "connection survived an oversized request"
 
+(* the golden round-trip again, now with the daemon configured for the
+   row-block sharded engine: same wire conversation, same answers, and
+   the shard.* counters prove the sharded products actually ran *)
+let test_server_sharded_golden () =
+  let counter name = Option.value ~default:0 (Kp_obs.Counter.find name) in
+  let muls0 = counter "shard.muls" in
+  with_server ~cfg_fn:(fun c -> { c with Srv.shards = Some 2 }) ~seed:91
+  @@ fun path _srv ->
+  let c = Cl.connect path in
+  Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+  let st = st0 92 in
+  let a, _, b = random_system st 5 in
+  let solve_req id engine =
+    {
+      P.id = Some id;
+      op =
+        P.Solve
+          {
+            m =
+              P.Inline
+                {
+                  n = 5;
+                  entries = Array.init 25 (fun k -> M.get a (k / 5) (k mod 5));
+                  key = Some "shm";
+                };
+            b;
+          };
+      engine;
+      block_factor = (if engine = P.E_block then Some 2 else None);
+      deadline_ms = None;
+    }
+  in
+  (* the block rung rides sharded products *)
+  let j = Cl.request c (solve_req "s1" P.E_block) in
+  check_str "sharded block solve ok" "ok" (str_field j "status");
+  check_str "served by the block engine" "block" (str_field j "engine");
+  let x = Array.of_list (int_list j "x") in
+  check_bool "sharded block answer verifies" true
+    (Array.for_all2 F.equal (M.matvec a x) b);
+  (* the scalar session rung is sharded through the same config *)
+  let j = Cl.request c (solve_req "s2" P.E_scalar) in
+  check_str "sharded scalar solve ok" "ok" (str_field j "status");
+  let x = Array.of_list (int_list j "x") in
+  check_bool "sharded scalar answer verifies" true
+    (Array.for_all2 F.equal (M.matvec a x) b);
+  (* det through the registered key agrees with the oracle *)
+  let j =
+    Result.get_ok
+      (Wire.parse (Cl.request_line c {|{"id":"d","op":"det","key":"shm"}|}))
+  in
+  check_str "sharded det ok" "ok" (str_field j "status");
+  let module G = Kp_matrix.Gauss.Make (F) in
+  check_bool "sharded det value" true (F.equal (int_field j "det") (G.det a));
+  check_bool "sharded products actually ran" true (counter "shard.muls" > muls0)
+
 let test_server_chaos_demote_and_repromote () =
   (* the daemon over a fault-injecting field: one request demotes
      block → scalar (typed, correct, no crash), the breaker opens, and
@@ -556,6 +611,8 @@ let () =
       ( "server",
         [
           Alcotest.test_case "golden round-trips" `Quick test_server_golden;
+          Alcotest.test_case "golden round-trips, sharded engines" `Quick
+            test_server_sharded_golden;
           Alcotest.test_case "sheds with typed overloaded" `Quick
             test_server_sheds_when_full;
           Alcotest.test_case "oversized line closed" `Quick

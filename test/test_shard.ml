@@ -1,0 +1,206 @@
+(* Differential suite for the row-block sharded blackbox engine
+   ([Kp_shard.Sharded]): for every shard count s — including ragged splits,
+   s = n, s > n (trailing empty shards) and the s = 1 fast path — the
+   sharded forward apply, transpose apply and matrix product must be
+   bit-identical ([F.equal], no tolerance) to the unsharded reference,
+   over GF(97), the NTT prime field, GF(2⁸) and Q, dense and sparse,
+   sequential and fanned over a real domain pool. *)
+
+module Pool = Kp_util.Pool
+
+let shared_seeds = Test_seeds.shared_seeds
+
+module Suite
+    (F : Kp_field.Field_intf.FIELD)
+    (P : sig
+      val name : string
+      val sizes : int list
+    end) =
+struct
+  module M = Kp_matrix.Dense.Make (F)
+  module Sp = Kp_matrix.Sparse.Make (F)
+  module Sh = Kp_shard.Sharded.Make (F)
+
+  let vec_equal = Array.for_all2 F.equal
+  let ctx seed n s what = Printf.sprintf "%s seed=%d n=%d s=%d: %s" P.name seed n s what
+
+  (* the shard counts exercised for dimension n: the fast path, even and
+     ragged splits, one-row shards and more shards than rows *)
+  let shard_counts n =
+    List.sort_uniq compare [ 1; 2; 3; 7; n; n + 3 ]
+    |> List.filter (fun s -> s >= 1)
+
+  let check_plan seed ?pool (a : M.t) sp =
+    let n = a.M.rows in
+    let st = Kp_util.Rng.make (seed * 31 + n) in
+    let v = Array.init n (fun _ -> F.random st) in
+    let dense_ref = M.matvec a v in
+    let dense_t_ref = M.vecmat v a in
+    let sparse_ref = Sp.matvec sp v in
+    let sparse_t_ref = Sp.matvec_transpose sp v in
+    List.iter
+      (fun s ->
+        let t = Sh.of_dense ?pool ~shards:s a in
+        (* plan geometry: contiguous disjoint cover of [0, n) *)
+        let ranges = Sh.shard_ranges t in
+        Alcotest.(check int) (ctx seed n s "shard_count") s (Sh.shard_count t);
+        Alcotest.(check int) (ctx seed n s "dim") n (Sh.dim t);
+        let lo0, _ = ranges.(0) and _, hik = ranges.(s - 1) in
+        Alcotest.(check int) (ctx seed n s "ranges start at 0") 0 lo0;
+        Alcotest.(check int) (ctx seed n s "ranges end at n") n hik;
+        Array.iteri
+          (fun i (lo, hi) ->
+            Alcotest.(check bool) (ctx seed n s "range well-formed") true (lo <= hi);
+            if i > 0 then
+              Alcotest.(check int) (ctx seed n s "ranges contiguous") (snd ranges.(i - 1)) lo)
+          ranges;
+        (* dense forward / transpose *)
+        Alcotest.(check bool) (ctx seed n s "dense apply = matvec") true
+          (vec_equal (Sh.apply t v) dense_ref);
+        Alcotest.(check bool) (ctx seed n s "dense transpose = vecmat") true
+          (vec_equal (Sh.apply_transpose t v) dense_t_ref);
+        (* the blackbox adapter serves the same maps *)
+        let bb = Sh.to_blackbox t in
+        Alcotest.(check bool) (ctx seed n s "blackbox apply") true
+          (vec_equal (bb.Sh.Bb.apply v) dense_ref);
+        Alcotest.(check bool) (ctx seed n s "blackbox transpose") true
+          (vec_equal ((Option.get bb.Sh.Bb.apply_transpose) v) dense_t_ref);
+        (* the _into variants reuse caller buffers without reallocation *)
+        let dst = Array.make n F.one in
+        Sh.apply_into t v dst;
+        Alcotest.(check bool) (ctx seed n s "apply_into") true (vec_equal dst dense_ref);
+        Sh.apply_transpose_into t v dst;
+        Alcotest.(check bool) (ctx seed n s "apply_transpose_into") true
+          (vec_equal dst dense_t_ref);
+        (* per-shard CSR slices *)
+        let tsp = Sh.of_sparse ?pool ~shards:s sp in
+        Alcotest.(check bool) (ctx seed n s "sparse apply = matvec") true
+          (vec_equal (Sh.apply tsp v) sparse_ref);
+        Alcotest.(check bool) (ctx seed n s "sparse transpose") true
+          (vec_equal (Sh.apply_transpose tsp v) sparse_t_ref))
+      (shard_counts n)
+
+  let test_apply () =
+    List.iter
+      (fun seed ->
+        List.iter
+          (fun n ->
+            let st = Kp_util.Rng.make seed in
+            let a = M.random st n n in
+            let sp = Sp.random st n n ~density:0.3 in
+            check_plan seed a sp;
+            Pool.with_pool ~domains:3 (fun pool -> check_plan seed ~pool a sp))
+          P.sizes)
+      shared_seeds
+
+  let test_mul () =
+    List.iter
+      (fun seed ->
+        List.iter
+          (fun n ->
+            let st = Kp_util.Rng.make (seed + 7) in
+            let a = M.random st n n and b = M.random st n n in
+            let reference = M.mul a b in
+            List.iter
+              (fun s ->
+                Alcotest.(check bool) (ctx seed n s "mul = Dense.mul") true
+                  (M.equal (Sh.mul ~shards:s a b) reference);
+                Pool.with_pool ~domains:3 (fun pool ->
+                    Alcotest.(check bool) (ctx seed n s "pooled mul = Dense.mul")
+                      true
+                      (M.equal (Sh.mul ~pool ~shards:s a b) reference)))
+              (shard_counts n))
+          P.sizes)
+      shared_seeds
+
+  let test_validation () =
+    let st = Kp_util.Rng.make 5 in
+    let a = M.random st 4 4 in
+    Alcotest.check_raises "shards = 0 rejected"
+      (Invalid_argument "Sharded.of_dense: shards < 1") (fun () ->
+        ignore (Sh.of_dense ~shards:0 a));
+    Alcotest.check_raises "non-square rejected"
+      (Invalid_argument "Sharded.of_dense: non-square") (fun () ->
+        ignore (Sh.of_dense ~shards:2 (M.random st 3 4)));
+    let t = Sh.of_dense ~shards:2 a in
+    Alcotest.check_raises "bad vector length rejected"
+      (Invalid_argument "Sharded.apply_into: dimension mismatch") (fun () ->
+        ignore (Sh.apply t (Array.make 3 F.zero)));
+    (* no pool, no shard request: one shard, the sequential fast path *)
+    Alcotest.(check int) "auto without a pool is 1 shard" 1
+      (Sh.shard_count (Sh.of_dense a));
+    Pool.with_pool ~domains:4 (fun pool ->
+        Alcotest.(check int) "auto from a pool is one shard per domain" 4
+          (Sh.shard_count (Sh.of_dense ~pool a)))
+
+  let tests =
+    [
+      Alcotest.test_case (P.name ^ " apply/transpose") `Quick test_apply;
+      Alcotest.test_case (P.name ^ " mul") `Quick test_mul;
+      Alcotest.test_case (P.name ^ " validation") `Quick test_validation;
+    ]
+end
+
+module Gf97_suite =
+  Suite
+    (Kp_field.Fields.Gf_97)
+    (struct
+      let name = "gf97"
+      let sizes = [ 1; 2; 5; 9 ]
+    end)
+
+module Ntt_suite =
+  Suite
+    (Kp_field.Fields.Gf_ntt)
+    (struct
+      let name = "gf_ntt"
+      let sizes = [ 1; 4; 8; 13 ]
+    end)
+
+module Gf2_8_suite =
+  Suite
+    (Test_seeds.Gf2_8)
+    (struct
+      let name = "gf2^8"
+      let sizes = [ 2; 5; 8 ]
+    end)
+
+module Q_suite =
+  Suite
+    (Kp_field.Rational)
+    (struct
+      let name = "Q"
+      let sizes = [ 2; 4; 6 ]
+    end)
+
+(* --- qcheck: random (n, s, matrix, vector) over the NTT field --------- *)
+module Fuzz = struct
+  module F = Kp_field.Fields.Gf_ntt
+  module M = Kp_matrix.Dense.Make (F)
+  module Sh = Kp_shard.Sharded.Make (F)
+
+  let prop (seed, n, s) =
+    let n = 1 + (abs n mod 24) and s = 1 + (abs s mod 30) in
+    let st = Kp_util.Rng.make (1 + abs seed) in
+    let a = M.random st n n in
+    let v = Array.init n (fun _ -> F.random st) in
+    let t = Sh.of_dense ~shards:s a in
+    Array.for_all2 F.equal (Sh.apply t v) (M.matvec a v)
+    && Array.for_all2 F.equal (Sh.apply_transpose t v) (M.vecmat v a)
+
+  let test =
+    QCheck.Test.make ~count:200
+      ~name:"sharded apply/transpose = unsharded for random (n, s)"
+      QCheck.(triple small_int small_int small_int)
+      prop
+end
+
+let () =
+  Alcotest.run "shard"
+    [
+      ("gf97", Gf97_suite.tests);
+      ("gf_ntt", Ntt_suite.tests);
+      ("gf2^8", Gf2_8_suite.tests);
+      ("rational", Q_suite.tests);
+      ("fuzz", [ QCheck_alcotest.to_alcotest ~long:false Fuzz.test ]);
+    ]
