@@ -30,6 +30,14 @@
                      shards, plus one certified block-Wiedemann solve per
                      shard count — every answer asserted bit-identical to
                      the unsharded reference before a row is printed
+     E18 cstub       Bigarray/C-stub kernel family: dense matvec/matmul over
+                     GF(p) and GF(2) through the C stubs vs the pure-OCaml
+                     Bigarray fallback vs the word backends vs derived,
+                     outputs asserted bit-identical across all four
+
+   Tables E1..E17 run with the kernel dispatcher pinned to the word
+   backends (their committed baselines gate kernel.gfp_word/... counter
+   names); E18 forces each family explicitly per measurement.
 
    Usage:  dune exec bench/main.exe --
              [--table E1 ... | all] [--fast] [--json FILE]
@@ -37,12 +45,20 @@
    --json FILE captures the per-table STATS records (one-line JSON: label,
    wall-clock seconds, observability counters, span timings) into FILE as a
    kp-bench/1 run file; bench/compare.exe diffs two such files.  Unknown
-   --table names (anything outside E1..E17) are a usage error (exit 2).  *)
+   --table names (anything outside E1..E18) are a usage error (exit 2).  *)
 
 module F = Kp_field.Fields.Gf_ntt
 module Cnt = Kp_field.Counting.Make (F)
 module Counting = Kp_field.Counting
 module Tables = Kp_util.Tables
+
+(* Pin every functor application below (and thus tables E1..E17) to the
+   PR-5 word backends regardless of KP_KERNEL_BACKEND: the committed
+   BENCH_PR3..PR8 baselines gate per-backend counter names
+   (kernel.gfp_word, ...), so the legacy tables must keep producing them.
+   E18 is the Bigarray/C-stub family's own table; it forces each mode
+   explicitly per measurement. *)
+let () = Kp_kernel.Dispatch.set_mode Kp_kernel.Dispatch.Word
 
 (* concrete modules — conv multipliers dispatch on F.kernel_hint (word-level
    GF(p) loops for Gf_ntt); the counting instantiations below stay on the
@@ -1440,11 +1456,148 @@ let e17 () =
         sizes);
   Tables.print t
 
+(* ------------------------------------------------------------------ *)
+(* E18: Bigarray/C-stub kernel family vs word vs derived               *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  let module D = Kp_kernel.Dispatch in
+  let rng = st () in
+  print_endline
+    "E18 (Bigarray/C-stub kernels): the same dense matvec/matmul served by\n\
+     every backend of the kernel family — the C stubs (autovectorized\n\
+     delayed-reduction GF(p) loops, bit-packed GF(2)), the pure-OCaml\n\
+     Bigarray fallback, the PR-5 word backends, and the derived reference.\n\
+     Outputs are asserted bit-identical across all four before timing, and\n\
+     kernel.cstub.* counter movement proves the stub path is really taken.\n";
+  let kernel_for mode (fm : int Kp_field.Field_intf.field) =
+    D.with_mode mode (fun () -> D.of_field fm)
+  in
+  let modes =
+    [ ("word", D.Word); ("cstub", D.Cstub); ("bigarray", D.Bigarray_pure);
+      ("derived", D.Derived_only) ]
+  in
+  let bench reps f =
+    let (), t =
+      time (fun () ->
+          for _ = 1 to reps do
+            ignore (Sys.opaque_identity (f ()))
+          done)
+    in
+    t
+  in
+  let t =
+    Tables.create
+      ~title:
+        "kernel family on the same data, bit-identical (seconds; speedup = \
+         word/cstub)"
+      ~columns:
+        [ "field"; "op"; "n"; "reps"; "word"; "cstub"; "bigarray"; "derived";
+          "cstub speedup"; "identical" ]
+  in
+  let cstub_ops0 =
+    Option.value ~default:0 (Kp_obs.Counter.find "kernel.cstub.bulk_ops")
+  in
+  let row field_name (fm : int Kp_field.Field_intf.field) op n reps runner =
+    let module Fi =
+      (val fm : Kp_field.Field_intf.FIELD with type t = int) in
+    let results =
+      List.map
+        (fun (mode_name, mode) ->
+          let k = kernel_for mode fm in
+          let out, secs = runner k reps in
+          (mode_name, out, secs))
+        modes
+    in
+    let _, ref_out, _ = List.hd results in
+    let identical =
+      List.for_all
+        (fun (_, out, _) -> Array.for_all2 Fi.equal out ref_out)
+        results
+    in
+    if not identical then
+      failwith
+        (Printf.sprintf "E18: backends disagree on %s %s n=%d" field_name op n);
+    let secs name =
+      let _, _, s = List.find (fun (m, _, _) -> m = name) results in
+      s
+    in
+    Tables.add_row t
+      [
+        field_name; op; string_of_int n; string_of_int reps;
+        Tables.fmt_float (secs "word");
+        Tables.fmt_float (secs "cstub");
+        Tables.fmt_float (secs "bigarray");
+        Tables.fmt_float (secs "derived");
+        Printf.sprintf "%.1fx" (secs "word" /. secs "cstub");
+        string_of_bool identical;
+      ]
+  in
+  let fields : (string * int Kp_field.Field_intf.field) list =
+    [ ("GF(998244353)", (module Kp_field.Fields.Gf_ntt));
+      ("GF(2)", (module Kp_field.Gf2)) ]
+  in
+  List.iter
+    (fun (field_name, (fm : int Kp_field.Field_intf.field)) ->
+      let module Fi =
+        (val fm : Kp_field.Field_intf.FIELD with type t = int) in
+      (* matvec: the acceptance-criterion op, n up to 512 even in --fast *)
+      List.iter
+        (fun n ->
+          let m = Array.init (n * n) (fun _ -> Fi.random rng) in
+          let x = Array.init n (fun _ -> Fi.random rng) in
+          let reps =
+            let base = max 20 (4_000_000 / (n * n)) in
+            if !fast then base else 4 * base
+          in
+          row field_name fm "matvec" n reps (fun k reps ->
+              let module K = (val k) in
+              let dst = Array.make n Fi.zero in
+              K.matvec_into ~m ~cols:n ~row_lo:0 ~row_hi:n ~x ~dst;
+              let secs =
+                bench reps (fun () ->
+                    K.matvec_into ~m ~cols:n ~row_lo:0 ~row_hi:n ~x ~dst)
+              in
+              (dst, secs)))
+        [ 128; 256; 512 ];
+      (* matmul: the Krylov-squaring shape (row-accumulator scratch path) *)
+      List.iter
+        (fun n ->
+          let a = Array.init (n * n) (fun _ -> Fi.random rng) in
+          let b = Array.init (n * n) (fun _ -> Fi.random rng) in
+          let reps = if !fast then 1 else 2 in
+          row field_name fm "matmul" n reps (fun k reps ->
+              let module K = (val k) in
+              let dst = Array.make (n * n) Fi.zero in
+              K.matmul_into ~a ~b ~dst ~inner:n ~bcols:n ~row_lo:0 ~row_hi:n;
+              let out = Array.copy dst in
+              let secs =
+                bench reps (fun () ->
+                    Array.fill dst 0 (n * n) Fi.zero;
+                    K.matmul_into ~a ~b ~dst ~inner:n ~bcols:n ~row_lo:0
+                      ~row_hi:n)
+              in
+              (out, secs)))
+        [ 128; 256 ])
+    fields;
+  (if Kp_kernel.Cstub.available () then begin
+     let ops =
+       Option.value ~default:0 (Kp_obs.Counter.find "kernel.cstub.bulk_ops")
+     in
+     if ops <= cstub_ops0 then
+       failwith "E18: kernel.cstub.bulk_ops did not advance — stub path not taken"
+   end
+   else
+     print_endline
+       "note: C stubs not linked in this build; cstub rows measured the \
+        pure-OCaml Bigarray fallback");
+  Tables.print t
+
 let all_tables =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17) ]
+    ("E17", e17); ("E18", e18) ]
 
 let usage_error fmt =
   Printf.ksprintf

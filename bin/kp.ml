@@ -520,6 +520,12 @@ let kernels_cmd =
     ]
   in
   let run prime =
+    Printf.printf "dispatch mode: %s%s   C stubs: %s\n"
+      (Kp_kernel.Dispatch.mode_name (Kp_kernel.Dispatch.mode ()))
+      (match Sys.getenv_opt "KP_KERNEL_BACKEND" with
+      | Some s -> Printf.sprintf " (KP_KERNEL_BACKEND=%s)" s
+      | None -> "")
+      (if Kp_kernel.Cstub.available () then "linked" else "absent");
     (* the runtime field every kp subcommand actually computes in *)
     (match Kp_field.Gfp.make prime with
     | exception Invalid_argument m -> Printf.printf "kp --prime %d: %s\n\n" prime m
@@ -532,10 +538,14 @@ let kernels_cmd =
       (fun (name, backend) -> Printf.printf "  %-36s %s\n" name backend)
       (rows ());
     print_endline
-      "\nbackends: gfp_word (delayed-reduction word loops), gfp_mont\n\
-       (Montgomery form), gf2_bitpacked (62 elements/word), derived\n\
-       (generic FIELD_CORE ops — op-count-faithful; circuits and counting\n\
-       fields always land here)."
+      "\nbackends: gfp_cstub/gf2_cstub (C stubs, delayed reduction /\n\
+       64-bit packing, Bigarray scratch), gfp_bigarray/gf2_bigarray\n\
+       (pure-OCaml fallback for stubless builds), gfp_word\n\
+       (delayed-reduction word loops), gfp_mont (Montgomery form),\n\
+       gf2_bitpacked (62 elements/word), derived (generic FIELD_CORE ops —\n\
+       op-count-faithful; circuits and counting fields always land here).\n\
+       Set KP_KERNEL_BACKEND=auto|cstub|bigarray|word|derived to force a\n\
+       family; kernel.cstub.* counters in --stats prove the stub path ran."
   in
   Cmd.v
     (Cmd.info "kernels"

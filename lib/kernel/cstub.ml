@@ -1,0 +1,119 @@
+(** Bindings to the C bulk-arithmetic stubs ([kp_kernel_stubs.c]).
+
+    Everything here is a thin, trusting wrapper: arrays are ordinary OCaml
+    [int array]s read zero-copy by the stubs, bounds are the caller's
+    contract (the same convention as every {!Kernel_intf.KERNEL}
+    primitive), and all stubs are [@@noalloc] leaf calls.
+
+    Scratch larger than a register file — the matmul row accumulator, the
+    packed-x words of the GF(2) matvec — is an [int64] Bigarray allocated
+    by the OCaml side per call (never shared: kernels are fanned out
+    across domains by the pool, so module-level scratch would race).
+
+    [available] reports whether the stubs are linked into this binary.
+    In a stubless build the dispatcher must route the hinted fields to the
+    pure-OCaml Bigarray fallbacks ({!Gfp_bigarray}, {!Gf2_bigarray})
+    instead; [Dispatch] also honours [KP_KERNEL_BACKEND=bigarray] to force
+    that path for differential testing. *)
+
+type scratch = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let make_scratch n : scratch =
+  Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (max 1 n)
+
+external available : unit -> bool = "kp_cstub_available" [@@noalloc]
+
+(* hit counters for the C-stub family, surfaced by [kp --stats] and gated
+   by the E18 baseline: the observable proof the stubs are actually taken *)
+let c_calls = Kp_obs.Counter.make "kernel.cstub.calls"
+let c_bulk_ops = Kp_obs.Counter.make "kernel.cstub.bulk_ops"
+
+external gfp_dot : int array -> int array -> int -> int -> int
+  = "kp_gfp_dot"
+[@@noalloc]
+
+external gfp_dot_gather :
+  int array -> int array -> int -> int -> int array -> int -> int
+  = "kp_gfp_dot_gather_byte" "kp_gfp_dot_gather"
+[@@noalloc]
+
+external gfp_axpy :
+  int -> int array -> int -> int array -> int -> int -> int -> unit
+  = "kp_gfp_axpy_byte" "kp_gfp_axpy"
+[@@noalloc]
+
+external gfp_scale :
+  int -> int array -> int -> int array -> int -> int -> int -> unit
+  = "kp_gfp_scale_byte" "kp_gfp_scale"
+[@@noalloc]
+
+external gfp_add :
+  int array -> int -> int array -> int -> int array -> int -> int -> int -> unit
+  = "kp_gfp_add_byte" "kp_gfp_add"
+[@@noalloc]
+
+external gfp_sub :
+  int array -> int -> int array -> int -> int array -> int -> int -> int -> unit
+  = "kp_gfp_sub_byte" "kp_gfp_sub"
+[@@noalloc]
+
+external gfp_pointwise :
+  int array -> int -> int array -> int -> int array -> int -> int -> int -> unit
+  = "kp_gfp_pointwise_byte" "kp_gfp_pointwise"
+[@@noalloc]
+
+external gfp_matvec :
+  int array -> int -> int -> int -> int array -> int array -> int -> unit
+  = "kp_gfp_matvec_byte" "kp_gfp_matvec"
+[@@noalloc]
+
+external gfp_matmul :
+  int array ->
+  int array ->
+  int array ->
+  int ->
+  int ->
+  int ->
+  int ->
+  int ->
+  scratch ->
+  unit
+  = "kp_gfp_matmul_byte" "kp_gfp_matmul"
+[@@noalloc]
+
+external gf2_dot : int array -> int array -> int -> int = "kp_gf2_dot"
+[@@noalloc]
+
+external gf2_dot_gather :
+  int array -> int array -> int -> int -> int array -> int
+  = "kp_gf2_dot_gather"
+[@@noalloc]
+
+external gf2_axpy : int array -> int -> int array -> int -> int -> unit
+  = "kp_gf2_axpy"
+[@@noalloc]
+
+external gf2_scale :
+  int -> int array -> int -> int array -> int -> int -> unit
+  = "kp_gf2_scale_byte" "kp_gf2_scale"
+[@@noalloc]
+
+external gf2_add :
+  int array -> int -> int array -> int -> int array -> int -> int -> unit
+  = "kp_gf2_add_byte" "kp_gf2_add"
+[@@noalloc]
+
+external gf2_pointwise :
+  int array -> int -> int array -> int -> int array -> int -> int -> unit
+  = "kp_gf2_pointwise_byte" "kp_gf2_pointwise"
+[@@noalloc]
+
+external gf2_matvec :
+  int array -> int -> int -> int -> int array -> int array -> scratch -> unit
+  = "kp_gf2_matvec_byte" "kp_gf2_matvec"
+[@@noalloc]
+
+external gf2_matmul :
+  int array -> int array -> int array -> int -> int -> int -> int -> unit
+  = "kp_gf2_matmul_byte" "kp_gf2_matmul"
+[@@noalloc]

@@ -2,11 +2,31 @@
 
     [Make (F)] (or [of_field]) inspects [F.kernel_hint] — the GADT ties the
     hint to [F.t], so matching [Gfp_word] refines [F.t = int] and the
-    specialized [int] backends typecheck without magic — and wraps the chosen
-    backend with hit counters:
+    specialized [int] backends typecheck without magic — then picks the
+    concrete implementation for that representation according to the
+    {e dispatch mode}:
 
-    - [kernel.<backend>]  — bulk calls served by that backend;
-    - [kernel.bulk_ops]   — total element operations across all backends.
+    - [Auto] (the default): the Bigarray/C-stub family when the stubs are
+      linked ([Cstub.available ()]), else its pure-OCaml Bigarray fallback;
+    - [Cstub] / [Bigarray_pure] / [Word] / [Derived_only]: force one family —
+      how the differential suites pit backends against each other, how CI
+      proves a stubless build passes unchanged ([KP_KERNEL_BACKEND=bigarray]),
+      and how the bench harness pins counter names to the committed
+      baselines.
+
+    The initial mode comes from [KP_KERNEL_BACKEND]
+    (auto|cstub|bigarray|word|derived); unknown values mean [Auto].
+
+    [Generic]-hinted fields resolve to the derived reference kernel in
+    {e every} mode — the PR-5 invariant that counting fields, fault
+    injectors and circuit builders never skip scalar operations.
+
+    Chosen backends are wrapped with hit counters:
+
+    - [kernel.<backend>]        — bulk calls served by that backend;
+    - [kernel.bulk_ops]         — total element operations, all backends;
+    - [kernel.cstub.calls] / [kernel.cstub.bulk_ops] — the same, counted
+      only when a C-stub backend serves the call.
 
     The counters are the observable proof that a fast path is (or is not)
     being taken; [kp --stats] and the benchmark tables surface them. *)
@@ -15,16 +35,70 @@ open Kp_field.Field_intf
 
 let c_bulk_ops = Kp_obs.Counter.make "kernel.bulk_ops"
 
-module Instrument (K : Kernel_intf.KERNEL) :
+(* ------------------------------------------------------------------ *)
+(* dispatch mode                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type mode =
+  | Auto  (** C stubs when linked, pure-OCaml Bigarray fallback otherwise. *)
+  | Cstub  (** Force the C-stub family (Bigarray fallback if stubless). *)
+  | Bigarray_pure  (** Force the pure-OCaml Bigarray family. *)
+  | Word  (** Force the PR-5 word backends (gfp_word/gfp_mont/gf2_bitpacked). *)
+  | Derived_only  (** Reference kernel everywhere. *)
+
+let mode_name = function
+  | Auto -> "auto"
+  | Cstub -> "cstub"
+  | Bigarray_pure -> "bigarray"
+  | Word -> "word"
+  | Derived_only -> "derived"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Some Auto
+  | "cstub" -> Some Cstub
+  | "bigarray" -> Some Bigarray_pure
+  | "word" -> Some Word
+  | "derived" -> Some Derived_only
+  | _ -> None
+
+let all_modes = [ Auto; Cstub; Bigarray_pure; Word; Derived_only ]
+
+let current =
+  ref
+    (match Sys.getenv_opt "KP_KERNEL_BACKEND" with
+    | Some s -> Option.value (mode_of_string s) ~default:Auto
+    | None -> Auto)
+
+let mode () = !current
+let set_mode m = current := m
+
+let with_mode m f =
+  let old = !current in
+  current := m;
+  Fun.protect ~finally:(fun () -> current := old) f
+
+(* ------------------------------------------------------------------ *)
+(* instrumentation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module type METERS = sig
+  val hits : Kp_obs.Counter.t list
+  (** Bumped once per bulk call. *)
+
+  val ops : Kp_obs.Counter.t list
+  (** Advanced by the element-operation count of each call. *)
+end
+
+module Metered (M : METERS) (K : Kernel_intf.KERNEL) :
   Kernel_intf.KERNEL with type t = K.t = struct
   type t = K.t
 
   let backend = K.backend
-  let c_hits = Kp_obs.Counter.make ("kernel." ^ K.backend)
 
   let[@inline] tick work =
-    Kp_obs.Counter.incr c_hits;
-    Kp_obs.Counter.add c_bulk_ops work
+    List.iter Kp_obs.Counter.incr M.hits;
+    List.iter (fun c -> Kp_obs.Counter.add c work) M.ops
 
   let dot a b =
     tick (Array.length a);
@@ -63,34 +137,93 @@ module Instrument (K : Kernel_intf.KERNEL) :
     K.matmul_into ~a ~b ~dst ~inner ~bcols ~row_lo ~row_hi
 end
 
+(* historical name: per-backend hit counter + global bulk-ops meter *)
+module Instrument (K : Kernel_intf.KERNEL) :
+  Kernel_intf.KERNEL with type t = K.t =
+  Metered
+    (struct
+      let hits = [ Kp_obs.Counter.make ("kernel." ^ K.backend) ]
+      let ops = [ c_bulk_ops ]
+    end)
+    (K)
+
+let is_cstub_backend name = name = "gfp_cstub" || name = "gf2_cstub"
+
+(* ------------------------------------------------------------------ *)
+(* resolution                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* the fast-family choice shared by the gfp and gf2 hints: stubs when the
+   mode allows them and they are linked, pure-OCaml Bigarray otherwise *)
+let fast_family ~cstub ~bigarray =
+  match !current with
+  | Auto | Cstub -> if Cstub.available () then cstub else bigarray
+  | Bigarray_pure -> bigarray
+  | Word | Derived_only -> assert false
+
+(* resolved backend name for [hint] under the current mode — what a
+   [Make]/[of_field] performed right now would select *)
 let backend_name (type a) (hint : a kernel_hint) =
   match hint with
-  | Gfp_word _ -> "gfp_word"
-  | Gfp_montgomery _ -> "gfp_mont"
-  | Gf2_bits -> "gf2_bitpacked"
   | Generic -> "derived"
-
-let of_field (type a) (module F : FIELD with type t = a) : a Kernel_intf.kernel
-    =
-  let base : a Kernel_intf.kernel =
-    match F.kernel_hint with
-    | Gfp_word { p } -> Gfp_word.make ~p
-    | Gfp_montgomery { p; r_bits } -> Gfp_mont.make ~p ~r_bits
-    | Gf2_bits -> (module Gf2_bits)
-    | Generic -> (module Derived.Make (F))
-  in
-  let module K = (val base) in
-  (module Instrument (K))
+  | Gfp_montgomery _ -> (
+    match !current with Derived_only -> "derived" | _ -> "gfp_mont")
+  | Gfp_word _ -> (
+    match !current with
+    | Derived_only -> "derived"
+    | Word -> "gfp_word"
+    | Auto | Cstub | Bigarray_pure ->
+      fast_family ~cstub:"gfp_cstub" ~bigarray:"gfp_bigarray")
+  | Gf2_bits -> (
+    match !current with
+    | Derived_only -> "derived"
+    | Word -> "gf2_bitpacked"
+    | Auto | Cstub | Bigarray_pure ->
+      fast_family ~cstub:"gf2_cstub" ~bigarray:"gf2_bigarray")
 
 (* uninstrumented selection — used by the differential tests to compare raw
    backends, and anywhere counter traffic is unwanted *)
 let of_field_raw (type a) (module F : FIELD with type t = a) :
     a Kernel_intf.kernel =
   match F.kernel_hint with
-  | Gfp_word { p } -> Gfp_word.make ~p
-  | Gfp_montgomery { p; r_bits } -> Gfp_mont.make ~p ~r_bits
-  | Gf2_bits -> (module Gf2_bits)
+  | Gfp_word { p } -> (
+    match !current with
+    | Derived_only -> (module Derived.Make (F))
+    | Word -> Gfp_word.make ~p
+    | Auto | Cstub | Bigarray_pure ->
+      fast_family ~cstub:(Gfp_cstub.make ~p) ~bigarray:(Gfp_bigarray.make ~p))
+  | Gfp_montgomery { p; r_bits } -> (
+    match !current with
+    | Derived_only -> (module Derived.Make (F))
+    | _ -> Gfp_mont.make ~p ~r_bits)
+  | Gf2_bits -> (
+    match !current with
+    | Derived_only -> (module Derived.Make (F))
+    | Word -> (module Gf2_bits)
+    | Auto | Cstub | Bigarray_pure ->
+      fast_family ~cstub:(module Gf2_cstub : Kernel_intf.KERNEL
+                           with type t = int)
+        ~bigarray:(module Gf2_bigarray))
   | Generic -> (module Derived.Make (F))
+
+let of_field (type a) (module F : FIELD with type t = a) : a Kernel_intf.kernel
+    =
+  let base = of_field_raw (module F : FIELD with type t = a) in
+  let module K = (val base) in
+  let meters : (module METERS) =
+    if is_cstub_backend K.backend then
+      (module struct
+        let hits = [ Kp_obs.Counter.make ("kernel." ^ K.backend); Cstub.c_calls ]
+        let ops = [ c_bulk_ops; Cstub.c_bulk_ops ]
+      end)
+    else
+      (module struct
+        let hits = [ Kp_obs.Counter.make ("kernel." ^ K.backend) ]
+        let ops = [ c_bulk_ops ]
+      end)
+  in
+  let module M = (val meters) in
+  (module Metered (M) (K))
 
 module Make (F : FIELD) : Kernel_intf.KERNEL with type t = F.t =
   (val of_field (module F : FIELD with type t = F.t))

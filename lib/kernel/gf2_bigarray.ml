@@ -1,0 +1,86 @@
+(** Pure-OCaml member of the Bigarray/C-stub GF(2) family — the stubless
+    fallback for the [Gf2_bits] representation (0/1 in native ints).
+
+    The matvec packs x once into 62-bit words held in a native-[int]
+    Bigarray scratch and ANDs on-the-fly-packed row words against it with
+    a parity fold — the {!Gf2_bits} algorithm with the packed vector in a
+    Bigarray buffer, mirroring the C stub's 64-bit packing (parity is
+    packing-width independent, so all three agree bit for bit).  The
+    matmul XOR-accumulates each output row in the same kind of scratch;
+    elementwise primitives delegate to {!Gf2_bits}. *)
+
+module BA1 = Bigarray.Array1
+
+type t = int
+
+let backend = "gf2_bigarray"
+let word_bits = 62
+
+let[@inline] parity w =
+  let w = w lxor (w lsr 32) in
+  let w = w lxor (w lsr 16) in
+  let w = w lxor (w lsr 8) in
+  let w = w lxor (w lsr 4) in
+  let w = w lxor (w lsr 2) in
+  let w = w lxor (w lsr 1) in
+  w land 1
+
+let dot = Gf2_bits.dot
+let dot_gather = Gf2_bits.dot_gather
+let axpy_into = Gf2_bits.axpy_into
+let scale_into = Gf2_bits.scale_into
+let add_into = Gf2_bits.add_into
+let sub_into = Gf2_bits.sub_into
+let pointwise_mul_into = Gf2_bits.pointwise_mul_into
+
+let matvec_into ~m ~cols ~row_lo ~row_hi ~x ~dst =
+  if row_hi > row_lo then begin
+    let nwords = (cols + word_bits - 1) / word_bits in
+    (* per call, not per module: pool domains run kernels concurrently *)
+    let xw = BA1.create Bigarray.int Bigarray.c_layout (max 1 nwords) in
+    for w = 0 to nwords - 1 do
+      let base = w * word_bits in
+      let stop = min cols (base + word_bits) in
+      let wx = ref 0 in
+      for k = base to stop - 1 do
+        wx := (!wx lsl 1) lor x.(k)
+      done;
+      BA1.unsafe_set xw w !wx
+    done;
+    for i = row_lo to row_hi - 1 do
+      let rbase = i * cols in
+      let acc = ref 0 in
+      for w = 0 to nwords - 1 do
+        let base = w * word_bits in
+        let stop = min cols (base + word_bits) in
+        let wr = ref 0 in
+        for k = base to stop - 1 do
+          wr := (!wr lsl 1) lor m.(rbase + k)
+        done;
+        acc := !acc lxor (!wr land BA1.unsafe_get xw w)
+      done;
+      dst.(i) <- parity !acc
+    done
+  end
+
+let matmul_into ~a ~b ~dst ~inner ~bcols ~row_lo ~row_hi =
+  if row_hi > row_lo && bcols > 0 then begin
+    let acc = BA1.create Bigarray.int Bigarray.c_layout bcols in
+    for i = row_lo to row_hi - 1 do
+      let arow = i * inner and orow = i * bcols in
+      for j = 0 to bcols - 1 do
+        BA1.unsafe_set acc j dst.(orow + j)
+      done;
+      for k = 0 to inner - 1 do
+        if a.(arow + k) <> 0 then begin
+          let brow = k * bcols in
+          for j = 0 to bcols - 1 do
+            BA1.unsafe_set acc j (BA1.unsafe_get acc j lxor b.(brow + j))
+          done
+        end
+      done;
+      for j = 0 to bcols - 1 do
+        dst.(orow + j) <- BA1.unsafe_get acc j
+      done
+    done
+  end

@@ -1,0 +1,38 @@
+(** C-stub GF(2) kernel ([Gf2_bits] representation: 0/1 in native ints).
+
+    Elementwise primitives run directly on the tagged words in C (AND
+    preserves the tag, XOR re-tags); the matvec packs x once into 64-bit
+    words in an [int64] Bigarray scratch and ANDs row words against it
+    with a parity fold — any packing width yields the same parity, so the
+    backend is bit-identical to both the derived kernel and the 62-bit
+    pure-OCaml packings ({!Gf2_bits}, {!Gf2_bigarray}). *)
+
+type t = int
+
+let backend = "gf2_cstub"
+
+let dot a b = Cstub.gf2_dot a b (Array.length a)
+let dot_gather ~vals ~cols ~lo ~hi ~x = Cstub.gf2_dot_gather vals cols lo hi x
+
+let axpy_into ~a ~x ~xoff ~y ~yoff ~len =
+  if a <> 0 then Cstub.gf2_axpy x xoff y yoff len
+
+let scale_into ~a ~x ~xoff ~dst ~doff ~len =
+  Cstub.gf2_scale a x xoff dst doff len
+
+let add_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+  Cstub.gf2_add x xoff y yoff dst doff len
+
+(* subtraction is addition in characteristic 2 *)
+let sub_into = add_into
+
+let pointwise_mul_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+  Cstub.gf2_pointwise x xoff y yoff dst doff len
+
+let matvec_into ~m ~cols ~row_lo ~row_hi ~x ~dst =
+  if row_hi > row_lo then
+    Cstub.gf2_matvec m cols row_lo row_hi x dst
+      (Cstub.make_scratch ((cols + 63) / 64))
+
+let matmul_into ~a ~b ~dst ~inner ~bcols ~row_lo ~row_hi =
+  Cstub.gf2_matmul a b dst inner bcols row_lo row_hi

@@ -1,0 +1,69 @@
+(** Pure-OCaml member of the Bigarray/C-stub GF(p) family — the fallback
+    the dispatcher selects when the C stubs are not linked (or when
+    [KP_KERNEL_BACKEND=bigarray] forces it, which is how CI proves a
+    stubless build passes the whole suite).
+
+    Same algorithms as {!Gfp_cstub}, same representation ([Gfp_word]
+    canonical residues), no C: the matmul accumulates each output row
+    unreduced in a native-[int] Bigarray scratch with one reduction sweep
+    per block (mirroring the stub's int64 accumulator), and the remaining
+    primitives are the {!Gfp_word} delayed-reduction loops, to which this
+    backend delegates.  Canonical residues make every reduction grouping
+    bit-identical, which the cross-backend torture suite enforces. *)
+
+module BA1 = Bigarray.Array1
+
+let make ~p : (module Kernel_intf.KERNEL with type t = int) =
+  let module W = (val Gfp_word.make ~p : Kernel_intf.KERNEL with type t = int)
+  in
+  (module struct
+    type t = int
+
+    let backend = "gfp_bigarray"
+
+    let prod_cap = (p - 1) * (p - 1)
+    let lazy_block = max 1 ((max_int - (p - 1)) / max 1 prod_cap)
+
+    let dot = W.dot
+    let dot_gather = W.dot_gather
+    let axpy_into = W.axpy_into
+    let scale_into = W.scale_into
+    let add_into = W.add_into
+    let sub_into = W.sub_into
+    let pointwise_mul_into = W.pointwise_mul_into
+    let matvec_into = W.matvec_into
+
+    let matmul_into ~a ~b ~dst ~inner ~bcols ~row_lo ~row_hi =
+      if row_hi > row_lo && bcols > 0 then begin
+        (* per call, not per module: pool domains run kernels concurrently *)
+        let acc = BA1.create Bigarray.int Bigarray.c_layout bcols in
+        for i = row_lo to row_hi - 1 do
+          let arow = i * inner and orow = i * bcols in
+          for j = 0 to bcols - 1 do
+            BA1.unsafe_set acc j dst.(orow + j)
+          done;
+          let k = ref 0 in
+          while !k < inner do
+            let stop = min inner (!k + lazy_block) in
+            for kk = !k to stop - 1 do
+              let aik = a.(arow + kk) in
+              (* zero rows contribute nothing to the reduced residues *)
+              if aik <> 0 then begin
+                let brow = kk * bcols in
+                for j = 0 to bcols - 1 do
+                  BA1.unsafe_set acc j
+                    (BA1.unsafe_get acc j + (aik * b.(brow + j)))
+                done
+              end
+            done;
+            for j = 0 to bcols - 1 do
+              BA1.unsafe_set acc j (BA1.unsafe_get acc j mod p)
+            done;
+            k := stop
+          done;
+          for j = 0 to bcols - 1 do
+            dst.(orow + j) <- BA1.unsafe_get acc j
+          done
+        done
+      end
+  end)

@@ -1,0 +1,49 @@
+(** C-stub GF(p) kernel: the delayed-reduction word loops of {!Gfp_word}
+    compiled as autovectorizable C ([kp_kernel_stubs.c]).
+
+    Elements are canonical residues in [0, p) in native [int]s (the
+    [Gfp_word { p }] representation).  Every primitive reduces to the
+    canonical residue, and GF(p) addition is associative over a canonical
+    representation, so regrouping the delayed reductions — the only
+    freedom the C side takes — cannot change the resulting word: the
+    backend is bit-identical to the derived kernel by construction, and
+    the cross-backend torture suite in [test_kernel.ml] enforces it.
+
+    The matmul accumulates each output row unreduced in an [int64]
+    Bigarray scratch (allocated per call — kernels are fanned out across
+    pool domains, so module-level scratch would race). *)
+
+let make ~p : (module Kernel_intf.KERNEL with type t = int) =
+  (module struct
+    type t = int
+
+    let backend = "gfp_cstub"
+
+    let dot a b = Cstub.gfp_dot a b (Array.length a) p
+
+    let dot_gather ~vals ~cols ~lo ~hi ~x =
+      Cstub.gfp_dot_gather vals cols lo hi x p
+
+    let axpy_into ~a ~x ~xoff ~y ~yoff ~len =
+      if a <> 0 then Cstub.gfp_axpy a x xoff y yoff len p
+
+    let scale_into ~a ~x ~xoff ~dst ~doff ~len =
+      Cstub.gfp_scale a x xoff dst doff len p
+
+    let add_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+      Cstub.gfp_add x xoff y yoff dst doff len p
+
+    let sub_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+      Cstub.gfp_sub x xoff y yoff dst doff len p
+
+    let pointwise_mul_into ~x ~xoff ~y ~yoff ~dst ~doff ~len =
+      Cstub.gfp_pointwise x xoff y yoff dst doff len p
+
+    let matvec_into ~m ~cols ~row_lo ~row_hi ~x ~dst =
+      Cstub.gfp_matvec m cols row_lo row_hi x dst p
+
+    let matmul_into ~a ~b ~dst ~inner ~bcols ~row_lo ~row_hi =
+      if row_hi > row_lo && bcols > 0 then
+        Cstub.gfp_matmul a b dst inner bcols row_lo row_hi p
+          (Cstub.make_scratch bcols)
+  end)

@@ -11,11 +11,16 @@
       counting fields, fault-injecting wrappers and circuit builders all go
       through this path.
 
-    - The specialized backends ({!Gfp_word}, {!Gfp_mont}, {!Gf2_bits}) exploit
-      a concrete word-level representation (advertised by the field through
-      {!Kp_field.Field_intf.kernel_hint}) to run unboxed [int] loops with
-      delayed modular reduction or bit packing.  They are required to be
-      {e bit-identical} to the derived kernel on canonical inputs.
+    - The specialized backends exploit a concrete word-level representation
+      (advertised by the field through {!Kp_field.Field_intf.kernel_hint})
+      and come in two families: the pure-OCaml word backends ({!Gfp_word},
+      {!Gfp_mont}, {!Gf2_bits}) run unboxed [int] loops with delayed modular
+      reduction or bit packing, and the Bigarray/C-stub family
+      ({!Gfp_cstub}, {!Gf2_cstub}, with pure-OCaml fallbacks {!Gfp_bigarray},
+      {!Gf2_bigarray} for stubless builds) compiles the same loops as
+      autovectorizable C with Bigarray reduction scratch.  Every specialized
+      backend is required to be {e bit-identical} to the derived kernel on
+      canonical inputs; {!Dispatch} picks one per field and mode.
 
     Conventions shared by every primitive:
     - offsets/ranges are trusted (bounds are the caller's contract);
@@ -28,7 +33,8 @@ module type KERNEL = sig
   type t
 
   val backend : string
-  (** One of ["derived"], ["gfp_word"], ["gfp_mont"], ["gf2_bitpacked"] —
+  (** One of ["derived"], ["gfp_word"], ["gfp_mont"], ["gf2_bitpacked"],
+      ["gfp_cstub"], ["gf2_cstub"], ["gfp_bigarray"], ["gf2_bigarray"] —
       also the suffix of the [kernel.<backend>] hit counter. *)
 
   val dot : t array -> t array -> t

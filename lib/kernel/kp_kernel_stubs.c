@@ -1,0 +1,471 @@
+/* C kernels for the word-modular bulk primitives (Kp_kernel.Cstub).
+
+   These are the hot loops of the Theorem-4 pipeline compiled as C so the
+   compiler can unroll and autovectorize them: OCaml's code generator
+   neither vectorizes nor elides the per-element bounds checks, and every
+   profile since the kernel layer landed shows those loops as the raw-speed
+   floor.
+
+   Conventions:
+
+   - Vectors and matrices arrive as ordinary OCaml [int array]s — flat
+     blocks of tagged immediates, read zero-copy with Long_val(Field(v,i))
+     and written with Field(v,i) = Val_long(x).  Storing an immediate over
+     an immediate needs no write barrier, so every stub is [@@noalloc]:
+     no allocation, no GC interaction, no callbacks.
+
+   - GF(p), p < 2^30: canonical residues in [0,p).  A raw product is below
+     2^60, so an int64 accumulator absorbs [block] products between
+     reductions (the same delayed-reduction schedule as the OCaml word
+     backend; regrouping reductions cannot change a canonical residue, so
+     the stubs are bit-identical to the derived kernel by construction).
+
+   - GF(2): 0/1 in native ints.  Tagged 0/1 values obey
+       (2a+1) & (2b+1) = 2(a·b)+1      — AND preserves the tag;
+       ((2a+1) ^ (2b+1)) | 1 = 2(a⊕b)+1 — XOR re-tags with "| 1";
+     so the elementwise loops run directly on the tagged words.
+
+   - Reduction/packing scratch larger than a few registers (the matmul row
+     accumulator, the packed-x words of the GF(2) matvec) lives in an
+     int64 Bigarray passed in by the caller: no malloc on the hot path,
+     and the buffer is visible to the pure-OCaml fallback implementations
+     that mirror these algorithms.
+
+   - No `restrict` anywhere: the elementwise primitives may be called with
+     dst aliasing a source at a different offset, and C's plain-pointer
+     semantics then match the derived kernel's forward-sequential loop
+     exactly (vectorizing compilers version such loops behind an overlap
+     check). */
+
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+#include <stdint.h>
+
+#define ELT(v, i) Long_val(Field((v), (i)))
+#define SET(v, i, x) (Field((v), (i)) = Val_long(x))
+
+CAMLprim value kp_cstub_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+/* raw products that fit on top of a canonical residue without overflowing
+   an int64 accumulator: (p-1) + block·(p-1)^2 <= INT64_MAX */
+static inline int64_t gfp_block(int64_t p)
+{
+  int64_t cap = (p - 1) * (p - 1);
+  int64_t b;
+  if (cap < 1) cap = 1;
+  b = (INT64_MAX - (p - 1)) / cap;
+  return b < 1 ? 1 : b;
+}
+
+/* ------------------------------------------------------------------ */
+/* GF(p)                                                              */
+/* ------------------------------------------------------------------ */
+
+CAMLprim value kp_gfp_dot(value va, value vb, value vn, value vp)
+{
+  intnat n = Long_val(vn);
+  int64_t p = Long_val(vp);
+  int64_t block = gfp_block(p);
+  int64_t acc = 0;
+  intnat i = 0;
+  while (i < n) {
+    intnat stop = ((int64_t)(n - i) > block) ? i + (intnat)block : n;
+    int64_t s = acc;
+    intnat k;
+    for (k = i; k < stop; k++)
+      s += (int64_t)ELT(va, k) * (int64_t)ELT(vb, k);
+    acc = s % p;
+    i = stop;
+  }
+  return Val_long((intnat)acc);
+}
+
+CAMLprim value kp_gfp_dot_gather(value vvals, value vcols, value vlo,
+                                 value vhi, value vx, value vp)
+{
+  intnat lo = Long_val(vlo), hi = Long_val(vhi);
+  int64_t p = Long_val(vp);
+  int64_t block = gfp_block(p);
+  int64_t acc = 0;
+  intnat k = lo;
+  while (k < hi) {
+    intnat stop = ((int64_t)(hi - k) > block) ? k + (intnat)block : hi;
+    int64_t s = acc;
+    intnat kk;
+    for (kk = k; kk < stop; kk++)
+      s += (int64_t)ELT(vvals, kk) * (int64_t)ELT(vx, ELT(vcols, kk));
+    acc = s % p;
+    k = stop;
+  }
+  return Val_long((intnat)acc);
+}
+
+CAMLprim value kp_gfp_dot_gather_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gfp_dot_gather(argv[0], argv[1], argv[2], argv[3], argv[4],
+                           argv[5]);
+}
+
+CAMLprim value kp_gfp_axpy(value va, value vx, value vxoff, value vy,
+                           value vyoff, value vlen, value vp)
+{
+  intnat xoff = Long_val(vxoff), yoff = Long_val(vyoff), len = Long_val(vlen);
+  int64_t a = Long_val(va), p = Long_val(vp);
+  intnat i;
+  for (i = 0; i < len; i++) {
+    int64_t r = ((int64_t)ELT(vy, yoff + i) + a * (int64_t)ELT(vx, xoff + i)) % p;
+    SET(vy, yoff + i, (intnat)r);
+  }
+  return Val_unit;
+}
+
+CAMLprim value kp_gfp_axpy_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gfp_axpy(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                     argv[6]);
+}
+
+CAMLprim value kp_gfp_scale(value va, value vx, value vxoff, value vdst,
+                            value vdoff, value vlen, value vp)
+{
+  intnat xoff = Long_val(vxoff), doff = Long_val(vdoff), len = Long_val(vlen);
+  int64_t a = Long_val(va), p = Long_val(vp);
+  intnat i;
+  for (i = 0; i < len; i++) {
+    int64_t r = (a * (int64_t)ELT(vx, xoff + i)) % p;
+    SET(vdst, doff + i, (intnat)r);
+  }
+  return Val_unit;
+}
+
+CAMLprim value kp_gfp_scale_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gfp_scale(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                      argv[6]);
+}
+
+CAMLprim value kp_gfp_add(value vx, value vxoff, value vy, value vyoff,
+                          value vdst, value vdoff, value vlen, value vp)
+{
+  intnat xoff = Long_val(vxoff), yoff = Long_val(vyoff);
+  intnat doff = Long_val(vdoff), len = Long_val(vlen);
+  intnat p = Long_val(vp);
+  intnat i;
+  for (i = 0; i < len; i++) {
+    intnat s = ELT(vx, xoff + i) + ELT(vy, yoff + i);
+    SET(vdst, doff + i, s >= p ? s - p : s);
+  }
+  return Val_unit;
+}
+
+CAMLprim value kp_gfp_add_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gfp_add(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                    argv[6], argv[7]);
+}
+
+CAMLprim value kp_gfp_sub(value vx, value vxoff, value vy, value vyoff,
+                          value vdst, value vdoff, value vlen, value vp)
+{
+  intnat xoff = Long_val(vxoff), yoff = Long_val(vyoff);
+  intnat doff = Long_val(vdoff), len = Long_val(vlen);
+  intnat p = Long_val(vp);
+  intnat i;
+  for (i = 0; i < len; i++) {
+    intnat d = ELT(vx, xoff + i) - ELT(vy, yoff + i);
+    SET(vdst, doff + i, d < 0 ? d + p : d);
+  }
+  return Val_unit;
+}
+
+CAMLprim value kp_gfp_sub_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gfp_sub(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                    argv[6], argv[7]);
+}
+
+CAMLprim value kp_gfp_pointwise(value vx, value vxoff, value vy, value vyoff,
+                                value vdst, value vdoff, value vlen, value vp)
+{
+  intnat xoff = Long_val(vxoff), yoff = Long_val(vyoff);
+  intnat doff = Long_val(vdoff), len = Long_val(vlen);
+  int64_t p = Long_val(vp);
+  intnat i;
+  for (i = 0; i < len; i++) {
+    int64_t r = ((int64_t)ELT(vx, xoff + i) * (int64_t)ELT(vy, yoff + i)) % p;
+    SET(vdst, doff + i, (intnat)r);
+  }
+  return Val_unit;
+}
+
+CAMLprim value kp_gfp_pointwise_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gfp_pointwise(argv[0], argv[1], argv[2], argv[3], argv[4],
+                          argv[5], argv[6], argv[7]);
+}
+
+CAMLprim value kp_gfp_matvec(value vm, value vcols, value vrow_lo,
+                             value vrow_hi, value vx, value vdst, value vp)
+{
+  intnat cols = Long_val(vcols);
+  intnat row_lo = Long_val(vrow_lo), row_hi = Long_val(vrow_hi);
+  int64_t p = Long_val(vp);
+  int64_t block = gfp_block(p);
+  intnat i;
+  for (i = row_lo; i < row_hi; i++) {
+    intnat base = i * cols;
+    int64_t acc = 0;
+    intnat j = 0;
+    while (j < cols) {
+      intnat stop = ((int64_t)(cols - j) > block) ? j + (intnat)block : cols;
+      int64_t s = acc;
+      intnat k;
+      for (k = j; k < stop; k++)
+        s += (int64_t)ELT(vm, base + k) * (int64_t)ELT(vx, k);
+      acc = s % p;
+      j = stop;
+    }
+    SET(vdst, i, (intnat)acc);
+  }
+  return Val_unit;
+}
+
+CAMLprim value kp_gfp_matvec_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gfp_matvec(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                       argv[6]);
+}
+
+/* i,k,j product with the output row accumulated unreduced in the int64
+   Bigarray scratch [vacc] (>= bcols entries): one load/store of dst per
+   row instead of per multiply-add, one reduction sweep per k-block */
+CAMLprim value kp_gfp_matmul(value va, value vb, value vdst, value vinner,
+                             value vbcols, value vrow_lo, value vrow_hi,
+                             value vp, value vacc)
+{
+  intnat inner = Long_val(vinner), bcols = Long_val(vbcols);
+  intnat row_lo = Long_val(vrow_lo), row_hi = Long_val(vrow_hi);
+  int64_t p = Long_val(vp);
+  int64_t block = gfp_block(p);
+  int64_t *acc = (int64_t *)Caml_ba_data_val(vacc);
+  intnat i;
+  for (i = row_lo; i < row_hi; i++) {
+    intnat arow = i * inner, orow = i * bcols;
+    intnat j, k = 0;
+    for (j = 0; j < bcols; j++)
+      acc[j] = ELT(vdst, orow + j);
+    while (k < inner) {
+      intnat stop = ((int64_t)(inner - k) > block) ? k + (intnat)block : inner;
+      intnat kk;
+      for (kk = k; kk < stop; kk++) {
+        int64_t aik = ELT(va, arow + kk);
+        /* adding a zero row then reducing leaves the residues unchanged,
+           so skipping is value-preserving (same rule as the word backend) */
+        if (aik != 0) {
+          intnat brow = kk * bcols;
+          for (j = 0; j < bcols; j++)
+            acc[j] += aik * (int64_t)ELT(vb, brow + j);
+        }
+      }
+      for (j = 0; j < bcols; j++)
+        acc[j] %= p;
+      k = stop;
+    }
+    for (j = 0; j < bcols; j++)
+      SET(vdst, orow + j, (intnat)acc[j]);
+  }
+  return Val_unit;
+}
+
+CAMLprim value kp_gfp_matmul_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gfp_matmul(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                       argv[6], argv[7], argv[8]);
+}
+
+/* ------------------------------------------------------------------ */
+/* GF(2)                                                              */
+/* ------------------------------------------------------------------ */
+
+CAMLprim value kp_gf2_dot(value va, value vb, value vn)
+{
+  intnat n = Long_val(vn);
+  uintnat acc = 0;
+  intnat k;
+  for (k = 0; k < n; k++)
+    acc ^= (uintnat)(Field(va, k) & Field(vb, k)) >> 1;
+  return Val_long((intnat)(acc & 1));
+}
+
+CAMLprim value kp_gf2_dot_gather(value vvals, value vcols, value vlo,
+                                 value vhi, value vx)
+{
+  intnat lo = Long_val(vlo), hi = Long_val(vhi);
+  uintnat acc = 0;
+  intnat k;
+  for (k = lo; k < hi; k++)
+    acc ^= (uintnat)(Field(vvals, k) & Field(vx, ELT(vcols, k))) >> 1;
+  return Val_long((intnat)(acc & 1));
+}
+
+/* caller has already skipped a = 0, so this is y ^= x */
+CAMLprim value kp_gf2_axpy(value vx, value vxoff, value vy, value vyoff,
+                           value vlen)
+{
+  intnat xoff = Long_val(vxoff), yoff = Long_val(vyoff), len = Long_val(vlen);
+  intnat i;
+  for (i = 0; i < len; i++)
+    Field(vy, yoff + i) = (Field(vy, yoff + i) ^ Field(vx, xoff + i)) | 1;
+  return Val_unit;
+}
+
+CAMLprim value kp_gf2_scale(value va, value vx, value vxoff, value vdst,
+                            value vdoff, value vlen)
+{
+  intnat xoff = Long_val(vxoff), doff = Long_val(vdoff), len = Long_val(vlen);
+  intnat i;
+  for (i = 0; i < len; i++)
+    Field(vdst, doff + i) = va & Field(vx, xoff + i);
+  return Val_unit;
+}
+
+CAMLprim value kp_gf2_scale_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gf2_scale(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5]);
+}
+
+/* addition and subtraction coincide in characteristic 2 */
+CAMLprim value kp_gf2_add(value vx, value vxoff, value vy, value vyoff,
+                          value vdst, value vdoff, value vlen)
+{
+  intnat xoff = Long_val(vxoff), yoff = Long_val(vyoff);
+  intnat doff = Long_val(vdoff), len = Long_val(vlen);
+  intnat i;
+  for (i = 0; i < len; i++)
+    Field(vdst, doff + i) = (Field(vx, xoff + i) ^ Field(vy, yoff + i)) | 1;
+  return Val_unit;
+}
+
+CAMLprim value kp_gf2_add_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gf2_add(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                    argv[6]);
+}
+
+CAMLprim value kp_gf2_pointwise(value vx, value vxoff, value vy, value vyoff,
+                                value vdst, value vdoff, value vlen)
+{
+  intnat xoff = Long_val(vxoff), yoff = Long_val(vyoff);
+  intnat doff = Long_val(vdoff), len = Long_val(vlen);
+  intnat i;
+  for (i = 0; i < len; i++)
+    Field(vdst, doff + i) = Field(vx, xoff + i) & Field(vy, yoff + i);
+  return Val_unit;
+}
+
+CAMLprim value kp_gf2_pointwise_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gf2_pointwise(argv[0], argv[1], argv[2], argv[3], argv[4],
+                          argv[5], argv[6]);
+}
+
+static inline intnat parity64(uint64_t w)
+{
+#if defined(__GNUC__) || defined(__clang__)
+  return (intnat)__builtin_parityll(w);
+#else
+  w ^= w >> 32; w ^= w >> 16; w ^= w >> 8; w ^= w >> 4; w ^= w >> 2; w ^= w >> 1;
+  return (intnat)(w & 1);
+#endif
+}
+
+/* bit-packed matvec: x packed once into 64-bit words in the Bigarray
+   scratch [vxw] (>= ceil(cols/64) entries), rows packed on the fly,
+   one AND + one XOR per 64 elements, parity fold per row.  Any packing
+   width yields the same parity, so this is bit-identical to the 62-bit
+   pure-OCaml packing. */
+CAMLprim value kp_gf2_matvec(value vm, value vcols, value vrow_lo,
+                             value vrow_hi, value vx, value vdst, value vxw)
+{
+  intnat cols = Long_val(vcols);
+  intnat row_lo = Long_val(vrow_lo), row_hi = Long_val(vrow_hi);
+  intnat nwords = (cols + 63) / 64;
+  uint64_t *xw = (uint64_t *)Caml_ba_data_val(vxw);
+  intnat w, i;
+  for (w = 0; w < nwords; w++) {
+    intnat base = w * 64;
+    intnat stop = base + 64 < cols ? base + 64 : cols;
+    uint64_t wx = 0;
+    intnat k;
+    for (k = base; k < stop; k++)
+      wx = (wx << 1) | (uint64_t)ELT(vx, k);
+    xw[w] = wx;
+  }
+  for (i = row_lo; i < row_hi; i++) {
+    intnat rbase = i * cols;
+    uint64_t acc = 0;
+    for (w = 0; w < nwords; w++) {
+      intnat base = w * 64;
+      intnat stop = base + 64 < cols ? base + 64 : cols;
+      uint64_t wr = 0;
+      intnat k;
+      for (k = base; k < stop; k++)
+        wr = (wr << 1) | (uint64_t)ELT(vm, rbase + k);
+      acc ^= wr & xw[w];
+    }
+    SET(vdst, i, parity64(acc));
+  }
+  return Val_unit;
+}
+
+CAMLprim value kp_gf2_matvec_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gf2_matvec(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                       argv[6]);
+}
+
+/* out row = XOR of the b-rows selected by the 1-bits of the a-row */
+CAMLprim value kp_gf2_matmul(value va, value vb, value vdst, value vinner,
+                             value vbcols, value vrow_lo, value vrow_hi)
+{
+  intnat inner = Long_val(vinner), bcols = Long_val(vbcols);
+  intnat row_lo = Long_val(vrow_lo), row_hi = Long_val(vrow_hi);
+  intnat i;
+  for (i = row_lo; i < row_hi; i++) {
+    intnat arow = i * inner, orow = i * bcols;
+    intnat k;
+    for (k = 0; k < inner; k++) {
+      if (ELT(va, arow + k) != 0) {
+        intnat brow = k * bcols;
+        intnat j;
+        for (j = 0; j < bcols; j++)
+          Field(vdst, orow + j) =
+            (Field(vdst, orow + j) ^ Field(vb, brow + j)) | 1;
+      }
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value kp_gf2_matmul_byte(value *argv, int argn)
+{
+  (void)argn;
+  return kp_gf2_matmul(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                       argv[6]);
+}

@@ -203,7 +203,7 @@ let test_committed_baseline_parses () =
             (List.length
                (B.regressions (B.compare_runs ~baseline:run ~current:run ())))))
     [ "BENCH_PR3.json"; "BENCH_PR4.json"; "BENCH_PR5.json"; "BENCH_PR6.json";
-      "BENCH_PR7.json"; "BENCH_PR8.json" ]
+      "BENCH_PR7.json"; "BENCH_PR8.json"; "BENCH_PR9.json" ]
 
 let test_pr4_baseline_covers_sessions () =
   (* the PR-4 baseline is the one CI gates on: it must carry the session
@@ -340,6 +340,37 @@ let test_pr8_baseline_covers_shards () =
           | Some s, Some f -> s > 0. && f = 0.
           | _ -> false)))
 
+let test_pr9_baseline_covers_cstub () =
+  (* the PR-9 baseline adds the kernel-backend shootout: it must carry
+     E18 with the C-stub family's hit counters and the kernel.cstub.*
+     meters actually advanced — the committed proof that the recorded run
+     took the stub path (and, since E18 asserts cross-backend bit-identity
+     in-bench, that the stubs agreed with word and derived when it did) *)
+  match find_committed "BENCH_PR9.json" with
+  | None -> ()
+  | Some path -> (
+    match B.load path with
+    | Error m -> Alcotest.failf "BENCH_PR9.json failed to parse: %s" m
+    | Ok run ->
+      let e18 = List.find_opt (fun t -> t.B.label = "E18") run.B.tables in
+      (match e18 with
+      | None -> Alcotest.fail "BENCH_PR9.json has no E18 table"
+      | Some t ->
+        let positive name =
+          match List.assoc_opt name t.B.counters with
+          | Some v -> v > 0.
+          | None -> false
+        in
+        check_bool "E18 took the GF(p) C-stub path" true
+          (positive "kernel.gfp_cstub");
+        check_bool "E18 took the GF(2) C-stub path" true
+          (positive "kernel.gf2_cstub");
+        check_bool "E18 exercised every comparison family" true
+          (positive "kernel.gfp_word" && positive "kernel.gfp_bigarray"
+          && positive "kernel.derived");
+        check_bool "E18 advanced the kernel.cstub.* meters" true
+          (positive "kernel.cstub.calls" && positive "kernel.cstub.bulk_ops")))
+
 let () =
   Alcotest.run "bench_compare"
     [
@@ -365,6 +396,8 @@ let () =
             test_pr7_baseline_covers_serve;
           Alcotest.test_case "PR8 baseline covers shards" `Quick
             test_pr8_baseline_covers_shards;
+          Alcotest.test_case "PR9 baseline covers C-stub kernels" `Quick
+            test_pr9_baseline_covers_cstub;
         ] );
       ( "compare",
         [

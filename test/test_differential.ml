@@ -424,6 +424,152 @@ module Q_suite =
       let singular_n = 4
     end)
 
+(* --- kernel-backend rows: the same engine runs with the dispatch mode
+   forced to each kernel family in turn must produce bit-identical
+   answers AND identical attempt counts — the end-to-end form of the
+   kernel suite's bit-identity contract.  Engine functors are applied
+   inside [with_mode] because backend resolution happens at functor
+   application time. --- *)
+module Mode_rows = struct
+  module D = Kp_kernel.Dispatch
+  module O = Kp_robust.Outcome
+
+  let modes =
+    [
+      ("word", D.Word);
+      ("cstub", D.Cstub);
+      ("bigarray", D.Bigarray_pure);
+      ("derived", D.Derived_only);
+    ]
+
+  (* GF(p): the full Theorem-4 battery — solve/det with attempt counts,
+     rank, a session run, and the Gauss oracle.  Every component is a
+     plain int or int array, so runs under different modes compare with
+     structural equality. *)
+  let gfp_battery mode seed n =
+    D.with_mode mode (fun () ->
+        let module F = Kp_field.Fields.Gf_ntt in
+        let module C = Kp_poly.Conv.Karatsuba (F) in
+        let module M = Kp_matrix.Dense.Make (F) in
+        let module G = Kp_matrix.Gauss.Make (F) in
+        let module S = Kp_core.Solver.Make (F) (C) in
+        let module Rk = Kp_core.Rank.Make (F) (C) in
+        let module Sess = Kp_session.Session.Make (F) (C) in
+        let fail what e =
+          Alcotest.failf "gfp battery %s @%s seed=%d n=%d: %s" what
+            (D.mode_name mode) seed n (O.error_to_string e)
+        in
+        let st = Kp_util.Rng.make seed in
+        let a = M.random_nonsingular st n in
+        let x_true = Array.init n (fun _ -> F.random st) in
+        let b = M.matvec a x_true in
+        let sts = Test_seeds.states (seed + n) 4 in
+        let solve_x, solve_att =
+          match S.solve sts.(0) a b with
+          | Ok (x, r) -> (x, r.O.attempts)
+          | Error e -> fail "solve" e
+        in
+        let det, det_att =
+          match S.det sts.(1) a with
+          | Ok (d, r) -> (d, r.O.attempts)
+          | Error e -> fail "det" e
+        in
+        let rank = Rk.rank sts.(2) a in
+        let sess = Sess.create sts.(3) in
+        let sess_x =
+          match Sess.solve sess a b with
+          | Ok (x, _) -> x
+          | Error e -> fail "session solve" e
+        in
+        let sess_d =
+          match Sess.det sess a with
+          | Ok (d, _) -> d
+          | Error e -> fail "session det" e
+        in
+        let gauss_x =
+          match G.solve a b with
+          | Some x -> x
+          | None -> Alcotest.failf "gfp battery: oracle called input singular"
+        in
+        (solve_x, solve_att, det, det_att, rank, sess_x, sess_d, gauss_x))
+
+  let test_gfp_modes () =
+    List.iter
+      (fun seed ->
+        List.iter
+          (fun n ->
+            let sx, sa, d, da, rk, zx, zd, gx = gfp_battery D.Word seed n in
+            List.iter
+              (fun (mname, mode) ->
+                let sx', sa', d', da', rk', zx', zd', gx' =
+                  gfp_battery mode seed n
+                in
+                let lbl what =
+                  Printf.sprintf "gfp %s: %s = word row (seed=%d n=%d)" mname
+                    what seed n
+                in
+                Alcotest.(check bool) (lbl "solve answer") true (sx = sx');
+                Alcotest.(check int) (lbl "solve attempts") sa sa';
+                Alcotest.(check int) (lbl "det") d d';
+                Alcotest.(check int) (lbl "det attempts") da da';
+                Alcotest.(check int) (lbl "rank") rk rk';
+                Alcotest.(check bool) (lbl "session solve") true (zx = zx');
+                Alcotest.(check int) (lbl "session det") zd zd';
+                Alcotest.(check bool) (lbl "gauss solve") true (gx = gx'))
+              modes)
+          [ 4; 9 ])
+      shared_seeds
+
+  (* GF(2): the bit-packed family has no Wiedemann rows in this suite
+     (the sample set is too small for the Theorem-4 probability bound),
+     so the cross-mode contract is pinned on the kernel-backed matrix
+     layer: dense mul/matvec/matmul-shaped products, sparse matvec, and
+     the deterministic Gauss solve/det/rank. *)
+  let gf2_battery mode seed n =
+    D.with_mode mode (fun () ->
+        let module F = Kp_field.Gf2 in
+        let module M = Kp_matrix.Dense.Make (F) in
+        let module Sp = Kp_matrix.Sparse.Make (F) in
+        let module G = Kp_matrix.Gauss.Make (F) in
+        let st = Kp_util.Rng.make seed in
+        let a = M.random st n n in
+        let b = M.random st n n in
+        let v = Array.init n (fun _ -> F.random st) in
+        let sp = Sp.random st n n ~density:0.3 in
+        let mul = (M.mul a b).M.data in
+        let mv = M.matvec a v in
+        let spmv = Sp.matvec sp v in
+        let det = G.det a in
+        let rank = G.rank a in
+        let solve = G.solve a (M.matvec a v) in
+        (mul, mv, spmv, det, rank, solve))
+
+  let test_gf2_modes () =
+    List.iter
+      (fun seed ->
+        List.iter
+          (fun n ->
+            let reference = gf2_battery D.Word seed n in
+            List.iter
+              (fun (mname, mode) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "gf2 %s = word row (seed=%d n=%d)" mname seed
+                     n)
+                  true
+                  (gf2_battery mode seed n = reference))
+              modes)
+          [ 7; 64; 100 ])
+      shared_seeds
+
+  let tests =
+    [
+      Alcotest.test_case "gfp engines: word/cstub/bigarray/derived rows"
+        `Quick test_gfp_modes;
+      Alcotest.test_case "gf2 matrix layer: word/cstub/bigarray/derived rows"
+        `Quick test_gf2_modes;
+    ]
+end
+
 (* --- fuzz: "same matrix, many RHS" session plans --------------------- *)
 (* A plan is a mixed sequence of solve/det/inverse questions against ONE
    matrix.  Executed through a session — whatever the order, whatever the
@@ -485,5 +631,6 @@ let () =
       ("gf_ntt", Ntt_suite.tests);
       ("gf2^8", Gf2_8_suite.tests);
       ("rational", Q_suite.tests);
+      ("kernel_modes", Mode_rows.tests);
       ("session_fuzz", [ QCheck_alcotest.to_alcotest ~long:false Fuzz.test ]);
     ]

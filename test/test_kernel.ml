@@ -1,19 +1,25 @@
 (* Bulk vector-kernel layer (lib/kernel): differential correctness.
 
-   The contract under test is bit-identity: every specialized backend
-   (gfp_word, gfp_mont, gf2_bitpacked) must return exactly the words the
-   derived reference kernel returns on the same inputs, for every
-   primitive, every size (including 0, 1 and non-powers-of-two straddling
-   the GF(2) 62-bit word boundary), every offset pattern the call sites
-   use (including the aliased dst = x recombination pattern of Karatsuba).
-   Pooled call sites must equal their sequential selves over 1/2/4
-   domains, and routing the generic fields (GF(2^8), Q, counting) through
-   the derived kernel must change neither results nor operation counts. *)
+   The contract under test is bit-identity: every specialized backend —
+   the word family (gfp_word, gfp_mont, gf2_bitpacked) AND the
+   Bigarray/C-stub family (gfp_cstub, gf2_cstub, gfp_bigarray,
+   gf2_bigarray) — must return exactly the words the derived reference
+   kernel returns on the same inputs, for every primitive, every size
+   (including 0, 1 and non-powers-of-two straddling both the GF(2)
+   62-bit packed word and the C stubs' 64-bit packed word), every offset
+   pattern the call sites use (including the aliased dst = x
+   recombination pattern of Karatsuba), and boundary values (all-zero,
+   all p−1 — the lazy-reduction accumulator's worst case).  Dispatch must
+   resolve the documented backend in every mode, pooled call sites must
+   equal their sequential selves over 1/2/4 domains, and generic-hinted
+   fields (GF(2^8), Q, counting, fault-wrapped) must ride the derived
+   kernel in every mode with unchanged operation counts. *)
 
 module Dispatch = Kp_kernel.Dispatch
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
 
 module type F_INT = Kp_field.Field_intf.FIELD with type t = int
 
@@ -21,39 +27,89 @@ module Mont = Kp_field.Gfp_mont.Make (struct
   let p = 998_244_353
 end)
 
-(* one instance per specialized backend, plus a small-prime gfp_word whose
+(* one instance per specialized hint, plus a small-prime gfp_word whose
    lazy-reduction block is effectively infinite (different block schedule) *)
 let specialized : (string * (module F_INT)) list =
   [
-    ("gfp_word.97", (module Kp_field.Fields.Gf_97));
-    ("gfp_word.ntt", (module Kp_field.Fields.Gf_ntt));
-    ("gfp_mont", (module Mont));
-    ("gf2_bitpacked", (module Kp_field.Gf2));
+    ("gfp.97", (module Kp_field.Fields.Gf_97));
+    ("gfp.ntt", (module Kp_field.Fields.Gf_ntt));
+    ("mont", (module Mont));
+    ("gf2", (module Kp_field.Gf2));
   ]
 
-(* 61..64 straddle the bit-packed GF(2) word width (62) *)
-let edge_sizes = [ 0; 1; 2; 3; 7; 8; 13; 61; 62; 63; 64; 100 ]
+(* every specialized backend implementing [F]'s hinted representation —
+   enumerated directly (not through dispatch) so the differential sweep
+   pits the whole family against the derived reference regardless of the
+   ambient mode *)
+let backends_for (module F : F_INT) :
+    (string * int Kp_kernel.Kernel_intf.kernel) list =
+  match F.kernel_hint with
+  | Kp_field.Field_intf.Gfp_word { p } ->
+    [
+      ("gfp_word", Kp_kernel.Gfp_word.make ~p);
+      ("gfp_cstub", Kp_kernel.Gfp_cstub.make ~p);
+      ("gfp_bigarray", Kp_kernel.Gfp_bigarray.make ~p);
+    ]
+  | Kp_field.Field_intf.Gfp_montgomery { p; r_bits } ->
+    [ ("gfp_mont", Kp_kernel.Gfp_mont.make ~p ~r_bits) ]
+  | Kp_field.Field_intf.Gf2_bits ->
+    [
+      ( "gf2_bitpacked",
+        (module Kp_kernel.Gf2_bits : Kp_kernel.Kernel_intf.KERNEL
+          with type t = int) );
+      ( "gf2_cstub",
+        (module Kp_kernel.Gf2_cstub : Kp_kernel.Kernel_intf.KERNEL
+          with type t = int) );
+      ( "gf2_bigarray",
+        (module Kp_kernel.Gf2_bigarray : Kp_kernel.Kernel_intf.KERNEL
+          with type t = int) );
+    ]
+  | Kp_field.Field_intf.Generic -> []
 
-(* every KERNEL primitive, specialized backend vs derived reference, on
-   identical seed-determined inputs; raises on the first mismatch *)
-let check_primitives ~name (module F : F_INT) ~seed ~n =
+(* 61..65 straddle the bit-packed GF(2) word width (62) and the C stubs'
+   64-bit packed words; 124..128 straddle the second word of both *)
+let edge_sizes = [ 0; 1; 2; 3; 7; 8; 13; 61; 62; 63; 64; 65; 100; 124; 127; 128 ]
+let straddle_sizes = [ 0; 1; 2; 61; 62; 63; 64; 65; 124; 127; 128 ]
+
+(* element-value styles: [Rand] is the uniform sweep; [Extreme] mixes in
+   0, 1 and p−1 densely; [Max] is all p−1 — the worst case for the
+   delayed-reduction accumulators (largest raw products, latest carries) *)
+type style = Rand | Extreme | Max
+
+(* every KERNEL primitive, one explicit backend vs the derived reference,
+   on identical seed-determined inputs; raises on the first mismatch *)
+let check_primitives ~name (module F : F_INT)
+    (module S : Kp_kernel.Kernel_intf.KERNEL with type t = int) ?(xoff = 2)
+    ?(yoff = 3) ?(doff = 3) ?(style = Rand) ~seed ~n () =
   let module D = Kp_kernel.Derived.Make (F) in
-  let module S =
-    (val Dispatch.of_field_raw
-           (module F : Kp_field.Field_intf.FIELD with type t = int))
-  in
   let st = Kp_util.Rng.make (seed + (1000 * n)) in
-  let arr k = Array.init k (fun _ -> F.random st) in
-  let ctx prim = Printf.sprintf "%s %s n=%d seed=%d" name prim n seed in
+  let max_elt = F.sub F.zero F.one (* p−1, canonically represented *) in
+  let elt () =
+    match style with
+    | Rand -> F.random st
+    | Max -> max_elt
+    | Extreme -> (
+      match Random.State.int st 4 with
+      | 0 -> F.zero
+      | 1 -> F.one
+      | 2 -> max_elt
+      | _ -> F.random st)
+  in
+  let arr k = Array.init k (fun _ -> elt ()) in
+  let ctx prim =
+    Printf.sprintf "%s %s n=%d seed=%d off=%d,%d,%d" name prim n seed xoff yoff
+      doff
+  in
   let same prim xs ys =
     check_bool (ctx prim) true (Array.for_all2 F.equal xs ys)
   in
   let a = arr n and b = arr n in
   check_bool (ctx "dot") true (F.equal (S.dot a b) (D.dot a b));
-  (* offset vectors: x read at offset 2, y written at offset 3, so the
-     kernels must neither touch bytes outside [off, off+len) nor misindex *)
-  let x = arr (n + 5) and y = arr (n + 7) in
-  let alpha = F.random st in
+  (* offset vectors: x read at [xoff], y at [yoff], dst written at [doff],
+     so the kernels must neither touch bytes outside [off, off+len) nor
+     misindex; the cushion makes every 0..8 offset in range *)
+  let x = arr (n + 9) and y = arr (n + 9) in
+  let alpha = elt () in
   let into prim f g =
     let d1 = Array.copy y and d2 = Array.copy y in
     f d1;
@@ -61,27 +117,30 @@ let check_primitives ~name (module F : F_INT) ~seed ~n =
     same prim d1 d2
   in
   into "axpy_into"
-    (fun d -> S.axpy_into ~a:alpha ~x ~xoff:2 ~y:d ~yoff:3 ~len:n)
-    (fun d -> D.axpy_into ~a:alpha ~x ~xoff:2 ~y:d ~yoff:3 ~len:n);
+    (fun d -> S.axpy_into ~a:alpha ~x ~xoff ~y:d ~yoff ~len:n)
+    (fun d -> D.axpy_into ~a:alpha ~x ~xoff ~y:d ~yoff ~len:n);
   into "axpy_into(zero)"
-    (fun d -> S.axpy_into ~a:F.zero ~x ~xoff:2 ~y:d ~yoff:3 ~len:n)
-    (fun d -> D.axpy_into ~a:F.zero ~x ~xoff:2 ~y:d ~yoff:3 ~len:n);
+    (fun d -> S.axpy_into ~a:F.zero ~x ~xoff ~y:d ~yoff ~len:n)
+    (fun d -> D.axpy_into ~a:F.zero ~x ~xoff ~y:d ~yoff ~len:n);
   into "scale_into"
-    (fun d -> S.scale_into ~a:alpha ~x ~xoff:2 ~dst:d ~doff:3 ~len:n)
-    (fun d -> D.scale_into ~a:alpha ~x ~xoff:2 ~dst:d ~doff:3 ~len:n);
+    (fun d -> S.scale_into ~a:alpha ~x ~xoff ~dst:d ~doff ~len:n)
+    (fun d -> D.scale_into ~a:alpha ~x ~xoff ~dst:d ~doff ~len:n);
   into "add_into"
-    (fun d -> S.add_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n)
-    (fun d -> D.add_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n);
+    (fun d -> S.add_into ~x ~xoff ~y:d ~yoff ~dst:d ~doff ~len:n)
+    (fun d -> D.add_into ~x ~xoff ~y:d ~yoff ~dst:d ~doff ~len:n);
   into "sub_into"
-    (fun d -> S.sub_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n)
-    (fun d -> D.sub_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n);
+    (fun d -> S.sub_into ~x ~xoff ~y:d ~yoff ~dst:d ~doff ~len:n)
+    (fun d -> D.sub_into ~x ~xoff ~y:d ~yoff ~dst:d ~doff ~len:n);
   into "pointwise_mul_into"
-    (fun d -> S.pointwise_mul_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n)
-    (fun d -> D.pointwise_mul_into ~x ~xoff:2 ~y:d ~yoff:1 ~dst:d ~doff:3 ~len:n);
+    (fun d -> S.pointwise_mul_into ~x ~xoff ~y:d ~yoff ~dst:d ~doff ~len:n)
+    (fun d -> D.pointwise_mul_into ~x ~xoff ~y:d ~yoff ~dst:d ~doff ~len:n);
   (* Karatsuba's recombination aliases dst with x at the same offset *)
   into "add_into(aliased)"
-    (fun d -> S.add_into ~x:d ~xoff:3 ~y:x ~yoff:1 ~dst:d ~doff:3 ~len:n)
-    (fun d -> D.add_into ~x:d ~xoff:3 ~y:x ~yoff:1 ~dst:d ~doff:3 ~len:n);
+    (fun d -> S.add_into ~x:d ~xoff:doff ~y:x ~yoff ~dst:d ~doff ~len:n)
+    (fun d -> D.add_into ~x:d ~xoff:doff ~y:x ~yoff ~dst:d ~doff ~len:n);
+  into "scale_into(aliased)"
+    (fun d -> S.scale_into ~a:alpha ~x:d ~xoff:doff ~dst:d ~doff ~len:n)
+    (fun d -> D.scale_into ~a:alpha ~x:d ~xoff:doff ~dst:d ~doff ~len:n);
   (* sparse row: gathered dot over random column indices *)
   let xn = max 1 n in
   let gx = arr xn in
@@ -116,7 +175,9 @@ let check_primitives ~name (module F : F_INT) ~seed ~n =
   (* matmul: dst canonical-zero on entry (the documented convention) *)
   let rows = min n 9 and inner = min n 70 and bcols = (n mod 13) + 1 in
   let am = arr (rows * inner) and bm = arr (inner * bcols) in
-  let ranges = if rows >= 2 then [ (0, rows); (1, rows - 1) ] else [ (0, rows) ] in
+  let ranges =
+    if rows >= 2 then [ (0, rows); (1, rows - 1) ] else [ (0, rows) ]
+  in
   List.iter
     (fun (row_lo, row_hi) ->
       let d1 = Array.make (rows * bcols) F.zero
@@ -126,46 +187,135 @@ let check_primitives ~name (module F : F_INT) ~seed ~n =
       same (Printf.sprintf "matmul_into %d..%d" row_lo row_hi) d1 d2)
     ranges
 
+(* the (field, backend) cross product the differential sweeps cover *)
+let field_backend_pairs =
+  List.concat_map
+    (fun (fname, (module F : F_INT)) ->
+      List.map
+        (fun (bname, k) -> (fname ^ "/" ^ bname, (module F : F_INT), k))
+        (backends_for (module F)))
+    specialized
+
+(* dispatch resolves the documented backend for every (hint, mode) pair,
+   and [backend_name] agrees with what [of_field_raw] actually builds *)
 let test_backend_selection () =
-  List.iter
-    (fun (name, (module F : F_INT)) ->
-      let module S =
-        (val Dispatch.of_field_raw
-               (module F : Kp_field.Field_intf.FIELD with type t = int))
-      in
-      check_bool (name ^ " resolves off the derived path") true
-        (S.backend <> "derived");
-      Alcotest.(check string)
-        (name ^ " backend matches its hint") S.backend
-        (Dispatch.backend_name F.kernel_hint))
-    specialized;
-  let module SQ =
-    (val Dispatch.of_field_raw
-           (module Kp_field.Rational : Kp_field.Field_intf.FIELD
-             with type t = Kp_field.Rational.t))
+  let stub = Kp_kernel.Cstub.available () in
+  let fast c b = if stub then c else b in
+  let expect (module F : F_INT) (mode : Dispatch.mode) =
+    match F.kernel_hint with
+    | Kp_field.Field_intf.Generic -> "derived"
+    | Kp_field.Field_intf.Gfp_montgomery _ -> (
+      match mode with Dispatch.Derived_only -> "derived" | _ -> "gfp_mont")
+    | Kp_field.Field_intf.Gfp_word _ -> (
+      match mode with
+      | Dispatch.Derived_only -> "derived"
+      | Dispatch.Word -> "gfp_word"
+      | Dispatch.Bigarray_pure -> "gfp_bigarray"
+      | Dispatch.Auto | Dispatch.Cstub -> fast "gfp_cstub" "gfp_bigarray")
+    | Kp_field.Field_intf.Gf2_bits -> (
+      match mode with
+      | Dispatch.Derived_only -> "derived"
+      | Dispatch.Word -> "gf2_bitpacked"
+      | Dispatch.Bigarray_pure -> "gf2_bigarray"
+      | Dispatch.Auto | Dispatch.Cstub -> fast "gf2_cstub" "gf2_bigarray")
   in
-  Alcotest.(check string) "Q stays on the derived kernel" "derived" SQ.backend
+  List.iter
+    (fun mode ->
+      Dispatch.with_mode mode (fun () ->
+          List.iter
+            (fun (name, (module F : F_INT)) ->
+              let expected = expect (module F) mode in
+              let module S =
+                (val Dispatch.of_field_raw
+                       (module F : Kp_field.Field_intf.FIELD with type t = int))
+              in
+              let lbl what =
+                Printf.sprintf "%s %s @%s" name what (Dispatch.mode_name mode)
+              in
+              check_string (lbl "resolves") expected S.backend;
+              check_string (lbl "backend_name agrees") expected
+                (Dispatch.backend_name F.kernel_hint))
+            specialized))
+    Dispatch.all_modes
+
+(* the PR-5 invariant, mode-quantified: FIELD_CORE-derived, counting,
+   fault-wrapped and unhinted fields never resolve to a specialized
+   backend — no mode may let a fast path skip their scalar operations *)
+let test_hint_free_fields () =
+  let resolve (type a) (fm : (module Kp_field.Field_intf.FIELD with type t = a))
+      =
+    let module S = (val Dispatch.of_field_raw fm) in
+    S.backend
+  in
+  let module Cnt = Kp_field.Counting.Make (Kp_field.Fields.Gf_ntt) in
+  let module FF = Kp_robust.Fault.Field (Kp_field.Fields.Gf_ntt) in
+  let faulty = FF.wrap (Kp_robust.Fault.plan ~seed:7 ()) in
+  List.iter
+    (fun mode ->
+      Dispatch.with_mode mode (fun () ->
+          let lbl who =
+            Printf.sprintf "%s stays derived @%s" who (Dispatch.mode_name mode)
+          in
+          check_string (lbl "Counting") "derived"
+            (resolve
+               (module Cnt : Kp_field.Field_intf.FIELD with type t = Cnt.t));
+          check_string (lbl "Fault-wrapped GF(p)") "derived" (resolve faulty);
+          check_string (lbl "Q") "derived"
+            (resolve
+               (module Kp_field.Rational : Kp_field.Field_intf.FIELD
+                 with type t = Kp_field.Rational.t));
+          check_string (lbl "GF(2^8)") "derived"
+            (resolve
+               (module Test_seeds.Gf2_8 : Kp_field.Field_intf.FIELD
+                 with type t = Test_seeds.Gf2_8.t))))
+    Dispatch.all_modes
 
 let test_differential_edges () =
   List.iter
-    (fun (name, f) ->
+    (fun (name, f, k) ->
       List.iter
         (fun seed ->
-          List.iter (fun n -> check_primitives ~name f ~seed ~n) edge_sizes)
+          List.iter
+            (fun n -> check_primitives ~name f k ~seed ~n ())
+            edge_sizes)
         Test_seeds.shared_seeds)
-    specialized
+    field_backend_pairs
 
-(* random sizes beyond the deterministic edge sweep *)
+(* boundary values on boundary sizes: all-p−1 inputs maximize the raw
+   products the delayed-reduction accumulators absorb, and the mixed
+   0/1/p−1 style hunts for canonicalization slips at the straddles *)
+let test_differential_boundary_values () =
+  List.iter
+    (fun (name, f, k) ->
+      List.iter
+        (fun style ->
+          List.iter
+            (fun n ->
+              check_primitives ~name f k ~style ~seed:29 ~n ();
+              check_primitives ~name f k ~style ~xoff:0 ~yoff:0 ~doff:0
+                ~seed:31 ~n ())
+            straddle_sizes)
+        [ Extreme; Max ])
+    field_backend_pairs
+
+(* random sizes, offsets and value styles beyond the deterministic sweeps:
+   every primitive x every backend vs derived *)
 let qcheck_differential =
   List.map
-    (fun (name, f) ->
-      QCheck.Test.make ~count:30
-        ~name:(Printf.sprintf "kernel %s == derived (random sizes)" name)
-        QCheck.(pair (int_bound 300) (int_bound 10_000))
-        (fun (n, seed) ->
-          check_primitives ~name f ~seed ~n;
+    (fun (name, f, k) ->
+      QCheck.Test.make ~count:25
+        ~name:(Printf.sprintf "kernel %s == derived (fuzzed)" name)
+        QCheck.(
+          pair
+            (pair (int_bound 260) (int_bound 10_000))
+            (triple (int_bound 4) (int_bound 4) (int_bound 4)))
+        (fun ((n, seed), (xoff, yoff, doff)) ->
+          let style =
+            match seed mod 3 with 0 -> Rand | 1 -> Extreme | _ -> Max
+          in
+          check_primitives ~name f k ~xoff ~yoff ~doff ~style ~seed ~n ();
           true))
-    specialized
+    field_backend_pairs
 
 (* pooled call sites return the words their sequential selves return *)
 let test_pool_identical () =
@@ -232,62 +382,113 @@ let derived_route_identical (type a) name
 let test_gf2_8_derived = derived_route_identical "GF(2^8)" (module Test_seeds.Gf2_8)
 let test_q_derived = derived_route_identical "Q" (module Kp_field.Rational)
 
-(* the derived kernel is operation-faithful: routing the counting field
-   through the kernel-dispatched call sites performs exactly the documented
-   scalar operation pattern — the invariant the committed counting-field
-   baselines (BENCH_PR3/PR4) gate end-to-end *)
+(* the derived kernel is operation-faithful in every dispatch mode:
+   routing the counting field through the kernel-dispatched call sites
+   performs exactly the documented scalar operation pattern — the
+   invariant the committed counting-field baselines (BENCH_PR3/PR4) gate
+   end-to-end.  Quantified over modes because a specialized backend
+   sneaking under a counting field would batch these very operations. *)
 let test_counting_op_counts () =
-  let module Cnt = Kp_field.Counting.Make (Kp_field.Fields.Gf_ntt) in
-  let module V = Kp_matrix.Vec.Make (Cnt) in
-  let module CM = Kp_matrix.Dense.Make (Cnt) in
-  let st = Kp_util.Rng.make 5 in
-  let n = 17 in
-  let a = Array.init n (fun _ -> Cnt.random st) in
-  let b = Array.init n (fun _ -> Cnt.random st) in
-  let _, c = Cnt.measure (fun () -> ignore (V.dot a b)) in
-  check_int "dot muls = n" n c.Kp_field.Counting.multiplications;
-  check_int "dot adds = n-1 (balanced)" (n - 1) c.Kp_field.Counting.additions;
-  let am = CM.init n n (fun _ _ -> Cnt.random st) in
-  let bm = CM.init n n (fun _ _ -> Cnt.random st) in
-  let v = Array.init n (fun _ -> Cnt.random st) in
-  let _, c = Cnt.measure (fun () -> ignore (CM.matvec am v)) in
-  check_int "matvec muls = n^2" (n * n) c.Kp_field.Counting.multiplications;
-  check_int "matvec adds = n^2 (sequential rows)" (n * n)
-    c.Kp_field.Counting.additions;
-  let _, c = Cnt.measure (fun () -> ignore (CM.mul am bm)) in
-  check_int "matmul muls = n^3" (n * n * n) c.Kp_field.Counting.multiplications;
-  check_int "matmul adds = n^3 (i,k,j accumulate)" (n * n * n)
-    c.Kp_field.Counting.additions;
-  check_int "no divisions anywhere" 0 c.Kp_field.Counting.divisions
+  List.iter
+    (fun mode ->
+      Dispatch.with_mode mode (fun () ->
+          let m = Dispatch.mode_name mode in
+          let module Cnt = Kp_field.Counting.Make (Kp_field.Fields.Gf_ntt) in
+          let module V = Kp_matrix.Vec.Make (Cnt) in
+          let module CM = Kp_matrix.Dense.Make (Cnt) in
+          let st = Kp_util.Rng.make 5 in
+          let n = 17 in
+          let a = Array.init n (fun _ -> Cnt.random st) in
+          let b = Array.init n (fun _ -> Cnt.random st) in
+          let _, c = Cnt.measure (fun () -> ignore (V.dot a b)) in
+          check_int
+            (Printf.sprintf "dot muls = n @%s" m)
+            n c.Kp_field.Counting.multiplications;
+          check_int
+            (Printf.sprintf "dot adds = n-1 (balanced) @%s" m)
+            (n - 1) c.Kp_field.Counting.additions;
+          let am = CM.init n n (fun _ _ -> Cnt.random st) in
+          let bm = CM.init n n (fun _ _ -> Cnt.random st) in
+          let v = Array.init n (fun _ -> Cnt.random st) in
+          let _, c = Cnt.measure (fun () -> ignore (CM.matvec am v)) in
+          check_int
+            (Printf.sprintf "matvec muls = n^2 @%s" m)
+            (n * n) c.Kp_field.Counting.multiplications;
+          check_int
+            (Printf.sprintf "matvec adds = n^2 (sequential rows) @%s" m)
+            (n * n) c.Kp_field.Counting.additions;
+          let _, c = Cnt.measure (fun () -> ignore (CM.mul am bm)) in
+          check_int
+            (Printf.sprintf "matmul muls = n^3 @%s" m)
+            (n * n * n) c.Kp_field.Counting.multiplications;
+          check_int
+            (Printf.sprintf "matmul adds = n^3 (i,k,j accumulate) @%s" m)
+            (n * n * n) c.Kp_field.Counting.additions;
+          check_int
+            (Printf.sprintf "no divisions anywhere @%s" m)
+            0 c.Kp_field.Counting.divisions))
+    Dispatch.all_modes
 
-(* kernel.* counters: the instrumented dispatch ticks the chosen backend *)
+(* kernel.* counters: the instrumented dispatch ticks the backend it
+   resolved under the ambient mode, and the kernel.cstub.* meters advance
+   exactly when a C-stub backend served the call *)
 let test_counters_tick () =
   let module F = Kp_field.Fields.Gf_97 in
-  let module K = Kp_kernel.Dispatch.Make (F) in
-  let before =
-    Option.value ~default:0 (Kp_obs.Counter.find "kernel.gfp_word")
-  in
-  let ops_before =
-    Option.value ~default:0 (Kp_obs.Counter.find "kernel.bulk_ops")
-  in
-  let a = Array.init 40 (fun i -> i mod 97) in
-  ignore (K.dot a a);
-  check_int "one bulk call ticked kernel.gfp_word" (before + 1)
-    (Option.value ~default:0 (Kp_obs.Counter.find "kernel.gfp_word"));
-  check_int "kernel.bulk_ops advanced by the element count" (ops_before + 40)
-    (Option.value ~default:0 (Kp_obs.Counter.find "kernel.bulk_ops"))
+  let find c = Option.value ~default:0 (Kp_obs.Counter.find c) in
+  List.iter
+    (fun mode ->
+      Dispatch.with_mode mode (fun () ->
+          let expected = Dispatch.backend_name F.kernel_hint in
+          let hit = "kernel." ^ expected in
+          let before = find hit and ops_before = find "kernel.bulk_ops" in
+          let cc = find "kernel.cstub.calls"
+          and cops = find "kernel.cstub.bulk_ops" in
+          let module K =
+            (val Dispatch.of_field
+                   (module F : Kp_field.Field_intf.FIELD with type t = int))
+          in
+          let a = Array.init 40 (fun i -> i mod 97) in
+          ignore (K.dot a a);
+          let m = Dispatch.mode_name mode in
+          check_int
+            (Printf.sprintf "one bulk call ticked %s @%s" hit m)
+            (before + 1) (find hit);
+          check_int
+            (Printf.sprintf "kernel.bulk_ops advanced by the element count @%s"
+               m)
+            (ops_before + 40)
+            (find "kernel.bulk_ops");
+          let stub_served = Dispatch.is_cstub_backend expected in
+          check_int
+            (Printf.sprintf "kernel.cstub.calls %s @%s"
+               (if stub_served then "ticked" else "untouched")
+               m)
+            (cc + if stub_served then 1 else 0)
+            (find "kernel.cstub.calls");
+          check_int
+            (Printf.sprintf "kernel.cstub.bulk_ops %s @%s"
+               (if stub_served then "advanced" else "untouched")
+               m)
+            (cops + if stub_served then 40 else 0)
+            (find "kernel.cstub.bulk_ops")))
+    Dispatch.all_modes
 
 let () =
   Alcotest.run "kp_kernel"
     [
       ( "dispatch",
         [
-          Alcotest.test_case "backend selection" `Quick test_backend_selection;
-          Alcotest.test_case "counters tick" `Quick test_counters_tick;
+          Alcotest.test_case "backend selection x modes" `Quick
+            test_backend_selection;
+          Alcotest.test_case "hint-free fields stay derived x modes" `Quick
+            test_hint_free_fields;
+          Alcotest.test_case "counters tick x modes" `Quick test_counters_tick;
         ] );
       ( "differential",
-        Alcotest.test_case "edge sizes x specialized backends" `Quick
+        Alcotest.test_case "edge sizes x all backends" `Quick
           test_differential_edges
+        :: Alcotest.test_case "boundary values x straddle sizes" `Quick
+             test_differential_boundary_values
         :: List.map
              (QCheck_alcotest.to_alcotest ~long:false)
              qcheck_differential );
@@ -297,7 +498,7 @@ let () =
         [
           Alcotest.test_case "GF(2^8)" `Quick test_gf2_8_derived;
           Alcotest.test_case "Q" `Quick test_q_derived;
-          Alcotest.test_case "counting op counts" `Quick
+          Alcotest.test_case "counting op counts x modes" `Quick
             test_counting_op_counts;
         ] );
     ]
