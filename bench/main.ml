@@ -34,6 +34,11 @@
                      GF(p) and GF(2) through the C stubs vs the pure-OCaml
                      Bigarray fallback vs the word backends vs derived,
                      outputs asserted bit-identical across all four
+     E19 precond     preconditioner kinds on sparse GF(2) operators: field
+                     ops per apply (counting field) of the dense H·D vs the
+                     butterfly vs the GF(2^8) extension butterfly across a
+                     density sweep — asserts the sparse kinds are cheaper
+                     per apply and that the gap widens with n
 
    Tables E1..E17 run with the kernel dispatcher pinned to the word
    backends (their committed baselines gate kernel.gfp_word/... counter
@@ -45,7 +50,7 @@
    --json FILE captures the per-table STATS records (one-line JSON: label,
    wall-clock seconds, observability counters, span timings) into FILE as a
    kp-bench/1 run file; bench/compare.exe diffs two such files.  Unknown
-   --table names (anything outside E1..E18) are a usage error (exit 2).  *)
+   --table names (anything outside E1..E19) are a usage error (exit 2).  *)
 
 module F = Kp_field.Fields.Gf_ntt
 module Cnt = Kp_field.Counting.Make (F)
@@ -163,7 +168,10 @@ let e1 () =
             let mm_ops = ref 0 and cols = ref None and seq = ref [||] in
             mm_ops :=
               measure_ops (fun () ->
-                  let a_tilde = CPN.preconditioned a ~h ~d in
+                  let p =
+                    CPN.precond_of ~charpoly:CPN.charpoly_leverrier ~n ~h ~d
+                  in
+                  let a_tilde = CPN.preconditioned a p in
                   let c = CPN.K.columns ~mul:CPN.M.mul a_tilde rhs (2 * n) in
                   cols := Some c;
                   seq := CPN.K.sequence ~u c);
@@ -288,8 +296,9 @@ let e3 () =
             let d = Array.init n (fun _ -> F.sample st ~card_s) in
             let u = Array.init n (fun _ -> F.sample st ~card_s) in
             match
+              let p = P.precond_of ~charpoly:P.charpoly_leverrier ~n ~h ~d in
               P.solve ~charpoly:P.charpoly_leverrier ~strategy:P.Sequential a
-                ~b ~h ~d ~u
+                ~b ~p ~u
             with
             | exception Division_by_zero -> incr failures
             | { P.x; _ } ->
@@ -1593,11 +1602,128 @@ let e18 () =
         pure-OCaml Bigarray fallback");
   Tables.print t
 
+(* ------------------------------------------------------------------ *)
+(* E19: preconditioner kinds on sparse GF(2) operators                  *)
+(* ------------------------------------------------------------------ *)
+
+let e19 () =
+  let module Pc = Kp_precond.Precond in
+  let module F2 = Kp_field.Fields.Gf2 in
+  let module C2 = Kp_poly.Conv.Karatsuba_field (F2) in
+  let module SP2 = Kp_precond.Precond.Make (F2) (C2) in
+  let module Sp2 = Kp_matrix.Sparse.Make (F2) in
+  let module TC2 = Kp_structured.Toeplitz_charpoly.Make (F2) (C2) in
+  (* counted instantiation — Counting.Make preserves [t = F.t], so the
+     CSR value arrays of the GF(2) matrix are reused verbatim *)
+  let module Cnt2 = Kp_field.Counting.Make (F2) in
+  let module CC2 = Kp_poly.Conv.Karatsuba (Cnt2) in
+  let module CSP2 = Kp_precond.Precond.Make (Cnt2) (CC2) in
+  let module CSp2 = Kp_matrix.Sparse.Make (Cnt2) in
+  let module CTC2 = Kp_structured.Toeplitz_charpoly.Make (Cnt2) (CC2) in
+  let rng = st () in
+  print_endline
+    "E19 (preconditioner kinds on sparse GF(2)): field ops of one\n\
+     preconditioner apply, measured through a counting field, for the\n\
+     dense Hankel*Diagonal vs the butterfly vs the GF(2^8) extension\n\
+     butterfly, next to the cost of the sparse operator itself across a\n\
+     density sweep.  The dense P costs ~n^1.58 ops per apply (Karatsuba\n\
+     Hankel matvec) and swamps A's ~2*nnz; the sparse kinds stay\n\
+     O(n log n), so the preconditioned black box stays sparse end to\n\
+     end.  Asserted per row: sparse < dense; across sizes: the\n\
+     dense/sparse ratio grows with n (the asymptotic claim).\n";
+  let measure_ops2 f =
+    let _, c = Cnt2.measure f in
+    Counting.total c
+  in
+  let ccharpoly ~n d = CTC2.charpoly ~n d in
+  let fcharpoly ~n d = TC2.charpoly ~n d in
+  let builds0 name =
+    Option.value ~default:0 (Kp_obs.Counter.find ("precond.build." ^ name))
+  in
+  let sparse_builds0 = builds0 "sparse" and dense_builds0 = builds0 "dense" in
+  let t =
+    Tables.create
+      ~title:
+        "field ops per apply on sparse GF(2) input (counting field; \
+         seconds = one apply, uncounted)"
+      ~columns:
+        [ "n"; "density"; "nnz"; "A ops"; "dense P ops"; "sparse P ops";
+          "ext P ops"; "dense/sparse"; "dense s"; "sparse s" ]
+  in
+  let sizes = if !fast then [ 64; 128; 256 ] else [ 128; 256; 512; 1024 ] in
+  let densities = [ 0.01; 0.03; 0.1 ] in
+  let lead_ratios = ref [] in
+  List.iter
+    (fun n ->
+      List.iteri
+        (fun di density ->
+          let a = Sp2.random_nonsingular rng n ~density in
+          let nnz = Sp2.nnz a in
+          let row_ptr, col_idx, values = Sp2.csr a in
+          let trips = ref [] in
+          for i = n - 1 downto 0 do
+            for k = row_ptr.(i + 1) - 1 downto row_ptr.(i) do
+              trips := (i, col_idx.(k), values.(k)) :: !trips
+            done
+          done;
+          let ca = CSp2.of_triplets ~rows:n ~cols:n !trips in
+          let v = Array.init n (fun _ -> F2.random rng) in
+          let a_ops = measure_ops2 (fun () -> CSp2.matvec ca v) in
+          let counted_ops kind =
+            let p = CSP2.build ~charpoly:ccharpoly ~card_s:256 ~n kind rng in
+            measure_ops2 (fun () -> p.Pc.apply v)
+          in
+          let dense_ops = counted_ops Pc.Dense_hd in
+          let sparse_ops = counted_ops Pc.Sparse_butterfly in
+          let ext_ops = counted_ops Pc.Ext_field in
+          if sparse_ops >= dense_ops then
+            failwith
+              (Printf.sprintf
+                 "E19: butterfly apply (%d ops) not cheaper than dense H*D \
+                  (%d ops) at n=%d"
+                 sparse_ops dense_ops n);
+          let wall kind =
+            let p = SP2.build ~charpoly:fcharpoly ~card_s:256 ~n kind rng in
+            let reps = if !fast then 20 else 100 in
+            let (), s =
+              time (fun () ->
+                  for _ = 1 to reps do
+                    ignore (Sys.opaque_identity (p.Pc.apply v))
+                  done)
+            in
+            s /. float_of_int reps
+          in
+          let ratio = float_of_int dense_ops /. float_of_int sparse_ops in
+          if di = 0 then lead_ratios := (n, ratio) :: !lead_ratios;
+          Tables.add_row t
+            [
+              string_of_int n; Printf.sprintf "%.2f" density;
+              string_of_int nnz; string_of_int a_ops;
+              string_of_int dense_ops; string_of_int sparse_ops;
+              string_of_int ext_ops; Printf.sprintf "%.1fx" ratio;
+              Tables.fmt_float (wall Pc.Dense_hd);
+              Tables.fmt_float (wall Pc.Sparse_butterfly);
+            ])
+        densities)
+    sizes;
+  (match (List.rev !lead_ratios, !lead_ratios) with
+  | (n_small, r_small) :: _, (n_big, r_big) :: _ when n_small <> n_big ->
+    if r_big <= r_small then
+      failwith
+        (Printf.sprintf
+           "E19: dense/sparse ops ratio did not grow with n (%.1fx at n=%d \
+            vs %.1fx at n=%d)"
+           r_small n_small r_big n_big)
+  | _ -> ());
+  if builds0 "sparse" <= sparse_builds0 || builds0 "dense" <= dense_builds0
+  then failwith "E19: precond.build.* counters did not advance";
+  Tables.print t
+
 let all_tables =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18) ]
+    ("E17", e17); ("E18", e18); ("E19", e19) ]
 
 let usage_error fmt =
   Printf.ksprintf

@@ -34,6 +34,7 @@ type serve_opts = {
   drain_grace_ms : int;
   default_deadline_ms : int option;
   serve_shards : int option;
+  serve_precond : Kp_precond.Precond.choice;
 }
 
 type setup = {
@@ -50,9 +51,11 @@ type setup = {
   domains : int;
   batch : string option;
   session : bool;
+  precond : Kp_precond.Precond.choice;
 }
 
 module O = Kp_robust.Outcome
+module Pc = Kp_precond.Precond
 
 let deadline_ns setup =
   Option.map Kp_robust.Retry.deadline_after_ms setup.deadline_ms
@@ -111,8 +114,8 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
      carries it in machine-readable form) *)
   let typed_error e = `Error (false, O.error_to_string e)
 
-  let solve_dense ?deadline_ns ?pool ?shards st a b =
-    match S.solve ?deadline_ns ?pool ?shards st a b with
+  let solve_dense ?deadline_ns ?pool ?shards ?precond st a b =
+    match S.solve ?deadline_ns ?pool ?shards ?precond st a b with
     | Ok (x, report) ->
       print_solution ~engine:"dense" ~attempts:report.O.attempts x;
       `Ok ()
@@ -121,8 +124,8 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       `Ok ()
     | Error e -> typed_error e
 
-  let solve_block ?deadline_ns ?pool ?block_factor ?shards st a b =
-    match BW.solve ?deadline_ns ?pool ?block_factor ?shards st a b with
+  let solve_block ?deadline_ns ?pool ?block_factor ?shards ?precond st a b =
+    match BW.solve ?deadline_ns ?pool ?block_factor ?shards ?precond st a b with
     | Ok (x, report) ->
       print_solution ~engine:"block" ~attempts:report.O.attempts x;
       `Ok ()
@@ -138,11 +141,12 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
          instead of failing the command *)
       Printf.eprintf "block engine failed (%s); falling back to scalar\n%!"
         (O.error_to_string e);
-      solve_dense ?deadline_ns ?pool st a b
+      solve_dense ?deadline_ns ?pool ?precond st a b
 
-  let solve_blackbox ?deadline_ns st a b =
-    (* the paper's black-box route: Ã = A·H·D, fully instrumented *)
-    match W.solve_preconditioned ?deadline_ns st (Bb.of_dense a) b with
+  let solve_blackbox ?deadline_ns ?precond st a b =
+    (* the paper's black-box route: Ã = A·P, fully instrumented; Auto
+       resolves to the sparse butterfly here (black-box operand) *)
+    match W.solve_preconditioned ?deadline_ns ?precond st (Bb.of_dense a) b with
     | Ok (x, report) ->
       print_solution ~engine:"blackbox" ~attempts:report.O.attempts x;
       Ok ()
@@ -150,8 +154,11 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
 
   (* --batch / --session: the per-matrix session cache — the charpoly
      pipeline runs once, every right-hand side reuses it *)
-  let solve_sessioned ?deadline_ns ?pool ?block_factor ?shards st a bs =
-    let sess = Sess.create ?deadline_ns ?pool ?block_factor ?shards st in
+  let solve_sessioned ?deadline_ns ?pool ?block_factor ?shards ?precond st a
+      bs =
+    let sess =
+      Sess.create ?deadline_ns ?pool ?block_factor ?shards ?precond st
+    in
     let results = Sess.solve_many sess a bs in
     let rec report i =
       if i = Array.length results then begin
@@ -214,27 +221,29 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       | _ -> None
     in
     let shards = resolve_shards ?pool setup.shards in
+    let precond = setup.precond in
     match setup.batch with
     | Some path ->
-      solve_sessioned ?deadline_ns ?pool ?block_factor ?shards st a
+      solve_sessioned ?deadline_ns ?pool ?block_factor ?shards ~precond st a
         (load_batch path ~n)
     | None when setup.session ->
-      solve_sessioned ?deadline_ns ?pool ?block_factor ?shards st a [| b |]
+      solve_sessioned ?deadline_ns ?pool ?block_factor ?shards ~precond st a
+        [| b |]
     | None -> (
     match setup.engine with
     | `Block ->
       solve_block ?deadline_ns ?pool ?block_factor:setup.block_factor ?shards
-        st a b
-    | `Dense -> solve_dense ?deadline_ns ?pool ?shards st a b
+        ~precond st a b
+    | `Dense -> solve_dense ?deadline_ns ?pool ?shards ~precond st a b
     | `Blackbox -> (
-      match solve_blackbox ?deadline_ns st a b with
+      match solve_blackbox ?deadline_ns ~precond st a b with
       | Ok () -> `Ok ()
       | Error e -> typed_error e)
     | `Auto -> (
       (* graceful degradation: black-box first, dense on typed failure —
          the dense route carries the singularity certificate, and a fault
          or exhausted budget in one engine does not doom the command *)
-      match solve_blackbox ?deadline_ns st a b with
+      match solve_blackbox ?deadline_ns ~precond st a b with
       | Ok () -> `Ok ()
       | Error (O.Deadline_exceeded _ as e) ->
         (* no time left for a second engine *)
@@ -242,7 +251,7 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       | Error e ->
         Printf.eprintf "blackbox engine failed (%s); falling back to dense\n%!"
           (O.error_to_string e);
-        solve_dense ?deadline_ns ?pool ?shards st a b))
+        solve_dense ?deadline_ns ?pool ?shards ~precond st a b))
 
   let det setup =
     with_pool_opt ~domains:setup.domains @@ fun pool ->
@@ -253,8 +262,10 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       match setup.engine with
       | `Block ->
         BW.det ?deadline_ns:(deadline_ns setup) ?pool
-          ?block_factor:setup.block_factor ?shards st a
-      | _ -> S.det ?deadline_ns:(deadline_ns setup) ?pool ?shards st a
+          ?block_factor:setup.block_factor ?shards ~precond:setup.precond st a
+      | _ ->
+        S.det ?deadline_ns:(deadline_ns setup) ?pool ?shards
+          ~precond:setup.precond st a
     in
     match result with
     | Ok (d, _) ->
@@ -269,8 +280,8 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
       match setup.engine with
       | `Block ->
         BW.rank ?block_factor:setup.block_factor
-          ?shards:(resolve_shards setup.shards) st a
-      | _ -> R.rank st a
+          ?shards:(resolve_shards setup.shards) ~precond:setup.precond st a
+      | _ -> R.rank ~precond:setup.precond st a
     in
     Printf.printf "rank = %d\n" r;
     `Ok ()
@@ -281,11 +292,15 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
     let a, _ = load_matrix setup st in
     let result =
       match pool with
-      | None -> I.inverse ?deadline_ns:(deadline_ns setup) st a
-      (* the Baur–Strassen circuit evaluates sequentially; with a pool the
-         n-solves route is the one whose columns fan out *)
-      | Some _ ->
-        I.inverse_via_solves ?deadline_ns:(deadline_ns setup) ?pool st a
+      (* the Baur–Strassen circuit is traced with the dense H·D wires, so a
+         non-dense --precond routes through the n-solves engine instead *)
+      | None when setup.precond = Pc.Auto || setup.precond = Pc.Forced Pc.Dense_hd
+        -> I.inverse ?deadline_ns:(deadline_ns setup) st a
+      (* the circuit evaluates sequentially; with a pool the n-solves route
+         is the one whose columns fan out *)
+      | _ ->
+        I.inverse_via_solves ?deadline_ns:(deadline_ns setup) ?pool
+          ~precond:setup.precond st a
     in
     match result with
     | Ok (inv, _) ->
@@ -310,6 +325,7 @@ module Cmds (F : Kp_field.Field_intf.FIELD with type t = int) = struct
         max_line_bytes = 4 * 1024 * 1024;
         default_deadline_ms = o.default_deadline_ms;
         shards = resolve_shards ?pool o.serve_shards;
+        precond = o.serve_precond;
       }
     in
     let srv = Srv.start ?pool cfg st in
@@ -418,6 +434,18 @@ let shards_t =
               row-block sharded engine).  Answers are bit-identical to the \
               unsharded run; $(b,0) picks one shard per pool domain.")
 
+let precond_t =
+  Arg.(value
+       & opt
+           (enum
+              [ ("auto", Pc.Auto); ("dense", Pc.Forced Pc.Dense_hd);
+                ("sparse", Pc.Forced Pc.Sparse_butterfly);
+                ("ext", Pc.Forced Pc.Ext_field) ])
+           (Pc.default_choice ())
+       & info [ "precond" ]
+           ~doc:
+             "Preconditioner P in \xc3\x83 = A\xc2\xb7P: $(b,auto) (dense               Hankel\xc2\xb7Diagonal for dense engines, sparse butterfly for               black-box ones), $(b,dense) (the paper's H\xc2\xb7D), $(b,sparse)               (butterfly network, O(n log n) ops per apply) or $(b,ext)               (extension-field lift for tiny fields such as GF(2)).                Forced non-dense kinds demote to dense on the late retry               attempts; see $(b,kp precond).  Overrides KP_PRECOND.")
+
 let deadline_t =
   Arg.(value & opt (some int) None
        & info [ "deadline-ms" ]
@@ -466,14 +494,14 @@ let session_t =
 
 let setup_t =
   let combine prime seed matrix random rank_hint engine block_factor shards
-      deadline_ms stats domains batch session =
+      deadline_ms stats domains batch session precond =
     { prime; seed; matrix; random; rank_hint; engine; block_factor; shards;
-      deadline_ms; stats; domains; batch; session }
+      deadline_ms; stats; domains; batch; session; precond }
   in
   Term.(
     const combine $ prime_t $ seed_t $ matrix_t $ random_t $ rank_hint_t
     $ engine_t $ block_factor_t $ shards_t $ deadline_t $ stats_t $ domains_t
-    $ batch_t $ session_t)
+    $ batch_t $ session_t $ precond_t)
 
 let simple_cmd name doc (select : (module DRIVER) -> setup -> ret) =
   Cmd.v (Cmd.info name ~doc)
@@ -554,6 +582,33 @@ let kernels_cmd =
           arithmetic dispatches to.")
     Term.(const run $ prime_t)
 
+(* kp precond — the pluggable preconditioner registry: one line per kind,
+   plus the resolution and retry contract the solvers apply *)
+let precond_cmd =
+  let run () =
+    Printf.printf "default choice: %s%s\n\n" (Pc.choice_name (Pc.default_choice ()))
+      (match Sys.getenv_opt "KP_PRECOND" with
+      | Some s -> Printf.sprintf " (KP_PRECOND=%s)" s
+      | None -> "");
+    print_endline "registered preconditioner kinds:";
+    List.iter
+      (fun k -> Printf.printf "  %-10s %s\n" (Pc.kind_name k) (Pc.describe k))
+      Pc.all_kinds;
+    print_endline
+      "\nresolution: --precond auto picks dense for the dense engines and\n\
+       sparse for black-box ones; --precond dense|sparse|ext forces a kind.\n\
+       Retry contract: a forced non-dense kind demotes to dense for the\n\
+       second half of the retry budget (precond.demote counts this), and\n\
+       the escalation ceiling of the random-sample domain S is the kind's\n\
+       own (ext lifts GF(2) draws into GF(2^k)).  The per-kind build\n\
+       counters precond.build.* appear in --stats."
+  in
+  Cmd.v
+    (Cmd.info "precond"
+       ~doc:
+         "List the registered preconditioner kinds and the           resolution/demotion contract behind $(b,--precond).")
+    Term.(const run $ const ())
+
 let serve_cmd =
   let socket_t =
     Arg.(value & opt string "/tmp/kp-serve.sock"
@@ -613,18 +668,18 @@ let serve_cmd =
       ret
         (const (fun prime seed domains socket queue_limit max_n
                     breaker_threshold breaker_cooldown_ms drain_grace_ms
-                    default_deadline_ms serve_shards ->
+                    default_deadline_ms serve_shards serve_precond ->
              let opts =
                { socket; queue_limit; max_n; breaker_threshold;
                  breaker_cooldown_ms; drain_grace_ms; default_deadline_ms;
-                 serve_shards }
+                 serve_shards; serve_precond }
              in
              (dispatch prime (fun (module D : DRIVER) ->
                   D.serve ~domains ~seed opts)
                :> unit Cmdliner.Term.ret))
          $ prime_t $ seed_t $ domains_t $ socket_t $ queue_limit_t $ max_n_t
          $ breaker_threshold_t $ breaker_cooldown_t $ drain_grace_t
-         $ default_deadline_t $ shards_t))
+         $ default_deadline_t $ shards_t $ precond_t))
 
 let charpoly_cmd =
   let toeplitz_t =
@@ -653,4 +708,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ solve_cmd; det_cmd; rank_cmd; inverse_cmd; charpoly_cmd;
-            kernels_cmd; serve_cmd ]))
+            kernels_cmd; precond_cmd; serve_cmd ]))

@@ -9,7 +9,8 @@ struct
   module Sh = Kp_shard.Sharded.Make (F)
   module MBM = Kp_seqgen.Matrix_bm.Make (F)
   module G = Kp_matrix.Gauss.Make (F)
-  module HK = Kp_structured.Hankel.Make (F) (C)
+  module Pc = Kp_precond.Precond
+  module SP = Kp_precond.Precond.Make (F) (C)
 
   module O = Kp_robust.Outcome
   module Rt = Kp_robust.Retry
@@ -23,15 +24,6 @@ struct
   let default_card_s n =
     let bound = max (4 * 3 * n * n) 64 in
     match F.cardinality with Some q -> min bound q | None -> bound
-
-  let sample_nonzero st ~card_s =
-    let rec go tries =
-      let x = F.sample st ~card_s in
-      if F.is_zero x && tries < 100 then go (tries + 1)
-      else if F.is_zero x then F.one
-      else x
-    in
-    go 0
 
   let charpoly_for_field ~pool ~n =
     if F.characteristic = 0 || F.characteristic > n then
@@ -49,8 +41,8 @@ struct
       | None -> MD.mul
       | Some pool -> MD.mul_parallel pool)
 
-  let policy ?deadline_ns retries =
-    Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns ()
+  let policy ?deadline_ns ~kind retries =
+    Rt.policy ~retries ~max_card_s:(SP.escalation_ceiling kind) ?deadline_ns ()
 
   (* wide enough to use every worker of the pool and to amortize the kernel
      call overhead on large systems, but never wider than n/2 (a block the
@@ -78,16 +70,15 @@ struct
 
   (* ---- the block Krylov phase ----
 
-     Draw the §2 preconditioner (h, d), a b×n projection Uᵀ and an n×b
-     start block V whose first columns are the right-hand sides (the rest
+     Draw the §2 preconditioner P, a b×n projection Uᵀ and an n×b start
+     block V whose first columns are the right-hand sides (the rest
      random); produce K_i = Ãⁱ·V for i < σ and the projected b×b sequence
      S_i = Uᵀ·K_i.  Each step is one kernel-backed n×n by n×b product —
      the b-column replacement for the scalar engine's matvec chain. *)
-  let krylov_phase ~mul st ~card_s ~b (a : M.t) ~rhs =
+  let krylov_phase ~mul ~charpoly ~kind st ~card_s ~b (a : M.t) ~rhs =
     let n = a.M.rows in
-    let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
-    let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
-    let a_tilde = P.preconditioned ~mul a ~h ~d in
+    let p = SP.build ~charpoly ~card_s ~n kind st in
+    let a_tilde = P.preconditioned ~mul a p in
     let k = Array.length rhs in
     let v =
       M.init n b (fun i j ->
@@ -98,21 +89,21 @@ struct
     let ks = Span.with_ "block.sequence" @@ fun () -> K.blocks ~mul a_tilde v m in
     Cnt.add c_blocks m;
     let seq = K.block_sequence ~mul ~ut ks in
-    (h, d, ks, seq)
+    (p, ks, seq)
 
-  let h_nonsingular ~charpoly ~n ~h ~d () =
-    match P.det_hd ~charpoly ~n ~h ~d with
+  let p_nonsingular (p : P.precond) () =
+    match p.Pc.det () with
     | exception Division_by_zero -> false
-    | dhd -> not (F.is_zero dhd)
+    | dp -> not (F.is_zero dp)
 
   (* ---- generator recovery and validation ----
 
      The candidate matrix generator must (a) generate the sequence it was
      computed from, (b) be column-reduced (det Λ ≠ 0, certifying
      deg det F = Σδ), (c) have Σδ = n (else the projections missed part of
-     the space — or Ã is singular, witnessed when H·D is invertible), and
+     the space — or Ã is singular, witnessed when P is invertible), and
      (d) have non-singular F(0) (the block analogue of f(0) ≠ 0; singular
-     F(0) with invertible H·D witnesses λ | χ_Ã, i.e. singularity of A). *)
+     F(0) with invertible P witnesses λ | χ_Ã, i.e. singularity of A). *)
   let generator_phase ~b ~n ~sigma ~h_ok seq =
     Span.with_ "block.generator" @@ fun () ->
     let gen = MBM.minimal_generator ~b seq in
@@ -138,10 +129,8 @@ struct
     end
 
   (* undo the preconditioner, exactly as the scalar pipeline does:
-     Ã = A·H·D solves Ã·x̃ = b, so x = H·(D·x̃) *)
-  let recover ?pool ~n ~h ~d x_tilde =
-    let dx = Array.init n (fun i -> F.mul d.(i) x_tilde.(i)) in
-    HK.matvec ?pool ~n h dx
+     Ã = A·P solves Ã·x̃ = b, so x = P·x̃ *)
+  let recover ?pool ~p x_tilde = p.Pc.apply ?pool x_tilde
 
   (* ---- solve extraction ----
 
@@ -152,7 +141,7 @@ struct
      exactly the t-th column of V — the t-th right-hand side.  The random
      padding columns of V drop out exactly, so one Y serves every target.
      Las Vegas: every solution is checked against A·x = b. *)
-  let extract_solutions ?pool ~n ~h ~d ~ks ~gen ~f0 (a : M.t) rhs =
+  let extract_solutions ?pool ~n ~p ~ks ~gen ~f0 (a : M.t) rhs =
     Span.with_ "block.recover" @@ fun () ->
     let b = gen.MBM.b in
     let y_cols =
@@ -174,7 +163,7 @@ struct
               done;
               F.neg !acc)
         in
-        let x = recover ?pool ~n ~h ~d x_tilde in
+        let x = recover ?pool ~p x_tilde in
         if Array.for_all2 F.equal (M.matvec a x) bvec then Some x else None
       in
       let xs = Array.mapi solve_one rhs in
@@ -184,24 +173,26 @@ struct
 
   (* one batched block solve: all right-hand sides of the chunk ride the
      same Krylov sequence (k ≤ b columns of V), one generator serves all *)
-  let solve_chunk ~retries ?deadline_ns ~card_s ~pool ~shards ~b st (a : M.t)
-      rhs =
+  let solve_chunk ~retries ?deadline_ns ~card_s ~pool ~shards ~b ~precond st
+      (a : M.t) rhs =
     let n = a.M.rows in
     let mul = mul_of ?shards pool in
     let charpoly = charpoly_for_field ~pool ~n in
     let k = Array.length rhs in
-    Rt.run ~ns:"block" ~op:"solve" ~policy:(policy ?deadline_ns retries)
-      ~card_s
+    let requested = Pc.resolve precond in
+    Rt.run ~ns:"block" ~op:"solve"
+      ~policy:(policy ?deadline_ns ~kind:requested retries) ~card_s
     @@ fun ~attempt ~card_s ->
+    let kind = Pc.kind_for_attempt ~retries ~attempt requested in
     let b_eff = max k (attempt_block ~n ~b ~attempt) in
-    let h, d, ks, seq = krylov_phase ~mul st ~card_s ~b:b_eff a ~rhs in
-    let h_ok = h_nonsingular ~charpoly ~n ~h ~d in
+    let p, ks, seq = krylov_phase ~mul ~charpoly ~kind st ~card_s ~b:b_eff a ~rhs in
+    let h_ok = p_nonsingular p in
     match
       generator_phase ~b:b_eff ~n ~sigma:(sigma ~n ~b:b_eff) ~h_ok seq
     with
     | Error reject -> reject
     | Ok (gen, f0, _det_lam, _det_f0) -> begin
-        match extract_solutions ?pool ~n ~h ~d ~ks ~gen ~f0 a rhs with
+        match extract_solutions ?pool ~n ~p ~ks ~gen ~f0 a rhs with
         | Error reject -> reject
         | Ok xs -> Rt.Accept xs
       end
@@ -220,7 +211,7 @@ struct
   let chunk_width n = max 1 (min n 32)
 
   let solve_batch ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor
-      ?shards st (a : M.t) rhs =
+      ?shards ?(precond = Pc.default_choice ()) st (a : M.t) rhs =
     Span.with_ "block.solve" @@ fun () ->
     let n = a.M.rows in
     check_square "Block_wiedemann.solve_batch" a;
@@ -243,8 +234,8 @@ struct
           let len = min w (k - start) in
           let chunk = Array.sub rhs start len in
           match
-            solve_chunk ~retries ?deadline_ns ~card_s ~pool ~shards ~b st a
-              chunk
+            solve_chunk ~retries ?deadline_ns ~card_s ~pool ~shards ~b ~precond
+              st a chunk
           with
           | Ok (xs, r) -> go (start + len) (xs :: acc) (O.merge_reports report r)
           | Error e -> Error (O.with_report (O.merge_reports report) e)
@@ -253,11 +244,11 @@ struct
       go 0 [] O.empty_report
     end
 
-  let solve ?retries ?card_s ?deadline_ns ?pool ?block_factor ?shards st
-      (a : M.t) b =
+  let solve ?retries ?card_s ?deadline_ns ?pool ?block_factor ?shards ?precond
+      st (a : M.t) b =
     match
-      solve_batch ?retries ?card_s ?deadline_ns ?pool ?block_factor ?shards st
-        a [| b |]
+      solve_batch ?retries ?card_s ?deadline_ns ?pool ?block_factor ?shards
+        ?precond st a [| b |]
     with
     | Ok (xs, report) -> Ok (xs.(0), report)
     | Error e -> Error e
@@ -268,12 +259,12 @@ struct
      det Ã = (−1)ⁿ · det F(0) / det Λ and det A = det Ã / det(H·D).
      Like the scalar engine, a det has no residual certificate: each
      evaluation re-projects the same Krylov blocks onto a fresh Uᵀ′ (the
-     recurrence certificate against corrupted blocks), recomputes det(H·D)
+     recurrence certificate against corrupted blocks), recomputes det(P)
      twice, and [det] requires two fully independent evaluations to agree. *)
-  let det_eval ~mul ~charpoly st ~card_s ~b (a : M.t) =
+  let det_eval ~mul ~charpoly ~kind st ~card_s ~b (a : M.t) =
     let n = a.M.rows in
-    let h, d, ks, seq = krylov_phase ~mul st ~card_s ~b a ~rhs:[||] in
-    let h_ok = h_nonsingular ~charpoly ~n ~h ~d in
+    let p, ks, seq = krylov_phase ~mul ~charpoly ~kind st ~card_s ~b a ~rhs:[||] in
+    let h_ok = p_nonsingular p in
     match generator_phase ~b ~n ~sigma:(sigma ~n ~b) ~h_ok seq with
     | Error reject -> reject
     | Ok (gen, _f0, det_lam, det_f0) ->
@@ -282,7 +273,7 @@ struct
       if not (MBM.generates ~b seq' gen) then
         Rt.Reject (O.Fault "block recurrence check failed")
       else begin
-        match (P.det_hd ~charpoly ~n ~h ~d, P.det_hd ~charpoly ~n ~h ~d) with
+        match (p.Pc.det (), p.Pc.det ()) with
         | exception Division_by_zero -> Rt.Reject O.Singular_preconditioner
         | dhd, dhd' ->
           if not (F.equal dhd dhd') then
@@ -311,19 +302,21 @@ struct
     in
     (n, card_s, b, charpoly_for_field ~pool ~n)
 
-  let det ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor ?shards st
-      (a : M.t) =
+  let det ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor ?shards
+      ?(precond = Pc.default_choice ()) st (a : M.t) =
     Span.with_ "block.det" @@ fun () ->
     let n, card_s, b, charpoly =
       det_setup ?card_s ?pool ?block_factor "Block_wiedemann.det" a
     in
     let mul = mul_of ?shards pool in
+    let requested = Pc.resolve precond in
     as_det_result
-      (Rt.run ~ns:"block" ~op:"det" ~policy:(policy ?deadline_ns retries)
-         ~card_s
+      (Rt.run ~ns:"block" ~op:"det"
+         ~policy:(policy ?deadline_ns ~kind:requested retries) ~card_s
        @@ fun ~attempt ~card_s ->
+       let kind = Pc.kind_for_attempt ~retries ~attempt requested in
        let b_eff = attempt_block ~n ~b ~attempt in
-       let eval_once () = det_eval ~mul ~charpoly st ~card_s ~b:b_eff a in
+       let eval_once () = det_eval ~mul ~charpoly ~kind st ~card_s ~b:b_eff a in
        match eval_once () with
        | Rt.Accept d1 -> begin
            match eval_once () with
@@ -334,18 +327,20 @@ struct
        | other -> other)
 
   let det_once ?(retries = 10) ?card_s ?deadline_ns ?pool ?block_factor
-      ?shards st (a : M.t) =
+      ?shards ?(precond = Pc.default_choice ()) st (a : M.t) =
     Span.with_ "block.det_once" @@ fun () ->
     let n, card_s, b, charpoly =
       det_setup ?card_s ?pool ?block_factor "Block_wiedemann.det_once" a
     in
     let mul = mul_of ?shards pool in
+    let requested = Pc.resolve precond in
     as_det_result
-      (Rt.run ~ns:"block" ~op:"det_once" ~policy:(policy ?deadline_ns retries)
-         ~card_s
+      (Rt.run ~ns:"block" ~op:"det_once"
+         ~policy:(policy ?deadline_ns ~kind:requested retries) ~card_s
        @@ fun ~attempt ~card_s ->
+       let kind = Pc.kind_for_attempt ~retries ~attempt requested in
        let b_eff = attempt_block ~n ~b ~attempt in
-       det_eval ~mul ~charpoly st ~card_s ~b:b_eff a)
+       det_eval ~mul ~charpoly ~kind st ~card_s ~b:b_eff a)
 
   (* ---- rank ----
 
@@ -353,7 +348,7 @@ struct
      Â = U·A·V with unit-triangular U, V (so rank is preserved and leading
      minors are generic), then binary-search the largest non-singular
      leading minor.  The blocking factor is clamped to each minor's size. *)
-  let rank ?card_s ?pool ?block_factor ?shards st (a : M.t) =
+  let rank ?card_s ?pool ?block_factor ?shards ?precond st (a : M.t) =
     Span.with_ "block.rank" @@ fun () ->
     let n = a.M.rows in
     check_square "Block_wiedemann.rank" a;
@@ -368,7 +363,7 @@ struct
         let block_factor =
           Option.map (fun b -> min b (max 1 i)) block_factor
         in
-        match det ~card_s ~retries:6 ?pool ?block_factor ?shards st sub with
+        match det ~card_s ~retries:6 ?pool ?block_factor ?shards ?precond st sub with
         | Ok (d, _) -> not (F.is_zero d)
         | Error _ -> false
       end

@@ -47,6 +47,7 @@ module Make
     ?pool:Kp_util.Pool.t ->
     ?block_factor:int ->
     ?shards:int ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> M.t -> F.t array ->
     (F.t array * O.report, O.error) result
   (** Solve A·x = b through the block pipeline.  [Ok (x, _)] comes with
@@ -61,6 +62,7 @@ module Make
     ?pool:Kp_util.Pool.t ->
     ?block_factor:int ->
     ?shards:int ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> M.t -> F.t array array ->
     (F.t array array * O.report, O.error) result
   (** Solve A·xⱼ = bⱼ for a batch: the right-hand sides become columns of
@@ -77,6 +79,7 @@ module Make
     ?pool:Kp_util.Pool.t ->
     ?block_factor:int ->
     ?shards:int ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> M.t -> (F.t * O.report, O.error) result
   (** Determinant via det F(λ) = det Λ·det(λI−Ã):
       det A = (−1)ⁿ·det F(0)/(det Λ·det(H·D)).  Two fully independent
@@ -92,6 +95,7 @@ module Make
     ?pool:Kp_util.Pool.t ->
     ?block_factor:int ->
     ?shards:int ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> M.t -> (F.t * O.report, O.error) result
   (** A single evaluation — Monte Carlo against transient faults; callers
       supply their own cross-check, as with {!Solver.Make.det_once}. *)
@@ -101,6 +105,7 @@ module Make
     ?pool:Kp_util.Pool.t ->
     ?block_factor:int ->
     ?shards:int ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> M.t -> int
   (** Kaltofen–Saunders rank with block determinants: precondition with
       random unit-triangular U, V and binary-search the largest

@@ -39,7 +39,8 @@ struct
       (* parallel variant: keeps the traced circuit at O((log n)^2) depth *)
       | `Chistov -> P.charpoly_chistov_parallel
     in
-    let det = P.det ~charpoly:engine ~strategy:P.Doubling a ~h ~d ~u ~v in
+    let p = P.precond_of ~charpoly:engine ~n ~h ~d in
+    let det = P.det ~charpoly:engine ~strategy:P.Doubling a ~p ~u ~v in
     B.finish ~outputs:[| det |];
     B.circuit
 
@@ -136,11 +137,12 @@ struct
     in
     merge_columns ~n results
 
-  let inverse_via_solves ?(retries = 10) ?card_s ?deadline_ns ?pool st
-      (a : M.t) =
+  let inverse_via_solves ?(retries = 10) ?card_s ?deadline_ns ?pool ?precond
+      st (a : M.t) =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Inverse.inverse_via_solves: non-square";
     solve_columns ?pool ~n
-      (fun _j st_j e -> S.solve ~retries ?card_s ?deadline_ns ?pool st_j a e)
+      (fun _j st_j e ->
+        S.solve ~retries ?card_s ?deadline_ns ?pool ?precond st_j a e)
       st
 end

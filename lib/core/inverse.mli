@@ -37,6 +37,7 @@ module Make
     ?card_s:int ->
     ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> M.t -> (M.t * O.report, O.error) result
   (** n independent Theorem-4 solves against the basis vectors.  Per-column
       random states are split off [st] up front (in column order), so the

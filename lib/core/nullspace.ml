@@ -13,17 +13,17 @@ struct
     match F.cardinality with Some q -> min bound q | None -> bound
 
   (* solve Âr · z = w for several right-hand sides *)
-  let block_solves ?card_s ?deadline_ns st (ar : M.t) rhss =
+  let block_solves ?card_s ?deadline_ns ?precond st (ar : M.t) rhss =
     let rec go acc = function
       | [] -> Ok (List.rev acc)
       | w :: rest -> (
-        match S.solve ?card_s ?deadline_ns st ar w with
+        match S.solve ?card_s ?deadline_ns ?precond st ar w with
         | Ok (z, _) -> go (z :: acc) rest
         | Error e -> Error e)
     in
     go [] rhss
 
-  let decompose ?card_s st (a : M.t) =
+  let decompose ?card_s ?precond st (a : M.t) =
     let n = a.M.rows in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let pre = R.precondition st ~card_s a in
@@ -33,7 +33,8 @@ struct
         if lo >= hi then lo
         else begin
           let mid = (lo + hi + 1) / 2 in
-          if R.leading_minor_nonsingular st ~card_s pre.R.a_hat mid then
+          if R.leading_minor_nonsingular st ~card_s ?precond pre.R.a_hat mid
+          then
             search mid hi
           else search lo (mid - 1)
         end
@@ -42,7 +43,7 @@ struct
     in
     (pre, r)
 
-  let nullspace ?(retries = 4) ?card_s ?deadline_ns st (a : M.t) =
+  let nullspace ?(retries = 4) ?card_s ?deadline_ns ?precond st (a : M.t) =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Nullspace.nullspace: non-square";
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
@@ -50,7 +51,7 @@ struct
     Result.map fst
     @@ Rt.run ~ns:"nullspace" ~op:"nullspace" ~policy ~card_s
     @@ fun ~attempt:_ ~card_s ->
-    let pre, r = decompose ~card_s st a in
+    let pre, r = decompose ~card_s ?precond st a in
     if r = n then Rt.Accept []
     else if r = 0 then
       if Array.for_all F.is_zero a.M.data then
@@ -67,7 +68,7 @@ struct
       let b_cols =
         List.init (n - r) (fun c -> Array.init r (fun i -> M.get a_hat i (r + c)))
       in
-      match block_solves ~card_s ?deadline_ns st ar b_cols with
+      match block_solves ~card_s ?deadline_ns ?precond st ar b_cols with
       | Error (O.Singular _) ->
         (* the leading r×r block tested non-singular but a solve certified it
            singular: the rank profile was not generic this draw *)
@@ -98,7 +99,8 @@ struct
         else Rt.Reject O.Residual_mismatch
     end
 
-  let solve_singular ?(retries = 4) ?card_s ?deadline_ns st (a : M.t) b =
+  let solve_singular ?(retries = 4) ?card_s ?deadline_ns ?precond st (a : M.t)
+      b =
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Nullspace.solve_singular: non-square";
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
@@ -106,9 +108,9 @@ struct
     Result.map fst
     @@ Rt.run ~ns:"nullspace" ~op:"solve_singular" ~policy ~card_s
     @@ fun ~attempt:_ ~card_s ->
-    let pre, r = decompose ~card_s st a in
+    let pre, r = decompose ~card_s ?precond st a in
     if r = n then
-      match S.solve ~card_s ?deadline_ns st a b with
+      match S.solve ~card_s ?deadline_ns ?precond st a b with
       | Ok (x, _) -> Rt.Accept (Some x)
       | Error (O.Singular _) -> Rt.Reject O.Rank_mismatch
       | Error (O.Deadline_exceeded _ as e) | Error (O.Fault_detected _ as e) ->
@@ -125,7 +127,7 @@ struct
       else begin
         let ar = M.init r r (fun i j -> M.get a_hat i j) in
         let top = Array.sub ub 0 r in
-        match S.solve ~card_s ?deadline_ns st ar top with
+        match S.solve ~card_s ?deadline_ns ?precond st ar top with
         | Error (O.Singular _) -> Rt.Reject O.Rank_mismatch
         | Error (O.Deadline_exceeded _ as e) | Error (O.Fault_detected _ as e) ->
           Rt.Error_now e

@@ -24,6 +24,7 @@ module Make
     ?retries:int ->
     ?card_s:int ->
     ?deadline_ns:int64 ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> M.t -> (F.t array list, O.error) result
   (** Basis of the right nullspace (empty list for non-singular input).
       Every basis vector is verified against A·v = 0 before acceptance. *)
@@ -32,6 +33,7 @@ module Make
     ?retries:int ->
     ?card_s:int ->
     ?deadline_ns:int64 ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> M.t -> F.t array ->
     (F.t array option, O.error) result
   (** [Ok (Some x)] with A·x = b verified; [Ok None] when the system is

@@ -5,10 +5,10 @@ struct
   module M = Kp_matrix.Dense.Core (F)
   module K = Krylov.Make (F)
   module TZ = Kp_structured.Toeplitz.Make (F) (C)
-  module HK = Kp_structured.Hankel.Make (F) (C)
   module TC = Kp_structured.Toeplitz_charpoly.Make (F) (C)
   module CH = Kp_structured.Chistov.Make (F) (C)
-  module Lev = Kp_structured.Leverrier.Make (F)
+  module Pc = Kp_precond.Precond
+  module PcC = Pc.Core (F) (C)
 
   type charpoly_engine = n:int -> F.t array -> F.t array
 
@@ -32,13 +32,18 @@ struct
 
   module Span = Kp_obs.Span
 
-  let preconditioned ?mul (a : M.t) ~h ~d =
+  type precond = F.t Pc.t
+
+  let precond_of ~charpoly ~n ~h ~d =
+    PcC.hankel_diag ~charpoly ~n ~h ~d ()
+
+  let preconditioned ?mul (a : M.t) (p : precond) =
     Span.with_ "pipeline.precondition" @@ fun () ->
     let mul = Option.value mul ~default:M.mul in
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Pipeline.preconditioned: non-square";
-    (* (H·D)_{ij} = h_{i+j}·d_j *)
-    let hd = M.init n n (fun i j -> F.mul h.(i + j) d.(j)) in
+    if p.Pc.n <> n then invalid_arg "Pipeline.preconditioned: dimension";
+    let hd = { M.rows = n; cols = n; data = p.Pc.dense () } in
     mul a hd
 
   (* solve T z = rhs by Cayley-Hamilton using the charpoly of T *)
@@ -76,24 +81,9 @@ struct
   let det_from_generator ~n f =
     if n land 1 = 0 then f.(0) else F.neg f.(0)
 
-  (* balanced product, O(log n) depth when traced *)
-  let rec balanced_product d lo hi =
-    if hi <= lo then F.one
-    else if hi - lo = 1 then d.(lo)
-    else begin
-      let mid = (lo + hi) / 2 in
-      F.mul (balanced_product d lo mid) (balanced_product d mid hi)
-    end
-
-  let det_hd ~charpoly ~n ~h ~d =
-    Span.with_ "pipeline.det_hd" @@ fun () ->
-    let mirror = HK.to_toeplitz ~n h in
-    let cp_t = charpoly ~n mirror in
-    let det_t = Lev.char_to_det ~n cp_t in
-    let sign = HK.mirror_sign n in
-    let det_h = if sign = 1 then det_t else F.neg det_t in
-    let det_d = balanced_product d 0 (Array.length d) in
-    F.mul det_h det_d
+  (* det(H)·det(D), hoisted into the preconditioner layer; kept exported
+     for the circuit builders that re-derive det(H·D) from recorded wires *)
+  let det_hd = PcC.det_hd
 
   type solve_result = {
     x : F.t array;
@@ -114,24 +104,23 @@ struct
 
   (* undo the preconditioner: from the Krylov columns of Ã on b and the
      degree-n generator f, recover x with A·x = b.
-       x̃ = -(1/f_0) Σ_{i=0}^{n-1} f_{i+1} Ã^i b,  x = H · (D · x̃) *)
-  let recover ?pool ~n ~f ~h ~d cols =
+       x̃ = -(1/f_0) Σ_{i=0}^{n-1} f_{i+1} Ã^i b,  x = P · x̃ *)
+  let recover ?pool ~n ~f ~p cols =
     Span.with_ "pipeline.recover" @@ fun () ->
     let comb = K.combination (M.init n n (fun i j -> M.get cols i j)) (Array.sub f 1 n) in
     let neg_inv = F.neg (F.inv f.(0)) in
     let x_tilde = Array.map (F.mul neg_inv) comb in
-    let dx = Array.init n (fun i -> F.mul d.(i) x_tilde.(i)) in
-    HK.matvec ?pool ~n h dx
+    p.Pc.apply ?pool x_tilde
 
-  let solve ?mul ?pool ~charpoly ~strategy (a : M.t) ~b ~h ~d ~u =
+  let solve ?mul ?pool ~charpoly ~strategy (a : M.t) ~b ~p ~u =
     let mul = Option.value mul ~default:M.mul in
     let n = a.M.rows in
-    let a_tilde = preconditioned ~mul a ~h ~d in
+    let a_tilde = preconditioned ~mul a p in
     let cols, seq = sequence_of ~strategy ~mul a_tilde ~u ~v:b n in
     let f = minimal_generator ~mul ?pool ~charpoly ~strategy ~n seq in
-    let x = recover ?pool ~n ~f ~h ~d cols in
+    let x = recover ?pool ~n ~f ~p cols in
     let det_tilde = det_from_generator ~n f in
-    let det = F.div det_tilde (det_hd ~charpoly ~n ~h ~d) in
+    let det = F.div det_tilde (p.Pc.det ()) in
     { x; f; seq; det_tilde; det }
 
   (* ---- the RHS-independent prefix of Theorem 4, as a reusable record ----
@@ -143,21 +132,20 @@ struct
      subsequent right-hand side from it. *)
 
   type precomp = {
-    p_h : F.t array;         (* the 2n-1 Hankel entries *)
-    p_d : F.t array;         (* the n diagonal entries *)
-    a_tilde : M.t;           (* Ã = A·H·D *)
+    p_pre : precond;         (* the preconditioner P *)
+    a_tilde : M.t;           (* Ã = A·P *)
     powers : M.t array;      (* Ã^{2^i} covering 2n columns ([||] when the
                                 strategy is Sequential) *)
     charpoly_f : F.t array;  (* degree-n monic generator of {u·Ãⁱ·v} *)
-    dhd : F.t;               (* det(H)·det(D) *)
+    dhd : F.t;               (* det(P) *)
   }
 
-  let precompute ?mul ?pool ~charpoly ~strategy (a : M.t) ~h ~d ~u ~v =
+  let precompute ?mul ?pool ~charpoly ~strategy (a : M.t) ~p ~u ~v =
     Span.with_ "pipeline.precompute" @@ fun () ->
     let mul = Option.value mul ~default:M.mul in
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Pipeline.precompute: non-square";
-    let a_tilde = preconditioned ~mul a ~h ~d in
+    let a_tilde = preconditioned ~mul a p in
     let powers, cols =
       match strategy with
       | Doubling ->
@@ -170,8 +158,8 @@ struct
     in
     let seq = K.sequence ~u cols in
     let f = minimal_generator ~mul ?pool ~charpoly ~strategy ~n seq in
-    let dhd = det_hd ~charpoly ~n ~h ~d in
-    ({ p_h = h; p_d = d; a_tilde; powers; charpoly_f = f; dhd }, cols, seq)
+    let dhd = p.Pc.det () in
+    ({ p_pre = p; a_tilde; powers; charpoly_f = f; dhd }, cols, seq)
 
   let apply_precomp ?mul ?pool pc ~b =
     Span.with_ "pipeline.session_apply" @@ fun () ->
@@ -183,17 +171,17 @@ struct
         K.columns_of_powers ~mul ~powers:pc.powers b n
       else K.columns_sequential pc.a_tilde b n
     in
-    recover ?pool ~n ~f:pc.charpoly_f ~h:pc.p_h ~d:pc.p_d cols
+    recover ?pool ~n ~f:pc.charpoly_f ~p:pc.p_pre cols
 
   let det_of_precomp ~n pc =
     F.div (det_from_generator ~n pc.charpoly_f) pc.dhd
 
-  let det ?mul ?pool ~charpoly ~strategy (a : M.t) ~h ~d ~u ~v =
+  let det ?mul ?pool ~charpoly ~strategy (a : M.t) ~p ~u ~v =
     let mul = Option.value mul ~default:M.mul in
     let n = a.M.rows in
-    let a_tilde = preconditioned ~mul a ~h ~d in
+    let a_tilde = preconditioned ~mul a p in
     let _, seq = sequence_of ~strategy ~mul a_tilde ~u ~v n in
     let f = minimal_generator ~mul ?pool ~charpoly ~strategy ~n seq in
     let det_tilde = det_from_generator ~n f in
-    F.div det_tilde (det_hd ~charpoly ~n ~h ~d)
+    F.div det_tilde (p.Pc.det ())
 end

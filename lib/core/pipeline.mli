@@ -47,10 +47,19 @@ module Make
       (O(n^ω log n) size, O((log n)²) depth); [Sequential] trades depth for
       total work (O(n²·m) size, Θ(m) depth). *)
 
-  val preconditioned :
-    ?mul:(M.t -> M.t -> M.t) -> M.t -> h:F.t array -> d:F.t array -> M.t
-  (** Ã = A·H·Diag(d): one Hankel-column scaling plus one matrix product
-      (through [mul] when given, so a pooled product reaches this stage). *)
+  type precond = F.t Kp_precond.Precond.t
+  (** The pluggable preconditioner P with Ã = A·P (see {!Kp_precond}). *)
+
+  val precond_of :
+    charpoly:charpoly_engine ->
+    n:int -> h:F.t array -> d:F.t array -> precond
+  (** The paper's dense H·Diag(d) from explicit random entries — the
+      straight-line constructor used by circuit builders, counting fields
+      and tests that supply their own randomness. *)
+
+  val preconditioned : ?mul:(M.t -> M.t -> M.t) -> M.t -> precond -> M.t
+  (** Ã = A·P: P materialised densely, then one matrix product (through
+      [mul] when given, so a pooled product reaches this stage). *)
 
   val minimal_generator :
     ?mul:(M.t -> M.t -> M.t) ->
@@ -79,7 +88,7 @@ module Make
     ?pool:Kp_util.Pool.t ->
     charpoly:charpoly_engine ->
     strategy:strategy ->
-    M.t -> b:F.t array -> h:F.t array -> d:F.t array -> u:F.t array ->
+    M.t -> b:F.t array -> p:precond -> u:F.t array ->
     solve_result
   (** The full Theorem-4 straight-line program (v := b).  [mul] is the
       matrix-multiplication black box (default: classical; pass Strassen or
@@ -93,19 +102,18 @@ module Make
     ?pool:Kp_util.Pool.t ->
     charpoly:charpoly_engine ->
     strategy:strategy ->
-    M.t -> h:F.t array -> d:F.t array -> u:F.t array -> v:F.t array ->
+    M.t -> p:precond -> u:F.t array -> v:F.t array ->
     F.t
   (** Determinant only (v random rather than a right-hand side). *)
 
   type precomp = {
-    p_h : F.t array;         (** the 2n-1 Hankel entries *)
-    p_d : F.t array;         (** the n diagonal entries *)
-    a_tilde : M.t;           (** Ã = A·H·D *)
+    p_pre : precond;         (** the preconditioner P *)
+    a_tilde : M.t;           (** Ã = A·P *)
     powers : M.t array;      (** Ã{^2{^i}} covering 2n Krylov columns
                                  ([[||]] under [Sequential]) *)
     charpoly_f : F.t array;  (** the degree-n monic generator — the
                                  characteristic polynomial of Ã whp *)
-    dhd : F.t;               (** det(H)·det(D) *)
+    dhd : F.t;               (** det(P) *)
   }
   (** The RHS-independent prefix of the Theorem-4 pipeline: the §2
       preconditioning and the §3 Toeplitz/charpoly stage are functions of
@@ -116,7 +124,7 @@ module Make
     ?pool:Kp_util.Pool.t ->
     charpoly:charpoly_engine ->
     strategy:strategy ->
-    M.t -> h:F.t array -> d:F.t array -> u:F.t array -> v:F.t array ->
+    M.t -> p:precond -> u:F.t array -> v:F.t array ->
     precomp * M.t * F.t array
   (** Build the record plus the 2n Krylov columns of [v] and the projected
       scalar sequence {u·Ãⁱ·v} (returned so the Las Vegas wrapper can run

@@ -25,10 +25,13 @@ module Make
   val precondition : Random.State.t -> ?card_s:int -> M.t -> preconditioned
 
   val leading_minor_nonsingular :
-    Random.State.t -> ?card_s:int -> M.t -> int -> bool
+    Random.State.t ->
+    ?card_s:int -> ?precond:Kp_precond.Precond.choice -> M.t -> int -> bool
   (** Theorem-4 determinant of the i×i leading principal submatrix,
       retried; [true] iff certified non-singular. *)
 
-  val rank : ?card_s:int -> Random.State.t -> M.t -> int
+  val rank :
+    ?card_s:int ->
+    ?precond:Kp_precond.Precond.choice -> Random.State.t -> M.t -> int
   (** Binary search over leading principal minors of Â. *)
 end

@@ -8,6 +8,8 @@ struct
   module Sh = Kp_shard.Sharded.Make (F)
   module BM = Kp_seqgen.Berlekamp_massey.Make (F)
   module LR = Kp_seqgen.Linrec.Make (F)
+  module Pc = Kp_precond.Precond
+  module SP = Kp_precond.Precond.Make (F) (C)
 
   module O = Kp_robust.Outcome
   module Rt = Kp_robust.Retry
@@ -24,15 +26,6 @@ struct
     match F.cardinality with Some q -> min bound q | None -> bound
 
   let sample_vec st ~card_s n = Array.init n (fun _ -> F.sample st ~card_s)
-
-  let sample_nonzero st ~card_s =
-    let rec go tries =
-      let x = F.sample st ~card_s in
-      if F.is_zero x && tries < 100 then go (tries + 1)
-      else if F.is_zero x then F.one
-      else x
-    in
-    go 0
 
   let generator_ok ~n f seq =
     (* f must be the degree-n monic generator of the whole 2n-sequence *)
@@ -54,11 +47,19 @@ struct
       | None -> MD.mul
       | Some pool -> MD.mul_parallel pool)
 
-  let policy ?deadline_ns retries =
-    Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns ()
+  let policy ?deadline_ns ~kind retries =
+    Rt.policy ~retries ~max_card_s:(SP.escalation_ceiling kind) ?deadline_ns ()
+
+  (* non-singularity of the preconditioner gates every singularity witness:
+     P.det is fresh arithmetic, so a Division_by_zero inside it is a fault,
+     not a verdict *)
+  let p_nonsingular (p : P.precond) () =
+    match p.Pc.det () with
+    | exception Division_by_zero -> false
+    | dp -> not (F.is_zero dp)
 
   let solve ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns ?pool
-      ?shards st (a : M.t) b =
+      ?shards ?(precond = Pc.default_choice ()) st (a : M.t) b =
     Span.with_ "solver.solve" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.solve: non-square";
@@ -66,28 +67,25 @@ struct
     let mul = mul_of ?shards pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ?pool ~n in
-    Rt.run ~ns:"solver" ~op:"solve" ~policy:(policy ?deadline_ns retries)
-      ~card_s
-    @@ fun ~attempt:_ ~card_s ->
-    let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
-    let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+    let requested = Pc.resolve precond in
+    Rt.run ~ns:"solver" ~op:"solve"
+      ~policy:(policy ?deadline_ns ~kind:requested retries) ~card_s
+    @@ fun ~attempt ~card_s ->
+    let kind = Pc.kind_for_attempt ~retries ~attempt requested in
+    let p = SP.build ~charpoly ~card_s ~n kind st in
     let u = sample_vec st ~card_s n in
-    let h_nonsingular () =
-      match P.det_hd ~charpoly ~n ~h ~d with
-      | exception Division_by_zero -> false
-      | dhd -> not (F.is_zero dhd)
-    in
-    match P.solve ~mul ?pool ~charpoly ~strategy a ~b ~h ~d ~u with
+    let p_nonsingular = p_nonsingular p in
+    match P.solve ~mul ?pool ~charpoly ~strategy a ~b ~p ~u with
     | exception Division_by_zero ->
       (* singular Toeplitz system: the generator has degree < n — could
-         be bad luck or a singular Ã; witness only if H is invertible *)
-      if h_nonsingular () then Rt.Reject_with_witness O.Low_degree
+         be bad luck or a singular Ã; witness only if P is invertible *)
+      if p_nonsingular () then Rt.Reject_with_witness O.Low_degree
       else Rt.Reject O.Low_degree
     | { x; f; seq; _ } ->
       if F.is_zero f.(0) && generator_ok ~n f seq then begin
-        (* true minpoly with zero constant term: Ã singular; with H, D
+        (* true minpoly with zero constant term: Ã singular; with P
            non-singular this witnesses singularity of A *)
-        if h_nonsingular () then Rt.Reject_with_witness O.Zero_constant_term
+        if p_nonsingular () then Rt.Reject_with_witness O.Zero_constant_term
         else Rt.Reject O.Zero_constant_term
       end
       else if verify_solution a x b then Rt.Accept x
@@ -96,32 +94,27 @@ struct
   (* one randomized det evaluation — the body both [det] (two agreeing
      evaluations) and the session layer's cache-validation discipline
      ([det_once]) drive through the retry engine *)
-  let det_eval ?pool ~mul ~charpoly ~strategy st ~card_s (a : M.t) =
+  let det_eval ?pool ~mul ~charpoly ~strategy ~kind st ~card_s (a : M.t) =
     let n = a.M.rows in
-    let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
-    let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+    let p = SP.build ~charpoly ~card_s ~n kind st in
     let u = sample_vec st ~card_s n in
     let v = sample_vec st ~card_s n in
-    let a_tilde = P.preconditioned ~mul a ~h ~d in
+    let a_tilde = P.preconditioned ~mul a p in
     let cols =
       match strategy with
       | P.Doubling -> P.K.columns ~mul a_tilde v (2 * n)
       | P.Sequential -> P.K.columns_sequential a_tilde v (2 * n)
     in
     let seq = P.K.sequence ~u cols in
-    let h_nonsingular () =
-      match P.det_hd ~charpoly ~n ~h ~d with
-      | exception Division_by_zero -> false
-      | dhd -> not (F.is_zero dhd)
-    in
+    let p_nonsingular = p_nonsingular p in
     match P.minimal_generator ~mul ?pool ~charpoly ~strategy ~n seq with
     | exception Division_by_zero ->
-      if h_nonsingular () then Rt.Reject_with_witness O.Low_degree
+      if p_nonsingular () then Rt.Reject_with_witness O.Low_degree
       else Rt.Reject O.Low_degree
     | f ->
       if not (generator_ok ~n f seq) then Rt.Reject O.Low_degree
       else if F.is_zero f.(0) then begin
-        if h_nonsingular () then Rt.Reject_with_witness O.Zero_constant_term
+        if p_nonsingular () then Rt.Reject_with_witness O.Zero_constant_term
         else Rt.Reject O.Zero_constant_term
       end
       else if
@@ -133,12 +126,13 @@ struct
         not (BM.generates f (P.K.sequence ~u:(sample_vec st ~card_s n) cols))
       then Rt.Reject (O.Fault "krylov recurrence check failed")
       else begin
-        match (P.det_hd ~charpoly ~n ~h ~d, P.det_hd ~charpoly ~n ~h ~d) with
+        match (p.Pc.det (), p.Pc.det ()) with
         | exception Division_by_zero -> Rt.Reject O.Singular_preconditioner
         | dhd, dhd' ->
           if not (F.equal dhd dhd') then
-            (* det(H·D) is a deterministic function of (h, d): disagreement
-               between two evaluations proves a transient fault *)
+            (* det(P) is a deterministic function of the drawn entries:
+               disagreement between two fresh evaluations proves a
+               transient fault *)
             Rt.Reject (O.Fault "det_hd recomputation mismatch")
           else if F.is_zero dhd then Rt.Reject O.Singular_preconditioner
           else begin
@@ -154,18 +148,22 @@ struct
     | (Ok _ | Error _) as r -> r
 
   let det ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns ?pool
-      ?shards st (a : M.t) =
+      ?shards ?(precond = Pc.default_choice ()) st (a : M.t) =
     Span.with_ "solver.det" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.det: non-square";
     let mul = mul_of ?shards pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ?pool ~n in
+    let requested = Pc.resolve precond in
     as_det_result
-      (Rt.run ~ns:"solver" ~op:"det" ~policy:(policy ?deadline_ns retries)
-         ~card_s
-       @@ fun ~attempt:_ ~card_s ->
-       let eval_once () = det_eval ?pool ~mul ~charpoly ~strategy st ~card_s a in
+      (Rt.run ~ns:"solver" ~op:"det"
+         ~policy:(policy ?deadline_ns ~kind:requested retries) ~card_s
+       @@ fun ~attempt ~card_s ->
+       let kind = Pc.kind_for_attempt ~retries ~attempt requested in
+       let eval_once () =
+         det_eval ?pool ~mul ~charpoly ~strategy ~kind st ~card_s a
+       in
        (* Unlike solve, det has no residual to check against the ORIGINAL
           input: a corruption while building Ã is self-consistent — f really
           is the characteristic polynomial of the corrupted Ã′, every
@@ -183,53 +181,52 @@ struct
        | other -> other)
 
   let det_once ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns
-      ?pool ?shards st (a : M.t) =
+      ?pool ?shards ?(precond = Pc.default_choice ()) st (a : M.t) =
     Span.with_ "solver.det_once" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.det_once: non-square";
     let mul = mul_of ?shards pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ?pool ~n in
+    let requested = Pc.resolve precond in
     as_det_result
-      (Rt.run ~ns:"solver" ~op:"det_once" ~policy:(policy ?deadline_ns retries)
-         ~card_s
-       @@ fun ~attempt:_ ~card_s ->
-       det_eval ?pool ~mul ~charpoly ~strategy st ~card_s a)
+      (Rt.run ~ns:"solver" ~op:"det_once"
+         ~policy:(policy ?deadline_ns ~kind:requested retries) ~card_s
+       @@ fun ~attempt ~card_s ->
+       let kind = Pc.kind_for_attempt ~retries ~attempt requested in
+       det_eval ?pool ~mul ~charpoly ~strategy ~kind st ~card_s a)
 
   let precompute ?(retries = 10) ?(strategy = P.Doubling) ?card_s ?deadline_ns
-      ?pool ?shards st (a : M.t) =
+      ?pool ?shards ?(precond = Pc.default_choice ()) st (a : M.t) =
     Span.with_ "solver.precompute" @@ fun () ->
     let n = a.M.rows in
     if a.M.cols <> n then invalid_arg "Solver.precompute: non-square";
     let mul = mul_of ?shards pool in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let charpoly = charpoly_for_field ?pool ~n in
-    Rt.run ~ns:"solver" ~op:"precompute" ~policy:(policy ?deadline_ns retries)
-      ~card_s
-    @@ fun ~attempt:_ ~card_s ->
-    let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
-    let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+    let requested = Pc.resolve precond in
+    Rt.run ~ns:"solver" ~op:"precompute"
+      ~policy:(policy ?deadline_ns ~kind:requested retries) ~card_s
+    @@ fun ~attempt ~card_s ->
+    let kind = Pc.kind_for_attempt ~retries ~attempt requested in
+    let p = SP.build ~charpoly ~card_s ~n kind st in
     let u = sample_vec st ~card_s n in
     let v = sample_vec st ~card_s n in
-    let h_nonsingular () =
-      match P.det_hd ~charpoly ~n ~h ~d with
-      | exception Division_by_zero -> false
-      | dhd -> not (F.is_zero dhd)
-    in
-    match P.precompute ~mul ?pool ~charpoly ~strategy a ~h ~d ~u ~v with
+    let p_nonsingular = p_nonsingular p in
+    match P.precompute ~mul ?pool ~charpoly ~strategy a ~p ~u ~v with
     | exception Division_by_zero ->
-      (* singular Toeplitz system or singular H: witness singularity of A
-         only when H·D is invertible, exactly as in [solve] *)
-      if h_nonsingular () then Rt.Reject_with_witness O.Low_degree
+      (* singular Toeplitz system or singular P: witness singularity of A
+         only when P is invertible, exactly as in [solve] *)
+      if p_nonsingular () then Rt.Reject_with_witness O.Low_degree
       else Rt.Reject O.Low_degree
     | pc, cols, seq ->
       let f = pc.P.charpoly_f in
       if not (generator_ok ~n f seq) then Rt.Reject O.Low_degree
       else if F.is_zero f.(0) then begin
         (* charpoly(Ã)(0) = 0: Ã is singular — a singularity witness for A
-           whenever H·D is invertible.  Never cache such a record: every
+           whenever P is invertible.  Never cache such a record: every
            solve through it would divide by zero. *)
-        if h_nonsingular () then Rt.Reject_with_witness O.Zero_constant_term
+        if p_nonsingular () then Rt.Reject_with_witness O.Zero_constant_term
         else Rt.Reject O.Zero_constant_term
       end
       else if

@@ -25,6 +25,7 @@ module Make
     (C : Kp_poly.Conv.S with type elt = F.t) : sig
   module P : module type of Pipeline.Make (F) (C)
   module M = P.M
+  module Pc = Kp_precond.Precond
 
   module O = Kp_robust.Outcome
 
@@ -40,6 +41,7 @@ module Make
     ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
     ?shards:int ->
+    ?precond:Pc.choice ->
     Random.State.t -> M.t -> F.t array ->
     (F.t array * O.report, O.error) result
   (** Solve A·x = b.  [Ok (x, _)] comes with the certificate A·x = b
@@ -52,7 +54,10 @@ module Make
       [shards] routes every matrix product of the attempt through the
       row-block sharded engine ({!Kp_shard.Sharded}) at that shard count —
       bit-identical answers, fanned out per product (here and on
-      [det]/[det_once]/[precompute] alike).
+      [det]/[det_once]/[precompute] alike).  [precond] picks the
+      preconditioner kind ({!Kp_precond}): the default resolves to the
+      dense Hankel·Diagonal and reproduces the legacy draw stream exactly;
+      non-dense kinds demote to dense past the attempt-budget midpoint.
       @raise Invalid_argument if [shards] < 1. *)
 
   val det :
@@ -62,6 +67,7 @@ module Make
     ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
     ?shards:int ->
+    ?precond:Pc.choice ->
     Random.State.t -> M.t -> (F.t * O.report, O.error) result
   (** Determinant of A (zero is reported as [Ok (F.zero, _)] when the
       singularity witness is confirmed across attempts).  Internally two
@@ -75,6 +81,7 @@ module Make
     ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
     ?shards:int ->
+    ?precond:Pc.choice ->
     Random.State.t -> M.t -> (F.t * O.report, O.error) result
   (** A {e single} certified-given-generator evaluation of det(A) — the
       same attempt body as {!det} but without the second agreeing
@@ -90,6 +97,7 @@ module Make
     ?deadline_ns:int64 ->
     ?pool:Kp_util.Pool.t ->
     ?shards:int ->
+    ?precond:Pc.choice ->
     Random.State.t -> M.t -> (P.precomp * O.report, O.error) result
   (** Certified construction of the RHS-independent {!P.precomp} record:
       random (h, d, u, v) drawn through the usual escalating retry loop,

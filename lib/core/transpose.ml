@@ -36,7 +36,8 @@ struct
       (* parallel variant: keeps the traced circuit at O((log n)^2) depth *)
       | `Chistov -> P.charpoly_chistov_parallel
     in
-    let { P.x; _ } = P.solve ~charpoly:engine ~strategy:P.Doubling a ~b:c ~h ~d ~u in
+    let p = P.precond_of ~charpoly:engine ~n ~h ~d in
+    let { P.x; _ } = P.solve ~charpoly:engine ~strategy:P.Doubling a ~b:c ~p ~u in
     (* f = x · b, balanced for depth *)
     let module V = Kp_matrix.Vec.Make (B) in
     let f = V.dot x b in

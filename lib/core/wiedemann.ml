@@ -11,6 +11,8 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
   module Lev = Kp_structured.Leverrier.Make (F)
   module BM = Kp_seqgen.Berlekamp_massey.Make (F)
   module LR = Kp_seqgen.Linrec.Make (F)
+  module Pc = Kp_precond.Precond
+  module SP = Kp_precond.Precond.Make (F) (C)
 
   module O = Kp_robust.Outcome
   module Rt = Kp_robust.Retry
@@ -25,17 +27,12 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
 
   let sample_vec st ~card_s n = Array.init n (fun _ -> F.sample st ~card_s)
 
-  let sample_nonzero st ~card_s =
-    let rec go k =
-      let x = F.sample st ~card_s in
-      if F.is_zero x && k < 100 then go (k + 1)
-      else if F.is_zero x then F.one
-      else x
-    in
-    go 0
+  let policy ?deadline_ns ~kind retries =
+    Rt.policy ~retries ~max_card_s:(SP.escalation_ceiling kind) ?deadline_ns ()
 
-  let policy ?deadline_ns retries =
-    Rt.policy ~retries ~max_card_s:F.cardinality ?deadline_ns ()
+  let charpoly_engine ~n =
+    if F.characteristic = 0 || F.characteristic > n then TC.charpoly
+    else Ch.charpoly
 
   let minimal_polynomial ?card_s st (bb : Bb.t) =
     Span.with_ "wiedemann.minpoly" @@ fun () ->
@@ -65,8 +62,8 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
     if Array.length b <> n then invalid_arg "Wiedemann.solve: bad rhs";
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let bb = Bb.instrument bb in
-    Rt.run ~ns:"wiedemann" ~op:"solve" ~policy:(policy ?deadline_ns retries)
-      ~card_s
+    Rt.run ~ns:"wiedemann" ~op:"solve"
+      ~policy:(policy ?deadline_ns ~kind:Pc.Dense_hd retries) ~card_s
     @@ fun ~attempt:_ ~card_s ->
     let u = sample_vec st ~card_s n in
     let seq = LR.krylov_sequence bb.Bb.apply ~u ~b (2 * n) in
@@ -80,57 +77,41 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
       else Rt.Reject O.Residual_mismatch
     end
 
-  (* One Hankel matvec is a full convolution of lengths 2n-1 and n.  The
-     Karatsuba multiplier is oblivious — its operation sequence depends
-     only on the input lengths — so its true cost is measured once per n
-     through the counting field and cached. *)
-  module CntF = Kp_field.Counting.Make (F)
-  module CntC = Kp_poly.Conv.Karatsuba (CntF)
-  module CntHK = Kp_structured.Hankel.Make (CntF) (CntC)
-
-  let hankel_cost_cache : (int, int) Hashtbl.t = Hashtbl.create 8
-
-  let hankel_ops_per_apply n =
-    match Hashtbl.find_opt hankel_cost_cache n with
-    | Some c -> c
-    | None ->
-      let h = Array.make ((2 * n) - 1) CntF.one in
-      let v = Array.make n CntF.one in
-      let _, ops = CntF.measure (fun () -> ignore (CntHK.matvec ~n h v)) in
-      let c = Kp_field.Counting.total ops in
-      Hashtbl.replace hankel_cost_cache n c;
-      c
-
-  let hankel_blackbox ~n h =
+  (* P as a black box: the record's apply/transpose/ops lifted into the
+     {!Kp_matrix.Blackbox} algebra (forcing the lazy op count exactly where
+     the legacy code computed it eagerly) *)
+  let precond_blackbox (p : F.t Pc.t) =
     {
-      Bb.dim = n;
-      apply = HK.matvec ~n h;
-      apply_transpose = Some (HK.matvec ~n h) (* Hankel matrices are symmetric *);
-      ops_per_apply = hankel_ops_per_apply n;
+      Bb.dim = p.Pc.n;
+      apply = (fun v -> p.Pc.apply v);
+      apply_transpose = Some (fun v -> p.Pc.apply_transpose v);
+      ops_per_apply = Lazy.force p.Pc.ops_per_apply;
     }
 
-  (* Ã = A·H·D as a black-box composition: H is the Hankel preconditioner,
-     D a random non-zero diagonal (Theorem 2's preconditioning). *)
-  let preconditioned_blackbox (bb : Bb.t) ~h ~d =
-    let n = bb.Bb.dim in
-    Bb.scale_columns (Bb.compose bb (hankel_blackbox ~n h)) d
+  (* Ã = A·P as a black-box composition (Theorem 2's preconditioning) —
+     for the dense kind this is the legacy scale-then-Hankel pipeline,
+     for the sparse kinds the composition stays O(n log n) per apply. *)
+  let preconditioned_blackbox (bb : Bb.t) p =
+    Bb.compose bb (precond_blackbox p)
 
-  let solve_preconditioned ?(retries = 10) ?card_s ?deadline_ns st (bb : Bb.t)
-      b =
+  let solve_preconditioned ?(retries = 10) ?card_s ?deadline_ns
+      ?(precond = Pc.default_choice ()) st (bb : Bb.t) b =
     Span.with_ "wiedemann.solve_preconditioned" @@ fun () ->
     let n = bb.Bb.dim in
     if Array.length b <> n then
       invalid_arg "Wiedemann.solve_preconditioned: bad rhs";
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
     let bb_i = Bb.instrument bb in
+    let charpoly ~n dt = charpoly_engine ~n ~n dt in
+    let requested = Pc.resolve ~sparse:true precond in
     Rt.run ~ns:"wiedemann" ~op:"solve_preconditioned"
-      ~policy:(policy ?deadline_ns retries) ~card_s
-    @@ fun ~attempt:_ ~card_s ->
-    let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
-    let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+      ~policy:(policy ?deadline_ns ~kind:requested retries) ~card_s
+    @@ fun ~attempt ~card_s ->
+    let kind = Pc.kind_for_attempt ~retries ~attempt requested in
+    let p = SP.build ~charpoly ~card_s ~n kind st in
     let u = sample_vec st ~card_s n in
     let a_tilde =
-      Bb.instrument ~name:"preconditioned" (preconditioned_blackbox bb ~h ~d)
+      Bb.instrument ~name:"preconditioned" (preconditioned_blackbox bb p)
     in
     let seq = LR.krylov_sequence a_tilde.Bb.apply ~u ~b (2 * n) in
     let f = BM.P.to_array (BM.minimal_polynomial seq) in
@@ -140,63 +121,58 @@ module Make (F : Kp_field.Field_intf.FIELD) = struct
     else begin
       (* y = Ã^{-1} b by Cayley–Hamilton on the minimum polynomial *)
       let y = cayley_hamilton_solution a_tilde.Bb.apply f ~deg b in
-      (* x = H·(D·y) solves A·x = b *)
-      let dy = Array.init n (fun i -> F.mul d.(i) y.(i)) in
-      let x = HK.matvec ~n h dy in
+      (* x = P·y solves A·x = b *)
+      let x = p.Pc.apply y in
       if Array.for_all2 F.equal (bb_i.Bb.apply x) b then Rt.Accept x
       else Rt.Reject O.Residual_mismatch
     end
 
-  let charpoly_engine ~n =
-    if F.characteristic = 0 || F.characteristic > n then TC.charpoly
-    else Ch.charpoly
-
-  let det ?(retries = 10) ?card_s ?deadline_ns st (bb : Bb.t) =
+  let det ?(retries = 10) ?card_s ?deadline_ns
+      ?(precond = Pc.default_choice ()) st (bb : Bb.t) =
     Span.with_ "wiedemann.det" @@ fun () ->
     let n = bb.Bb.dim in
     let card_s = match card_s with Some s -> s | None -> default_card_s n in
-    let charpoly = charpoly_engine ~n in
+    let charpoly ~n dt = charpoly_engine ~n ~n dt in
+    let requested = Pc.resolve ~sparse:true precond in
     let result =
-      Rt.run ~ns:"wiedemann" ~op:"det" ~policy:(policy ?deadline_ns retries)
-        ~card_s
-      @@ fun ~attempt:_ ~card_s ->
+      Rt.run ~ns:"wiedemann" ~op:"det"
+        ~policy:(policy ?deadline_ns ~kind:requested retries) ~card_s
+      @@ fun ~attempt ~card_s ->
+      let kind = Pc.kind_for_attempt ~retries ~attempt requested in
       let eval_once () =
-        let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st ~card_s) in
-        let d = Array.init n (fun _ -> sample_nonzero st ~card_s) in
+        let p = SP.build ~charpoly ~card_s ~n kind st in
         let u = sample_vec st ~card_s n in
         let v = sample_vec st ~card_s n in
         let a_tilde =
-          Bb.instrument ~name:"preconditioned"
-            (preconditioned_blackbox bb ~h ~d)
+          Bb.instrument ~name:"preconditioned" (preconditioned_blackbox bb p)
         in
         let seq = LR.krylov_sequence a_tilde.Bb.apply ~u ~b:v (2 * n) in
         let f = BM.P.to_array (BM.minimal_polynomial seq) in
         let deg = Array.length f - 1 in
-        let det_h () =
-          let mirror = HK.to_toeplitz ~n h in
-          let dt = Lev.char_to_det ~n (charpoly ~n mirror) in
-          if HK.mirror_sign n = 1 then dt else F.neg dt
+        let det_p () =
+          match p.Pc.det () with
+          | exception Division_by_zero -> None
+          | dp -> Some dp
         in
         if deg >= 1 && F.is_zero f.(0) then begin
           (* λ divides the sequence's minimum polynomial: Ã is singular,
-             hence (H, D non-singular) so is A — any degree suffices *)
-          if not (F.is_zero (det_h ())) then begin
+             hence (P non-singular) so is A — any degree suffices *)
+          match det_p () with
+          | Some dp when not (F.is_zero dp) ->
             Counter.incr c_singular_witness;
             Rt.Reject_with_witness O.Zero_constant_term
-          end
-          else Rt.Reject O.Zero_constant_term
+          | _ -> Rt.Reject O.Zero_constant_term
         end
         else if deg < n then
           (* full degree not reached without a zero root: inconclusive *)
           Rt.Reject O.Low_degree
         else begin
-          let dh = det_h () in
-          if F.is_zero dh then Rt.Reject O.Singular_preconditioner
-          else begin
-            let dd = Array.fold_left F.mul F.one d in
+          match det_p () with
+          | None -> Rt.Reject O.Singular_preconditioner
+          | Some dp when F.is_zero dp -> Rt.Reject O.Singular_preconditioner
+          | Some dp ->
             let det_tilde = if n land 1 = 0 then f.(0) else F.neg f.(0) in
-            Rt.Accept (F.div det_tilde (F.mul dh dd))
-          end
+            Rt.Accept (F.div det_tilde dp)
         end
       in
       (* transient-fault certificate: a corrupted black-box apply can yield a

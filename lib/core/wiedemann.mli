@@ -39,30 +39,32 @@ module Make (F : Kp_field.Field_intf.FIELD) : sig
   (** Solve A·x = b for a non-singular black box via the minimum polynomial
       of the sequence {A^i b}: x = −(1/f₀)·Σ f₍ᵢ₊₁₎·Aⁱ·b.  Verified. *)
 
-  val hankel_blackbox : n:int -> F.t array -> Bb.t
-  (** The Hankel preconditioner H (entries [h.(i+j)], [h] of length 2n−1)
-      as a black box whose [apply] is one O(M(n)) convolution.
-      [ops_per_apply] is the {e measured} field-operation count of that
-      convolution (the Karatsuba multiplier is oblivious, so the count
-      depends only on [n] and is cached). *)
+  val precond_blackbox : F.t Kp_precond.Precond.t -> Bb.t
+  (** A preconditioner record lifted into the black-box algebra: [apply] is
+      P·v, [apply_transpose] Pᵀ·v, and [ops_per_apply] the record's (lazy)
+      measured cost, forced here. *)
 
   val solve_preconditioned :
     ?retries:int -> ?card_s:int -> ?deadline_ns:int64 ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> Bb.t -> F.t array ->
     (F.t array * O.report, O.error) result
   (** The paper's preconditioned route, black-box form: solve Ã·y = b for
-      Ã = A·H·D ({!hankel_blackbox} composed with a random non-zero
-      diagonal), then recover x = H·D·y.  The residual A·x = b is verified
-      against the original black box.  [Ok (x, report)] carries the number
-      of preconditioner draws consumed in [report.attempts]. *)
+      Ã = A·P (black-box composition), then recover x = P·y.  [Auto]
+      resolves to the {e sparse} butterfly here — the operand is a black
+      box, so an O(n log n)-per-apply P keeps the whole iteration sparse;
+      pass [Forced Dense_hd] for the legacy Hankel·Diagonal.  The residual
+      A·x = b is verified against the original black box, so the kind never
+      affects correctness.  [Ok (x, report)] carries the number of
+      preconditioner draws consumed in [report.attempts]. *)
 
   val det :
     ?retries:int -> ?card_s:int -> ?deadline_ns:int64 ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> Bb.t -> (F.t * O.report, O.error) result
-  (** Determinant via the paper's preconditioning (Theorem 2 with the
-      diagonal matrix; here: A·D with random non-zero diagonal, retried
-      until the minimum polynomial reaches full degree), since a black box
-      cannot be handed to the dense Toeplitz engine.
+  (** Determinant via the paper's preconditioning, retried until the
+      minimum polynomial reaches full degree: det A = (−1)ⁿ·f(0)/det P.
+      [Auto] resolves sparse, as in {!solve_preconditioned}.
       Reports [Ok (F.zero, _)] only with a consistent singularity witness. *)
 
   val is_probably_singular :

@@ -11,6 +11,9 @@ struct
   module Retry = Kp_robust.Retry
   module Cnt = Kp_obs.Counter
   module Events = Kp_obs.Events
+  module Pc = Kp_precond.Precond
+
+  let c_precond_demote = Cnt.make "serve.precond.demote"
 
   type rung = Block | Scalar | Dense
 
@@ -23,13 +26,14 @@ struct
     session : Sess.t;
     pool : Kp_util.Pool.t option;
     shards : int option;
+    precond : Pc.choice;
     st : Random.State.t;
     b_block : Breaker.t;
     b_scalar : Breaker.t;
   }
 
   let create ?breaker_threshold ?breaker_cooldown_ns ?now ~session ?pool
-      ?shards st =
+      ?shards ?precond:(pc_choice = Pc.default_choice ()) st =
     (match shards with
     | Some s when s < 1 -> invalid_arg "Engines.create: shards < 1"
     | _ -> ());
@@ -37,7 +41,8 @@ struct
       Breaker.create ?threshold:breaker_threshold
         ?cooldown_ns:breaker_cooldown_ns ?now name
     in
-    { session; pool; shards; st; b_block = mk "block"; b_scalar = mk "scalar" }
+    { session; pool; shards; precond = pc_choice; st;
+      b_block = mk "block"; b_scalar = mk "scalar" }
 
   (* the dense rung is deterministic elimination: no breaker, always admits *)
   let breaker t = function
@@ -82,6 +87,13 @@ struct
   let bump rung what =
     Cnt.incr (Cnt.make ("serve.engine." ^ rung_name rung ^ "." ^ what))
 
+  (* preconditioner demotion joins the ladder: a non-dense precond that
+     fails a rung for infrastructure reasons gets one dense retry on the
+     same rung before the walk falls through — counted in
+     [serve.precond.demote] and visible as a [serve.precond.demote]
+     event.  Rungs driven by the shared session carry the session's own
+     configured precond (with its internal per-attempt demotion), so the
+     dense retry there re-runs the rung unchanged and is skipped. *)
   let cascade t ~op ~deadline_ns rungs run =
     let admits r =
       match breaker t r with None -> true | Some b -> Breaker.admits b
@@ -90,6 +102,10 @@ struct
       match deadline_ns with
       | Some d -> Int64.equal (Retry.remaining_ns ~deadline_ns:d) 0L
       | None -> false
+    in
+    let demotable r =
+      (match r with Block -> true | Scalar | Dense -> false)
+      && Pc.resolve t.precond <> Pc.Dense_hd
     in
     let rec walk last_err = function
       | [] ->
@@ -115,14 +131,11 @@ struct
               (fun d -> Retry.split_deadline ~deadline_ns:d ~ways)
               deadline_ns
           in
-          match
-            guard ~op:(rung_name r ^ "." ^ op) (fun () -> run r ~deadline_ns:dl)
-          with
-          | Ok v ->
-            bump r "ok";
-            Option.iter Breaker.record_success (breaker t r);
-            Ok (v, rung_name r)
-          | Error e when infra e ->
+          let attempt precond =
+            guard ~op:(rung_name r ^ "." ^ op) (fun () ->
+                run r ~deadline_ns:dl ~precond)
+          in
+          let fall e =
             bump r "fail";
             Option.iter Breaker.record_failure (breaker t r);
             if rest <> [] then
@@ -133,6 +146,33 @@ struct
                   ("error", O.error_to_string e);
                 ];
             walk (Some e) rest
+          in
+          match attempt t.precond with
+          | Ok v ->
+            bump r "ok";
+            Option.iter Breaker.record_success (breaker t r);
+            Ok (v, rung_name r)
+          | Error e when infra e && demotable r -> begin
+            Cnt.incr c_precond_demote;
+            Events.emit "serve.precond.demote"
+              [
+                ("op", op);
+                ("rung", rung_name r);
+                ("from", Pc.kind_name (Pc.resolve t.precond));
+                ("error", O.error_to_string e);
+              ];
+            match attempt (Pc.Forced Pc.Dense_hd) with
+            | Ok v ->
+              bump r "ok";
+              Option.iter Breaker.record_success (breaker t r);
+              Ok (v, rung_name r)
+            | Error e' when infra e' -> fall e'
+            | Error e' ->
+              bump r "ok";
+              Option.iter Breaker.record_success (breaker t r);
+              Error e'
+          end
+          | Error e when infra e -> fall e
           | Error e ->
             (* a certified Singular verdict: the engine worked *)
             bump r "ok";
@@ -221,11 +261,11 @@ struct
   let solve ?key ?deadline_ns ?block_factor ~engine t a b =
     with_name
     @@ cascade t ~op:"solve" ~deadline_ns (ladder engine)
-    @@ fun rung ~deadline_ns ->
+    @@ fun rung ~deadline_ns ~precond ->
     match rung with
     | Block ->
-      BW.solve ?deadline_ns ?pool:t.pool ?block_factor ?shards:t.shards t.st
-        a b
+      BW.solve ?deadline_ns ?pool:t.pool ?block_factor ?shards:t.shards
+        ~precond t.st a b
     | Scalar -> Sess.solve ?key ?deadline_ns t.session a b
     | Dense -> dense_solve ~deadline_ns a b
 
@@ -251,21 +291,22 @@ struct
   let solve_batch ?key ?deadline_ns ?block_factor ~engine t a bs =
     with_name
     @@ cascade t ~op:"batch" ~deadline_ns (ladder engine)
-    @@ fun rung ~deadline_ns ->
+    @@ fun rung ~deadline_ns ~precond ->
     match rung with
     | Block ->
       BW.solve_batch ?deadline_ns ?pool:t.pool ?block_factor ?shards:t.shards
-        t.st a bs
+        ~precond t.st a bs
     | Scalar -> scalar_batch ?key ?deadline_ns t a bs
     | Dense -> dense_batch ~deadline_ns a bs
 
   let det ?key ?deadline_ns ?block_factor ~engine t a =
     with_name
     @@ cascade t ~op:"det" ~deadline_ns (ladder engine)
-    @@ fun rung ~deadline_ns ->
+    @@ fun rung ~deadline_ns ~precond ->
     match rung with
     | Block ->
-      BW.det ?deadline_ns ?pool:t.pool ?block_factor ?shards:t.shards t.st a
+      BW.det ?deadline_ns ?pool:t.pool ?block_factor ?shards:t.shards ~precond
+        t.st a
     | Scalar -> Sess.det ?key ?deadline_ns t.session a
     | Dense -> dense_det ~deadline_ns a
 
@@ -276,7 +317,7 @@ struct
     in
     with_name
     @@ cascade t ~op:"inverse" ~deadline_ns rungs
-    @@ fun rung ~deadline_ns ->
+    @@ fun rung ~deadline_ns ~precond:_ ->
     match rung with
     | Block -> assert false
     | Scalar -> Sess.inverse ?key ?deadline_ns t.session a
@@ -284,13 +325,14 @@ struct
 
   let rank ?deadline_ns ?block_factor ~engine t a =
     cascade t ~op:"rank" ~deadline_ns (ladder engine)
-    @@ fun rung ~deadline_ns ->
+    @@ fun rung ~deadline_ns ~precond ->
     match dense_expired deadline_ns with
     | Some e -> Error e
     | None -> (
       match rung with
       | Block ->
-        Ok (BW.rank ?pool:t.pool ?block_factor ?shards:t.shards t.st a)
-      | Scalar -> Ok (R.rank t.st a)
+        Ok
+          (BW.rank ?pool:t.pool ?block_factor ?shards:t.shards ~precond t.st a)
+      | Scalar -> Ok (R.rank ~precond t.st a)
       | Dense -> Ok (G.rank a))
 end

@@ -50,6 +50,7 @@ module Make
     session:Sess.t ->
     ?pool:Kp_util.Pool.t ->
     ?shards:int ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> t
   (** The breakers guard the block and scalar rungs ([threshold]
       consecutive failures open one for [cooldown_ns], defaults as
@@ -60,7 +61,12 @@ module Make
       products through the row-block sharded engine
       ({!Kp_shard.Sharded}, bit-identical answers, fanned over [pool]);
       configure the session with the same count to shard the scalar
-      rung too.
+      rung too.  [precond] picks the preconditioner kind for the
+      fresh-engine rungs (block solve/det, block and scalar rank);
+      configure the session with the same choice to cover the scalar
+      rung.  A non-dense precond that fails a rung for infrastructure
+      reasons gets one dense retry on that rung before the ladder falls
+      through ([serve.precond.demote] counter + event).
       @raise Invalid_argument if [shards] < 1. *)
 
   val breaker_states : t -> (string * Breaker.state) list

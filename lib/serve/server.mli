@@ -59,6 +59,11 @@ module Make
             the row-block sharded engine ({!Kp_shard.Sharded}) with this
             many shards, fanned over the pool — answers are bit-identical
             to unsharded, only the schedule moves (default [None]) *)
+    precond : Kp_precond.Precond.choice;
+        (** preconditioner kind for every engine and the shared session
+            (default {!Kp_precond.Precond.default_choice}, i.e. [Auto]
+            unless [KP_PRECOND] overrides); non-dense kinds demote per
+            {!Engines} *)
   }
 
   val default_config : socket_path:string -> config

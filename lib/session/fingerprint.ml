@@ -1,6 +1,15 @@
 type content = Hashed of int64 | Keyed of string
 
-type t = { field : string; rows : int; cols : int; content : content }
+(* schema v2: the [tag] field (the preconditioner kind since PR 10) is part
+   of the identity, so verdicts cached under one kind can never answer a
+   lookup under another *)
+type t = {
+  field : string;
+  rows : int;
+  cols : int;
+  tag : string;
+  content : content;
+}
 
 (* 64-bit FNV-1a: cheap, seedless, good avalanche for short strings *)
 let fnv_offset = 0xcbf29ce484222325L
@@ -15,15 +24,17 @@ let fold_string h s =
   (* entry separator, so ["ab";"c"] and ["a";"bc"] hash apart *)
   Int64.mul (Int64.logxor !h 0x1fL) fnv_prime
 
-let of_entries ~field ~rows ~cols ~to_string entries =
+let of_entries ?(tag = "") ~field ~rows ~cols ~to_string entries =
   let h = ref fnv_offset in
   Array.iter (fun e -> h := fold_string !h (to_string e)) entries;
-  { field; rows; cols; content = Hashed !h }
+  { field; rows; cols; tag; content = Hashed !h }
 
-let of_key ~field ~rows ~cols key = { field; rows; cols; content = Keyed key }
+let of_key ?(tag = "") ~field ~rows ~cols key =
+  { field; rows; cols; tag; content = Keyed key }
 
 let equal a b =
   a.rows = b.rows && a.cols = b.cols && String.equal a.field b.field
+  && String.equal a.tag b.tag
   && match (a.content, b.content) with
      | Hashed x, Hashed y -> Int64.equal x y
      | Keyed x, Keyed y -> String.equal x y
@@ -31,11 +42,13 @@ let equal a b =
 
 let hash t =
   Hashtbl.hash
-    ( t.field, t.rows, t.cols,
+    ( t.field, t.rows, t.cols, t.tag,
       match t.content with Hashed h -> Int64.to_string h | Keyed k -> k )
 
 let to_string t =
-  Printf.sprintf "%s:%dx%d:%s" t.field t.rows t.cols
+  Printf.sprintf "v2:%s:%dx%d:pc=%s:%s" t.field t.rows t.cols t.tag
     (match t.content with
     | Hashed h -> Printf.sprintf "fnv1a64=%016Lx" h
     | Keyed k -> "key=" ^ k)
+
+let tag t = t.tag

@@ -6,6 +6,7 @@ struct
   module I = Kp_core.Inverse.Make (F) (C)
   module BW = Kp_core.Block_wiedemann.Make (F) (C)
   module Sh = Kp_shard.Sharded.Make (F)
+  module Pc = Kp_precond.Precond
   module M = S.M
   module O = Kp_robust.Outcome
   module Cnt = Kp_obs.Counter
@@ -25,7 +26,13 @@ struct
     let hash = Fingerprint.hash
   end)
 
-  type ready = { pc : S.P.precomp; mutable det_certified : F.t option }
+  type ready = {
+    pc : S.P.precomp;
+    mutable kind : Pc.kind;
+        (* requested kind recorded at build time; serves re-validate it
+           against the live request (mutable only for the fault hook) *)
+    mutable det_certified : F.t option;
+  }
 
   type entry =
     | Ready of ready
@@ -43,6 +50,7 @@ struct
     max_entries : int;
     block_factor : int option;
     shards : int option;
+    precond : Pc.choice;
   }
 
   type stats = {
@@ -64,7 +72,8 @@ struct
   }
 
   let create ?(retries = 10) ?(strategy = S.P.Doubling) ?card_s ?deadline_ns
-      ?pool ?(max_entries = 64) ?block_factor ?shards st =
+      ?pool ?(max_entries = 64) ?block_factor ?shards
+      ?precond:(pc_choice = Pc.default_choice ()) st =
     if max_entries < 1 then invalid_arg "Session.create: max_entries < 1";
     (match block_factor with
     | Some b when b < 1 -> invalid_arg "Session.create: block_factor < 1"
@@ -73,7 +82,7 @@ struct
     | Some s when s < 1 -> invalid_arg "Session.create: shards < 1"
     | _ -> ());
     { cfg = { retries; strategy; card_s; deadline_ns; pool; max_entries;
-              block_factor; shards };
+              block_factor; shards; precond = pc_choice };
       st;
       cache = Tbl.create 8;
       clock = 0;
@@ -119,15 +128,25 @@ struct
     touch t slot;
     Tbl.replace t.cache fp slot
 
-  let fingerprint (a : M.t) =
+  (* the session's resolved preconditioner kind — part of every cache key
+     (schema v2), so verdicts cached under one kind can never answer a
+     lookup under another *)
+  let kind_of t = Pc.resolve t.cfg.precond
+
+  let fingerprint_tagged ~tag (a : M.t) =
     let rows = a.M.rows and cols = a.M.cols in
-    Fingerprint.of_entries ~field:F.name ~rows ~cols ~to_string:F.to_string
+    Fingerprint.of_entries ~tag ~field:F.name ~rows ~cols
+      ~to_string:F.to_string
       (Array.init (rows * cols) (fun k -> M.get a (k / cols) (k mod cols)))
 
-  let fingerprint_of ?key (a : M.t) =
+  let fingerprint (a : M.t) = fingerprint_tagged ~tag:"" a
+
+  let fingerprint_of ?key t (a : M.t) =
+    let tag = Pc.kind_name (kind_of t) in
     match key with
-    | Some k -> Fingerprint.of_key ~field:F.name ~rows:a.M.rows ~cols:a.M.cols k
-    | None -> fingerprint a
+    | Some k ->
+      Fingerprint.of_key ~tag ~field:F.name ~rows:a.M.rows ~cols:a.M.cols k
+    | None -> fingerprint_tagged ~tag a
 
   (* per-call deadline override: a serving layer admits each request with
      its own monotonic budget, the session's configured deadline is only
@@ -140,7 +159,7 @@ struct
      while transient failures (exhaustion, deadline) are NOT cached — the
      next call retries the build. *)
   let obtain ?key ?deadline_ns t (a : M.t) =
-    let fp = fingerprint_of ?key a in
+    let fp = fingerprint_of ?key t a in
     match Tbl.find_opt t.cache fp with
     | Some slot ->
       t.hits <- t.hits + 1;
@@ -154,11 +173,11 @@ struct
         Span.with_ "session.build" @@ fun () ->
         S.precompute ~retries:t.cfg.retries ~strategy:t.cfg.strategy
           ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
-          ?pool:t.cfg.pool ?shards:t.cfg.shards t.st a
+          ?pool:t.cfg.pool ?shards:t.cfg.shards ~precond:t.cfg.precond t.st a
       in
       match built with
       | Ok (pc, _report) ->
-        let e = Ready { pc; det_certified = None } in
+        let e = Ready { pc; kind = kind_of t; det_certified = None } in
         insert t fp e;
         (fp, Ok e)
       | Error (O.Singular { witnesses; report }) ->
@@ -175,13 +194,36 @@ struct
     end
 
   let poison_charpoly ?key t (a : M.t) f =
-    let fp = fingerprint_of ?key a in
+    let fp = fingerprint_of ?key t a in
     match Tbl.find_opt t.cache fp with
     | Some ({ e = Ready r; _ } as slot) ->
       let pc = { r.pc with S.P.charpoly_f = f r.pc.S.P.charpoly_f } in
-      slot.e <- Ready { pc; det_certified = None };
+      slot.e <- Ready { pc; kind = r.kind; det_certified = None };
       true
     | Some { e = Sing _; _ } | None -> false
+
+  let poison_kind ?key t (a : M.t) kind =
+    let fp = fingerprint_of ?key t a in
+    match Tbl.find_opt t.cache fp with
+    | Some { e = Ready r; _ } ->
+      r.kind <- kind;
+      r.det_certified <- None;
+      true
+    | Some { e = Sing _; _ } | None -> false
+
+  (* cross-kind certificate guard: a Ready entry only serves when the kind
+     recorded at build time matches the session's live kind.  Reachable only
+     through a corrupted or poisoned entry (the fingerprint already keys by
+     kind), and then it is a typed [Stale_cache], never a silent reuse. *)
+  let kind_mismatch t (r : ready) =
+    if r.kind = kind_of t then None
+    else
+      Some
+        (Printf.sprintf
+           "cached entry was built with preconditioner kind %s, session \
+            expects %s"
+           (Pc.kind_name r.kind)
+           (Pc.kind_name (kind_of t)))
 
   let pooled_init t k f =
     match t.cfg.pool with
@@ -239,7 +281,7 @@ struct
       (match
          BW.solve_batch ~retries:t.cfg.retries ?card_s:t.cfg.card_s
            ?deadline_ns:(dl t deadline_ns) ?pool:t.cfg.pool ~block_factor:bf
-           ?shards:t.cfg.shards st a bs
+           ?shards:t.cfg.shards ~precond:t.cfg.precond st a bs
        with
       | Ok (xs, report) -> Array.map (fun x -> Ok (x, report)) xs
       | Error e -> Array.make k (Error e))
@@ -262,7 +304,8 @@ struct
       match
         S.solve ~retries:t.cfg.retries ~strategy:t.cfg.strategy
           ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
-          ?pool:t.cfg.pool ?shards:t.cfg.shards sts.(i) a bs.(i)
+          ?pool:t.cfg.pool ?shards:t.cfg.shards ~precond:t.cfg.precond
+          sts.(i) a bs.(i)
       with
       | Ok (x, r) -> Ok (x, prepend_rejections rejs.(i) r)
       | Error e -> Error (O.with_report (prepend_rejections rejs.(i)) e)
@@ -281,8 +324,12 @@ struct
         | fp, Ok (Ready r) ->
           let todo_arr = Array.of_list todo in
           let served =
-            pooled_init t (Array.length todo_arr) (fun j ->
-                serve_pure t r.pc a bs.(todo_arr.(j)))
+            match kind_mismatch t r with
+            | Some detail ->
+              Array.make (Array.length todo_arr) (Error detail)
+            | None ->
+              pooled_init t (Array.length todo_arr) (fun j ->
+                  serve_pure t r.pc a bs.(todo_arr.(j)))
           in
           let any_stale = ref false in
           Array.iteri
@@ -319,6 +366,23 @@ struct
       | _, Ok (Sing { witnesses = _; report }) ->
         Ok (F.zero, prepend_rejections rejs report)
       | fp, Ok (Ready r) -> (
+        match kind_mismatch t r with
+        | Some detail -> (
+          let rejs = stale_rejection rejs detail :: rejs in
+          evict t fp;
+          if rebuilds > 0 then go (rebuilds - 1) rejs
+          else
+            (* rebuild budget exhausted on a poisoned cache: serve fresh,
+               the report carrying the stale-cache history *)
+            match
+              S.det ~retries:t.cfg.retries ~strategy:t.cfg.strategy
+                ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
+                ?pool:t.cfg.pool ?shards:t.cfg.shards
+                ~precond:t.cfg.precond t.st a
+            with
+            | Ok (d, r) -> Ok (d, prepend_rejections rejs r)
+            | Error e -> Error (O.with_report (prepend_rejections rejs) e))
+        | None -> (
         match r.det_certified with
         | Some d -> Ok (d, serve_report rejs)
         | None -> (
@@ -329,7 +393,8 @@ struct
           match
             S.det_once ~retries:t.cfg.retries ~strategy:t.cfg.strategy
               ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
-              ?pool:t.cfg.pool ?shards:t.cfg.shards t.st a
+              ?pool:t.cfg.pool ?shards:t.cfg.shards ~precond:t.cfg.precond
+              t.st a
           with
           | Error e -> Error (O.with_report (prepend_rejections rejs) e)
           | Ok (d2, rep2) ->
@@ -349,11 +414,12 @@ struct
                 match
                   S.det ~retries:t.cfg.retries ~strategy:t.cfg.strategy
                     ?card_s:t.cfg.card_s ?deadline_ns:(dl t deadline_ns)
-                    ?pool:t.cfg.pool ?shards:t.cfg.shards t.st a
+                    ?pool:t.cfg.pool ?shards:t.cfg.shards
+                    ~precond:t.cfg.precond t.st a
                 with
                 | Ok (d, r) -> Ok (d, prepend_rejections rejs r)
                 | Error e -> Error (O.with_report (prepend_rejections rejs) e)
-            end))
+            end)))
     in
     go (max 1 t.cfg.retries) []
 

@@ -58,6 +58,7 @@ module Make
     ?max_entries:int ->
     ?block_factor:int ->
     ?shards:int ->
+    ?precond:Kp_precond.Precond.choice ->
     Random.State.t -> t
   (** A fresh empty session.  The options are the usual solver knobs,
       applied to every build and serve made through the session; [st] is
@@ -81,13 +82,27 @@ module Make
       bit-identical to the unsharded ones, so cached entries, fingerprints
       and served answers are unchanged by the shard count — only the
       schedule moves.
+
+      [precond] selects the preconditioner kind for every build and serve
+      (default {!Kp_precond.Precond.Auto}, which resolves dense here).  The
+      resolved kind is part of every cache key (fingerprint schema v2) and
+      is re-validated on each serve: an entry recorded under another kind
+      is a typed [Stale_cache] — evicted and rebuilt, never silently
+      reused.
       @raise Invalid_argument if [max_entries], [block_factor] or [shards]
       < 1. *)
 
   val fingerprint : M.t -> Fingerprint.t
-  (** The content fingerprint [solve]/[det]/[inverse] compute when no
-      [?key] is given: field name, dimensions, FNV-1a over the rendered
-      entries. *)
+  (** The untagged content fingerprint: field name, dimensions, FNV-1a over
+      the rendered entries.  Session lookups additionally tag it with the
+      resolved preconditioner kind (schema v2), so entries built under
+      different kinds occupy different cache slots. *)
+
+  val fingerprint_of : ?key:string -> t -> M.t -> Fingerprint.t
+  (** The session's actual cache key for [a] (or for caller key [key]):
+      {!fingerprint} tagged with the session's resolved preconditioner
+      kind.  Two sessions forcing different kinds produce unequal keys for
+      the same matrix — cross-kind lookups are structural misses. *)
 
   val stats : t -> stats
 
@@ -139,4 +154,12 @@ module Make
       certification), returning [false] if nothing is cached.  Lets the
       chaos suite plant a corrupted charpoly and assert it is detected,
       evicted and never served. *)
+
+  val poison_kind :
+    ?key:string -> t -> M.t -> Kp_precond.Precond.kind -> bool
+  (** {b Fault-injection hook for tests}: overwrite the preconditioner kind
+      recorded on the cached entry for this matrix (simulating a cross-kind
+      certificate leaking into the cache), returning [false] if nothing is
+      cached.  The next serve must detect the mismatch as a typed
+      [Stale_cache], evict and rebuild. *)
 end

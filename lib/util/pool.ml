@@ -12,6 +12,9 @@ type t = {
   queue : task Queue.t;
   mutex : Mutex.t;
   nonempty : Condition.t;
+  pending : int Atomic.t;
+      (* queued-task count mirrored outside the mutex, so idle workers can
+         spin-check for work without taking the lock *)
   mutable closing : bool;
   mutable workers : unit Domain.t list;
 }
@@ -20,8 +23,23 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Bounded spin before parking (ROADMAP item 3): a worker that just
+   finished a chunk usually sees the region's next chunk pushed within a
+   microsecond, so a few hundred [cpu_relax] probes of the atomic mirror
+   skip the condition-variable round trip on the hot path.  Purely a
+   latency knob: the parking path below is unchanged, and scheduling never
+   affects results (pooled runs are bit-identical by construction). *)
+let spin_budget = 200
+
 let worker_loop t () =
   let rec next () =
+    let spins = ref 0 in
+    while
+      !spins < spin_budget && Atomic.get t.pending = 0 && not t.closing
+    do
+      Domain.cpu_relax ();
+      incr spins
+    done;
     Mutex.lock t.mutex;
     let rec wait () =
       if t.closing then begin Mutex.unlock t.mutex; None end
@@ -31,6 +49,7 @@ let worker_loop t () =
       end
       else begin
         let task = Queue.pop t.queue in
+        Atomic.decr t.pending;
         Mutex.unlock t.mutex;
         Some task
       end
@@ -51,6 +70,7 @@ let create ~domains =
       queue = Queue.create ();
       mutex = Mutex.create ();
       nonempty = Condition.create ();
+      pending = Atomic.make 0;
       closing = false;
       workers = [] }
   in
@@ -120,7 +140,11 @@ let region_run t thunks =
       Mutex.unlock r.region_mutex
     in
     locked t (fun () ->
-        List.iter (fun thunk -> Queue.push (wrap thunk) t.queue) rest;
+        List.iter
+          (fun thunk ->
+            Queue.push (wrap thunk) t.queue;
+            Atomic.incr t.pending)
+          rest;
         Condition.broadcast t.nonempty);
     (* Caller executes its own chunk, then helps with queued work. *)
     (try first () with
@@ -131,7 +155,11 @@ let region_run t thunks =
     let rec help () =
       let task =
         locked t (fun () ->
-            if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+            if Queue.is_empty t.queue then None
+            else begin
+              Atomic.decr t.pending;
+              Some (Queue.pop t.queue)
+            end)
       in
       match task with
       | Some task ->

@@ -203,7 +203,7 @@ let test_committed_baseline_parses () =
             (List.length
                (B.regressions (B.compare_runs ~baseline:run ~current:run ())))))
     [ "BENCH_PR3.json"; "BENCH_PR4.json"; "BENCH_PR5.json"; "BENCH_PR6.json";
-      "BENCH_PR7.json"; "BENCH_PR8.json"; "BENCH_PR9.json" ]
+      "BENCH_PR7.json"; "BENCH_PR8.json"; "BENCH_PR9.json"; "BENCH_PR10.json" ]
 
 let test_pr4_baseline_covers_sessions () =
   (* the PR-4 baseline is the one CI gates on: it must carry the session
@@ -371,6 +371,34 @@ let test_pr9_baseline_covers_cstub () =
         check_bool "E18 advanced the kernel.cstub.* meters" true
           (positive "kernel.cstub.calls" && positive "kernel.cstub.bulk_ops")))
 
+let test_pr10_baseline_covers_precond () =
+  (* the PR-10 baseline adds the preconditioner-kind experiment: it must
+     carry E19 with every precond.build.* counter advanced — the committed
+     proof that the recorded run really built all three kinds (and, since
+     E19 asserts the ops ordering in-bench, that the butterfly apply was
+     measured cheaper than the dense Hankel·Diagonal when it did) *)
+  match find_committed "BENCH_PR10.json" with
+  | None -> ()
+  | Some path -> (
+    match B.load path with
+    | Error m -> Alcotest.failf "BENCH_PR10.json failed to parse: %s" m
+    | Ok run ->
+      let e19 = List.find_opt (fun t -> t.B.label = "E19") run.B.tables in
+      (match e19 with
+      | None -> Alcotest.fail "BENCH_PR10.json has no E19 table"
+      | Some t ->
+        let positive name =
+          match List.assoc_opt name t.B.counters with
+          | Some v -> v > 0.
+          | None -> false
+        in
+        check_bool "E19 built the dense Hankel·Diagonal kind" true
+          (positive "precond.build.dense");
+        check_bool "E19 built the sparse butterfly kind" true
+          (positive "precond.build.sparse");
+        check_bool "E19 built the extension-field kind" true
+          (positive "precond.build.ext")))
+
 let () =
   Alcotest.run "bench_compare"
     [
@@ -398,6 +426,8 @@ let () =
             test_pr8_baseline_covers_shards;
           Alcotest.test_case "PR9 baseline covers C-stub kernels" `Quick
             test_pr9_baseline_covers_cstub;
+          Alcotest.test_case "PR10 baseline covers preconditioners" `Quick
+            test_pr10_baseline_covers_precond;
         ] );
       ( "compare",
         [

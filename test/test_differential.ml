@@ -375,6 +375,58 @@ module Diff (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
           [ 2; 3 ])
       shared_seeds
 
+  (* --- preconditioner-kind rows: every registered kind, through the
+     scalar, block, sharded and black-box engines, must still reproduce
+     the oracle exactly --- *)
+
+  let test_precond_kinds () =
+    let module Pc = Kp_precond.Precond in
+    List.iter
+      (fun seed ->
+        let n = List.nth P.sizes (List.length P.sizes - 1) in
+        let st = Kp_util.Rng.make seed in
+        let a = M.random_nonsingular st n in
+        let x_true = Array.init n (fun _ -> F.random st) in
+        let b = M.matvec a x_true in
+        let det_oracle = G.det a in
+        List.iteri
+          (fun i kind ->
+            let precond = Pc.Forced kind in
+            let sts = states (seed + n + (641 * (i + 1))) 6 in
+            let what w = Printf.sprintf "%s precond=%s" w (Pc.kind_name kind) in
+            (match S.solve ~precond sts.(0) a b with
+            | Ok (x, _) ->
+              Alcotest.(check bool) (ctx seed n (what "solve = oracle")) true
+                (vec_equal x x_true)
+            | Error e -> fail_typed seed n (what "solve") e);
+            (match S.det ~precond sts.(1) a with
+            | Ok (d, _) ->
+              Alcotest.(check bool) (ctx seed n (what "det = oracle")) true
+                (F.equal d det_oracle)
+            | Error e -> fail_typed seed n (what "det") e);
+            (match BW.solve ~block_factor:2 ~precond sts.(2) a b with
+            | Ok (x, _) ->
+              Alcotest.(check bool) (ctx seed n (what "block solve = oracle"))
+                true (vec_equal x x_true)
+            | Error e -> fail_typed seed n (what "block solve") e);
+            (match BW.det ~block_factor:2 ~precond sts.(3) a with
+            | Ok (d, _) ->
+              Alcotest.(check bool) (ctx seed n (what "block det = oracle"))
+                true (F.equal d det_oracle)
+            | Error e -> fail_typed seed n (what "block det") e);
+            (match S.solve ~shards:3 ~precond sts.(4) a b with
+            | Ok (x, _) ->
+              Alcotest.(check bool) (ctx seed n (what "sharded solve = oracle"))
+                true (vec_equal x x_true)
+            | Error e -> fail_typed seed n (what "sharded solve") e);
+            match W.solve_preconditioned ~precond sts.(5) (Bb.of_dense a) b with
+            | Ok (x, _) ->
+              Alcotest.(check bool) (ctx seed n (what "blackbox solve = oracle"))
+                true (vec_equal x x_true)
+            | Error e -> fail_typed seed n (what "blackbox solve") e)
+          Pc.all_kinds)
+      shared_seeds
+
   let tests =
     [
       Alcotest.test_case (P.name ^ " nonsingular") `Quick test_nonsingular;
@@ -383,6 +435,7 @@ module Diff (F : Kp_field.Field_intf.FIELD) (P : PROFILE) = struct
       Alcotest.test_case (P.name ^ " block singular") `Quick test_block_singular;
       Alcotest.test_case (P.name ^ " sharded nonsingular") `Quick test_sharded_nonsingular;
       Alcotest.test_case (P.name ^ " sharded singular") `Quick test_sharded_singular;
+      Alcotest.test_case (P.name ^ " precond kinds") `Quick test_precond_kinds;
     ]
 end
 
@@ -570,6 +623,78 @@ module Mode_rows = struct
     ]
 end
 
+(* --- GF(2) track: the extension-field preconditioner ------------------- *)
+(* GF(2) sits outside the Theorem-4 probability regime (card(S) = 2 — the
+   success bound 1 - 3n²/|S| is vacuous), so these rows are small-n and
+   seed-pinned with a generous retry budget.  The contract is Las Vegas:
+   every accepted answer must equal the oracle's, and the ext kind's
+   escalation ceiling (2^8 instead of 2) must let at least some pinned
+   seeds converge at all. *)
+module Gf2_track = struct
+  module F = Kp_field.Fields.Gf2
+  module C = Kp_poly.Conv.Karatsuba (F)
+  module M = Kp_matrix.Dense.Make (F)
+  module G = Kp_matrix.Gauss.Make (F)
+  module Bb = Kp_matrix.Blackbox.Make (F)
+  module S = Kp_core.Solver.Make (F) (C)
+  module W = Kp_core.Wiedemann.Make (F)
+  module O = Kp_robust.Outcome
+  module Pc = Kp_precond.Precond
+
+  let pinned_seeds = [ 2; 3; 5; 7; 11; 13; 17; 19 ]
+  let n = 4
+
+  let run_kind kind =
+    let solved = ref 0 and wrong = ref 0 and bb_solved = ref 0 in
+    List.iter
+      (fun seed ->
+        let st = Kp_util.Rng.make (9000 + seed) in
+        let a = M.random_nonsingular st n in
+        let x_true = Array.init n (fun _ -> F.random st) in
+        let b = M.matvec a x_true in
+        (match
+           S.solve ~retries:40 ~precond:(Pc.Forced kind)
+             (Kp_util.Rng.make (77 * seed)) a b
+         with
+        | Ok (x, _) ->
+          incr solved;
+          if not (Array.for_all2 F.equal x x_true) then incr wrong
+        | Error _ -> ());
+        match
+          W.solve_preconditioned ~retries:40 ~precond:(Pc.Forced kind)
+            (Kp_util.Rng.make (177 * seed))
+            (Bb.of_dense a) b
+        with
+        | Ok (x, _) ->
+          incr bb_solved;
+          if not (Array.for_all2 F.equal x x_true) then incr wrong
+        | Error _ -> ())
+      pinned_seeds;
+    (!solved, !bb_solved, !wrong)
+
+  let test_ext () =
+    let solved, bb_solved, wrong = run_kind Pc.Ext_field in
+    Alcotest.(check int) "gf2 ext: no accepted answer is ever wrong" 0 wrong;
+    Alcotest.(check bool)
+      (Printf.sprintf "gf2 ext: some pinned seeds converge (%d+%d)" solved
+         bb_solved)
+      true
+      (solved >= 1 && bb_solved >= 1)
+
+  let test_sparse_las_vegas () =
+    (* the butterfly over GF(2) itself rarely converges — but when it
+       accepts, the answer is right *)
+    let _, _, wrong = run_kind Pc.Sparse_butterfly in
+    Alcotest.(check int) "gf2 sparse: no accepted answer is ever wrong" 0 wrong
+
+  let tests =
+    [
+      Alcotest.test_case "gf2 ext-field preconditioner" `Quick test_ext;
+      Alcotest.test_case "gf2 sparse: Las Vegas only" `Quick
+        test_sparse_las_vegas;
+    ]
+end
+
 (* --- fuzz: "same matrix, many RHS" session plans --------------------- *)
 (* A plan is a mixed sequence of solve/det/inverse questions against ONE
    matrix.  Executed through a session — whatever the order, whatever the
@@ -632,5 +757,6 @@ let () =
       ("gf2^8", Gf2_8_suite.tests);
       ("rational", Q_suite.tests);
       ("kernel_modes", Mode_rows.tests);
+      ("gf2_track", Gf2_track.tests);
       ("session_fuzz", [ QCheck_alcotest.to_alcotest ~long:false Fuzz.test ]);
     ]

@@ -6,6 +6,43 @@ open Kp_util
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* spin-then-park wake path: many tiny regions dispatched back-to-back hit
+   the workers' bounded spin window (a parked worker takes the
+   mutex/condvar path instead) — whichever path each wake takes, every
+   task runs exactly once and results are deterministic.  Regression for
+   the wake-latency optimisation: the pending counter must stay balanced
+   across regions or a later region would hang or double-run. *)
+let test_spin_wake_many_small_regions () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let rounds = 200 and n = 8 in
+      let total = ref 0 in
+      for r = 1 to rounds do
+        let out = Pool.parallel_init pool n (fun i -> (r * n) + i) in
+        Array.iteri
+          (fun i v ->
+            if v <> (r * n) + i then
+              Alcotest.failf "round %d slot %d: got %d" r i v)
+          out;
+        total := !total + Array.length out
+      done;
+      check_int "every region completed in order" (rounds * n) !total)
+
+(* spin path under contention: interleave instant and slow tasks so some
+   wakes land inside the spin budget and some after parking *)
+let test_spin_wake_mixed_latency () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let n = 64 in
+      let out =
+        Pool.parallel_init pool n (fun i ->
+            if i mod 7 = 0 then begin
+              (* force some wakes to arrive while workers are parked *)
+              Thread.yield ();
+              Unix.sleepf 0.0005
+            end;
+            i * i)
+      in
+      Array.iteri (fun i v -> check_int (Printf.sprintf "slot %d" i) (i * i) v) out)
+
 (* region_run: exception propagation *)
 
 let test_region_run_basic () =
@@ -192,6 +229,10 @@ let () =
       ( "region_run",
         [
           Alcotest.test_case "runs all thunks" `Quick test_region_run_basic;
+          Alcotest.test_case "spin-then-park: many small regions" `Quick
+            test_spin_wake_many_small_regions;
+          Alcotest.test_case "spin-then-park: mixed latency" `Quick
+            test_spin_wake_mixed_latency;
           Alcotest.test_case "worker exception" `Quick test_region_run_exception;
           Alcotest.test_case "caller exception" `Quick test_region_run_caller_exception;
         ] );

@@ -1,0 +1,272 @@
+(* The pluggable preconditioner layer (lib/precond):
+   - registry/selection contract (names, resolution, demotion schedule)
+   - dense kind: bit-identity with the legacy Hankel·Diagonal draw stream
+     and arithmetic it replaced
+   - sparse butterfly and extension-field kinds: the record is internally
+     consistent (apply = dense materialisation, transpose, det = Gauss det)
+     and invertible by construction
+   - end-to-end: every kind solves through Solver and Wiedemann *)
+
+module Pc = Kp_precond.Precond
+module F = Kp_field.Fields.Gf_97
+module CK = Kp_poly.Conv.Karatsuba (F)
+module SP = Kp_precond.Precond.Make (F) (CK)
+module M = Kp_matrix.Dense.Make (F)
+module G = Kp_matrix.Gauss.Make (F)
+module S = Kp_core.Solver.Make (F) (CK)
+module W = Kp_core.Wiedemann.Make (F)
+module Bb = Kp_matrix.Blackbox.Make (F)
+
+let st0 seed = Random.State.make [| 0x5ca1ab1e; seed |]
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let farr_eq a b = Array.length a = Array.length b && Array.for_all2 F.equal a b
+
+let charpoly ~n d = (S.charpoly_for_field ?pool:None ~n) ~n d
+
+(* ---- registry and selection ---- *)
+
+let test_registry () =
+  check_int "three kinds" 3 (List.length Pc.all_kinds);
+  List.iter
+    (fun k ->
+      check_bool
+        (Printf.sprintf "kind_of_string roundtrips %s" (Pc.kind_name k))
+        true
+        (Pc.kind_of_string (Pc.kind_name k) = Some k);
+      check_bool "choice_of_string roundtrips forced" true
+        (Pc.choice_of_string (Pc.kind_name k) = Some (Pc.Forced k)))
+    Pc.all_kinds;
+  check_bool "auto roundtrips" true (Pc.choice_of_string "auto" = Some Pc.Auto);
+  check_bool "junk is None" true (Pc.choice_of_string "nonesuch" = None);
+  check_bool "auto resolves dense for dense engines" true
+    (Pc.resolve Pc.Auto = Pc.Dense_hd);
+  check_bool "auto resolves sparse for black boxes" true
+    (Pc.resolve ~sparse:true Pc.Auto = Pc.Sparse_butterfly);
+  check_bool "forced wins over sparse hint" true
+    (Pc.resolve ~sparse:true (Pc.Forced Pc.Dense_hd) = Pc.Dense_hd)
+
+let test_demotion_schedule () =
+  let retries = 10 in
+  (* first half of the budget keeps the requested kind, the second half
+     falls back to the dense floor; dense itself never moves *)
+  for attempt = 1 to retries + 1 do
+    let expect =
+      if 2 * attempt > retries + 1 then Pc.Dense_hd else Pc.Sparse_butterfly
+    in
+    check_bool
+      (Printf.sprintf "attempt %d" attempt)
+      true
+      (Pc.kind_for_attempt ~retries ~attempt Pc.Sparse_butterfly = expect);
+    check_bool "dense is the floor" true
+      (Pc.kind_for_attempt ~retries ~attempt Pc.Dense_hd = Pc.Dense_hd)
+  done
+
+(* ---- dense kind: bit-identity with the legacy draw stream ---- *)
+
+let test_dense_bit_identity () =
+  let n = 9 and card_s = 4096 in
+  let st_legacy = st0 21 and st_new = st0 21 in
+  (* the code this layer replaced drew h (2n-1 samples) then d (n non-zero
+     samples with the <=100-retry discipline) *)
+  let h = Array.init ((2 * n) - 1) (fun _ -> F.sample st_legacy ~card_s) in
+  let d = Array.init n (fun _ -> SP.sample_nonzero st_legacy ~card_s) in
+  let p = SP.build ~charpoly ~card_s ~n Pc.Dense_hd st_new in
+  check_bool "kind" true (p.Pc.kind = Pc.Dense_hd);
+  (* identical RNG consumption: the next draw agrees on both streams *)
+  check_bool "draw streams stay in lockstep" true
+    (F.equal (F.sample st_legacy ~card_s) (F.sample st_new ~card_s));
+  (* (H·D)_{ij} = h_{i+j}·d_j, row-major *)
+  let dense = p.Pc.dense () in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if not (F.equal dense.((i * n) + j) (F.mul h.(i + j) d.(j))) then
+        ok := false
+    done
+  done;
+  check_bool "dense materialisation = H·D" true !ok;
+  check_bool "det = det_hd of the same draws" true
+    (F.equal (p.Pc.det ()) (SP.det_hd ~charpoly ~n ~h ~d));
+  (* apply agrees with the materialised matrix *)
+  let v = Array.init n (fun i -> F.of_int (i + 3)) in
+  let pm = M.init n n (fun i j -> dense.((i * n) + j)) in
+  check_bool "apply = dense matvec" true (farr_eq (p.Pc.apply v) (M.matvec pm v));
+  check_bool "transpose = dense^T matvec" true
+    (farr_eq (p.Pc.apply_transpose v) (M.matvec (M.transpose pm) v))
+
+let test_dense_choice_is_default_path () =
+  (* forcing dense must be indistinguishable from the default on dense
+     inputs: same answer and the same number of randomized attempts *)
+  let n = 10 in
+  let st1 = st0 22 and st2 = st0 22 in
+  let a1 = M.random_nonsingular st1 n in
+  let a2 = M.random_nonsingular st2 n in
+  let b1 = Array.init n (fun i -> F.of_int (i + 1)) in
+  match
+    ( S.solve st1 a1 b1,
+      S.solve ~precond:(Pc.Forced Pc.Dense_hd) st2 a2 (Array.copy b1) )
+  with
+  | Ok (x1, r1), Ok (x2, r2) ->
+    check_bool "same solution" true (farr_eq x1 x2);
+    check_int "same attempt count" r1.S.O.attempts r2.S.O.attempts
+  | _ -> Alcotest.fail "dense solve failed"
+
+(* ---- structured kinds: record self-consistency ---- *)
+
+let record_consistent name (p : F.t Pc.t) =
+  let n = p.Pc.n in
+  let dense = p.Pc.dense () in
+  let pm = M.init n n (fun i j -> dense.((i * n) + j)) in
+  let v = Array.init n (fun i -> F.of_int ((17 * i) + 5)) in
+  check_bool (name ^ ": apply = dense matvec") true
+    (farr_eq (p.Pc.apply v) (M.matvec pm v));
+  check_bool (name ^ ": transpose = dense^T matvec") true
+    (farr_eq (p.Pc.apply_transpose v) (M.matvec (M.transpose pm) v));
+  let gdet = G.det (G.M.init n n (fun i j -> dense.((i * n) + j))) in
+  check_bool (name ^ ": det = Gauss det of dense") true
+    (F.equal (p.Pc.det ()) gdet);
+  check_bool (name ^ ": invertible by construction") true
+    (not (F.is_zero gdet));
+  check_bool (name ^ ": ops_per_apply > 0") true
+    (Lazy.force p.Pc.ops_per_apply > 0)
+
+let test_butterfly_consistent () =
+  List.iter
+    (fun n ->
+      let st = st0 (30 + n) in
+      let p = SP.build ~charpoly ~card_s:4096 ~n Pc.Sparse_butterfly st in
+      check_bool "kind" true (p.Pc.kind = Pc.Sparse_butterfly);
+      record_consistent (Printf.sprintf "butterfly n=%d" n) p)
+    [ 1; 2; 5; 8; 13 ]
+
+let test_butterfly_is_cheap () =
+  (* the sparse track's payoff: ops per apply is O(n log n), far below the
+     dense Hankel convolution cost for the same n *)
+  let n = 64 in
+  let st = st0 40 in
+  let p = SP.build ~charpoly ~card_s:4096 ~n Pc.Sparse_butterfly st in
+  let sparse_ops = Lazy.force p.Pc.ops_per_apply in
+  let dense_ops = SP.hankel_ops_per_apply n + n in
+  check_bool
+    (Printf.sprintf "butterfly %d ops << dense %d ops" sparse_ops dense_ops)
+    true
+    (sparse_ops * 2 < dense_ops)
+
+let test_ext_field_gf2 () =
+  (* the GF(2) track: card(S) escalation above q routes through GF(2^k) *)
+  let module F2 = Kp_field.Fields.Gf2 in
+  let module C2 = Kp_poly.Conv.Karatsuba (F2) in
+  let module SP2 = Kp_precond.Precond.Make (F2) (C2) in
+  let module M2 = Kp_matrix.Dense.Make (F2) in
+  let module G2 = Kp_matrix.Gauss.Make (F2) in
+  check_bool "ceiling lifts to 2^8" true
+    (SP2.escalation_ceiling Pc.Ext_field = Some 256);
+  check_bool "dense ceiling stays at q" true
+    (SP2.escalation_ceiling Pc.Dense_hd = Some 2);
+  List.iter
+    (fun (n, card_s) ->
+      let st = st0 (50 + n + card_s) in
+      let p = SP2.build ~charpoly:(fun ~n:_ _ -> [||]) ~card_s ~n Pc.Ext_field st in
+      check_bool "kind" true (p.Pc.kind = Pc.Ext_field);
+      let dense = p.Pc.dense () in
+      let pm = M2.init n n (fun i j -> dense.((i * n) + j)) in
+      let v = Array.init n (fun i -> if i land 1 = 0 then F2.one else F2.zero) in
+      check_bool "apply = dense matvec" true
+        (Array.for_all2 F2.equal (p.Pc.apply v) (M2.matvec pm v));
+      check_bool "transpose = dense^T matvec" true
+        (Array.for_all2 F2.equal
+           (p.Pc.apply_transpose v)
+           (M2.matvec (M2.transpose pm) v));
+      let gdet = G2.det (G2.M.init n n (fun i j -> dense.((i * n) + j))) in
+      check_bool "det = Gauss det" true (F2.equal (p.Pc.det ()) gdet);
+      check_bool "invertible by construction" true (not (F2.is_zero gdet)))
+    (* card_s = 2: degenerate butterfly over F itself; card_s = 16/256:
+       genuine GF(2^4)/GF(2^8) chunk scalars, with and without a tail *)
+    [ (6, 2); (8, 16); (12, 256); (16, 16) ]
+
+(* ---- end-to-end: every kind solves ---- *)
+
+let test_solver_all_kinds () =
+  List.iter
+    (fun kind ->
+      let st = st0 60 in
+      let n = 12 in
+      let a = M.random_nonsingular st n in
+      let x_true = Array.init n (fun _ -> F.random st) in
+      let b = M.matvec a x_true in
+      match S.solve ~precond:(Pc.Forced kind) st a b with
+      | Ok (x, _) ->
+        check_bool (Pc.kind_name kind ^ " solves") true (farr_eq x x_true)
+      | Error e -> Alcotest.fail (Pc.kind_name kind ^ ": " ^ S.O.error_to_string e))
+    Pc.all_kinds
+
+let test_wiedemann_all_kinds () =
+  List.iter
+    (fun kind ->
+      let st = st0 61 in
+      let n = 12 in
+      let a = M.random_nonsingular st n in
+      let x_true = Array.init n (fun _ -> F.random st) in
+      let b = M.matvec a x_true in
+      match W.solve_preconditioned ~precond:(Pc.Forced kind) st (Bb.of_dense a) b with
+      | Ok (x, _) ->
+        check_bool (Pc.kind_name kind ^ " bb-solves") true (farr_eq x x_true)
+      | Error e ->
+        Alcotest.fail (Pc.kind_name kind ^ ": " ^ W.O.error_to_string e))
+    Pc.all_kinds
+
+let test_det_all_kinds () =
+  List.iter
+    (fun kind ->
+      let st = st0 62 in
+      let n = 10 in
+      let a = M.random_nonsingular st n in
+      let expect = G.det (G.M.init n n (fun i j -> M.get a i j)) in
+      match S.det ~precond:(Pc.Forced kind) st a with
+      | Ok (d, _) ->
+        check_bool (Pc.kind_name kind ^ " det") true (F.equal d expect)
+      | Error e -> Alcotest.fail (Pc.kind_name kind ^ ": " ^ S.O.error_to_string e))
+    Pc.all_kinds
+
+let test_build_counters () =
+  let before name = Option.value ~default:0 (Kp_obs.Counter.find name) in
+  let b0 = before "precond.build.sparse" in
+  let st = st0 63 in
+  ignore (SP.build ~charpoly ~card_s:4096 ~n:8 Pc.Sparse_butterfly st);
+  check_int "build ticks its per-kind counter" (b0 + 1)
+    (before "precond.build.sparse")
+
+let () =
+  Alcotest.run "precond"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "names/resolution" `Quick test_registry;
+          Alcotest.test_case "demotion schedule" `Quick test_demotion_schedule;
+          Alcotest.test_case "build counters" `Quick test_build_counters;
+        ] );
+      ( "dense",
+        [
+          Alcotest.test_case "bit-identity with legacy draws" `Quick
+            test_dense_bit_identity;
+          Alcotest.test_case "forced dense = default path" `Quick
+            test_dense_choice_is_default_path;
+        ] );
+      ( "structured",
+        [
+          Alcotest.test_case "butterfly record consistent" `Quick
+            test_butterfly_consistent;
+          Alcotest.test_case "butterfly ops << dense ops" `Quick
+            test_butterfly_is_cheap;
+          Alcotest.test_case "ext-field GF(2) record consistent" `Quick
+            test_ext_field_gf2;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "solver: all kinds" `Quick test_solver_all_kinds;
+          Alcotest.test_case "wiedemann: all kinds" `Quick
+            test_wiedemann_all_kinds;
+          Alcotest.test_case "det: all kinds" `Quick test_det_all_kinds;
+        ] );
+    ]

@@ -40,6 +40,43 @@ let random_system st n =
 
 (* ---- chaos: certified solve over a faulty field ---- *)
 
+(* a forced sparse preconditioner under a total-abort schedule: the early
+   attempts burn the fault budget, the demotion contract falls back to the
+   dense kind for the late attempts, and the served answer is still the
+   verified one — degradation is observable (precond.demote) and never
+   wrong *)
+let test_chaos_precond_demotes () =
+  let module Pc = Kp_precond.Precond in
+  let counter name = Option.value ~default:0 (Kp_obs.Counter.find name) in
+  let demote0 = counter "precond.demote" in
+  let dense0 = counter "precond.build.dense" in
+  let wrong = ref 0 and ok = ref 0 in
+  for seed = 201 to 210 do
+    let plan = Fault.plan ~p_corrupt:0. ~p_abort:1.0 ~max_faults:8 ~seed () in
+    let module FF = (val FaultF.wrap plan) in
+    let module CF = Kp_poly.Conv.Karatsuba (FF) in
+    let module FS = Kp_core.Solver.Make (FF) (CF) in
+    let st = st0 (900 + seed) in
+    let n = 6 in
+    let a, _, b = random_system st n in
+    let fa = FS.M.init n n (fun i j -> M.get a i j) in
+    match
+      FS.solve ~retries:12 ~precond:(Pc.Forced Pc.Sparse_butterfly) st fa b
+    with
+    | Ok (x, _) ->
+      incr ok;
+      if not (Array.for_all2 F.equal (M.matvec a x) b) then incr wrong
+    | Error _ -> () (* a typed failure is allowed; a wrong answer is not *)
+  done;
+  check_int "zero wrong answers across demotion" 0 !wrong;
+  check_bool
+    (Printf.sprintf "runs recover once the fault budget drains (%d/10)" !ok)
+    true (!ok >= 8);
+  check_bool "sparse demoted to dense on the late attempts" true
+    (counter "precond.demote" > demote0);
+  check_bool "the demoted attempts really built dense preconditioners" true
+    (counter "precond.build.dense" > dense0)
+
 let test_chaos_solve () =
   let wrong = ref 0 and accepted = ref 0 and injected = ref 0 in
   for seed = 1 to 40 do
@@ -175,8 +212,9 @@ let test_control_uncertified_pipeline () =
     in
     let u = Array.init n (fun _ -> F.sample st ~card_s) in
     (match
+       let p = FS.P.precond_of ~charpoly:FS.P.charpoly_leverrier ~n ~h ~d in
        FS.P.solve ~charpoly:FS.P.charpoly_leverrier ~strategy:FS.P.Doubling fa
-         ~b ~h ~d ~u
+         ~b ~p ~u
      with
     | exception _ -> () (* uncertified pipeline may just die; not wrong *)
     | { FS.P.x; _ } ->
@@ -563,6 +601,8 @@ let () =
             test_chaos_inverse;
           Alcotest.test_case "wiedemann sound under blackbox faults" `Quick
             test_chaos_wiedemann_blackbox;
+          Alcotest.test_case "forced sparse demotes to dense, never wrong"
+            `Quick test_chaos_precond_demotes;
           Alcotest.test_case "control: uncertified pipeline caught" `Quick
             test_control_uncertified_pipeline;
         ] );

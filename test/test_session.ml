@@ -267,6 +267,80 @@ module FI = struct
     Alcotest.(check bool) "batch evicted the poisoned entry" true
       ((Sess.stats sess).Sess.evictions >= 1)
 
+  (* cross-kind reuse: an entry whose recorded preconditioner kind differs
+     from the session's live kind must never validate a certificate — a
+     typed Stale_cache eviction and rebuild, for both serve paths *)
+  let test_poisoned_kind () =
+    let module Pc = Kp_precond.Precond in
+    List.iter
+      (fun seed ->
+        let a, b, sess = setup seed in
+        (match Sess.solve sess a b with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "build: %s" (Kp_robust.Outcome.error_to_string e));
+        Alcotest.(check bool) "poison hook found the entry" true
+          (Sess.poison_kind sess a Pc.Sparse_butterfly);
+        (match Sess.solve sess a b with
+        | Ok (x, report) ->
+          Alcotest.(check bool) "cross-kind solve recovers the oracle answer"
+            true
+            (Array.for_all2 F.equal x (Option.get (G.solve a b)));
+          Alcotest.(check bool) "report carries a typed Stale_cache rejection"
+            true (has_stale_rejection report)
+        | Error e ->
+          Alcotest.failf "cross-kind solve: %s" (Kp_robust.Outcome.error_to_string e));
+        let s = Sess.stats sess in
+        Alcotest.(check bool) "cross-kind entry evicted" true
+          (s.Sess.evictions >= 1);
+        Alcotest.(check int) "rebuilt exactly once" 2 s.Sess.misses;
+        (* the same guard covers the det path *)
+        Alcotest.(check bool) "poison hook found the rebuilt entry" true
+          (Sess.poison_kind sess a Pc.Ext_field);
+        (match Sess.det sess a with
+        | Ok (d, report) ->
+          Alcotest.(check bool) "cross-kind det = oracle" true
+            (F.equal d (G.det a));
+          Alcotest.(check bool) "det report carries Stale_cache" true
+            (has_stale_rejection report)
+        | Error e ->
+          Alcotest.failf "cross-kind det: %s" (Kp_robust.Outcome.error_to_string e));
+        Alcotest.(check bool) "det evicted the cross-kind entry too" true
+          ((Sess.stats sess).Sess.evictions >= 2))
+      Test_seeds.shared_seeds
+
+  (* sessions of different preconditioner kinds never share cache entries:
+     the kind is part of the fingerprint, so a cross-kind lookup is a plain
+     miss (fresh build), not a reuse *)
+  let test_cross_kind_sessions () =
+    let module Pc = Kp_precond.Precond in
+    let seed = List.hd Test_seeds.shared_seeds in
+    let st = Kp_util.Rng.make seed in
+    let a = M.random_nonsingular st n in
+    let b = Array.init n (fun _ -> F.random st) in
+    let dense_sess =
+      Sess.create ~precond:(Pc.Forced Pc.Dense_hd) (Kp_util.Rng.make (seed + 1))
+    in
+    let sparse_sess =
+      Sess.create
+        ~precond:(Pc.Forced Pc.Sparse_butterfly)
+        (Kp_util.Rng.make (seed + 1))
+    in
+    Alcotest.(check bool) "kinds partition the fingerprint space" false
+      (Kp_session.Fingerprint.equal
+         (Sess.fingerprint_of dense_sess a)
+         (Sess.fingerprint_of sparse_sess a));
+    (match (Sess.solve dense_sess a b, Sess.solve sparse_sess a b) with
+    | Ok (x1, _), Ok (x2, _) ->
+      Alcotest.(check bool) "both kinds serve the oracle answer" true
+        (Array.for_all2 F.equal x1 x2
+        && Array.for_all2 F.equal x1 (Option.get (G.solve a b)))
+    | Error e, _ | _, Error e ->
+      Alcotest.failf "cross-kind sessions: %s" (Kp_robust.Outcome.error_to_string e));
+    Alcotest.(check int) "dense session built its own entry" 1
+      (Sess.stats dense_sess).Sess.misses;
+    Alcotest.(check int) "sparse session built its own entry" 1
+      (Sess.stats sparse_sess).Sess.misses
+
   let tests =
     [
       Alcotest.test_case "poisoned charpoly: solve detects, evicts, rebuilds"
@@ -275,6 +349,10 @@ module FI = struct
         `Quick test_poisoned_det;
       Alcotest.test_case "poisoned charpoly: batch never serves it" `Quick
         test_poisoned_batch;
+      Alcotest.test_case "cross-kind entry: typed Stale_cache, evict, rebuild"
+        `Quick test_poisoned_kind;
+      Alcotest.test_case "kind partitions the cache (no cross-kind reuse)"
+        `Quick test_cross_kind_sessions;
     ]
 end
 
@@ -493,6 +571,17 @@ let test_fingerprint () =
   let keyed = Kp_session.Fingerprint.of_key ~field:F.name ~rows:5 ~cols:5 "a" in
   Alcotest.(check bool) "keyed never equals hashed" false
     (Kp_session.Fingerprint.equal fp_a keyed);
+  (* schema v2: the preconditioner tag is part of the identity *)
+  let tagged t =
+    Kp_session.Fingerprint.of_key ~tag:t ~field:F.name ~rows:5 ~cols:5 "a"
+  in
+  Alcotest.(check bool) "distinct tags, distinct fingerprints" false
+    (Kp_session.Fingerprint.equal (tagged "dense") (tagged "sparse"));
+  Alcotest.(check bool) "tag survives the string form" true
+    (let s = Kp_session.Fingerprint.to_string (tagged "sparse") in
+     String.length s >= 3
+     && String.sub s 0 3 = "v2:"
+     && Kp_session.Fingerprint.tag (tagged "sparse") = "sparse");
   (* a session keyed by ?key trusts the caller: distinct keys, distinct
      entries, so both matrices get their own build *)
   let sess = Sess.create (Kp_util.Rng.make 6) in
